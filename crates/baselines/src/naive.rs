@@ -1,0 +1,131 @@
+//! The naive equal-split parallel "merge" — the paper's §I counterexample.
+//!
+//! > "A naïve approach to parallel merge would entail partitioning each of
+//! > the two arrays into equal-length contiguous sub-arrays and assigning a
+//! > pair of same-numbered sub-arrays to each core. […] Unfortunately, this
+//! > is incorrect. (To see this, consider the case wherein all the elements
+//! > of A are greater than all those of B.)"
+//!
+//! The algorithm is implemented faithfully so the failure is demonstrable
+//! and measurable: [`naive_equal_split_merge`] produces locally-sorted
+//! chunks whose concatenation is *not* globally sorted in general;
+//! [`count_order_violations`] quantifies how wrong it is.
+
+use mergepath::merge::sequential::merge_into_by;
+
+/// The incorrect equal-split parallel merge: chunk `i` of the output is the
+/// merge of the `i`-th equal slice of `A` with the `i`-th equal slice of
+/// `B`.
+///
+/// # Examples
+/// ```
+/// use mergepath_baselines::naive::{count_order_violations, naive_equal_split_merge};
+/// // The paper's counterexample: all of A greater than all of B.
+/// let a = [10, 11, 12, 13];
+/// let b = [0, 1, 2, 3];
+/// let wrong = naive_equal_split_merge(&a, &b, 2);
+/// assert!(count_order_violations(&wrong) > 0); // provably incorrect
+/// ```
+///
+/// **This function is intentionally wrong** (it is the paper's motivating
+/// counterexample). It is correct only for inputs whose merge path happens
+/// to pass through all the equal-split grid points — e.g. perfectly
+/// interleaved arrays.
+pub fn naive_equal_split_merge<T: Ord + Clone + Default + Send + Sync>(
+    a: &[T],
+    b: &[T],
+    p: usize,
+) -> Vec<T> {
+    assert!(p > 0, "at least one chunk required");
+    let mut out = vec![T::default(); a.len() + b.len()];
+    let bounds_a: Vec<usize> = (0..=p).map(|k| k * a.len() / p).collect();
+    let bounds_b: Vec<usize> = (0..=p).map(|k| k * b.len() / p).collect();
+    std::thread::scope(|scope| {
+        let mut rest = &mut out[..];
+        for k in 0..p {
+            let (alo, ahi) = (bounds_a[k], bounds_a[k + 1]);
+            let (blo, bhi) = (bounds_b[k], bounds_b[k + 1]);
+            let len = (ahi - alo) + (bhi - blo);
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let (sa, sb) = (&a[alo..ahi], &b[blo..bhi]);
+            let mut work = move || merge_into_by(sa, sb, chunk, &|x: &T, y: &T| x.cmp(y));
+            if k + 1 == p {
+                work();
+            } else {
+                scope.spawn(work);
+            }
+        }
+    });
+    out
+}
+
+/// Number of adjacent inversions (`out[i] > out[i+1]`) — zero iff sorted.
+pub fn count_order_violations<T: Ord>(out: &[T]) -> usize {
+    out.windows(2).filter(|w| w[0] > w[1]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fails_on_the_papers_counterexample() {
+        // All of A greater than all of B.
+        let a: Vec<i64> = (100..200).collect();
+        let b: Vec<i64> = (0..100).collect();
+        let out = naive_equal_split_merge(&a, &b, 4);
+        let violations = count_order_violations(&out);
+        assert!(
+            violations > 0,
+            "the naive split must fail on the adversarial input"
+        );
+        // The multiset is still right — it is the ORDER that breaks.
+        let mut sorted = out.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn happens_to_work_on_perfect_interleave() {
+        let a: Vec<i64> = (0..100).map(|x| 2 * x).collect();
+        let b: Vec<i64> = (0..100).map(|x| 2 * x + 1).collect();
+        let out = naive_equal_split_merge(&a, &b, 4);
+        assert_eq!(count_order_violations(&out), 0);
+    }
+
+    #[test]
+    fn single_chunk_degenerates_to_correct_merge() {
+        let a: Vec<i64> = (50..80).collect();
+        let b: Vec<i64> = (0..100).step_by(3).map(|x| x as i64).collect();
+        let out = naive_equal_split_merge(&a, &b, 1);
+        assert_eq!(count_order_violations(&out), 0);
+    }
+
+    proptest! {
+        /// The defect quantified: whenever the true merge path deviates from
+        /// the equal-split grid points, the naive result is unsorted.
+        #[test]
+        fn incorrect_iff_path_misses_grid_points(
+            mut a in proptest::collection::vec(-100i64..100, 4..80),
+            mut b in proptest::collection::vec(-100i64..100, 4..80),
+            p in 2usize..6,
+        ) {
+            a.sort();
+            b.sort();
+            let out = naive_equal_split_merge(&a, &b, p);
+            let naive_ok = count_order_violations(&out) == 0;
+            // Oracle: naive is right iff for every k, the path point on the
+            // combined diagonal equals the equal-split point. We check the
+            // weaker, sufficient direction: if naive produced sorted output
+            // it must equal the true merge (same multiset + sorted ⇒ equal
+            // as multisets are equal by construction).
+            if naive_ok {
+                let mut expect = vec![0i64; a.len() + b.len()];
+                mergepath::merge::sequential::merge_into(&a, &b, &mut expect);
+                prop_assert_eq!(out, expect);
+            }
+        }
+    }
+}

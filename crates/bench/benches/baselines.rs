@@ -1,0 +1,57 @@
+//! Merge Path against the §V related-work algorithms on equal terms:
+//! uniform and adversarial inputs, fixed p.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mergepath::merge::parallel::parallel_merge_into;
+use mergepath_baselines::akl_santoro::akl_santoro_merge_into;
+use mergepath_baselines::bitonic::bitonic_merge_into;
+use mergepath_baselines::rank_partition::rank_partition_merge_into;
+use mergepath_baselines::sequential::textbook_merge_into;
+use mergepath_workloads::{merge_pair, MergeWorkload};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 18;
+    let p = 4;
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * n as u64));
+    for wl in [MergeWorkload::Uniform, MergeWorkload::AllAGreater] {
+        let (a, b) = merge_pair(wl, n, 7);
+        let mut out = vec![0u32; 2 * n];
+        group.bench_with_input(
+            BenchmarkId::new("merge_path_p4", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| parallel_merge_into(&a, &b, &mut out, p));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("akl_santoro_p4", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| akl_santoro_merge_into(&a, &b, &mut out, p));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rank_partition_p4", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| rank_partition_merge_into(&a, &b, &mut out, p));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitonic_merge", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| bitonic_merge_into(&a, &b, &mut out));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sequential", wl.name()), &(), |bch, _| {
+            bch.iter(|| textbook_merge_into(&a, &b, &mut out));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

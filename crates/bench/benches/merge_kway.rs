@@ -1,0 +1,36 @@
+//! k-way merging: loser-tree kernel across k, the multi-way rank split,
+//! and the rank-partitioned parallel k-way merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mergepath::merge::kway::{kway_merge, kway_rank_split, parallel_kway_merge};
+use mergepath_workloads::sorted_keys;
+
+fn make_lists(k: usize, total: usize) -> Vec<Vec<u32>> {
+    (0..k).map(|i| sorted_keys(total / k, i as u64)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let total = 1 << 18;
+    let mut group = c.benchmark_group("merge_kway");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total as u64));
+    for k in [2usize, 4, 8, 16, 64] {
+        let data = make_lists(k, total);
+        let lists: Vec<&[u32]> = data.iter().map(|l| l.as_slice()).collect();
+        let n: usize = lists.iter().map(|l| l.len()).sum();
+        let mut out = vec![0u32; n];
+        group.bench_with_input(BenchmarkId::new("loser_tree", k), &(), |bch, _| {
+            bch.iter(|| kway_merge(&lists, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_p4", k), &(), |bch, _| {
+            bch.iter(|| parallel_kway_merge(&lists, &mut out, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("rank_split_mid", k), &(), |bch, _| {
+            bch.iter(|| kway_rank_split(&lists, n / 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

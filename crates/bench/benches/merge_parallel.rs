@@ -1,0 +1,32 @@
+//! Algorithm 1 across thread counts and execution backends (fresh
+//! `thread::scope` per call vs the persistent OpenMP-style pool).
+//!
+//! The thread sweep is the wall-clock leg of Figure 5; on a multi-core
+//! host throughput scales with the thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mergepath::executor::Pool;
+use mergepath::merge::parallel::parallel_merge_into;
+use mergepath_workloads::{merge_pair, MergeWorkload};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 20;
+    let (a, b) = merge_pair(MergeWorkload::Uniform, n, 2);
+    let mut out = vec![0u32; 2 * n];
+    let mut group = c.benchmark_group("merge_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * n as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("scoped", threads), &threads, |bch, &p| {
+            bch.iter(|| parallel_merge_into(&a, &b, &mut out, p));
+        });
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::new("pooled", threads), &threads, |bch, _| {
+            bch.iter(|| pool.merge_into(&a, &b, &mut out));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Algorithm 2 (SPM): staging strategies and segment-length sweep, against
+//! basic Algorithm 1 — the wall-clock side of experiment C2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mergepath::merge::parallel::parallel_merge_into;
+use mergepath::merge::hierarchical::{hierarchical_merge_into, HierarchicalConfig};
+use mergepath::merge::segmented::{segmented_parallel_merge_into, SpmConfig, Staging};
+use mergepath_workloads::{merge_pair, MergeWorkload};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 19;
+    let p = 4;
+    let (a, b) = merge_pair(MergeWorkload::Uniform, n, 3);
+    let mut out = vec![0u32; 2 * n];
+    let mut group = c.benchmark_group("merge_segmented");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * n as u64));
+
+    group.bench_function("basic_parallel", |bch| {
+        bch.iter(|| parallel_merge_into(&a, &b, &mut out, p));
+    });
+    // L sweep at both stagings; cache_elems = 3·L so segment_len() == 1<<l_log.
+    for l_log in [12usize, 14, 16] {
+        let cfg_w = SpmConfig::new(3 << l_log, p);
+        group.bench_with_input(
+            BenchmarkId::new("windowed_L", 1usize << l_log),
+            &(),
+            |bch, _| {
+                bch.iter(|| segmented_parallel_merge_into(&a, &b, &mut out, &cfg_w));
+            },
+        );
+        let cfg_c = SpmConfig::new(3 << l_log, p).with_staging(Staging::Cyclic);
+        group.bench_with_input(
+            BenchmarkId::new("cyclic_L", 1usize << l_log),
+            &(),
+            |bch, _| {
+                bch.iter(|| segmented_parallel_merge_into(&a, &b, &mut out, &cfg_c));
+            },
+        );
+    }
+    // The two-level GPU-style decomposition across tile sizes.
+    for tile in [64usize, 256, 1024] {
+        let cfg = HierarchicalConfig::new(p).with_tile(tile);
+        group.bench_with_input(BenchmarkId::new("hierarchical_tile", tile), &(), |bch, _| {
+            bch.iter(|| hierarchical_merge_into(&a, &b, &mut out, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Sequential merge kernels: the classic two-pointer merge, the
+//! branch-lean variant, galloping, and the independent textbook baseline.
+//!
+//! Regenerates the per-element kernel costs behind T1 and shows where each
+//! kernel wins (galloping on run-structured inputs, branch-lean on
+//! unpredictable interleavings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mergepath::merge::inplace::inplace_merge;
+use mergepath::merge::sequential::{branch_lean_merge_into, galloping_merge_into_by, merge_into};
+use mergepath_baselines::sequential::textbook_merge_into;
+use mergepath_workloads::{merge_pair, MergeWorkload};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 16;
+    let mut group = c.benchmark_group("merge_seq");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(2 * n as u64));
+    for wl in [
+        MergeWorkload::Uniform,
+        MergeWorkload::Interleaved,
+        MergeWorkload::Runs,
+    ] {
+        let (a, b) = merge_pair(wl, n, 1);
+        let mut out = vec![0u32; 2 * n];
+        group.bench_with_input(BenchmarkId::new("classic", wl.name()), &(), |bch, _| {
+            bch.iter(|| merge_into(&a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("branch_lean", wl.name()), &(), |bch, _| {
+            bch.iter(|| branch_lean_merge_into(&a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("galloping", wl.name()), &(), |bch, _| {
+            bch.iter(|| galloping_merge_into_by(&a, &b, &mut out, &|x, y| x.cmp(y)));
+        });
+        group.bench_with_input(BenchmarkId::new("textbook", wl.name()), &(), |bch, _| {
+            bch.iter(|| textbook_merge_into(&a, &b, &mut out));
+        });
+        // In-place rotation merge (no output buffer at all).
+        let mut joined: Vec<u32> = a.iter().chain(&b).copied().collect();
+        let joined_base = joined.clone();
+        group.bench_with_input(BenchmarkId::new("inplace", wl.name()), &(), |bch, _| {
+            bch.iter(|| {
+                joined.copy_from_slice(&joined_base);
+                inplace_merge(&mut joined, a.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

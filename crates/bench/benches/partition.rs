@@ -1,0 +1,53 @@
+//! The diagonal binary search (Theorem 14) and full partitioning: the two
+//! co-rank formulations against each other and the cost of a `p`-way
+//! partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mergepath::diagonal::{co_rank_by, co_rank_refine_by};
+use mergepath::partition::partition_segments;
+use mergepath::select::kth_of_union;
+use mergepath_baselines::multiselect::multiselect_partition;
+use mergepath_workloads::{merge_pair, MergeWorkload};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 20;
+    let (a, b) = merge_pair(MergeWorkload::Uniform, n, 4);
+    let cmp = |x: &u32, y: &u32| x.cmp(y);
+    let diags: Vec<usize> = (0..64).map(|k| k * (2 * n) / 64).collect();
+
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(30);
+    group.bench_function("co_rank_binary_64_diagonals", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for &d in &diags {
+                acc = acc.wrapping_add(co_rank_by(d, a.as_slice(), b.as_slice(), &cmp));
+            }
+            acc
+        });
+    });
+    group.bench_function("co_rank_refine_64_diagonals", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for &d in &diags {
+                acc = acc.wrapping_add(co_rank_refine_by(d, a.as_slice(), b.as_slice(), &cmp));
+            }
+            acc
+        });
+    });
+    for p in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("partition_segments", p), &p, |bch, &p| {
+            bch.iter(|| partition_segments(&a, &b, p));
+        });
+        group.bench_with_input(BenchmarkId::new("multiselect", p), &p, |bch, &p| {
+            bch.iter(|| multiselect_partition(&a, &b, p));
+        });
+    }
+    group.bench_function("median_selection", |bch| {
+        bch.iter(|| *kth_of_union(&a, &b, n));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

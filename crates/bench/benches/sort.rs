@@ -1,0 +1,85 @@
+//! The derived sorts (§III, §IV.C) against `std` and each other, across
+//! input distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mergepath::sort::cache_aware::cache_aware_parallel_sort;
+use mergepath::sort::kway::kway_merge_sort;
+use mergepath::sort::natural::natural_merge_sort;
+use mergepath::sort::parallel::parallel_merge_sort;
+use mergepath::sort::sequential::merge_sort;
+use mergepath_workloads::{unsorted_keys, SortWorkload};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 18;
+    let mut group = c.benchmark_group("sort");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for wl in [
+        SortWorkload::Uniform,
+        SortWorkload::NearlySorted,
+        SortWorkload::DuplicateHeavy,
+    ] {
+        let base = unsorted_keys(wl, n, 6);
+        let mut v = base.clone();
+        group.bench_with_input(
+            BenchmarkId::new("merge_sort_seq", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    v.copy_from_slice(&base);
+                    merge_sort(&mut v);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_merge_sort_p4", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    v.copy_from_slice(&base);
+                    parallel_merge_sort(&mut v, 4);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cache_aware_sort_p4", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    v.copy_from_slice(&base);
+                    cache_aware_parallel_sort(&mut v, 4, 64 * 1024);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kway_merge_sort_p4", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    v.copy_from_slice(&base);
+                    kway_merge_sort(&mut v, 4);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("natural_merge_sort_p4", wl.name()),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    v.copy_from_slice(&base);
+                    natural_merge_sort(&mut v, 4);
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("std_stable", wl.name()), &(), |bch, _| {
+            bch.iter(|| {
+                v.copy_from_slice(&base);
+                v.sort();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

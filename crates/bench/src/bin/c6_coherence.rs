@@ -1,0 +1,68 @@
+//! **C6 (extension)** — the §IV.A coherence-overhead claim, quantified.
+//!
+//! The paper motivates its memory-efficiency work with: "cache coherence
+//! mechanisms can present an extremely high overhead", and notes its
+//! dual-socket testbed paid cross-processor coherence latency. This
+//! experiment runs Algorithm 1's exact traces on `p` private MSI caches
+//! and measures the coherence traffic of:
+//!
+//! * the algorithm's real **contiguous** output assignment — disjoint
+//!   per-worker ranges, so only the `p − 1` segment-boundary lines can
+//!   bounce; and
+//! * a synthetic **striped** assignment (worker `k` writes ranks
+//!   `k, k+p, …`) — the "obvious" alternative that false-shares every
+//!   output line.
+//!
+//! Run: `cargo run --release -p mergepath-bench --bin c6_coherence [--smoke]`
+
+use mergepath_bench::{mega_label, Scale, Table};
+use mergepath_cache_sim::cache::CacheConfig;
+use mergepath_cache_sim::scenarios::{parallel_merge_private_caches, OutputAssignment};
+use mergepath_cache_sim::MemoryLayout;
+use mergepath_workloads::{merge_pair, MergeWorkload};
+
+fn main() {
+    let scale = Scale::from_args();
+    let n: usize = match scale {
+        Scale::Smoke => 1 << 12,
+        _ => 1 << 16,
+    };
+    let (a, b) = merge_pair(MergeWorkload::Uniform, n, 0xC6);
+    let layout = MemoryLayout::natural(4, n as u64, n as u64, 0);
+    let per_core = CacheConfig::new(32 * 1024, 8); // an L1 per core
+
+    println!("=== C6: MSI coherence traffic of Algorithm 1, |A|=|B|={} ===\n", mega_label(n));
+    let mut t = Table::new(&[
+        "p",
+        "assignment",
+        "invalidations",
+        "writebacks",
+        "downgrades",
+        "bus traffic/access",
+    ]);
+    for p in [2usize, 4, 8, 12] {
+        for (label, asg) in [
+            ("contiguous (Alg 1)", OutputAssignment::Contiguous),
+            ("striped (strawman)", OutputAssignment::Striped),
+        ] {
+            let s = parallel_merge_private_caches(&a, &b, p, layout, per_core, asg);
+            t.row(&[
+                p.to_string(),
+                label.to_string(),
+                s.invalidations.to_string(),
+                s.writebacks.to_string(),
+                s.downgrades.to_string(),
+                format!("{:.4}", s.bus_traffic_rate()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    t.save_csv("c6_coherence");
+    println!(
+        "Merge Path's contiguous segments generate essentially zero invalidation\n\
+         traffic (only the p−1 boundary lines can be shared by two writers);\n\
+         the striped strawman invalidates on nearly every write — the §IV.A\n\
+         overhead the paper's design avoids by construction. Input reads are\n\
+         shared read-only copies and never cost coherence transactions."
+    );
+}

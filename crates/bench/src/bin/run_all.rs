@@ -1,0 +1,65 @@
+//! Runs the complete experiment suite in sequence — everything
+//! EXPERIMENTS.md cites — forwarding the scale flag, and summarizes which
+//! binaries succeeded. One command to regenerate the whole evaluation:
+//!
+//! `cargo run --release -p mergepath-bench --bin run_all [--smoke|--full]`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1_matrix",
+    "fig3_segments",
+    "fig4_sort_stages",
+    "fig5_speedup",
+    "t1_overhead",
+    "c1_complexity",
+    "c2_cache",
+    "c3_imbalance",
+    "c4_naive_counterexample",
+    "c5_sort_scaling",
+    "c6_coherence",
+    "c7_hypercore",
+];
+
+fn main() {
+    let flags: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a == "--smoke" || a == "--full")
+        .collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()));
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================================================================");
+        println!("==== {name} {}", flags.join(" "));
+        println!("================================================================");
+        // Prefer the sibling binary (already built alongside this one);
+        // fall back to cargo run for odd invocations.
+        let status = match exe_dir.as_ref().map(|d| d.join(name)) {
+            Some(path) if path.exists() => Command::new(path).args(&flags).status(),
+            _ => Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "mergepath-bench", "--bin", name, "--"])
+                .args(&flags)
+                .status(),
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name}: exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name}: failed to launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed; outputs in results/", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal SVG rendering of merge grids — Figures 1–3 as actual images.
+//!
+//! No drawing dependencies: the figures are simple enough (a grid, a
+//! staircase, some markers) that hand-rolled SVG is clearer than a plotting
+//! stack. Files land in `results/`.
+
+use std::fmt::Write as _;
+
+/// Builder for one SVG document.
+#[derive(Debug)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl Svg {
+    /// A document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        Svg {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Adds a filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r:.1}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Adds a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Adds a text label.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size:.0}" font-family="monospace">{escaped}</text>"#
+        );
+    }
+
+    /// Renders the complete document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+
+    /// Writes the document to `results/<name>.svg` (best effort).
+    pub fn save(&self, name: &str) {
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{name}.svg"));
+        if std::fs::write(&path, self.render()).is_ok() {
+            eprintln!("(svg written to {})", path.display());
+        }
+    }
+}
+
+/// Renders a merge grid with the path and optional diagonal cut points —
+/// the Figure 1/2 drawing. `path` is the list of `(i, j)` grid corners;
+/// `cuts` the highlighted intersection points.
+pub fn merge_grid_svg(
+    na: usize,
+    nb: usize,
+    path: &[(usize, usize)],
+    cuts: &[(usize, usize)],
+    title: &str,
+) -> Svg {
+    let cell = 22.0;
+    let margin = 40.0;
+    let w = margin * 2.0 + nb as f64 * cell;
+    let h = margin * 2.0 + na as f64 * cell + 20.0;
+    let mut svg = Svg::new(w, h);
+    svg.text(margin, 20.0, 13.0, title);
+    let ox = margin;
+    let oy = margin;
+    // Grid lines.
+    for r in 0..=na {
+        let y = oy + r as f64 * cell;
+        svg.line(ox, y, ox + nb as f64 * cell, y, "#cccccc", 1.0);
+    }
+    for c in 0..=nb {
+        let x = ox + c as f64 * cell;
+        svg.line(x, oy, x, oy + na as f64 * cell, "#cccccc", 1.0);
+    }
+    // Cross diagonals through the cut points.
+    for &(i, j) in cuts {
+        let d = i + j;
+        // Diagonal i + j = d: draw between its grid extremes.
+        let i0 = d.min(na);
+        let j0 = d - i0;
+        let j1 = d.min(nb);
+        let i1 = d - j1;
+        svg.line(
+            ox + j0 as f64 * cell,
+            oy + i0 as f64 * cell,
+            ox + j1 as f64 * cell,
+            oy + i1 as f64 * cell,
+            "#e0a000",
+            1.5,
+        );
+    }
+    // The merge path.
+    for wpair in path.windows(2) {
+        let (i0, j0) = wpair[0];
+        let (i1, j1) = wpair[1];
+        svg.line(
+            ox + j0 as f64 * cell,
+            oy + i0 as f64 * cell,
+            ox + j1 as f64 * cell,
+            oy + i1 as f64 * cell,
+            "#2060c0",
+            2.5,
+        );
+    }
+    // Cut markers on top.
+    for &(i, j) in cuts {
+        svg.circle(ox + j as f64 * cell, oy + i as f64 * cell, 4.0, "#d03020");
+    }
+    svg
+}
+
+/// Renders the SPM block staircase — the Figure 3 drawing. `corners` are
+/// the block entry points plus the final `(|A|, |B|)`.
+pub fn spm_blocks_svg(na: usize, nb: usize, corners: &[(usize, usize)], title: &str) -> Svg {
+    let scale = 420.0 / na.max(nb).max(1) as f64;
+    let margin = 40.0;
+    let w = margin * 2.0 + nb as f64 * scale;
+    let h = margin * 2.0 + na as f64 * scale + 20.0;
+    let mut svg = Svg::new(w, h);
+    svg.text(margin, 20.0, 13.0, title);
+    let (ox, oy) = (margin, margin);
+    // Outline.
+    svg.rect(ox, oy, nb as f64 * scale, na as f64 * scale, "#f4f4f4");
+    // Block rectangles between consecutive corners.
+    for wpair in corners.windows(2) {
+        let (i0, j0) = wpair[0];
+        let (i1, j1) = wpair[1];
+        svg.rect(
+            ox + j0 as f64 * scale,
+            oy + i0 as f64 * scale,
+            (j1 - j0) as f64 * scale,
+            (i1 - i0) as f64 * scale,
+            "#cfe0f7",
+        );
+        svg.line(
+            ox + j0 as f64 * scale,
+            oy + i0 as f64 * scale,
+            ox + j1 as f64 * scale,
+            oy + i1 as f64 * scale,
+            "#2060c0",
+            1.5,
+        );
+    }
+    for &(i, j) in corners {
+        svg.circle(ox + j as f64 * scale, oy + i as f64 * scale, 3.5, "#e0a000");
+    }
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_document_is_well_formed() {
+        let mut s = Svg::new(100.0, 50.0);
+        s.line(0.0, 0.0, 10.0, 10.0, "black", 1.0);
+        s.circle(5.0, 5.0, 2.0, "red");
+        s.rect(1.0, 1.0, 3.0, 3.0, "#eee");
+        s.text(2.0, 2.0, 10.0, "a < b & c");
+        let doc = s.render();
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert_eq!(doc.matches("<line").count(), 1);
+        assert!(doc.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn merge_grid_svg_contains_path_segments() {
+        let path = [(0, 0), (1, 0), (1, 1), (2, 1)];
+        let cuts = [(1, 1)];
+        let svg = merge_grid_svg(2, 1, &path, &cuts, "test").render();
+        // 3 path segments + grid lines + 1 diagonal.
+        assert!(svg.matches("<line").count() >= 3 + 3 + 2);
+        assert!(svg.matches("<circle").count() == 1);
+    }
+
+    #[test]
+    fn spm_blocks_svg_draws_every_block() {
+        let corners = [(0, 0), (3, 5), (8, 8), (10, 12)];
+        let svg = spm_blocks_svg(10, 12, &corners, "blocks").render();
+        assert_eq!(svg.matches("<rect").count(), 1 + 1 + 3); // bg + outline + blocks
+        assert_eq!(svg.matches("<circle").count(), 4);
+    }
+}

@@ -1,0 +1,344 @@
+//! Private caches with MSI write-invalidate coherence.
+//!
+//! §IV.A of the paper: *"Parallel implementation on a shared memory system
+//! further aggravates the situation … cache coherence mechanisms can
+//! present an extremely high overhead"*, and §VI notes the benchmark
+//! machine needed cross-socket coherence traffic. This module models the
+//! private-cache side of that story: each core owns a set-associative
+//! cache, and a write-invalidate MSI protocol (the skeleton of MESI —
+//! Exclusive only removes some upgrade traffic) mediates sharing.
+//!
+//! What it shows for Merge Path: Algorithm 1's workers write **disjoint,
+//! contiguous** output ranges, so the only possible coherence traffic on
+//! the output is at the `p − 1` segment-boundary cache lines; inputs are
+//! read-only (Shared copies, free). A striped output assignment — the
+//! natural "round-robin the output" alternative — false-shares *every*
+//! line among all `p` cores and pays an invalidation per write. The
+//! `c6_coherence` experiment quantifies the gap.
+
+use crate::cache::CacheConfig;
+
+/// Line state in the MSI protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Dirty, exclusively owned.
+    Modified,
+    /// Clean, possibly replicated in other caches.
+    Shared,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineEntry {
+    tag: u64,
+    state: State,
+}
+
+/// One core's private cache (set-associative, LRU within a set).
+#[derive(Debug, Clone)]
+struct CoreCache {
+    sets: Vec<Vec<LineEntry>>,
+    assoc: usize,
+}
+
+impl CoreCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        CoreCache {
+            sets: vec![Vec::with_capacity(cfg.associativity); cfg.sets()],
+            assoc: cfg.associativity,
+        }
+    }
+
+    fn set_and_tag(&self, line: u64) -> (usize, u64) {
+        let sets = self.sets.len() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+
+    /// Looks up a line; on hit moves it to MRU and returns its state.
+    fn lookup(&mut self, line: u64) -> Option<State> {
+        let (si, tag) = self.set_and_tag(line);
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|e| e.tag == tag) {
+            let entry = set.remove(pos);
+            set.insert(0, entry);
+            Some(set[0].state)
+        } else {
+            None
+        }
+    }
+
+    /// Sets the state of a resident line (must be present).
+    fn set_state(&mut self, line: u64, state: State) {
+        let (si, tag) = self.set_and_tag(line);
+        let entry = self.sets[si]
+            .iter_mut()
+            .find(|e| e.tag == tag)
+            .expect("line must be resident");
+        entry.state = state;
+    }
+
+    /// Removes a line if present; returns its state.
+    fn invalidate(&mut self, line: u64) -> Option<State> {
+        let (si, tag) = self.set_and_tag(line);
+        let set = &mut self.sets[si];
+        set.iter()
+            .position(|e| e.tag == tag)
+            .map(|pos| set.remove(pos).state)
+    }
+
+    /// Inserts a line at MRU; returns the evicted entry's state, if any.
+    fn insert(&mut self, line: u64, state: State) -> Option<State> {
+        let (si, tag) = self.set_and_tag(line);
+        let set = &mut self.sets[si];
+        debug_assert!(set.iter().all(|e| e.tag != tag));
+        let evicted = if set.len() == self.assoc {
+            set.pop().map(|e| e.state)
+        } else {
+            None
+        };
+        set.insert(0, LineEntry { tag, state });
+        evicted
+    }
+}
+
+/// Aggregate coherence statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Accesses served from the local cache without bus traffic.
+    pub hits: u64,
+    /// Accesses that required a bus transaction (read or write miss).
+    pub misses: u64,
+    /// Copies invalidated in *other* caches by writes (incl. upgrades).
+    pub invalidations: u64,
+    /// Modified lines downgraded to Shared by a remote read.
+    pub downgrades: u64,
+    /// Dirty lines written back (remote-triggered or evicted).
+    pub writebacks: u64,
+    /// Shared→Modified upgrades (write hits on Shared lines; these cost a
+    /// bus transaction even though the data is local).
+    pub upgrades: u64,
+}
+
+impl CoherenceStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Bus transactions per access — the §IV.A "coherence overhead" metric.
+    pub fn bus_traffic_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
+        (self.misses + self.upgrades) as f64 / self.accesses() as f64
+    }
+}
+
+/// `p` private caches kept coherent by write-invalidate MSI.
+///
+/// # Examples
+/// ```
+/// use mergepath_cache_sim::cache::CacheConfig;
+/// use mergepath_cache_sim::coherence::CoherentSystem;
+/// let mut sys = CoherentSystem::new(2, CacheConfig::new(4096, 4));
+/// sys.access(0, 64, false); // core 0 reads a line
+/// sys.access(1, 64, false); // core 1 shares it — no traffic
+/// sys.access(0, 64, true);  // core 0 writes: invalidates core 1's copy
+/// assert_eq!(sys.stats().invalidations, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoherentSystem {
+    cores: Vec<CoreCache>,
+    line_bytes: u64,
+    stats: CoherenceStats,
+}
+
+impl CoherentSystem {
+    /// Builds a system of `cores` identical private caches.
+    pub fn new(cores: usize, per_core: CacheConfig) -> Self {
+        assert!(cores > 0, "at least one core required");
+        CoherentSystem {
+            cores: (0..cores).map(|_| CoreCache::new(&per_core)).collect(),
+            line_bytes: per_core.line_bytes as u64,
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// One memory access by `core`; `write` selects a store.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64, write: bool) {
+        let line = addr / self.line_bytes;
+        match (self.cores[core].lookup(line), write) {
+            (Some(_), false) | (Some(State::Modified), true) => {
+                self.stats.hits += 1;
+            }
+            (Some(State::Shared), true) => {
+                // Upgrade: invalidate remote Shared copies.
+                self.stats.hits += 1;
+                self.stats.upgrades += 1;
+                self.invalidate_others(core, line);
+                self.cores[core].set_state(line, State::Modified);
+            }
+            (None, false) => {
+                self.stats.misses += 1;
+                // A remote Modified copy must be written back + downgraded.
+                for other in 0..self.cores.len() {
+                    if other == core {
+                        continue;
+                    }
+                    let (si, tag) = self.cores[other].set_and_tag(line);
+                    if let Some(e) = self.cores[other].sets[si]
+                        .iter_mut()
+                        .find(|e| e.tag == tag)
+                    {
+                        if e.state == State::Modified {
+                            e.state = State::Shared;
+                            self.stats.downgrades += 1;
+                            self.stats.writebacks += 1;
+                        }
+                    }
+                }
+                self.fill(core, line, State::Shared);
+            }
+            (None, true) => {
+                self.stats.misses += 1;
+                self.invalidate_others(core, line);
+                self.fill(core, line, State::Modified);
+            }
+        }
+    }
+
+    fn invalidate_others(&mut self, core: usize, line: u64) {
+        for other in 0..self.cores.len() {
+            if other == core {
+                continue;
+            }
+            if let Some(state) = self.cores[other].invalidate(line) {
+                self.stats.invalidations += 1;
+                if state == State::Modified {
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+    }
+
+    fn fill(&mut self, core: usize, line: u64, state: State) {
+        if let Some(State::Modified) = self.cores[core].insert(line, state) {
+            self.stats.writebacks += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(4096, 4)
+    }
+
+    #[test]
+    fn private_reads_are_free_after_fill() {
+        let mut sys = CoherentSystem::new(2, cfg());
+        sys.access(0, 0, false);
+        sys.access(0, 8, false);
+        let s = sys.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.invalidations, 0);
+    }
+
+    #[test]
+    fn shared_reads_replicate_without_traffic() {
+        let mut sys = CoherentSystem::new(4, cfg());
+        for core in 0..4 {
+            sys.access(core, 64, false);
+        }
+        let s = sys.stats();
+        assert_eq!(s.misses, 4); // one cold fill each
+        assert_eq!(s.invalidations, 0);
+        assert_eq!(s.writebacks, 0);
+        // Re-reads all hit locally.
+        for core in 0..4 {
+            sys.access(core, 64, false);
+        }
+        assert_eq!(sys.stats().hits, 4);
+    }
+
+    #[test]
+    fn write_invalidates_remote_copies() {
+        let mut sys = CoherentSystem::new(3, cfg());
+        for core in 0..3 {
+            sys.access(core, 128, false); // everyone Shared
+        }
+        sys.access(0, 128, true); // upgrade
+        let s = sys.stats();
+        assert_eq!(s.upgrades, 1);
+        assert_eq!(s.invalidations, 2);
+        // Remote read now downgrades the Modified copy and writes back.
+        sys.access(1, 128, false);
+        let s = sys.stats();
+        assert_eq!(s.downgrades, 1);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn false_sharing_ping_pong() {
+        // Two cores alternately writing two different words of ONE line:
+        // every write after the first causes an invalidation + refetch.
+        let mut sys = CoherentSystem::new(2, cfg());
+        let rounds = 100;
+        for r in 0..rounds {
+            sys.access(r % 2, (r % 2) as u64 * 8, true);
+        }
+        let s = sys.stats();
+        assert!(s.invalidations >= rounds as u64 - 2, "{s:?}");
+        assert!(s.misses >= rounds as u64 - 2);
+    }
+
+    #[test]
+    fn disjoint_writers_have_no_coherence_traffic() {
+        // Two cores writing disjoint LINES: zero invalidations.
+        let mut sys = CoherentSystem::new(2, cfg());
+        for i in 0..100u64 {
+            sys.access(0, i * 8, true); // lines 0..13 region A
+            sys.access(1, 1 << 20 | (i * 8), true); // far region B
+        }
+        assert_eq!(sys.stats().invalidations, 0);
+        assert_eq!(sys.stats().downgrades, 0);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let cfg = CacheConfig {
+            capacity_bytes: 256,
+            line_bytes: 64,
+            associativity: 1,
+        }; // 4 lines, direct-mapped
+        let mut sys = CoherentSystem::new(1, cfg);
+        sys.access(0, 0, true); // line 0 Modified in set 0
+        sys.access(0, 256, true); // same set, evicts dirty line 0
+        assert_eq!(sys.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn bus_traffic_rate_metric() {
+        let mut sys = CoherentSystem::new(2, cfg());
+        sys.access(0, 0, false);
+        sys.access(0, 8, false);
+        let r = sys.stats().bus_traffic_rate();
+        assert!((r - 0.5).abs() < 1e-9);
+        assert_eq!(CoherenceStats::default().bus_traffic_rate(), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Byte-address layout of the merge's data structures.
+//!
+//! Trace generation works in two stages: the instrumented kernels report
+//! *logical* accesses (`A[i]`, `B[j]`, `Out[k]`, staging slots), and a
+//! [`MemoryLayout`] turns each into a byte address. Layouts differ only in
+//! where the arrays start — which is exactly what decides whether the
+//! paper's "3-way associativity suffices" remark bites: when the three
+//! streams happen to be aligned to the same cache sets, a cache needs one
+//! way per stream to avoid thrashing.
+
+/// The logical memory regions touched by the merge algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Input array `A`.
+    A,
+    /// Input array `B`.
+    B,
+    /// The output array.
+    Out,
+    /// The cyclic staging buffer for `A` (SPM, cyclic mode).
+    StageA,
+    /// The cyclic staging buffer for `B` (SPM, cyclic mode).
+    StageB,
+}
+
+/// Maps `(region, element index)` to byte addresses.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryLayout {
+    /// Element size in bytes (4 for the paper's 32-bit integers).
+    pub elem_bytes: u64,
+    /// Base address of `A`.
+    pub a_base: u64,
+    /// Base address of `B`.
+    pub b_base: u64,
+    /// Base address of the output.
+    pub out_base: u64,
+    /// Base address of the `A` staging ring.
+    pub stage_a_base: u64,
+    /// Base address of the `B` staging ring.
+    pub stage_b_base: u64,
+}
+
+impl MemoryLayout {
+    /// A natural heap-like layout: the arrays packed one after another
+    /// (with a line of padding), staging buffers after those.
+    ///
+    /// `a_len`/`b_len` are in elements; `stage_len` is the staging ring
+    /// capacity in elements (0 if unused).
+    pub fn natural(elem_bytes: u64, a_len: u64, b_len: u64, stage_len: u64) -> Self {
+        let pad = 64;
+        let a_base = 0;
+        let b_base = a_base + a_len * elem_bytes + pad;
+        let out_base = b_base + b_len * elem_bytes + pad;
+        let stage_a_base = out_base + (a_len + b_len) * elem_bytes + pad;
+        let stage_b_base = stage_a_base + stage_len * elem_bytes + pad;
+        MemoryLayout {
+            elem_bytes,
+            a_base,
+            b_base,
+            out_base,
+            stage_a_base,
+            stage_b_base,
+        }
+    }
+
+    /// An adversarial layout: `A`, `B` and `Out` all start at multiples of
+    /// `way_bytes` (one cache way), so `A[i]`, `B[i]` and `Out[i]` contend
+    /// for the *same set* as the three cursors advance together. This is
+    /// the configuration in which fewer than 3 ways thrashes — the paper's
+    /// associativity remark.
+    pub fn set_aligned(elem_bytes: u64, way_bytes: u64, stage_len: u64) -> Self {
+        let round = |x: u64| x.div_ceil(way_bytes) * way_bytes;
+        // Leave plenty of room: each region starts at the next way multiple
+        // beyond a generous gap (the gap itself is a multiple of the way).
+        let a_base = 0;
+        let b_base = round(a_base + way_bytes * 1024);
+        let out_base = round(b_base + way_bytes * 1024);
+        let stage_a_base = round(out_base + way_bytes * 2048);
+        let stage_b_base = round(stage_a_base + stage_len * elem_bytes + way_bytes);
+        MemoryLayout {
+            elem_bytes,
+            a_base,
+            b_base,
+            out_base,
+            stage_a_base,
+            stage_b_base,
+        }
+    }
+
+    /// Byte address of element `i` of `region`.
+    pub fn addr(&self, region: Region, i: usize) -> u64 {
+        let base = match region {
+            Region::A => self.a_base,
+            Region::B => self.b_base,
+            Region::Out => self.out_base,
+            Region::StageA => self.stage_a_base,
+            Region::StageB => self.stage_b_base,
+        };
+        base + i as u64 * self.elem_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_layout_is_disjoint() {
+        let l = MemoryLayout::natural(4, 1000, 2000, 128);
+        let a_end = l.addr(Region::A, 999) + 4;
+        assert!(l.b_base >= a_end);
+        let b_end = l.addr(Region::B, 1999) + 4;
+        assert!(l.out_base >= b_end);
+        let out_end = l.addr(Region::Out, 2999) + 4;
+        assert!(l.stage_a_base >= out_end);
+        assert!(l.stage_b_base >= l.addr(Region::StageA, 127) + 4);
+    }
+
+    #[test]
+    fn addresses_stride_by_elem_size() {
+        let l = MemoryLayout::natural(8, 10, 10, 0);
+        assert_eq!(l.addr(Region::A, 3) - l.addr(Region::A, 2), 8);
+        assert_eq!(l.addr(Region::Out, 0), l.out_base);
+    }
+
+    #[test]
+    fn set_aligned_layout_aliases_same_set() {
+        let way = 4096u64;
+        let l = MemoryLayout::set_aligned(4, way, 0);
+        // Same element index in each stream maps to the same set offset.
+        for i in [0usize, 7, 100] {
+            let off_a = l.addr(Region::A, i) % way;
+            let off_b = l.addr(Region::B, i) % way;
+            let off_o = l.addr(Region::Out, i) % way;
+            assert_eq!(off_a, off_b);
+            assert_eq!(off_b, off_o);
+        }
+    }
+}

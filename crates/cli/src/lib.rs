@@ -1,0 +1,579 @@
+//! # mergepath-cli — the `mp` command
+//!
+//! A small command-line front end over the `mergepath` library:
+//!
+//! ```text
+//! mp merge  A.txt B.txt [-o OUT] [--threads N] [--numeric]
+//! mp sort   FILE       [-o OUT] [--threads N] [--numeric] [--algo ALGO]
+//! mp select A.txt B.txt --rank K [--numeric]       # k-th of the merged view
+//! mp check  FILE [--numeric]                        # is the file sorted?
+//! ```
+//!
+//! Files are line-oriented. By default lines compare lexicographically
+//! (like `sort`); `--numeric` parses each line as an `i64` (like
+//! `sort -n`) and reports the first unparsable line. `mp merge` requires
+//! both inputs to be sorted and verifies that up front, pinpointing the
+//! first out-of-order line — the library's `try_*` discipline surfacing
+//! in the tool.
+//!
+//! The argument parser is hand-rolled (the workspace's no-extra-deps
+//! stance); all logic lives in this library crate so it is unit-testable,
+//! with `main.rs` a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use mergepath::merge::parallel::parallel_merge_into_by;
+use mergepath::select::kth_of_union_by;
+use mergepath::sort::cache_aware::cache_aware_parallel_sort_by;
+use mergepath::sort::kway::kway_merge_sort_by;
+use mergepath::sort::natural::natural_merge_sort_by;
+use mergepath::sort::parallel::parallel_merge_sort_by;
+
+/// Everything that can go wrong, with user-facing messages.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad command line; the message includes usage.
+    Usage(String),
+    /// I/O problem reading or writing a file.
+    Io(String),
+    /// An input that must be sorted is not.
+    NotSorted {
+        /// Offending file name.
+        file: String,
+        /// 1-based line number of the first out-of-order line.
+        line: usize,
+    },
+    /// `--numeric` was given but a line did not parse.
+    BadNumber {
+        /// Offending file name.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// The line's contents.
+        text: String,
+    },
+    /// `--rank` out of range.
+    RankOutOfRange {
+        /// Requested rank.
+        rank: usize,
+        /// Total elements available.
+        total: usize,
+    },
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Io(msg) => write!(f, "io error: {msg}"),
+            CliError::NotSorted { file, line } => {
+                write!(f, "{file}: not sorted (first violation at line {line})")
+            }
+            CliError::BadNumber { file, line, text } => {
+                write!(f, "{file}:{line}: not a number: {text:?}")
+            }
+            CliError::RankOutOfRange { rank, total } => {
+                write!(f, "rank {rank} out of range (merged length {total})")
+            }
+        }
+    }
+}
+
+/// The usage text printed on argument errors.
+pub const USAGE: &str = "usage:
+  mp merge  A B [-o OUT] [--threads N] [--numeric]
+  mp sort   FILE [-o OUT] [--threads N] [--numeric] [--algo parallel|kway|natural|cache-aware]
+  mp select A B --rank K [--numeric]
+  mp check  FILE [--numeric]";
+
+/// Sorting algorithm selector for `mp sort`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortAlgo {
+    /// The §III parallel merge sort (default).
+    #[default]
+    Parallel,
+    /// Single-round k-way merge sort.
+    Kway,
+    /// Adaptive natural-runs sort.
+    Natural,
+    /// The §IV.C cache-aware sort.
+    CacheAware,
+}
+
+impl SortAlgo {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "parallel" => Ok(SortAlgo::Parallel),
+            "kway" => Ok(SortAlgo::Kway),
+            "natural" => Ok(SortAlgo::Natural),
+            "cache-aware" => Ok(SortAlgo::CacheAware),
+            other => Err(CliError::Usage(format!("unknown --algo {other:?}"))),
+        }
+    }
+}
+
+/// A parsed command.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `mp merge`.
+    Merge {
+        /// First sorted input.
+        a: String,
+        /// Second sorted input.
+        b: String,
+        /// Output path (stdout if absent).
+        out: Option<String>,
+        /// Worker count.
+        threads: usize,
+        /// Numeric comparison.
+        numeric: bool,
+    },
+    /// `mp sort`.
+    Sort {
+        /// Input path.
+        file: String,
+        /// Output path (stdout if absent).
+        out: Option<String>,
+        /// Worker count.
+        threads: usize,
+        /// Numeric comparison.
+        numeric: bool,
+        /// Algorithm choice.
+        algo: SortAlgo,
+    },
+    /// `mp select`.
+    Select {
+        /// First sorted input.
+        a: String,
+        /// Second sorted input.
+        b: String,
+        /// 0-based rank into the merged view.
+        rank: usize,
+        /// Numeric comparison.
+        numeric: bool,
+    },
+    /// `mp check`.
+    Check {
+        /// Input path.
+        file: String,
+        /// Numeric comparison.
+        numeric: bool,
+    },
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut out = None;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut numeric = false;
+    let mut algo = SortAlgo::default();
+    let mut rank: Option<usize> = None;
+    let mut it = args.iter();
+    let sub = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("-o needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--threads" => {
+                let t = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threads needs a count".into()))?;
+                threads = t
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad thread count {t:?}")))?;
+            }
+            "--numeric" | "-n" => numeric = true,
+            "--algo" => {
+                let a = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--algo needs a name".into()))?;
+                algo = SortAlgo::parse(a)?;
+            }
+            "--rank" => {
+                let r = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--rank needs an index".into()))?;
+                rank = Some(
+                    r.parse::<usize>()
+                        .map_err(|_| CliError::Usage(format!("bad rank {r:?}")))?,
+                );
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {other:?}")));
+            }
+            other => positional.push(other),
+        }
+    }
+    match (sub.as_str(), positional.as_slice()) {
+        ("merge", [a, b]) => Ok(Command::Merge {
+            a: a.to_string(),
+            b: b.to_string(),
+            out,
+            threads,
+            numeric,
+        }),
+        ("sort", [file]) => Ok(Command::Sort {
+            file: file.to_string(),
+            out,
+            threads,
+            numeric,
+            algo,
+        }),
+        ("select", [a, b]) => Ok(Command::Select {
+            a: a.to_string(),
+            b: b.to_string(),
+            rank: rank.ok_or_else(|| CliError::Usage("select needs --rank".into()))?,
+            numeric,
+        }),
+        ("check", [file]) => Ok(Command::Check {
+            file: file.to_string(),
+            numeric,
+        }),
+        (sub, pos) => Err(CliError::Usage(format!(
+            "bad arguments for {sub:?} (got {} positional argument(s))",
+            pos.len()
+        ))),
+    }
+}
+
+/// A line plus its numeric key when `--numeric` is active.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Record {
+    key: Option<i64>,
+    text: String,
+}
+
+fn compare(numeric: bool) -> impl Fn(&Record, &Record) -> core::cmp::Ordering + Sync {
+    move |x: &Record, y: &Record| {
+        if numeric {
+            x.key.cmp(&y.key)
+        } else {
+            x.text.cmp(&y.text)
+        }
+    }
+}
+
+/// Parses file contents into records, validating numerics.
+pub fn parse_records(file: &str, contents: &str, numeric: bool) -> Result<Vec<Record>, CliError> {
+    contents
+        .lines()
+        .enumerate()
+        .map(|(idx, line)| {
+            let key = if numeric {
+                Some(
+                    line.trim()
+                        .parse::<i64>()
+                        .map_err(|_| CliError::BadNumber {
+                            file: file.to_string(),
+                            line: idx + 1,
+                            text: line.to_string(),
+                        })?,
+                )
+            } else {
+                None
+            };
+            Ok(Record {
+                key,
+                text: line.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn ensure_sorted(file: &str, records: &[Record], numeric: bool) -> Result<(), CliError> {
+    let cmp = compare(numeric);
+    for (idx, w) in records.windows(2).enumerate() {
+        if cmp(&w[0], &w[1]) == core::cmp::Ordering::Greater {
+            return Err(CliError::NotSorted {
+                file: file.to_string(),
+                line: idx + 1,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn render(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = writeln!(out, "{}", r.text);
+    }
+    out
+}
+
+/// Executes a command against in-memory file contents (`load` maps path →
+/// contents). Returns the text to print. Separated from real I/O so the
+/// whole tool is unit-testable.
+pub fn execute<L>(cmd: &Command, load: L) -> Result<String, CliError>
+where
+    L: Fn(&str) -> Result<String, CliError>,
+{
+    match cmd {
+        Command::Merge {
+            a,
+            b,
+            threads,
+            numeric,
+            ..
+        } => {
+            let ra = parse_records(a, &load(a)?, *numeric)?;
+            let rb = parse_records(b, &load(b)?, *numeric)?;
+            ensure_sorted(a, &ra, *numeric)?;
+            ensure_sorted(b, &rb, *numeric)?;
+            let mut merged = vec![Record::default(); ra.len() + rb.len()];
+            parallel_merge_into_by(&ra, &rb, &mut merged, *threads, &compare(*numeric));
+            Ok(render(&merged))
+        }
+        Command::Sort {
+            file,
+            threads,
+            numeric,
+            algo,
+            ..
+        } => {
+            let mut records = parse_records(file, &load(file)?, *numeric)?;
+            let cmp = compare(*numeric);
+            match algo {
+                SortAlgo::Parallel => parallel_merge_sort_by(&mut records, *threads, &cmp),
+                SortAlgo::Kway => kway_merge_sort_by(&mut records, *threads, &cmp),
+                SortAlgo::Natural => natural_merge_sort_by(&mut records, *threads, &cmp),
+                SortAlgo::CacheAware => {
+                    let cfg = mergepath::sort::cache_aware::CacheAwareConfig::new(
+                        64 * 1024,
+                        *threads,
+                    );
+                    cache_aware_parallel_sort_by(&mut records, &cfg, &cmp);
+                }
+            }
+            Ok(render(&records))
+        }
+        Command::Select {
+            a,
+            b,
+            rank,
+            numeric,
+        } => {
+            let ra = parse_records(a, &load(a)?, *numeric)?;
+            let rb = parse_records(b, &load(b)?, *numeric)?;
+            ensure_sorted(a, &ra, *numeric)?;
+            ensure_sorted(b, &rb, *numeric)?;
+            let total = ra.len() + rb.len();
+            if *rank >= total {
+                return Err(CliError::RankOutOfRange {
+                    rank: *rank,
+                    total,
+                });
+            }
+            let rec = kth_of_union_by(&ra, &rb, *rank, &compare(*numeric));
+            Ok(format!("{}\n", rec.text))
+        }
+        Command::Check { file, numeric } => {
+            let records = parse_records(file, &load(file)?, *numeric)?;
+            match ensure_sorted(file, &records, *numeric) {
+                Ok(()) => Ok(format!("{file}: sorted ({} lines)\n", records.len())),
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+/// Real-filesystem loader for [`execute`].
+pub fn fs_loader(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    fn memfs<'f>(
+        files: &'f [(&'f str, &'f str)],
+    ) -> impl Fn(&str) -> Result<String, CliError> + 'f {
+        move |path: &str| {
+            files
+                .iter()
+                .find(|(p, _)| *p == path)
+                .map(|(_, c)| c.to_string())
+                .ok_or_else(|| CliError::Io(format!("{path}: not found")))
+        }
+    }
+
+    #[test]
+    fn parse_merge_command() {
+        let cmd = parse_args(&argv("merge a.txt b.txt -o out.txt --threads 4 -n")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Merge {
+                a: "a.txt".into(),
+                b: "b.txt".into(),
+                out: Some("out.txt".into()),
+                threads: 4,
+                numeric: true
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_usage() {
+        assert!(matches!(parse_args(&argv("merge only-one")), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&argv("frobnicate x")), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&argv("sort f --threads 0")), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&argv("sort f --algo bogus")), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&argv("select a b")), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&argv("sort f --bad-flag")), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn merge_lexicographic() {
+        let cmd = parse_args(&argv("merge a b --threads 2")).unwrap();
+        let fs = memfs(&[("a", "apple\ncherry\n"), ("b", "banana\ndate\n")]);
+        let out = execute(&cmd, fs).unwrap();
+        assert_eq!(out, "apple\nbanana\ncherry\ndate\n");
+    }
+
+    #[test]
+    fn merge_numeric_differs_from_lexicographic() {
+        let fs = memfs(&[("a", "2\n10\n"), ("b", "1\n9\n")]);
+        let numeric = parse_args(&argv("merge a b -n")).unwrap();
+        assert_eq!(execute(&numeric, &fs).unwrap(), "1\n2\n9\n10\n");
+        // Lexicographically, "10" < "2": file `a` is NOT sorted as text.
+        let lex = parse_args(&argv("merge a b")).unwrap();
+        assert_eq!(
+            execute(&lex, &fs).unwrap_err(),
+            CliError::NotSorted {
+                file: "a".into(),
+                line: 1
+            }
+        );
+    }
+
+    #[test]
+    fn merge_rejects_unsorted_input() {
+        let fs = memfs(&[("a", "3\n1\n"), ("b", "2\n")]);
+        let cmd = parse_args(&argv("merge a b -n")).unwrap();
+        assert_eq!(
+            execute(&cmd, fs).unwrap_err(),
+            CliError::NotSorted {
+                file: "a".into(),
+                line: 1
+            }
+        );
+    }
+
+    #[test]
+    fn merge_reports_bad_numbers() {
+        let fs = memfs(&[("a", "1\ntwo\n"), ("b", "3\n")]);
+        let cmd = parse_args(&argv("merge a b -n")).unwrap();
+        assert_eq!(
+            execute(&cmd, fs).unwrap_err(),
+            CliError::BadNumber {
+                file: "a".into(),
+                line: 2,
+                text: "two".into()
+            }
+        );
+    }
+
+    #[test]
+    fn sort_all_algorithms_agree() {
+        let input = "5\n3\n9\n1\n3\n-2\n";
+        let files = [("f", input)];
+        let fs = memfs(&files);
+        let mut outputs = Vec::new();
+        for algo in ["parallel", "kway", "natural", "cache-aware"] {
+            let cmd = parse_args(&argv(&format!("sort f -n --algo {algo} --threads 3"))).unwrap();
+            outputs.push(execute(&cmd, &fs).unwrap());
+        }
+        assert_eq!(outputs[0], "-2\n1\n3\n3\n5\n9\n");
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sort_is_stable_on_equal_keys() {
+        // Numeric ties keep input order of the text lines.
+        let fs = memfs(&[("f", "2 b\n1 z\n2 a\n")]);
+        let cmd_text = parse_args(&argv("sort f")).unwrap();
+        assert_eq!(execute(&cmd_text, &fs).unwrap(), "1 z\n2 a\n2 b\n");
+        // With numeric keys "2 b" and "2 a" tie ... but "2 b" fails to
+        // parse as i64, so numeric mode reports it.
+        let cmd_num = parse_args(&argv("sort f -n")).unwrap();
+        assert!(matches!(
+            execute(&cmd_num, &fs).unwrap_err(),
+            CliError::BadNumber { .. }
+        ));
+    }
+
+    #[test]
+    fn select_finds_median() {
+        let fs = memfs(&[("a", "1\n3\n5\n"), ("b", "2\n4\n")]);
+        let cmd = parse_args(&argv("select a b --rank 2 -n")).unwrap();
+        assert_eq!(execute(&cmd, &fs).unwrap(), "3\n");
+        let cmd = parse_args(&argv("select a b --rank 5 -n")).unwrap();
+        assert_eq!(
+            execute(&cmd, &fs).unwrap_err(),
+            CliError::RankOutOfRange { rank: 5, total: 5 }
+        );
+    }
+
+    #[test]
+    fn check_reports_status() {
+        let fs = memfs(&[("good", "1\n2\n3\n"), ("bad", "2\n1\n")]);
+        let ok = parse_args(&argv("check good -n")).unwrap();
+        assert!(execute(&ok, &fs).unwrap().contains("sorted (3 lines)"));
+        let bad = parse_args(&argv("check bad -n")).unwrap();
+        assert!(matches!(
+            execute(&bad, &fs).unwrap_err(),
+            CliError::NotSorted { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_files_are_fine() {
+        let fs = memfs(&[("a", ""), ("b", "x\n")]);
+        let cmd = parse_args(&argv("merge a b")).unwrap();
+        assert_eq!(execute(&cmd, fs).unwrap(), "x\n");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CliError::NotSorted {
+            file: "f".into(),
+            line: 7,
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(CliError::Usage("x".into()).to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn large_merge_through_the_cli_path() {
+        let a: String = (0..5000).map(|x| format!("{}\n", x * 2)).collect();
+        let b: String = (0..5000).map(|x| format!("{}\n", x * 2 + 1)).collect();
+        let files = [("a", a.as_str()), ("b", b.as_str())];
+        let fs = memfs(&files);
+        let cmd = parse_args(&argv("merge a b -n --threads 4")).unwrap();
+        let out = execute(&cmd, fs).unwrap();
+        let nums: Vec<i64> = out.lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(nums.len(), 10_000);
+        assert!(nums.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

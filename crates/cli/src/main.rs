@@ -1,0 +1,35 @@
+//! Thin I/O shim over [`mergepath_cli`]: parse, execute, print.
+
+use mergepath_cli::{execute, fs_loader, parse_args, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("mp: {e}");
+            std::process::exit(2);
+        }
+    };
+    match execute(&cmd, fs_loader) {
+        Ok(output) => {
+            let out_path = match &cmd {
+                Command::Merge { out, .. } | Command::Sort { out, .. } => out.clone(),
+                _ => None,
+            };
+            match out_path {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, output) {
+                        eprintln!("mp: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                None => print!("{output}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("mp: {e}");
+            std::process::exit(1);
+        }
+    }
+}

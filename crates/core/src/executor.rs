@@ -1,0 +1,396 @@
+//! A persistent fork-join worker pool.
+//!
+//! The paper's x86 implementation uses OpenMP, whose parallel regions are
+//! executed by a long-lived team of threads rather than freshly spawned
+//! ones. [`Pool`] reproduces that execution model so the per-merge overhead
+//! of `std::thread::spawn` can be separated from the algorithm itself (the
+//! §VI "6% single-thread overhead" experiment, and an ablation in the
+//! benches).
+//!
+//! The design follows the classic barrier-team pattern (cf. *Rust Atomics
+//! and Locks*, ch. 4 & 9): a team of `p - 1` workers parks on a reusable
+//! [`Barrier`]; `run` publishes a type-erased job pointer, releases the
+//! start barrier, executes share 0 itself, and blocks on the end barrier.
+//! Because `run` does not return until every worker has passed the end
+//! barrier, handing workers a reference with an artificially extended
+//! lifetime is sound.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread::JoinHandle;
+
+use core::cmp::Ordering;
+
+use crate::diagonal::co_rank_by;
+use crate::merge::sequential::merge_into_by;
+use crate::partition::segment_boundary;
+
+/// A type-erased pointer to the job currently being executed.
+///
+/// Raw pointers are not `Send`; this wrapper asserts transfer is safe,
+/// which [`Pool::run`] guarantees by construction (see module docs).
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared execution is safe) and `Pool::run`
+// keeps it alive until every worker has passed the end barrier.
+unsafe impl Send for JobPtr {}
+
+struct Shared {
+    /// The published job for the current round, if any.
+    job: Mutex<Option<JobPtr>>,
+    /// Released when a job (or shutdown) is published.
+    start: Barrier,
+    /// Released when every participant finished the round.
+    end: Barrier,
+    shutdown: AtomicBool,
+    /// Set when any participant's share panicked this round. Panics are
+    /// caught so every participant still reaches the end barrier (a
+    /// panicking share must not deadlock the team), then re-raised by
+    /// [`Pool::run`] on the calling thread.
+    panicked: AtomicBool,
+}
+
+/// A persistent team of worker threads executing fork-join rounds.
+///
+/// # Examples
+/// ```
+/// use mergepath::executor::Pool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = Pool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(&|tid| {
+///     assert!(tid < 4);
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Spawns a pool executing jobs with `threads` participants (the
+    /// calling thread plus `threads - 1` workers).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        let shared = Arc::new(Shared {
+            job: Mutex::new(None),
+            start: Barrier::new(threads),
+            end: Barrier::new(threads),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mergepath-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, &shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of participants (including the caller of [`Pool::run`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `job(tid)` once for every `tid in 0..threads`, in parallel,
+    /// returning when all have finished (implicit barrier, as at the end of
+    /// an OpenMP parallel region).
+    /// # Panics
+    /// If any share panics, the panic is re-raised on the calling thread
+    /// after all participants have finished the round (the pool itself
+    /// stays usable).
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 {
+            job(0);
+            return;
+        }
+        // SAFETY: we erase the lifetime of `job`. The pointer is consumed
+        // only by workers between the start and end barriers below, and
+        // this function does not return until `end.wait()` has been passed
+        // by every worker, so the reference outlives every dereference.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+                job as *const _,
+            )
+        };
+        *self.shared.job.lock().expect("pool mutex poisoned") = Some(JobPtr(erased));
+        self.shared.start.wait();
+        let own = catch_unwind(AssertUnwindSafe(|| job(0)));
+        if own.is_err() {
+            self.shared.panicked.store(true, AtomicOrdering::Release);
+        }
+        self.shared.end.wait();
+        *self.shared.job.lock().expect("pool mutex poisoned") = None;
+        let was_panicked = self.shared.panicked.swap(false, AtomicOrdering::AcqRel);
+        match own {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if was_panicked => panic!("a pool worker's share panicked"),
+            Ok(()) => {}
+        }
+    }
+
+    /// Stable parallel merge executed on this pool (Algorithm 1 with the
+    /// OpenMP-style backend). Semantics are identical to
+    /// [`parallel_merge_into_by`](crate::merge::parallel::parallel_merge_into_by).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != a.len() + b.len()`.
+    pub fn merge_into_by<T, F>(&self, a: &[T], b: &[T], out: &mut [T], cmp: &F)
+    where
+        T: Clone + Send + Sync,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let n = a.len() + b.len();
+        assert!(
+            out.len() == n,
+            "output buffer length mismatch: expected {n}, got {}",
+            out.len()
+        );
+        let p = self.threads;
+        if p == 1 || n <= p {
+            merge_into_by(a, b, out, cmp);
+            return;
+        }
+        let base = SendPtr(out.as_mut_ptr());
+        self.run(&move |tid| {
+            let d_lo = segment_boundary(n, p, tid);
+            let d_hi = segment_boundary(n, p, tid + 1);
+            let i_lo = co_rank_by(d_lo, a, b, cmp);
+            let i_hi = co_rank_by(d_hi, a, b, cmp);
+            // SAFETY: `d_lo..d_hi` ranges are disjoint across tids and lie
+            // within `out` (d_hi <= n == out.len()); the pool's end barrier
+            // orders all writes before `merge_into_by` returns to the
+            // caller, which still holds the unique borrow of `out`.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo)
+            };
+            merge_into_by(&a[i_lo..i_hi], &b[d_lo - i_lo..d_hi - i_hi], chunk, cmp);
+        });
+    }
+
+    /// [`Pool::merge_into_by`] using the natural order.
+    pub fn merge_into<T>(&self, a: &[T], b: &[T], out: &mut [T])
+    where
+        T: Ord + Clone + Send + Sync,
+    {
+        self.merge_into_by(a, b, out, &|x: &T, y: &T| x.cmp(y));
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if self.threads > 1 {
+            self.shared.shutdown.store(true, AtomicOrdering::Release);
+            self.shared.start.wait();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, shared: &Shared) {
+    loop {
+        shared.start.wait();
+        if shared.shutdown.load(AtomicOrdering::Acquire) {
+            return;
+        }
+        let ptr = shared
+            .job
+            .lock()
+            .expect("pool mutex poisoned")
+            .as_ref()
+            .map(|j| j.0);
+        if let Some(ptr) = ptr {
+            // SAFETY: see `Pool::run` — the job outlives this round.
+            let job = unsafe { &*ptr };
+            if catch_unwind(AssertUnwindSafe(|| job(tid))).is_err() {
+                shared.panicked.store(true, AtomicOrdering::Release);
+            }
+        }
+        shared.end.wait();
+    }
+}
+
+/// A `Send + Sync` wrapper for a raw pointer handed to pool workers.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the wrapped pointer is only dereferenced on disjoint ranges, and
+// the owning borrow outlives all uses (see call sites).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above; shared access never aliases mutably.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_tid_exactly_once() {
+        let pool = Pool::new(4);
+        let seen = [(); 4].map(|_| AtomicUsize::new(0));
+        pool.run(&|tid| {
+            seen[tid].fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(AtomicOrdering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.run(&|tid| {
+            assert_eq!(tid, 0);
+            count.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 1);
+    }
+
+    #[test]
+    fn many_rounds_reuse_the_team() {
+        let pool = Pool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(&|_tid| {
+                count.fetch_add(1, AtomicOrdering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 300);
+    }
+
+    #[test]
+    fn borrowed_data_is_visible_and_writable() {
+        let pool = Pool::new(4);
+        let input: Vec<u64> = (0..1000).collect();
+        let partial = [(); 4].map(|_| AtomicUsize::new(0));
+        pool.run(&|tid| {
+            let chunk = &input[tid * 250..(tid + 1) * 250];
+            let s: u64 = chunk.iter().sum();
+            partial[tid].store(s as usize, AtomicOrdering::Relaxed);
+        });
+        let total: usize = partial.iter().map(|p| p.load(AtomicOrdering::Relaxed)).sum();
+        assert_eq!(total, (0..1000u64).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn pooled_merge_matches_sequential() {
+        let pool = Pool::new(4);
+        let a: Vec<i64> = (0..5000).map(|x| x * 2).collect();
+        let b: Vec<i64> = (0..4000).map(|x| x * 3 + 1).collect();
+        let mut expect = vec![0i64; 9000];
+        merge_into_by(&a, &b, &mut expect, &|x, y| x.cmp(y));
+        let mut out = vec![0i64; 9000];
+        pool.merge_into(&a, &b, &mut out);
+        assert_eq!(out, expect);
+        // Reuse the pool for a second merge.
+        let mut out2 = vec![0i64; 9000];
+        pool.merge_into(&a, &b, &mut out2);
+        assert_eq!(out2, expect);
+    }
+
+    #[test]
+    fn pooled_merge_tiny_inputs_fall_back() {
+        let pool = Pool::new(8);
+        let a = [1i64, 3];
+        let b = [2i64];
+        let mut out = [0i64; 3];
+        pool.merge_into(&a, &b, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        for _ in 0..10 {
+            let pool = Pool::new(5);
+            pool.run(&|_| {});
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|tid| {
+                if tid == 2 {
+                    panic!("boom in worker");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool remains usable after the failed round.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 4);
+    }
+
+    #[test]
+    fn caller_share_panic_propagates_and_pool_survives() {
+        let pool = Pool::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|tid| {
+                if tid == 0 {
+                    panic!("boom in caller share");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn stress_alternating_jobs() {
+        let pool = Pool::new(4);
+        let a: Vec<i64> = (0..256).collect();
+        let b: Vec<i64> = (0..256).map(|x| x + 128).collect();
+        let mut expect = vec![0i64; 512];
+        merge_into_by(&a, &b, &mut expect, &|x, y| x.cmp(y));
+        for _ in 0..50 {
+            let mut out = vec![0i64; 512];
+            pool.merge_into(&a, &b, &mut out);
+            assert_eq!(out, expect);
+            let touched = AtomicUsize::new(0);
+            pool.run(&|_| {
+                touched.fetch_add(1, AtomicOrdering::Relaxed);
+            });
+            assert_eq!(touched.load(AtomicOrdering::Relaxed), 4);
+        }
+    }
+}

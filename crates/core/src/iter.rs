@@ -1,0 +1,306 @@
+//! Lazy iteration over the virtual merged sequence.
+//!
+//! The diagonal search gives the merged array *random access semantics
+//! without materialization*: `co_rank(k)` locates position `k` of the
+//! merge in `O(log)` time, after which iteration proceeds at one
+//! comparison per element. [`MergeIter`] packages that: a
+//! zero-allocation, stable, double-ended iterator over the merge of two
+//! sorted slices, and [`merged_range`] — an iterator over just
+//! `merged[range]`, opened mid-path by two diagonal searches. This is the
+//! paper's partition primitive resurfacing as a paging API (think: "give
+//! me rows 1,000,000..1,000,050 of the merged view" without merging a
+//! million rows).
+
+use core::cmp::Ordering;
+
+use crate::diagonal::co_rank_by;
+
+/// A lazy, stable iterator over the merge of two sorted slices.
+///
+/// Yields references in merged order; ties yield `a`'s elements first.
+/// Implements [`DoubleEndedIterator`] (back-to-front merging) and
+/// [`ExactSizeIterator`].
+#[derive(Debug, Clone)]
+pub struct MergeIter<'a, T, F> {
+    a: &'a [T],
+    b: &'a [T],
+    cmp: F,
+}
+
+/// Iterates the full merge of `a` and `b` in natural order.
+///
+/// # Examples
+/// ```
+/// use mergepath::iter::merge_iter;
+/// let a = [1, 3, 5];
+/// let b = [2, 3, 4];
+/// let merged: Vec<i32> = merge_iter(&a, &b).copied().collect();
+/// assert_eq!(merged, [1, 2, 3, 3, 4, 5]);
+/// ```
+pub fn merge_iter<'a, T: Ord>(a: &'a [T], b: &'a [T]) -> MergeIter<'a, T, fn(&T, &T) -> Ordering> {
+    merge_iter_by(a, b, |x: &T, y: &T| x.cmp(y))
+}
+
+/// [`merge_iter`] with a caller-supplied comparator.
+pub fn merge_iter_by<'a, T, F>(a: &'a [T], b: &'a [T], cmp: F) -> MergeIter<'a, T, F>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    MergeIter { a, b, cmp }
+}
+
+/// An iterator over `merged[range]` only — opened by two diagonal
+/// searches, so the cost is `O(log min(|a|,|b|) + range.len())` rather
+/// than `O(range.end)`.
+///
+/// # Panics
+/// Panics if `range.end > a.len() + b.len()` or `range.start > range.end`.
+///
+/// # Examples
+/// ```
+/// use mergepath::iter::merged_range;
+/// let a: Vec<u32> = (0..1000).map(|x| 2 * x).collect();
+/// let b: Vec<u32> = (0..1000).map(|x| 2 * x + 1).collect();
+/// // Rows 998..1002 of the 2000-row merged view, without merging 998 rows.
+/// let window: Vec<u32> = merged_range(&a, &b, 998..1002).copied().collect();
+/// assert_eq!(window, [998, 999, 1000, 1001]);
+/// ```
+pub fn merged_range<'a, T: Ord>(
+    a: &'a [T],
+    b: &'a [T],
+    range: core::ops::Range<usize>,
+) -> MergeIter<'a, T, fn(&T, &T) -> Ordering> {
+    merged_range_by(a, b, range, |x: &T, y: &T| x.cmp(y))
+}
+
+/// [`merged_range`] with a caller-supplied comparator.
+pub fn merged_range_by<'a, T, F>(
+    a: &'a [T],
+    b: &'a [T],
+    range: core::ops::Range<usize>,
+    cmp: F,
+) -> MergeIter<'a, T, F>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let n = a.len() + b.len();
+    assert!(
+        range.start <= range.end && range.end <= n,
+        "range {range:?} out of bounds for merged length {n}"
+    );
+    let i_lo = co_rank_by(range.start, a, b, &cmp);
+    let i_hi = co_rank_by(range.end, a, b, &cmp);
+    let (j_lo, j_hi) = (range.start - i_lo, range.end - i_hi);
+    MergeIter {
+        a: &a[i_lo..i_hi],
+        b: &b[j_lo..j_hi],
+        cmp,
+    }
+}
+
+impl<'a, T, F> Iterator for MergeIter<'a, T, F>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        match (self.a.first(), self.b.first()) {
+            (None, None) => None,
+            (Some(_), None) => {
+                let (x, rest) = self.a.split_first().expect("nonempty");
+                self.a = rest;
+                Some(x)
+            }
+            (None, Some(_)) => {
+                let (y, rest) = self.b.split_first().expect("nonempty");
+                self.b = rest;
+                Some(y)
+            }
+            (Some(x), Some(y)) => {
+                if (self.cmp)(x, y) != Ordering::Greater {
+                    self.a = &self.a[1..];
+                    Some(x)
+                } else {
+                    self.b = &self.b[1..];
+                    Some(y)
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.a.len() + self.b.len();
+        (n, Some(n))
+    }
+
+    fn count(self) -> usize {
+        self.a.len() + self.b.len()
+    }
+}
+
+impl<'a, T, F> DoubleEndedIterator for MergeIter<'a, T, F>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    fn next_back(&mut self) -> Option<&'a T> {
+        match (self.a.last(), self.b.last()) {
+            (None, None) => None,
+            (Some(_), None) => {
+                let (x, rest) = self.a.split_last().expect("nonempty");
+                self.a = rest;
+                Some(x)
+            }
+            (None, Some(_)) => {
+                let (y, rest) = self.b.split_last().expect("nonempty");
+                self.b = rest;
+                Some(y)
+            }
+            (Some(x), Some(y)) => {
+                // The merged sequence's last element: b's tail wins ties
+                // (a-before-b stability means b's equal elements sit later).
+                if (self.cmp)(y, x) != Ordering::Less {
+                    self.b = &self.b[..self.b.len() - 1];
+                    Some(y)
+                } else {
+                    self.a = &self.a[..self.a.len() - 1];
+                    Some(x)
+                }
+            }
+        }
+    }
+}
+
+impl<T, F> ExactSizeIterator for MergeIter<'_, T, F> where F: Fn(&T, &T) -> Ordering {}
+
+impl<T, F> core::iter::FusedIterator for MergeIter<'_, T, F> where F: Fn(&T, &T) -> Ordering {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted(mut v: Vec<i64>) -> Vec<i64> {
+        v.sort();
+        v
+    }
+
+    fn oracle(a: &[i64], b: &[i64]) -> Vec<i64> {
+        let mut out = vec![0; a.len() + b.len()];
+        crate::merge::sequential::merge_into(a, b, &mut out);
+        out
+    }
+
+    #[test]
+    fn forward_iteration() {
+        let a = [1, 4, 6];
+        let b = [2, 3, 5];
+        let v: Vec<i32> = merge_iter(&a, &b).copied().collect();
+        assert_eq!(v, [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn backward_iteration_reverses_merge() {
+        let a = [1i64, 4, 6];
+        let b = [2i64, 3, 5];
+        let v: Vec<i64> = merge_iter(&a, &b).rev().copied().collect();
+        assert_eq!(v, [6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn stability_forward_and_backward() {
+        let a = [(5, 'a'), (5, 'b')];
+        let b = [(5, 'x')];
+        let fwd: Vec<(i32, char)> = merge_iter_by(&a, &b, |x, y| x.0.cmp(&y.0))
+            .copied()
+            .collect();
+        assert_eq!(fwd, [(5, 'a'), (5, 'b'), (5, 'x')]);
+        let bwd: Vec<(i32, char)> = merge_iter_by(&a, &b, |x, y| x.0.cmp(&y.0))
+            .rev()
+            .copied()
+            .collect();
+        assert_eq!(bwd, [(5, 'x'), (5, 'b'), (5, 'a')]);
+    }
+
+    #[test]
+    fn meet_in_the_middle() {
+        let a: Vec<i64> = (0..50).map(|x| 2 * x).collect();
+        let b: Vec<i64> = (0..50).map(|x| 2 * x + 1).collect();
+        let mut it = merge_iter(&a, &b);
+        let mut front = Vec::new();
+        let mut back = Vec::new();
+        while let Some(x) = it.next() {
+            front.push(*x);
+            if let Some(y) = it.next_back() {
+                back.push(*y);
+            }
+        }
+        back.reverse();
+        front.extend(back);
+        assert_eq!(front, oracle(&a, &b));
+    }
+
+    #[test]
+    fn exact_size_and_fused() {
+        let a = [1, 2];
+        let b = [3];
+        let mut it = merge_iter(&a, &b);
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        it.next();
+        it.next();
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None); // fused
+    }
+
+    #[test]
+    fn merged_range_windows() {
+        let a: Vec<u32> = (0..1000).map(|x| 2 * x).collect();
+        let b: Vec<u32> = (0..1000).map(|x| 2 * x + 1).collect();
+        let w: Vec<u32> = merged_range(&a, &b, 0..5).copied().collect();
+        assert_eq!(w, [0, 1, 2, 3, 4]);
+        let w: Vec<u32> = merged_range(&a, &b, 1995..2000).copied().collect();
+        assert_eq!(w, [1995, 1996, 1997, 1998, 1999]);
+        let w: Vec<u32> = merged_range(&a, &b, 1000..1000).copied().collect();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn merged_range_rejects_overrun() {
+        let a = [1u32];
+        let b = [2u32];
+        let _ = merged_range(&a, &b, 1..3);
+    }
+
+    proptest! {
+        #[test]
+        fn iter_equals_kernel(
+            a in proptest::collection::vec(-100i64..100, 0..200).prop_map(sorted),
+            b in proptest::collection::vec(-100i64..100, 0..200).prop_map(sorted),
+        ) {
+            let fwd: Vec<i64> = merge_iter(&a, &b).copied().collect();
+            prop_assert_eq!(&fwd, &oracle(&a, &b));
+            let mut bwd: Vec<i64> = merge_iter(&a, &b).rev().copied().collect();
+            bwd.reverse();
+            prop_assert_eq!(&bwd, &fwd);
+        }
+
+        #[test]
+        fn range_equals_slice_of_full_merge(
+            a in proptest::collection::vec(-100i64..100, 0..150).prop_map(sorted),
+            b in proptest::collection::vec(-100i64..100, 0..150).prop_map(sorted),
+            lo_frac in 0.0f64..1.0,
+            len_frac in 0.0f64..1.0,
+        ) {
+            let full = oracle(&a, &b);
+            let n = full.len();
+            let lo = ((n as f64) * lo_frac) as usize;
+            let lo = lo.min(n);
+            let len = (((n - lo) as f64) * len_frac) as usize;
+            let window: Vec<i64> = merged_range(&a, &b, lo..lo + len).copied().collect();
+            prop_assert_eq!(&window[..], &full[lo..lo + len]);
+        }
+    }
+}

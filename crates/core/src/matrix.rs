@@ -1,0 +1,257 @@
+//! The Merge Matrix (paper, §II.C).
+//!
+//! `M[i, j] = 1` iff `A[i] > B[j]` (Definition 1). The matrix is never
+//! materialized by the algorithms — its role is purely analytical: the merge
+//! path is the boundary between `M`'s 1-region and 0-region, and along every
+//! cross diagonal the entries are monotone (Corollary 12), which is what
+//! licenses the binary search of Theorem 14.
+//!
+//! This module provides a lazily-evaluated matrix for *verifying* the
+//! paper's propositions in tests and for rendering Figures 1–2, plus a
+//! dense materialization for small inputs.
+
+use core::cmp::Ordering;
+
+/// A lazily-evaluated binary merge matrix over two sorted slices.
+///
+/// # Examples
+/// ```
+/// use mergepath::matrix::MergeMatrix;
+/// let m = MergeMatrix::new(&[3, 5], &[4]);
+/// assert!(!m.entry(0, 0)); // 3 > 4 is false
+/// assert!(m.entry(1, 0));  // 5 > 4 is true
+/// ```
+pub struct MergeMatrix<'a, T, F> {
+    a: &'a [T],
+    b: &'a [T],
+    cmp: F,
+}
+
+impl<'a, T: Ord> MergeMatrix<'a, T, fn(&T, &T) -> Ordering> {
+    /// Builds a matrix view using the natural order of `T`.
+    pub fn new(a: &'a [T], b: &'a [T]) -> Self {
+        MergeMatrix {
+            a,
+            b,
+            cmp: |x: &T, y: &T| x.cmp(y),
+        }
+    }
+}
+
+impl<'a, T, F> MergeMatrix<'a, T, F>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    /// Builds a matrix view with a caller-supplied comparator.
+    pub fn new_by(a: &'a [T], b: &'a [T], cmp: F) -> Self {
+        MergeMatrix { a, b, cmp }
+    }
+
+    /// Number of rows (`|A|`).
+    pub fn rows(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Number of columns (`|B|`).
+    pub fn cols(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Definition 1: `M[i, j] = (A[i] > B[j])`, 0-based.
+    ///
+    /// # Panics
+    /// Panics if `i >= |A|` or `j >= |B|`.
+    pub fn entry(&self, i: usize, j: usize) -> bool {
+        (self.cmp)(&self.a[i], &self.b[j]) == Ordering::Greater
+    }
+
+    /// The entries `(i, j, M[i, j])` on cross diagonal `d` (`i + j == d`),
+    /// ordered by increasing `i` (top-right to bottom-left).
+    ///
+    /// By Propositions 10–11 the boolean sequence is monotone
+    /// non-decreasing in this orientation: a run of 0s then a run of 1s.
+    pub fn cross_diagonal(&self, d: usize) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+        let (na, nb) = (self.a.len(), self.b.len());
+        let (lo, hi) = if na == 0 || nb == 0 || d > na + nb - 2 {
+            (0, 0) // empty diagonal
+        } else {
+            (d.saturating_sub(nb - 1), d.min(na - 1) + 1)
+        };
+        (lo..hi).map(move |i| (i, d - i, self.entry(i, d - i)))
+    }
+
+    /// Materializes the full matrix (small inputs only: `O(|A|·|B|)`).
+    pub fn to_dense(&self) -> Vec<Vec<bool>> {
+        (0..self.a.len())
+            .map(|i| (0..self.b.len()).map(|j| self.entry(i, j)).collect())
+            .collect()
+    }
+
+    /// Renders the matrix with the merge path overlaid, in the orientation
+    /// of the paper's Figures 1–2 (`B` across the top, `A` down the side;
+    /// the path walks the grid lines between cells).
+    ///
+    /// Intended for small inputs; used by the `fig1_matrix` experiment
+    /// binary.
+    pub fn render(&self, path_points: &[(usize, usize)]) -> String
+    where
+        T: core::fmt::Display,
+    {
+        use std::collections::HashSet;
+        let on_path: HashSet<(usize, usize)> = path_points.iter().copied().collect();
+        let mut out = String::new();
+        // Header row: B's elements.
+        out.push_str("        ");
+        for bv in self.b {
+            out.push_str(&format!("{bv:>4}"));
+        }
+        out.push('\n');
+        // Grid rows: each grid row r in 0..=|A| shows path corners; each
+        // matrix row shows entries.
+        for r in 0..=self.a.len() {
+            // Path-corner line.
+            out.push_str("      ");
+            for c in 0..=self.b.len() {
+                out.push_str(if on_path.contains(&(r, c)) { "  o " } else { "  . " });
+            }
+            out.push('\n');
+            if r < self.a.len() {
+                out.push_str(&format!("{:>4}  ", self.a[r]));
+                out.push_str("  ");
+                for c in 0..self.b.len() {
+                    out.push_str(if self.entry(r, c) { "  1 " } else { "  0 " });
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::MergePath;
+    use proptest::prelude::*;
+
+    fn sorted(mut v: Vec<i64>) -> Vec<i64> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn definition_1_entries() {
+        let a = [3, 5];
+        let b = [4];
+        let m = MergeMatrix::new(&a, &b);
+        assert!(!m.entry(0, 0)); // 3 > 4 is false
+        assert!(m.entry(1, 0)); // 5 > 4 is true
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 1);
+    }
+
+    #[test]
+    fn proposition_10_downward_left_closure() {
+        // If M[i,j] = 1 then everything below-left is 1.
+        let a: Vec<i64> = vec![1, 4, 6, 9];
+        let b: Vec<i64> = vec![2, 3, 7, 8];
+        let m = MergeMatrix::new(&a, &b);
+        for i in 0..4 {
+            for j in 0..4 {
+                if m.entry(i, j) {
+                    for k in i..4 {
+                        for l in 0..=j {
+                            assert!(m.entry(k, l), "Prop 10 violated at ({k},{l})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_11_upward_right_closure() {
+        let a: Vec<i64> = vec![1, 4, 6, 9];
+        let b: Vec<i64> = vec![2, 3, 7, 8];
+        let m = MergeMatrix::new(&a, &b);
+        for i in 0..4 {
+            for j in 0..4 {
+                if !m.entry(i, j) {
+                    for k in 0..i {
+                        for l in j..4 {
+                            assert!(!m.entry(k, l), "Prop 11 violated at ({k},{l})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_diagonal_enumerates_antidiagonal() {
+        let a: Vec<i64> = vec![10, 20, 30];
+        let b: Vec<i64> = vec![15, 25];
+        let m = MergeMatrix::new(&a, &b);
+        let d1: Vec<(usize, usize, bool)> = m.cross_diagonal(1).collect();
+        assert_eq!(
+            d1.iter().map(|&(i, j, _)| (i, j)).collect::<Vec<_>>(),
+            [(0, 1), (1, 0)]
+        );
+        // d = 0 is the single top-left entry.
+        let d0: Vec<_> = m.cross_diagonal(0).collect();
+        assert_eq!(d0.len(), 1);
+        // Largest diagonal is the single bottom-right entry.
+        let dmax: Vec<_> = m.cross_diagonal(3).collect();
+        assert_eq!(
+            dmax.iter().map(|&(i, j, _)| (i, j)).collect::<Vec<_>>(),
+            [(2, 1)]
+        );
+    }
+
+    #[test]
+    fn render_smoke() {
+        let a = [1, 5];
+        let b = [3];
+        let m = MergeMatrix::new(&a, &b);
+        let path = MergePath::construct(&a, &b);
+        let s = m.render(path.points());
+        assert!(s.contains('o'));
+        assert!(s.contains('1') && s.contains('0'));
+    }
+
+    proptest! {
+        #[test]
+        fn corollary_12_diagonals_are_monotone(
+            a in proptest::collection::vec(-50i64..50, 1..40).prop_map(sorted),
+            b in proptest::collection::vec(-50i64..50, 1..40).prop_map(sorted),
+        ) {
+            let m = MergeMatrix::new(&a, &b);
+            for d in 0..a.len() + b.len() - 1 {
+                let entries: Vec<bool> =
+                    m.cross_diagonal(d).map(|(_, _, e)| e).collect();
+                // Ordered by increasing i: once true, stays true.
+                let mut seen_true = false;
+                for e in entries {
+                    if seen_true {
+                        prop_assert!(e, "Corollary 12 violated on diagonal {}", d);
+                    }
+                    seen_true |= e;
+                }
+            }
+        }
+
+        #[test]
+        fn dense_matches_lazy(
+            a in proptest::collection::vec(-20i64..20, 0..15).prop_map(sorted),
+            b in proptest::collection::vec(-20i64..20, 0..15).prop_map(sorted),
+        ) {
+            let m = MergeMatrix::new(&a, &b);
+            let dense = m.to_dense();
+            for (i, row) in dense.iter().enumerate() {
+                for (j, &cell) in row.iter().enumerate() {
+                    prop_assert_eq!(cell, m.entry(i, j));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Batched pairwise merges under one global worker budget.
+//!
+//! A merge-sort round must merge *many* run pairs. Giving every pair the
+//! full thread count serializes the pairs; giving each pair one thread
+//! starves when runs are ragged. The merge-path view dissolves the
+//! dilemma: concatenate the pairs' outputs into one virtual output of
+//! length `ΣNᵢ`, cut **that** at `p − 1` equispaced positions, and let
+//! each worker handle whatever pair fragments its global range covers —
+//! every fragment located by a diagonal search in its own pair. Perfect
+//! balance (Corollary 7) across an arbitrary mix of pair sizes, still one
+//! fork-join and zero synchronization.
+//!
+//! [`crate::sort::parallel`] uses this as its round primitive.
+
+use core::cmp::Ordering;
+
+use crate::diagonal::co_rank_by;
+use crate::merge::sequential::merge_into_by;
+use crate::partition::segment_boundary;
+
+/// Stable merges of each `(a, b)` pair into consecutive regions of `out`
+/// (pair `i`'s output occupies the range right after pair `i − 1`'s),
+/// executed by `threads` workers balanced across the whole batch.
+///
+/// # Panics
+/// Panics if `out.len()` differs from the total input length or
+/// `threads == 0`.
+///
+/// # Examples
+/// ```
+/// use mergepath::merge::batch::batch_merge_into;
+/// let pairs: Vec<(&[u32], &[u32])> = vec![
+///     (&[1, 5][..], &[2, 3][..]),
+///     (&[10][..], &[][..]),
+///     (&[7, 8][..], &[6, 9][..]),
+/// ];
+/// let mut out = [0; 9];
+/// batch_merge_into(&pairs, &mut out, 4);
+/// assert_eq!(out, [1, 2, 3, 5, 10, 6, 7, 8, 9]);
+/// ```
+pub fn batch_merge_into<T>(pairs: &[(&[T], &[T])], out: &mut [T], threads: usize)
+where
+    T: Ord + Clone + Send + Sync,
+{
+    batch_merge_into_by(pairs, out, threads, &|x: &T, y: &T| x.cmp(y));
+}
+
+/// [`batch_merge_into`] with a caller-supplied comparator.
+pub fn batch_merge_into_by<T, F>(pairs: &[(&[T], &[T])], out: &mut [T], threads: usize, cmp: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    assert!(threads > 0, "thread count must be at least 1");
+    // Global offsets of each pair's output.
+    let mut offsets = Vec::with_capacity(pairs.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for (a, b) in pairs {
+        total += a.len() + b.len();
+        offsets.push(total);
+    }
+    assert!(
+        out.len() == total,
+        "output buffer length mismatch: expected {total}, got {}",
+        out.len()
+    );
+    if total == 0 {
+        return;
+    }
+    let p = threads.min(total);
+    if p == 1 {
+        for ((a, b), w) in pairs.iter().zip(offsets.windows(2)) {
+            merge_into_by(a, b, &mut out[w[0]..w[1]], cmp);
+        }
+        return;
+    }
+
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for k in 0..p {
+            let g_lo = segment_boundary(total, p, k);
+            let g_hi = segment_boundary(total, p, k + 1);
+            let (chunk, tail) = rest.split_at_mut(g_hi - g_lo);
+            rest = tail;
+            let offsets = &offsets;
+            let mut work = move || {
+                // Pairs overlapping [g_lo, g_hi): binary search the first.
+                let mut pi = offsets.partition_point(|&off| off <= g_lo) - 1;
+                let mut chunk_pos = 0usize;
+                while pi < pairs.len() && offsets[pi] < g_hi {
+                    let (a, b) = pairs[pi];
+                    // This worker's sub-range of pair pi's output.
+                    let lo = g_lo.max(offsets[pi]) - offsets[pi];
+                    let hi = g_hi.min(offsets[pi + 1]) - offsets[pi];
+                    let i_lo = co_rank_by(lo, a, b, cmp);
+                    let i_hi = co_rank_by(hi, a, b, cmp);
+                    let len = hi - lo;
+                    merge_into_by(
+                        &a[i_lo..i_hi],
+                        &b[lo - i_lo..hi - i_hi],
+                        &mut chunk[chunk_pos..chunk_pos + len],
+                        cmp,
+                    );
+                    chunk_pos += len;
+                    pi += 1;
+                }
+                debug_assert_eq!(chunk_pos, chunk.len());
+            };
+            if k + 1 == p {
+                work();
+            } else {
+                scope.spawn(work);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn oracle(pairs: &[(&[i64], &[i64])]) -> Vec<i64> {
+        let mut out = Vec::new();
+        for (a, b) in pairs {
+            let mut m = vec![0; a.len() + b.len()];
+            merge_into_by(a, b, &mut m, &|x, y| x.cmp(y));
+            out.extend(m);
+        }
+        out
+    }
+
+    #[test]
+    fn merges_many_ragged_pairs() {
+        let data: Vec<(Vec<i64>, Vec<i64>)> = vec![
+            ((0..100).collect(), (50..150).collect()),
+            ((0..3).collect(), vec![]),
+            (vec![], vec![7]),
+            ((0..1000).map(|x| x * 2).collect(), (0..10).collect()),
+            (vec![], vec![]),
+            ((0..5).collect(), (0..5).collect()),
+        ];
+        let pairs: Vec<(&[i64], &[i64])> = data
+            .iter()
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+            .collect();
+        let expect = oracle(&pairs);
+        for threads in [1usize, 2, 3, 5, 16] {
+            let mut out = vec![0; expect.len()];
+            batch_merge_into(&pairs, &mut out, threads);
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_pairs() {
+        let pairs: Vec<(&[i64], &[i64])> = vec![];
+        let mut out: Vec<i64> = vec![];
+        batch_merge_into(&pairs, &mut out, 4);
+        let empty_pairs: Vec<(&[i64], &[i64])> = vec![(&[], &[]), (&[], &[])];
+        batch_merge_into(&empty_pairs, &mut out, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_output_length() {
+        let pairs: Vec<(&[i64], &[i64])> = vec![(&[1], &[2])];
+        let mut out = vec![0; 3];
+        batch_merge_into(&pairs, &mut out, 2);
+    }
+
+    #[test]
+    fn one_giant_pair_among_tiny_ones_stays_balanced() {
+        // The giant pair must be split across workers, not serialized.
+        let giant_a: Vec<i64> = (0..100_000).map(|x| x * 2).collect();
+        let giant_b: Vec<i64> = (0..100_000).map(|x| x * 2 + 1).collect();
+        let tiny: Vec<i64> = vec![5];
+        let pairs: Vec<(&[i64], &[i64])> =
+            vec![(&tiny, &[]), (&giant_a, &giant_b), (&[], &tiny)];
+        let expect = oracle(&pairs);
+        let mut out = vec![0; expect.len()];
+        batch_merge_into(&pairs, &mut out, 8);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn stability_across_batch() {
+        let a1 = [(1, 'a'), (1, 'b')];
+        let b1 = [(1, 'x')];
+        let a2 = [(2, 'a')];
+        let b2 = [(2, 'x'), (2, 'y')];
+        let pairs: Vec<(&[(i32, char)], &[(i32, char)])> = vec![(&a1, &b1), (&a2, &b2)];
+        let mut out = [(0, '_'); 6];
+        batch_merge_into_by(&pairs, &mut out, 3, &|x, y| x.0.cmp(&y.0));
+        assert_eq!(
+            out,
+            [
+                (1, 'a'),
+                (1, 'b'),
+                (1, 'x'),
+                (2, 'a'),
+                (2, 'x'),
+                (2, 'y')
+            ]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn equals_per_pair_merges(
+            data in proptest::collection::vec(
+                (
+                    proptest::collection::vec(-100i64..100, 0..60),
+                    proptest::collection::vec(-100i64..100, 0..60),
+                ),
+                0..8,
+            ),
+            threads in 1usize..10,
+        ) {
+            let sorted: Vec<(Vec<i64>, Vec<i64>)> = data
+                .into_iter()
+                .map(|(mut a, mut b)| {
+                    a.sort();
+                    b.sort();
+                    (a, b)
+                })
+                .collect();
+            let pairs: Vec<(&[i64], &[i64])> = sorted
+                .iter()
+                .map(|(a, b)| (a.as_slice(), b.as_slice()))
+                .collect();
+            let expect = oracle(&pairs);
+            let mut out = vec![0; expect.len()];
+            batch_merge_into(&pairs, &mut out, threads);
+            prop_assert_eq!(out, expect);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! **Algorithm 1 — Parallel Merge** (paper, §III).
+//!
+//! Each of the `p` workers independently:
+//!
+//! 1. computes its starting diagonal `d_k = ⌊k·(|A|+|B|)/p⌋`,
+//! 2. binary-searches the intersection of the merge path with that diagonal
+//!    ([`crate::diagonal::co_rank_by`]), and
+//! 3. executes `(|A|+|B|)/p` steps of sequential merge, writing to output
+//!    positions `d_k ..`.
+//!
+//! Workers write to disjoint output ranges and need no synchronization
+//! beyond the final join — the algorithm is lock-free and communication-free
+//! (the paper's Remark after Algorithm 1). The only shared reads are the few
+//! `O(log N)` probes of the partition searches.
+//!
+//! Time `O(N/p + log N)`; work `O(N + p·log N)` — optimal for
+//! `p ≤ N / log N`.
+//!
+//! Two execution backends are provided: [`parallel_merge_into_by`] forks a
+//! fresh [`std::thread::scope`] per call (the paper's fork-join structure),
+//! while [`pooled_merge_into_by`](crate::executor::Pool::merge_into_by)
+//! reuses a persistent worker pool, mirroring the OpenMP runtime used in
+//! §VI.
+
+use core::cmp::Ordering;
+
+use crate::diagonal::{co_rank_by, co_rank_counted};
+use crate::error::MergeError;
+use crate::merge::sequential::merge_into_by;
+use crate::partition::segment_boundary;
+use crate::stats::MergeStats;
+
+/// Stable parallel merge of `a` and `b` into `out` with `threads` workers,
+/// using the natural order of `T`.
+///
+/// Produces output bitwise identical to
+/// [`merge_into`](crate::merge::sequential::merge_into).
+///
+/// # Panics
+/// Panics if `out.len() != a.len() + b.len()` or `threads == 0`.
+///
+/// # Examples
+/// ```
+/// use mergepath::merge::parallel::parallel_merge_into;
+/// let a: Vec<u32> = (0..100).map(|x| 2 * x).collect();
+/// let b: Vec<u32> = (0..100).map(|x| 2 * x + 1).collect();
+/// let mut out = vec![0; 200];
+/// parallel_merge_into(&a, &b, &mut out, 4);
+/// assert!(out.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn parallel_merge_into<T>(a: &[T], b: &[T], out: &mut [T], threads: usize)
+where
+    T: Ord + Clone + Send + Sync,
+{
+    parallel_merge_into_by(a, b, out, threads, &|x: &T, y: &T| x.cmp(y));
+}
+
+/// [`parallel_merge_into`] with a caller-supplied comparator.
+///
+/// Ties take from `a` first (stable).
+pub fn parallel_merge_into_by<T, F>(a: &[T], b: &[T], out: &mut [T], threads: usize, cmp: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = a.len() + b.len();
+    assert!(
+        out.len() == n,
+        "output buffer length mismatch: expected {n}, got {}",
+        out.len()
+    );
+    assert!(threads > 0, "thread count must be at least 1");
+
+    // Small inputs or a single worker: sequential merge, no fork overhead.
+    if threads == 1 || n <= threads {
+        merge_into_by(a, b, out, cmp);
+        return;
+    }
+
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for k in 0..threads {
+            let d_lo = segment_boundary(n, threads, k);
+            let d_hi = segment_boundary(n, threads, k + 1);
+            let (chunk, tail) = rest.split_at_mut(d_hi - d_lo);
+            rest = tail;
+            let mut work = move || {
+                // Step 2 of Algorithm 1: each worker finds its own
+                // intersections, independently of every other worker.
+                let i_lo = co_rank_by(d_lo, a, b, cmp);
+                let i_hi = co_rank_by(d_hi, a, b, cmp);
+                let (j_lo, j_hi) = (d_lo - i_lo, d_hi - i_hi);
+                // Step 3: a plain sequential merge of the private segment.
+                merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
+            };
+            if k + 1 == threads {
+                // Run the last segment on the calling thread; the implicit
+                // join of the scope is the paper's barrier.
+                work();
+            } else {
+                scope.spawn(work);
+            }
+        }
+    });
+}
+
+/// Convenience wrapper that allocates and returns the merged vector.
+pub fn parallel_merge<T>(a: &[T], b: &[T], threads: usize) -> Vec<T>
+where
+    T: Ord + Clone + Send + Sync + Default,
+{
+    let mut out = vec![T::default(); a.len() + b.len()];
+    parallel_merge_into(a, b, &mut out, threads);
+    out
+}
+
+/// Fallible variant of [`parallel_merge_into_by`].
+pub fn try_parallel_merge_into_by<T, F>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    threads: usize,
+    cmp: &F,
+) -> Result<(), MergeError>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if out.len() != a.len() + b.len() {
+        return Err(MergeError::OutputLenMismatch {
+            expected: a.len() + b.len(),
+            actual: out.len(),
+        });
+    }
+    if threads == 0 {
+        return Err(MergeError::ZeroThreads);
+    }
+    parallel_merge_into_by(a, b, out, threads, cmp);
+    Ok(())
+}
+
+/// Instrumented [`parallel_merge_into_by`] that reports per-worker partition
+/// costs and merged-element counts — the observables behind Corollary 7
+/// (perfect balance) and the §III complexity claims.
+pub fn parallel_merge_into_stats<T, F>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    threads: usize,
+    cmp: &F,
+) -> MergeStats
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = a.len() + b.len();
+    assert!(
+        out.len() == n,
+        "output buffer length mismatch: expected {n}, got {}",
+        out.len()
+    );
+    assert!(threads > 0, "thread count must be at least 1");
+
+    let mut partition_comparisons = vec![0u32; threads];
+    let mut merged_elements = vec![0usize; threads];
+
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let comp_slots = partition_comparisons.iter_mut();
+        let elem_slots = merged_elements.iter_mut();
+        for ((k, c_slot), e_slot) in (0..threads).zip(comp_slots).zip(elem_slots) {
+            let d_lo = segment_boundary(n, threads, k);
+            let d_hi = segment_boundary(n, threads, k + 1);
+            let (chunk, tail) = rest.split_at_mut(d_hi - d_lo);
+            rest = tail;
+            let mut work = move || {
+                let (i_lo, c1) = co_rank_counted(d_lo, a, b, cmp);
+                let (i_hi, c2) = co_rank_counted(d_hi, a, b, cmp);
+                *c_slot = c1 + c2;
+                *e_slot = d_hi - d_lo;
+                let (j_lo, j_hi) = (d_lo - i_lo, d_hi - i_hi);
+                merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
+            };
+            if k + 1 == threads {
+                work();
+            } else {
+                scope.spawn(work);
+            }
+        }
+    });
+
+    MergeStats {
+        partition_comparisons,
+        merged_elements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted(mut v: Vec<i64>) -> Vec<i64> {
+        v.sort();
+        v
+    }
+
+    fn oracle(a: &[i64], b: &[i64]) -> Vec<i64> {
+        let mut out = vec![0; a.len() + b.len()];
+        merge_into_by(a, b, &mut out, &|x, y| x.cmp(y));
+        out
+    }
+
+    #[test]
+    fn matches_sequential_on_interleaved_input() {
+        let a: Vec<i64> = (0..10_000).map(|x| x * 2).collect();
+        let b: Vec<i64> = (0..10_000).map(|x| x * 2 + 1).collect();
+        let expect = oracle(&a, &b);
+        for threads in [1, 2, 3, 4, 7, 12] {
+            let mut out = vec![0; 20_000];
+            parallel_merge_into(&a, &b, &mut out, threads);
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn adversarial_all_a_greater() {
+        let a: Vec<i64> = (1_000_000..1_001_000).collect();
+        let b: Vec<i64> = (0..1000).collect();
+        let expect = oracle(&a, &b);
+        let mut out = vec![0; 2000];
+        parallel_merge_into(&a, &b, &mut out, 8);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        let a: Vec<i64> = (0..10).collect();
+        let b: Vec<i64> = (0..100_000).map(|x| x - 50_000).collect();
+        let expect = oracle(&a, &b);
+        let mut out = vec![0; expect.len()];
+        parallel_merge_into(&a, &b, &mut out, 6);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn more_threads_than_elements() {
+        let a = [5i64];
+        let b = [3i64, 7];
+        let mut out = [0i64; 3];
+        parallel_merge_into(&a, &b, &mut out, 64);
+        assert_eq!(out, [3, 5, 7]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a: [i64; 0] = [];
+        let mut out: [i64; 0] = [];
+        parallel_merge_into(&a, &a, &mut out, 4);
+        let b = [1i64, 2];
+        let mut out2 = [0i64; 2];
+        parallel_merge_into(&a, &b, &mut out2, 4);
+        assert_eq!(out2, [1, 2]);
+    }
+
+    #[test]
+    fn parallel_merge_is_stable() {
+        // Values paired with provenance; comparator looks only at the value.
+        let a: Vec<(i32, u32)> = (0..64).map(|i| (i / 8, i as u32)).collect();
+        let b: Vec<(i32, u32)> = (0..64).map(|i| (i / 8, 1000 + i as u32)).collect();
+        let mut out = vec![(0, 0); 128];
+        parallel_merge_into_by(&a, &b, &mut out, 5, &|x, y| x.0.cmp(&y.0));
+        let mut expect = vec![(0, 0); 128];
+        merge_into_by(&a, &b, &mut expect, &|x, y| x.0.cmp(&y.0));
+        assert_eq!(out, expect);
+        // Within each tie class, A's provenance (< 1000) precedes B's.
+        for w in out.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 >= 1000 {
+                assert!(w[1].1 >= 1000, "B element overtook an A element: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_variant_reports_errors() {
+        let a = [1i64, 2];
+        let b = [3i64];
+        let mut bad = [0i64; 4];
+        let cmp = |x: &i64, y: &i64| x.cmp(y);
+        assert!(matches!(
+            try_parallel_merge_into_by(&a, &b, &mut bad, 2, &cmp),
+            Err(MergeError::OutputLenMismatch { .. })
+        ));
+        let mut ok = [0i64; 3];
+        assert!(matches!(
+            try_parallel_merge_into_by(&a, &b, &mut ok, 0, &cmp),
+            Err(MergeError::ZeroThreads)
+        ));
+        assert!(try_parallel_merge_into_by(&a, &b, &mut ok, 2, &cmp).is_ok());
+        assert_eq!(ok, [1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_show_perfect_balance() {
+        let a: Vec<i64> = (0..6000).map(|x| x * 2).collect();
+        let b: Vec<i64> = (0..6000).map(|x| x * 2 + 1).collect();
+        let mut out = vec![0; 12_000];
+        let stats = parallel_merge_into_stats(&a, &b, &mut out, 8, &|x, y| x.cmp(y));
+        assert_eq!(stats.merged_elements.len(), 8);
+        assert_eq!(stats.merged_elements.iter().sum::<usize>(), 12_000);
+        // Corollary 7: equisized segments.
+        assert!(stats.imbalance() <= 1.0 + 1e-9);
+        // Theorem 14: every partition search is logarithmic.
+        let bound = 2 * ((6000f64).log2().ceil() as u32 + 1);
+        for &c in &stats.partition_comparisons {
+            assert!(c <= bound);
+        }
+        assert_eq!(out, oracle(&a, &b));
+    }
+
+    #[test]
+    fn all_equal_elements() {
+        let a = vec![7i64; 1000];
+        let b = vec![7i64; 1500];
+        let mut out = vec![0; 2500];
+        parallel_merge_into(&a, &b, &mut out, 6);
+        assert!(out.iter().all(|&x| x == 7));
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_equals_sequential(
+            a in proptest::collection::vec(-1000i64..1000, 0..300).prop_map(sorted),
+            b in proptest::collection::vec(-1000i64..1000, 0..300).prop_map(sorted),
+            threads in 1usize..16,
+        ) {
+            let expect = oracle(&a, &b);
+            let mut out = vec![0; expect.len()];
+            parallel_merge_into(&a, &b, &mut out, threads);
+            prop_assert_eq!(out, expect);
+        }
+
+        #[test]
+        fn stats_balance_invariant(
+            a in proptest::collection::vec(-1000i64..1000, 0..300).prop_map(sorted),
+            b in proptest::collection::vec(-1000i64..1000, 0..300).prop_map(sorted),
+            threads in 1usize..12,
+        ) {
+            let mut out = vec![0; a.len() + b.len()];
+            let stats = parallel_merge_into_stats(&a, &b, &mut out, threads, &|x, y| x.cmp(y));
+            let max = stats.max_merged();
+            let min = stats.min_merged();
+            prop_assert!(max - min <= 1, "max={} min={}", max, min);
+            prop_assert_eq!(out, oracle(&a, &b));
+        }
+    }
+}

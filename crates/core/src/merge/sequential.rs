@@ -1,0 +1,554 @@
+//! Sequential merge kernels.
+//!
+//! These are the building blocks executed by each processor after the
+//! merge-path partition has handed it an independent sub-problem (paper,
+//! Algorithm 1, step 3: "execute (|A|+|B|)/p steps of sequential merge").
+//!
+//! Three kernels with identical semantics and different performance
+//! profiles are provided:
+//!
+//! * [`merge_into_by`] — the classic two-pointer merge with a tail copy;
+//!   the default, and the baseline for the paper's §VI overhead remark.
+//! * [`branch_lean_merge_into`] — replaces the hard-to-predict comparison
+//!   branch with index arithmetic; pays off for `Copy` keys with random
+//!   interleaving (branch misprediction bound), loses slightly on runs.
+//! * [`galloping_merge_into_by`] — exponential search over runs; wins when
+//!   the inputs interleave coarsely (long runs from one side).
+//!
+//! Each has a probed variant used by the cache simulator.
+
+use core::cmp::Ordering;
+
+use crate::error::{first_unsorted_index, InputId, MergeError};
+use crate::probe::Probe;
+use crate::view::SortedView;
+
+/// Stable merge of two sorted slices into `out` using the natural order.
+///
+/// # Panics
+/// Panics if `out.len() != a.len() + b.len()`.
+///
+/// # Examples
+/// ```
+/// use mergepath::merge::sequential::merge_into;
+/// let mut out = [0; 5];
+/// merge_into(&[1, 4, 9], &[2, 3], &mut out);
+/// assert_eq!(out, [1, 2, 3, 4, 9]);
+/// ```
+pub fn merge_into<T: Ord + Clone>(a: &[T], b: &[T], out: &mut [T]) {
+    merge_into_by(a, b, out, &|x: &T, y: &T| x.cmp(y));
+}
+
+/// Stable merge with a caller-supplied comparator.
+///
+/// Ties (`Ordering::Equal`) take from `a` first.
+///
+/// # Panics
+/// Panics if `out.len() != a.len() + b.len()`.
+pub fn merge_into_by<T: Clone, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    assert_out_len(a.len(), b.len(), out.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut k = 0usize;
+    while i < a.len() && j < b.len() {
+        if cmp(&a[i], &b[j]) != Ordering::Greater {
+            out[k] = a[i].clone();
+            i += 1;
+        } else {
+            out[k] = b[j].clone();
+            j += 1;
+        }
+        k += 1;
+    }
+    if i < a.len() {
+        out[k..].clone_from_slice(&a[i..]);
+    } else {
+        out[k..].clone_from_slice(&b[j..]);
+    }
+}
+
+/// Fallible variant of [`merge_into_by`] that validates lengths and
+/// sortedness up front.
+pub fn try_merge_into_by<T: Clone, F>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    cmp: &F,
+) -> Result<(), MergeError>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    if out.len() != a.len() + b.len() {
+        return Err(MergeError::OutputLenMismatch {
+            expected: a.len() + b.len(),
+            actual: out.len(),
+        });
+    }
+    if let Some(index) = first_unsorted_index(a, cmp) {
+        return Err(MergeError::NotSorted {
+            input: InputId::A,
+            index,
+        });
+    }
+    if let Some(index) = first_unsorted_index(b, cmp) {
+        return Err(MergeError::NotSorted {
+            input: InputId::B,
+            index,
+        });
+    }
+    merge_into_by(a, b, out, cmp);
+    Ok(())
+}
+
+/// [`merge_into_by`] generic over [`SortedView`] inputs; used by the
+/// segmented merge to consume cyclic staging buffers without compaction.
+pub fn merge_views_into_by<T, A, B, F>(a: &A, b: &B, out: &mut [T], cmp: &F)
+where
+    T: Clone,
+    A: SortedView<T> + ?Sized,
+    B: SortedView<T> + ?Sized,
+    F: Fn(&T, &T) -> Ordering,
+{
+    assert_out_len(a.len(), b.len(), out.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        let take_a = i < a.len() && (j >= b.len() || cmp(a.get(i), b.get(j)) != Ordering::Greater);
+        if take_a {
+            *slot = a.get(i).clone();
+            i += 1;
+        } else {
+            *slot = b.get(j).clone();
+            j += 1;
+        }
+    }
+}
+
+/// [`merge_views_into_by`] reporting every access to a [`Probe`].
+///
+/// Probe indices are the *logical* view indices; callers translate them to
+/// physical addresses (e.g. ring-buffer slots) as needed.
+pub fn merge_views_into_probed<T, A, B, F, P>(a: &A, b: &B, out: &mut [T], cmp: &F, probe: &mut P)
+where
+    T: Clone,
+    A: SortedView<T> + ?Sized,
+    B: SortedView<T> + ?Sized,
+    F: Fn(&T, &T) -> Ordering,
+    P: Probe,
+{
+    assert_out_len(a.len(), b.len(), out.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    for (k, slot) in out.iter_mut().enumerate() {
+        let take_a = if i >= a.len() {
+            false
+        } else if j >= b.len() {
+            true
+        } else {
+            probe.read_a(i);
+            probe.read_b(j);
+            cmp(a.get(i), b.get(j)) != Ordering::Greater
+        };
+        if take_a {
+            probe.read_a(i);
+            *slot = a.get(i).clone();
+            i += 1;
+        } else {
+            probe.read_b(j);
+            *slot = b.get(j).clone();
+            j += 1;
+        }
+        probe.write_out(k);
+    }
+}
+
+/// A merge kernel that avoids the data-dependent select branch by advancing
+/// indices with boolean arithmetic.
+///
+/// Requires `T: Copy + Ord`. On inputs whose interleaving is unpredictable
+/// (e.g. two independent uniform arrays) the classic kernel takes a branch
+/// misprediction roughly every other element; this kernel trades that for a
+/// couple of extra ALU ops per element.
+pub fn branch_lean_merge_into<T: Copy + Ord>(a: &[T], b: &[T], out: &mut [T]) {
+    assert_out_len(a.len(), b.len(), out.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut k = 0usize;
+    // Main loop runs while both sides have elements; the comparison result
+    // is consumed as an integer, not a branch.
+    while i < a.len() && j < b.len() {
+        let take_a = a[i] <= b[j];
+        // Read both candidates unconditionally (both in bounds here).
+        let va = a[i];
+        let vb = b[j];
+        out[k] = if take_a { va } else { vb };
+        i += take_a as usize;
+        j += !take_a as usize;
+        k += 1;
+    }
+    if i < a.len() {
+        out[k..].copy_from_slice(&a[i..]);
+    } else {
+        out[k..].copy_from_slice(&b[j..]);
+    }
+}
+
+/// Stable merge using exponential (galloping) search over runs.
+///
+/// When the merge path hugs one axis — long runs of consecutive elements
+/// from the same input — this kernel finds each run boundary in
+/// `O(log run)` comparisons and block-copies the run, instead of paying one
+/// comparison per element.
+pub fn galloping_merge_into_by<T: Clone, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    assert_out_len(a.len(), b.len(), out.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut k = 0usize;
+    while i < a.len() && j < b.len() {
+        if cmp(&a[i], &b[j]) != Ordering::Greater {
+            // Run from `a`: all elements ≤ b[j] (ties to A).
+            let run = gallop_upper(&a[i..], &b[j], cmp);
+            out[k..k + run].clone_from_slice(&a[i..i + run]);
+            i += run;
+            k += run;
+        } else {
+            // Run from `b`: all elements strictly < a[i].
+            let run = gallop_lower(&b[j..], &a[i], cmp);
+            out[k..k + run].clone_from_slice(&b[j..j + run]);
+            j += run;
+            k += run;
+        }
+    }
+    if i < a.len() {
+        out[k..].clone_from_slice(&a[i..]);
+    } else {
+        out[k..].clone_from_slice(&b[j..]);
+    }
+}
+
+/// Length of the maximal prefix of `v` with elements `<= key` (first index
+/// whose element is `> key`), found by exponential search then binary
+/// search. `v` must be non-empty with `v[0] <= key`.
+fn gallop_upper<T, F>(v: &[T], key: &T, cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    debug_assert!(!v.is_empty() && cmp(&v[0], key) != Ordering::Greater);
+    let mut hi = 1usize;
+    while hi < v.len() && cmp(&v[hi], key) != Ordering::Greater {
+        hi = (hi * 2).min(v.len());
+        if hi == v.len() {
+            break;
+        }
+    }
+    if hi >= v.len() && cmp(&v[v.len() - 1], key) != Ordering::Greater {
+        return v.len();
+    }
+    // Invariant: v[lo-1] <= key < v[hi'] for some hi' in (lo, hi].
+    let mut lo = (hi / 2).max(1);
+    let mut hi = hi.min(v.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if cmp(&v[mid], key) != Ordering::Greater {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Length of the maximal prefix of `v` with elements strictly `< key`.
+/// `v` must be non-empty with `v[0] < key`.
+fn gallop_lower<T, F>(v: &[T], key: &T, cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    debug_assert!(!v.is_empty() && cmp(&v[0], key) == Ordering::Less);
+    let mut hi = 1usize;
+    while hi < v.len() && cmp(&v[hi], key) == Ordering::Less {
+        hi = (hi * 2).min(v.len());
+        if hi == v.len() {
+            break;
+        }
+    }
+    if hi >= v.len() && cmp(&v[v.len() - 1], key) == Ordering::Less {
+        return v.len();
+    }
+    let mut lo = (hi / 2).max(1);
+    let mut hi = hi.min(v.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if cmp(&v[mid], key) == Ordering::Less {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// [`merge_into_by`] reporting every element access to a [`Probe`]; the
+/// trace source for the cache experiments of §IV.
+pub fn merge_into_probed<T: Clone, F, P>(a: &[T], b: &[T], out: &mut [T], cmp: &F, probe: &mut P)
+where
+    F: Fn(&T, &T) -> Ordering,
+    P: Probe,
+{
+    merge_views_into_probed(a, b, out, cmp, probe);
+}
+
+#[inline]
+fn assert_out_len(na: usize, nb: usize, nout: usize) {
+    assert!(
+        nout == na + nb,
+        "output buffer length mismatch: expected {}, got {}",
+        na + nb,
+        nout
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{CountingProbe, TraceProbe};
+    use crate::view::RingView;
+    use proptest::prelude::*;
+
+    fn oracle(a: &[i64], b: &[i64]) -> Vec<i64> {
+        // Stability oracle: tag each element with (value, source, index) and
+        // use a stable std sort on value only.
+        let mut tagged: Vec<(i64, u8, usize)> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 0u8, i))
+            .chain(b.iter().enumerate().map(|(i, &v)| (v, 1u8, i)))
+            .collect();
+        tagged.sort_by_key(|&(v, _, _)| v);
+        tagged.into_iter().map(|(v, _, _)| v).collect()
+    }
+
+    fn sorted(mut v: Vec<i64>) -> Vec<i64> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn basic_merge() {
+        let a = [1, 3, 5];
+        let b = [2, 4, 6, 7];
+        let mut out = [0; 7];
+        merge_into(&a, &b, &mut out);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let a: [i32; 0] = [];
+        let b = [1, 2, 3];
+        let mut out = [0; 3];
+        merge_into(&a, &b, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        merge_into(&b, &a, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        let mut empty: [i32; 0] = [];
+        merge_into(&a, &a, &mut empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_output_len_panics() {
+        let mut out = [0; 3];
+        merge_into(&[1, 2], &[3, 4], &mut out);
+    }
+
+    #[test]
+    fn try_merge_validates() {
+        let mut out = [0; 4];
+        assert_eq!(
+            try_merge_into_by(&[1, 2], &[3], &mut out, &|x: &i32, y| x.cmp(y)),
+            Err(MergeError::OutputLenMismatch {
+                expected: 3,
+                actual: 4
+            })
+        );
+        assert_eq!(
+            try_merge_into_by(&[2, 1], &[3, 4], &mut out, &|x: &i32, y| x.cmp(y)),
+            Err(MergeError::NotSorted {
+                input: InputId::A,
+                index: 0
+            })
+        );
+        assert_eq!(
+            try_merge_into_by(&[1, 2], &[4, 3], &mut out, &|x: &i32, y| x.cmp(y)),
+            Err(MergeError::NotSorted {
+                input: InputId::B,
+                index: 0
+            })
+        );
+        assert!(try_merge_into_by(&[1, 3], &[2, 4], &mut out, &|x: &i32, y| x.cmp(y)).is_ok());
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stability_ties_from_a_first() {
+        // Pair values with provenance to observe stability directly.
+        let a = [(5, 'a'), (5, 'b')];
+        let b = [(5, 'x'), (5, 'y')];
+        let mut out = [(0, '_'); 4];
+        merge_into_by(&a, &b, &mut out, &|x, y| x.0.cmp(&y.0));
+        assert_eq!(out, [(5, 'a'), (5, 'b'), (5, 'x'), (5, 'y')]);
+    }
+
+    #[test]
+    fn galloping_handles_long_runs() {
+        let a: Vec<i64> = (0..1000).collect();
+        let b: Vec<i64> = (1000..1010).collect();
+        let mut out = vec![0; 1010];
+        galloping_merge_into_by(&a, &b, &mut out, &|x, y| x.cmp(y));
+        assert_eq!(out, (0..1010).collect::<Vec<_>>());
+        // Reverse configuration.
+        galloping_merge_into_by(&b, &a, &mut out, &|x, y| x.cmp(y));
+        assert_eq!(out, (0..1010).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn galloping_is_stable() {
+        let a = [(1, 'a'), (2, 'a'), (2, 'b'), (9, 'a')];
+        let b = [(2, 'x'), (2, 'y'), (3, 'x')];
+        let mut out = [(0, '_'); 7];
+        galloping_merge_into_by(&a, &b, &mut out, &|x, y| x.0.cmp(&y.0));
+        assert_eq!(
+            out,
+            [
+                (1, 'a'),
+                (2, 'a'),
+                (2, 'b'),
+                (2, 'x'),
+                (2, 'y'),
+                (3, 'x'),
+                (9, 'a')
+            ]
+        );
+    }
+
+    #[test]
+    fn branch_lean_matches_classic() {
+        let a: Vec<i64> = (0..500).map(|x| x * 3 % 601).collect::<Vec<_>>();
+        let mut a = a;
+        a.sort();
+        let b: Vec<i64> = {
+            let mut b: Vec<i64> = (0..400).map(|x| x * 7 % 353).collect();
+            b.sort();
+            b
+        };
+        let mut out1 = vec![0; 900];
+        let mut out2 = vec![0; 900];
+        merge_into(&a, &b, &mut out1);
+        branch_lean_merge_into(&a, &b, &mut out2);
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn probed_merge_access_counts_are_linear() {
+        let a: Vec<i64> = (0..100).map(|x| 2 * x).collect();
+        let b: Vec<i64> = (0..100).map(|x| 2 * x + 1).collect();
+        let mut out = vec![0; 200];
+        let mut probe = CountingProbe::default();
+        merge_into_probed(&a, &b, &mut out, &|x, y| x.cmp(y), &mut probe);
+        assert_eq!(probe.writes, 200);
+        // Each output step reads at most 2 candidates + 1 element copy.
+        assert!(probe.reads_a + probe.reads_b <= 3 * 200);
+        assert!(probe.reads_a + probe.reads_b >= 200);
+    }
+
+    #[test]
+    fn probed_trace_writes_are_sequential() {
+        let a = [1i64, 4, 6];
+        let b = [2i64, 3, 5];
+        let mut out = [0i64; 6];
+        let mut probe = TraceProbe::default();
+        merge_into_probed(&a, &b, &mut out, &|x, y| x.cmp(y), &mut probe);
+        let writes: Vec<usize> = probe
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                crate::probe::AccessEvent::WriteOut(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn view_merge_over_ring_buffers() {
+        // Backing ring holds a sorted window that wraps physically.
+        let ring_a = [30, 40, 0, 10, 20]; // not power of two; pad
+        let _ = ring_a;
+        let buf_a = [30i64, 40, 50, 60, 0, 10, 20, 25];
+        let va = RingView::new(&buf_a, 4, 7); // [0,10,20,25,30,40,50]
+        let b = [5i64, 15, 45];
+        let mut out = vec![0; 10];
+        merge_views_into_by(&va, b.as_slice(), &mut out, &|x, y| x.cmp(y));
+        assert_eq!(out, [0, 5, 10, 15, 20, 25, 30, 40, 45, 50]);
+    }
+
+    proptest! {
+        #[test]
+        fn all_kernels_match_oracle(
+            a in proptest::collection::vec(-100i64..100, 0..200).prop_map(sorted),
+            b in proptest::collection::vec(-100i64..100, 0..200).prop_map(sorted),
+        ) {
+            let expect = oracle(&a, &b);
+            let n = a.len() + b.len();
+            let cmp = |x: &i64, y: &i64| x.cmp(y);
+
+            let mut out = vec![0i64; n];
+            merge_into(&a, &b, &mut out);
+            prop_assert_eq!(&out, &expect);
+
+            let mut out2 = vec![0i64; n];
+            branch_lean_merge_into(&a, &b, &mut out2);
+            prop_assert_eq!(&out2, &expect);
+
+            let mut out3 = vec![0i64; n];
+            galloping_merge_into_by(&a, &b, &mut out3, &cmp);
+            prop_assert_eq!(&out3, &expect);
+
+            let mut out4 = vec![0i64; n];
+            merge_views_into_by(a.as_slice(), b.as_slice(), &mut out4, &cmp);
+            prop_assert_eq!(&out4, &expect);
+
+            let mut out5 = vec![0i64; n];
+            let mut probe = CountingProbe::default();
+            merge_into_probed(&a, &b, &mut out5, &cmp, &mut probe);
+            prop_assert_eq!(&out5, &expect);
+            prop_assert_eq!(probe.writes as usize, n);
+        }
+
+        #[test]
+        fn galloping_comparison_count_beats_linear_on_runs(
+            runs in 2usize..8,
+            run_len in 50usize..100,
+        ) {
+            // Alternate long runs between a and b.
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let mut next = 0i64;
+            for r in 0..runs {
+                let dst = if r % 2 == 0 { &mut a } else { &mut b };
+                for _ in 0..run_len {
+                    dst.push(next);
+                    next += 1;
+                }
+            }
+            let counter = crate::stats::CountingCmp::new();
+            let mut out = vec![0i64; a.len() + b.len()];
+            galloping_merge_into_by(&a, &b, &mut out, &counter.cmp_fn::<i64>());
+            // Far fewer comparisons than elements.
+            prop_assert!(counter.count() < (a.len() + b.len()) as u64 / 2);
+            prop_assert_eq!(out, (0..next).collect::<Vec<_>>());
+        }
+    }
+}

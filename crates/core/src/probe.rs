@@ -1,0 +1,200 @@
+//! Zero-cost memory-access probes.
+//!
+//! The cache experiments of §IV need the *exact address trace* of the merge
+//! kernels. Rather than duplicating every kernel inside the cache simulator,
+//! the kernels are generic over a [`Probe`] that observes each logical
+//! element access. With the default [`NoProbe`] the observer calls are empty
+//! `#[inline(always)]` functions that monomorphize away entirely, so the
+//! production code path pays nothing.
+//!
+//! Indices reported to a probe are *logical positions within the slices the
+//! kernel was handed*. Callers that split arrays into segments (the parallel
+//! merge, the segmented merge) rebase the indices with [`OffsetProbe`] so the
+//! trace is expressed in whole-array coordinates.
+
+/// Observer of the logical element accesses performed by a merge kernel.
+pub trait Probe {
+    /// Element `i` of input `A` was read.
+    fn read_a(&mut self, i: usize);
+    /// Element `i` of input `B` was read.
+    fn read_b(&mut self, i: usize);
+    /// Element `i` of the output was written.
+    fn write_out(&mut self, i: usize);
+}
+
+/// The no-op probe; compiles to nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline(always)]
+    fn read_a(&mut self, _i: usize) {}
+    #[inline(always)]
+    fn read_b(&mut self, _i: usize) {}
+    #[inline(always)]
+    fn write_out(&mut self, _i: usize) {}
+}
+
+/// A single recorded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessEvent {
+    /// Read of `A[i]`.
+    ReadA(usize),
+    /// Read of `B[i]`.
+    ReadB(usize),
+    /// Write of `Out[i]`.
+    WriteOut(usize),
+}
+
+/// A probe that records the full access trace in order.
+#[derive(Debug, Default, Clone)]
+pub struct TraceProbe {
+    /// The recorded events, in program order.
+    pub events: Vec<AccessEvent>,
+}
+
+impl Probe for TraceProbe {
+    fn read_a(&mut self, i: usize) {
+        self.events.push(AccessEvent::ReadA(i));
+    }
+    fn read_b(&mut self, i: usize) {
+        self.events.push(AccessEvent::ReadB(i));
+    }
+    fn write_out(&mut self, i: usize) {
+        self.events.push(AccessEvent::WriteOut(i));
+    }
+}
+
+/// A probe adapter that rebases segment-local indices into whole-array
+/// coordinates before forwarding to an inner probe.
+#[derive(Debug)]
+pub struct OffsetProbe<'p, P: Probe> {
+    inner: &'p mut P,
+    /// Offset added to `A` indices.
+    pub a_offset: usize,
+    /// Offset added to `B` indices.
+    pub b_offset: usize,
+    /// Offset added to output indices.
+    pub out_offset: usize,
+}
+
+impl<'p, P: Probe> OffsetProbe<'p, P> {
+    /// Wraps `inner`, adding the given offsets to every reported index.
+    pub fn new(inner: &'p mut P, a_offset: usize, b_offset: usize, out_offset: usize) -> Self {
+        OffsetProbe {
+            inner,
+            a_offset,
+            b_offset,
+            out_offset,
+        }
+    }
+}
+
+impl<P: Probe> Probe for OffsetProbe<'_, P> {
+    #[inline(always)]
+    fn read_a(&mut self, i: usize) {
+        self.inner.read_a(self.a_offset + i);
+    }
+    #[inline(always)]
+    fn read_b(&mut self, i: usize) {
+        self.inner.read_b(self.b_offset + i);
+    }
+    #[inline(always)]
+    fn write_out(&mut self, i: usize) {
+        self.inner.write_out(self.out_offset + i);
+    }
+}
+
+/// A probe that only counts accesses, without storing the trace.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingProbe {
+    /// Number of reads of `A`.
+    pub reads_a: u64,
+    /// Number of reads of `B`.
+    pub reads_b: u64,
+    /// Number of output writes.
+    pub writes: u64,
+}
+
+impl CountingProbe {
+    /// Total number of accesses observed.
+    pub fn total(&self) -> u64 {
+        self.reads_a + self.reads_b + self.writes
+    }
+}
+
+impl Probe for CountingProbe {
+    #[inline(always)]
+    fn read_a(&mut self, _i: usize) {
+        self.reads_a += 1;
+    }
+    #[inline(always)]
+    fn read_b(&mut self, _i: usize) {
+        self.reads_b += 1;
+    }
+    #[inline(always)]
+    fn write_out(&mut self, _i: usize) {
+        self.writes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_probe_records_in_order() {
+        let mut p = TraceProbe::default();
+        p.read_a(0);
+        p.read_b(1);
+        p.write_out(2);
+        assert_eq!(
+            p.events,
+            [
+                AccessEvent::ReadA(0),
+                AccessEvent::ReadB(1),
+                AccessEvent::WriteOut(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn offset_probe_rebases_indices() {
+        let mut inner = TraceProbe::default();
+        {
+            let mut p = OffsetProbe::new(&mut inner, 10, 20, 30);
+            p.read_a(1);
+            p.read_b(2);
+            p.write_out(3);
+        }
+        assert_eq!(
+            inner.events,
+            [
+                AccessEvent::ReadA(11),
+                AccessEvent::ReadB(22),
+                AccessEvent::WriteOut(33)
+            ]
+        );
+    }
+
+    #[test]
+    fn counting_probe_counts() {
+        let mut p = CountingProbe::default();
+        for i in 0..5 {
+            p.read_a(i);
+        }
+        for i in 0..3 {
+            p.read_b(i);
+        }
+        p.write_out(0);
+        assert_eq!(p.reads_a, 5);
+        assert_eq!(p.reads_b, 3);
+        assert_eq!(p.writes, 1);
+        assert_eq!(p.total(), 9);
+    }
+
+    #[test]
+    fn no_probe_is_zero_sized() {
+        assert_eq!(core::mem::size_of::<NoProbe>(), 0);
+    }
+}

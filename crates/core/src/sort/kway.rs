@@ -1,0 +1,150 @@
+//! Single-round k-way parallel merge sort.
+//!
+//! The §III sort runs `⌈log₂ p⌉` pairwise merge rounds after the chunk
+//! sorts. With the k-way rank split
+//! ([`kway_rank_split_by`](crate::merge::kway::kway_rank_split_by)) the
+//! rounds collapse to **one**: sort `p` chunks concurrently, then merge
+//! all `p` runs at once with the rank-partitioned parallel k-way merge.
+//! One round means one barrier and a single pass over the data instead of
+//! `log p` passes — the memory-traffic argument of §IV applied to the sort
+//! structure itself. The trade is `O(log k)` comparisons per emitted
+//! element in the loser tree versus `O(1)`-ish in a two-way merge; the
+//! `sort` bench measures the crossover.
+
+use core::cmp::Ordering;
+
+use crate::merge::kway::parallel_kway_merge_by;
+use crate::partition::segment_boundary;
+use crate::sort::sequential::merge_sort_with_scratch_by;
+
+/// Sorts `v` with `threads` concurrent chunk sorts followed by one
+/// parallel k-way merge round. Stable; output identical to
+/// [`merge_sort`](crate::sort::sequential::merge_sort).
+///
+/// # Panics
+/// Panics if `threads == 0`.
+///
+/// # Examples
+/// ```
+/// use mergepath::sort::kway::kway_merge_sort;
+/// let mut v: Vec<i32> = (0..1000).rev().collect();
+/// kway_merge_sort(&mut v, 8);
+/// assert!(v.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn kway_merge_sort<T>(v: &mut [T], threads: usize)
+where
+    T: Ord + Clone + Default + Send + Sync,
+{
+    kway_merge_sort_by(v, threads, &|x: &T, y: &T| x.cmp(y));
+}
+
+/// [`kway_merge_sort`] with a caller-supplied comparator.
+pub fn kway_merge_sort_by<T, F>(v: &mut [T], threads: usize, cmp: &F)
+where
+    T: Clone + Default + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    assert!(threads > 0, "thread count must be at least 1");
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    if threads == 1 || n <= 2 * threads {
+        let mut scratch = vec![T::default(); n];
+        merge_sort_with_scratch_by(v, &mut scratch, cmp);
+        return;
+    }
+
+    // Phase 1: concurrent chunk sorts (same boundaries as §III's sort).
+    let bounds: Vec<usize> = (0..=threads)
+        .map(|k| segment_boundary(n, threads, k))
+        .collect();
+    std::thread::scope(|scope| {
+        let mut rest = &mut *v;
+        for k in 0..threads {
+            let len = bounds[k + 1] - bounds[k];
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let mut work = move || {
+                let mut scratch = vec![T::default(); chunk.len()];
+                merge_sort_with_scratch_by(chunk, &mut scratch, cmp);
+            };
+            if k + 1 == threads {
+                work();
+            } else {
+                scope.spawn(work);
+            }
+        }
+    });
+
+    // Phase 2: one k-way merge of the p runs, itself parallelized by the
+    // multi-way rank split. Stability: runs are indexed in array order, and
+    // the k-way merge breaks ties by run index.
+    let runs: Vec<&[T]> = bounds
+        .windows(2)
+        .map(|w| &v[w[0]..w[1]])
+        .collect();
+    let mut out = vec![T::default(); n];
+    parallel_kway_merge_by(&runs, &mut out, threads, cmp);
+    v.clone_from_slice(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_various_sizes() {
+        for n in [0usize, 1, 5, 100, 1000, 10_007] {
+            let mut v: Vec<i64> = (0..n as i64).map(|x| (x * 7919 + 3) % 2003).collect();
+            let mut expect = v.clone();
+            expect.sort();
+            for threads in [1, 3, 8] {
+                let mut w = v.clone();
+                kway_merge_sort(&mut w, threads);
+                assert_eq!(w, expect, "n={n} threads={threads}");
+            }
+            v.reverse();
+        }
+    }
+
+    #[test]
+    fn stable_like_std() {
+        let mut v: Vec<(i32, usize)> = (0..5000usize)
+            .map(|i| (((i * 37) % 10) as i32, i))
+            .collect();
+        // Deterministic scramble.
+        for i in (1..v.len()).rev() {
+            let j = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        let mut expect = v.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        kway_merge_sort_by(&mut v, 6, &|a, b| a.0.cmp(&b.0));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn agrees_with_pairwise_parallel_sort() {
+        let base: Vec<u32> = (0..20_000u32).map(|x| x.wrapping_mul(2654435761)).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        kway_merge_sort(&mut a, 7);
+        crate::sort::parallel::parallel_merge_sort(&mut b, 7);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std(
+            mut v in proptest::collection::vec(-10_000i64..10_000, 0..600),
+            threads in 1usize..10,
+        ) {
+            let mut expect = v.clone();
+            expect.sort();
+            kway_merge_sort(&mut v, threads);
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

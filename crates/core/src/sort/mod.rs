@@ -1,0 +1,14 @@
+//! Merge sorts built on the merge-path kernels.
+//!
+//! * [`sequential`] — a bottom-up stable merge sort (the per-core kernel and
+//!   the baseline for speedups);
+//! * [`parallel`] — the paper's §III parallel merge sort: `p` concurrent
+//!   chunk sorts, then `log p` rounds of parallel (Algorithm 1) merges;
+//! * [`cache_aware`] — the paper's §IV.C sort: cache-sized block sorts
+//!   followed by rounds of segmented (Algorithm 2) merges.
+
+pub mod cache_aware;
+pub mod kway;
+pub mod natural;
+pub mod parallel;
+pub mod sequential;

@@ -1,0 +1,225 @@
+//! Parallel merge sort (paper, §III).
+//!
+//! Phase 1: the array is split into `p` equisized chunks, each sorted
+//! concurrently with the sequential merge sort (`O(N/p · log(N/p))`).
+//!
+//! Phase 2: `⌈log2 p⌉` rounds of pairwise merges; every merge is executed by
+//! **all** `p` workers using Algorithm 1, so the cores stay fully busy even
+//! in the final round when only one pair remains — the very situation that
+//! motivates the paper (naive merge-sort parallelization starves in late
+//! rounds).
+//!
+//! Total time `O(N/p · log N + log p · log N)`.
+
+use core::cmp::Ordering;
+
+use crate::merge::batch::batch_merge_into_by;
+use crate::sort::sequential::merge_sort_with_scratch_by;
+
+/// Sorts `v` in parallel with `threads` workers using the natural order.
+///
+/// Stable; produces output identical to
+/// [`merge_sort`](crate::sort::sequential::merge_sort).
+///
+/// # Panics
+/// Panics if `threads == 0`.
+///
+/// # Examples
+/// ```
+/// use mergepath::sort::parallel::parallel_merge_sort;
+/// let mut v: Vec<i32> = (0..1000).rev().collect();
+/// parallel_merge_sort(&mut v, 4);
+/// assert!(v.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn parallel_merge_sort<T>(v: &mut [T], threads: usize)
+where
+    T: Ord + Clone + Default + Send + Sync,
+{
+    parallel_merge_sort_by(v, threads, &|x: &T, y: &T| x.cmp(y));
+}
+
+/// [`parallel_merge_sort`] with a caller-supplied comparator.
+pub fn parallel_merge_sort_by<T, F>(v: &mut [T], threads: usize, cmp: &F)
+where
+    T: Clone + Default + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    assert!(threads > 0, "thread count must be at least 1");
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    if threads == 1 || n <= 2 * threads {
+        let mut scratch = vec![T::default(); n];
+        merge_sort_with_scratch_by(v, &mut scratch, cmp);
+        return;
+    }
+
+    // Phase 1: concurrent chunk sorts. Chunks follow the same ⌊k·n/p⌋
+    // boundaries as the merge partition, so sizes differ by at most one.
+    let bounds: Vec<usize> = (0..=threads)
+        .map(|k| crate::partition::segment_boundary(n, threads, k))
+        .collect();
+    std::thread::scope(|scope| {
+        let mut rest = &mut *v;
+        for k in 0..threads {
+            let len = bounds[k + 1] - bounds[k];
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let mut work = move || {
+                let mut scratch = vec![T::default(); chunk.len()];
+                merge_sort_with_scratch_by(chunk, &mut scratch, cmp);
+            };
+            if k + 1 == threads {
+                work();
+            } else {
+                scope.spawn(work);
+            }
+        }
+    });
+
+    // Phase 2: rounds of pairwise parallel merges, ping-ponging between `v`
+    // and a scratch buffer. Runs are tracked by their boundary offsets.
+    let mut scratch = vec![T::default(); n];
+    let mut runs = bounds;
+    let mut in_v = true;
+    while runs.len() > 2 {
+        {
+            let (src, dst): (&[T], &mut [T]) = if in_v {
+                (&*v, &mut scratch)
+            } else {
+                (&scratch, &mut *v)
+            };
+            merge_round_parallel(src, dst, &runs, threads, cmp);
+        }
+        in_v = !in_v;
+        runs = halve_runs(&runs);
+    }
+    if !in_v {
+        v.clone_from_slice(&scratch);
+    }
+}
+
+/// Merges adjacent run pairs from `src` into `dst` with all `threads`
+/// workers balanced across the whole round
+/// ([`batch_merge_into_by`](crate::merge::batch::batch_merge_into_by)):
+/// even ragged final rounds keep every core busy — exactly the late-round
+/// starvation the paper's introduction calls out.
+fn merge_round_parallel<T, F>(src: &[T], dst: &mut [T], runs: &[usize], threads: usize, cmp: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let mut pairs: Vec<(&[T], &[T])> = Vec::with_capacity(runs.len() / 2);
+    let mut pair = 0;
+    while pair + 2 < runs.len() {
+        let (lo, mid, hi) = (runs[pair], runs[pair + 1], runs[pair + 2]);
+        pairs.push((&src[lo..mid], &src[mid..hi]));
+        pair += 2;
+    }
+    let merged_end = runs[pair];
+    batch_merge_into_by(&pairs, &mut dst[..merged_end], threads, cmp);
+    if pair + 2 == runs.len() {
+        // Lone trailing run: copy through.
+        let (lo, hi) = (runs[pair], runs[pair + 1]);
+        dst[lo..hi].clone_from_slice(&src[lo..hi]);
+    }
+}
+
+/// Collapses run boundaries after a round of pairwise merges.
+pub(crate) fn halve_runs(runs: &[usize]) -> Vec<usize> {
+    let mut next = Vec::with_capacity(runs.len() / 2 + 1);
+    for (idx, &b) in runs.iter().enumerate() {
+        if idx % 2 == 0 || idx == runs.len() - 1 {
+            next.push(b);
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_various_sizes_and_threads() {
+        for n in [0usize, 1, 2, 3, 10, 100, 1000, 4097] {
+            let mut base: Vec<i64> = (0..n as i64).map(|x| (x * 7919 + 5) % 1009).collect();
+            let mut expect = base.clone();
+            expect.sort();
+            for threads in [1, 2, 3, 4, 7, 12] {
+                let mut v = base.clone();
+                parallel_merge_sort(&mut v, threads);
+                assert_eq!(v, expect, "n={n} threads={threads}");
+            }
+            base.reverse();
+        }
+    }
+
+    #[test]
+    fn halve_runs_collapses_pairs() {
+        assert_eq!(halve_runs(&[0, 10, 20, 30, 40]), vec![0, 20, 40]);
+        assert_eq!(halve_runs(&[0, 10, 20, 30]), vec![0, 20, 30]);
+        assert_eq!(halve_runs(&[0, 10]), vec![0, 10]);
+    }
+
+    #[test]
+    fn parallel_sort_is_stable() {
+        let mut v: Vec<(i32, usize)> = (0..2000usize).map(|i| (((i * 37) % 16) as i32, i)).collect();
+        let mut expect = v.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        parallel_merge_sort_by(&mut v, 5, &|a, b| a.0.cmp(&b.0));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn non_power_of_two_threads() {
+        let mut v: Vec<i64> = (0..10_007).map(|x| (x * 31) % 2003).collect();
+        let mut expect = v.clone();
+        expect.sort();
+        parallel_merge_sort(&mut v, 7);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_panics() {
+        let mut v = [1i64, 2];
+        parallel_merge_sort(&mut v, 0);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let mut v: Vec<i64> = (0..5000).collect();
+        parallel_merge_sort(&mut v, 4);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let mut r: Vec<i64> = (0..5000).rev().collect();
+        parallel_merge_sort(&mut r, 4);
+        assert_eq!(r, v);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_sort(
+            mut v in proptest::collection::vec(-10_000i64..10_000, 0..800),
+            threads in 1usize..10,
+        ) {
+            let mut expect = v.clone();
+            expect.sort();
+            parallel_merge_sort(&mut v, threads);
+            prop_assert_eq!(v, expect);
+        }
+
+        #[test]
+        fn stability_matches_std(
+            mut v in proptest::collection::vec((0i32..6, 0usize..10_000), 0..400),
+            threads in 1usize..8,
+        ) {
+            let mut expect = v.clone();
+            expect.sort_by_key(|&(k, _)| k);
+            parallel_merge_sort_by(&mut v, threads, &|a, b| a.0.cmp(&b.0));
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

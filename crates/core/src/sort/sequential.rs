@@ -1,0 +1,222 @@
+//! Sequential stable merge sort (bottom-up, with an insertion-sort base
+//! case).
+//!
+//! This is the kernel each core runs on its private chunk in the parallel
+//! sort's first phase, and the single-thread baseline against which the
+//! paper's Figure 5 speedups are defined.
+
+use core::cmp::Ordering;
+
+use crate::merge::sequential::merge_into_by;
+
+/// Runs shorter than this are sorted by insertion sort before merging
+/// begins. 32 balances branch cost against merge depth on typical keys.
+const INSERTION_RUN: usize = 32;
+
+/// Stable in-place insertion sort; the base case of the merge sort and a
+/// useful primitive in its own right for tiny inputs.
+pub fn insertion_sort_by<T, F>(v: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    for i in 1..v.len() {
+        let mut j = i;
+        // Shift left while the predecessor is strictly greater (equal
+        // elements are not swapped — stability).
+        while j > 0 && cmp(&v[j - 1], &v[j]) == Ordering::Greater {
+            v.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Sorts `v` with a stable bottom-up merge sort using the natural order.
+///
+/// Allocates one scratch buffer of `v.len()` elements; see
+/// [`merge_sort_with_scratch_by`] for the allocation-free variant.
+///
+/// # Examples
+/// ```
+/// use mergepath::sort::sequential::merge_sort;
+/// let mut v = vec![3, 1, 4, 1, 5, 9, 2, 6];
+/// merge_sort(&mut v);
+/// assert_eq!(v, [1, 1, 2, 3, 4, 5, 6, 9]);
+/// ```
+pub fn merge_sort<T: Ord + Clone + Default>(v: &mut [T]) {
+    merge_sort_by(v, &|x: &T, y: &T| x.cmp(y));
+}
+
+/// [`merge_sort`] with a caller-supplied comparator.
+pub fn merge_sort_by<T: Clone + Default, F>(v: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut scratch = vec![T::default(); v.len()];
+    merge_sort_with_scratch_by(v, &mut scratch, cmp);
+}
+
+/// Bottom-up stable merge sort using a caller-provided scratch buffer
+/// (no allocation).
+///
+/// # Panics
+/// Panics if `scratch.len() < v.len()`.
+pub fn merge_sort_with_scratch_by<T: Clone, F>(v: &mut [T], scratch: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let n = v.len();
+    assert!(
+        scratch.len() >= n,
+        "scratch buffer too small: {} < {}",
+        scratch.len(),
+        n
+    );
+    if n <= 1 {
+        return;
+    }
+    let scratch = &mut scratch[..n];
+
+    // Base case: sort fixed-size runs in place.
+    let mut start = 0;
+    while start < n {
+        let end = (start + INSERTION_RUN).min(n);
+        insertion_sort_by(&mut v[start..end], cmp);
+        start = end;
+    }
+
+    // Bottom-up rounds, ping-ponging between `v` and `scratch`.
+    let mut width = INSERTION_RUN;
+    let mut in_v = true;
+    while width < n {
+        {
+            let (src, dst): (&[T], &mut [T]) = if in_v {
+                (&*v, &mut *scratch)
+            } else {
+                (&*scratch, &mut *v)
+            };
+            merge_round(src, dst, width, cmp);
+        }
+        in_v = !in_v;
+        width *= 2;
+    }
+    if !in_v {
+        v.clone_from_slice(scratch);
+    }
+}
+
+/// One round of pairwise merges of adjacent `width`-sized runs.
+fn merge_round<T: Clone, F>(src: &[T], dst: &mut [T], width: usize, cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let n = src.len();
+    let mut start = 0;
+    while start < n {
+        let mid = (start + width).min(n);
+        let end = (start + 2 * width).min(n);
+        if mid == end {
+            // Lone run: copy through.
+            dst[start..end].clone_from_slice(&src[start..end]);
+        } else {
+            merge_into_by(&src[start..mid], &src[mid..end], &mut dst[start..end], cmp);
+        }
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_small_arrays() {
+        for n in 0..100 {
+            let mut v: Vec<i64> = (0..n).map(|x| (x * 7919 + 13) % 101).collect();
+            let mut expect = v.clone();
+            expect.sort();
+            merge_sort(&mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        let patterns: Vec<Vec<i64>> = vec![
+            (0..1000).collect(),                      // already sorted
+            (0..1000).rev().collect(),                // reversed
+            vec![42; 1000],                           // constant
+            (0..1000).map(|x| x % 2).collect(),       // two values
+            (0..1000).map(|x| -(x % 37)).collect(),   // small period
+            (0..500).chain((0..500).rev()).collect(), // organ pipe
+        ];
+        for mut v in patterns {
+            let mut expect = v.clone();
+            expect.sort();
+            merge_sort(&mut v);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn insertion_sort_is_stable() {
+        let mut v = vec![(2, 'a'), (1, 'x'), (2, 'b'), (1, 'y'), (2, 'c')];
+        insertion_sort_by(&mut v, &|a, b| a.0.cmp(&b.0));
+        assert_eq!(v, [(1, 'x'), (1, 'y'), (2, 'a'), (2, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn merge_sort_is_stable() {
+        // 200 elements with 10 duplicate keys, provenance in .1.
+        let mut v: Vec<(i32, usize)> = (0..200usize).map(|i| (((i * 37) % 10) as i32, i)).collect();
+        let mut expect = v.clone();
+        expect.sort_by_key(|&(k, _)| k); // std stable sort as oracle
+        merge_sort_by(&mut v, &|a, b| a.0.cmp(&b.0));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn scratch_variant_avoids_alloc_and_matches() {
+        let mut v: Vec<i64> = (0..500).map(|x| (x * 31) % 97).collect();
+        let mut scratch = vec![0i64; 500];
+        let mut expect = v.clone();
+        expect.sort();
+        merge_sort_with_scratch_by(&mut v, &mut scratch, &|a, b| a.cmp(b));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch buffer too small")]
+    fn undersized_scratch_panics() {
+        let mut v = [3i64, 1, 2];
+        let mut scratch = [0i64; 2];
+        merge_sort_with_scratch_by(&mut v, &mut scratch, &|a, b| a.cmp(b));
+    }
+
+    #[test]
+    fn comparator_direction_respected() {
+        let mut v = vec![1, 5, 3, 2, 4];
+        merge_sort_by(&mut v, &|a: &i32, b: &i32| b.cmp(a));
+        assert_eq!(v, [5, 4, 3, 2, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_sort(mut v in proptest::collection::vec(-1000i64..1000, 0..600)) {
+            let mut expect = v.clone();
+            expect.sort();
+            merge_sort(&mut v);
+            prop_assert_eq!(v, expect);
+        }
+
+        #[test]
+        fn stability_matches_std(
+            mut v in proptest::collection::vec((0i32..8, 0usize..1000), 0..300),
+        ) {
+            let mut expect = v.clone();
+            expect.sort_by_key(|&(k, _)| k);
+            merge_sort_by(&mut v, &|a, b| a.0.cmp(&b.0));
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Lightweight instrumentation counters for the complexity experiments.
+//!
+//! The complexity claims of §III (time `O(N/p + log N)`, work
+//! `O(N + p·log N)`) are validated empirically by counting comparisons. The
+//! counters here are designed so that instrumentation is *opt-in*: the hot
+//! kernels take an arbitrary comparator, and a [`CountingCmp`] wraps any
+//! comparator with a relaxed atomic increment. Production call sites simply
+//! do not wrap.
+
+use core::cmp::Ordering;
+use core::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// A comparator adapter that counts invocations.
+///
+/// # Examples
+/// ```
+/// use mergepath::stats::CountingCmp;
+/// use mergepath::merge::sequential::merge_into_by;
+/// let counter = CountingCmp::new();
+/// let mut out = [0; 4];
+/// merge_into_by(&[1, 3], &[2, 4], &mut out, &counter.cmp_fn::<i32>());
+/// assert!(counter.count() >= 3);
+/// ```
+///
+/// The count is kept in a relaxed [`AtomicU64`] so a single adapter can be
+/// shared by every thread of a parallel merge; relaxed ordering is sufficient
+/// because the count is only read after the threads have been joined (the
+/// join imposes the necessary happens-before edge).
+#[derive(Debug, Default)]
+pub struct CountingCmp {
+    count: AtomicU64,
+}
+
+impl CountingCmp {
+    /// Creates a fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a comparator closure for `T: Ord` that bumps this counter.
+    pub fn cmp_fn<T: Ord>(&self) -> impl Fn(&T, &T) -> Ordering + Sync + '_ {
+        move |x: &T, y: &T| {
+            self.count.fetch_add(1, AtomicOrdering::Relaxed);
+            x.cmp(y)
+        }
+    }
+
+    /// Wraps an arbitrary comparator.
+    pub fn wrap<'s, T, F>(&'s self, inner: F) -> impl Fn(&T, &T) -> Ordering + Sync + 's
+    where
+        F: Fn(&T, &T) -> Ordering + Sync + 's,
+    {
+        move |x: &T, y: &T| {
+            self.count.fetch_add(1, AtomicOrdering::Relaxed);
+            inner(x, y)
+        }
+    }
+
+    /// Number of comparisons observed so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Resets the counter to zero and returns the previous value.
+    pub fn reset(&self) -> u64 {
+        self.count.swap(0, AtomicOrdering::Relaxed)
+    }
+}
+
+/// Aggregated statistics of one parallel-merge invocation, reported by the
+/// instrumented entry points (`*_stats` variants).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Comparisons spent in the partition (diagonal binary search) phase,
+    /// per worker.
+    pub partition_comparisons: Vec<u32>,
+    /// Elements merged (path steps executed) per worker.
+    pub merged_elements: Vec<usize>,
+}
+
+impl MergeStats {
+    /// Total partition comparisons across workers.
+    pub fn total_partition_comparisons(&self) -> u64 {
+        self.partition_comparisons.iter().map(|&c| c as u64).sum()
+    }
+
+    /// The heaviest worker's element count (the parallel makespan, paper
+    /// Corollary 7: equisized segments ⇒ perfect balance).
+    pub fn max_merged(&self) -> usize {
+        self.merged_elements.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The lightest worker's element count.
+    pub fn min_merged(&self) -> usize {
+        self.merged_elements.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Load imbalance ratio `max / mean`; `1.0` is perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        if self.merged_elements.is_empty() {
+            return 1.0;
+        }
+        let total: usize = self.merged_elements.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.merged_elements.len() as f64;
+        self.max_merged() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_cmp_counts_and_resets() {
+        let counter = CountingCmp::new();
+        let cmp = counter.cmp_fn::<i32>();
+        assert_eq!(cmp(&1, &2), Ordering::Less);
+        assert_eq!(cmp(&2, &2), Ordering::Equal);
+        assert_eq!(cmp(&3, &2), Ordering::Greater);
+        drop(cmp);
+        assert_eq!(counter.count(), 3);
+        assert_eq!(counter.reset(), 3);
+        assert_eq!(counter.count(), 0);
+    }
+
+    #[test]
+    fn counting_cmp_wrap_preserves_semantics() {
+        let counter = CountingCmp::new();
+        let reverse = |x: &i32, y: &i32| y.cmp(x);
+        let cmp = counter.wrap(reverse);
+        assert_eq!(cmp(&1, &2), Ordering::Greater);
+        drop(cmp);
+        assert_eq!(counter.count(), 1);
+    }
+
+    #[test]
+    fn counting_cmp_is_shareable_across_threads() {
+        let counter = CountingCmp::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cmp = counter.cmp_fn::<u64>();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        let _ = cmp(&i, &(i + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.count(), 4000);
+    }
+
+    #[test]
+    fn merge_stats_balance_metrics() {
+        let stats = MergeStats {
+            partition_comparisons: vec![3, 4, 5, 0],
+            merged_elements: vec![25, 25, 25, 25],
+        };
+        assert_eq!(stats.total_partition_comparisons(), 12);
+        assert_eq!(stats.max_merged(), 25);
+        assert_eq!(stats.min_merged(), 25);
+        assert!((stats.imbalance() - 1.0).abs() < 1e-12);
+
+        let skew = MergeStats {
+            partition_comparisons: vec![],
+            merged_elements: vec![10, 30],
+        };
+        assert!((skew.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_stats_empty_is_balanced() {
+        let stats = MergeStats::default();
+        assert_eq!(stats.max_merged(), 0);
+        assert_eq!(stats.min_merged(), 0);
+        assert!((stats.imbalance() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # mergepath-pram — a CREW PRAM simulator
+//!
+//! The Merge Path paper states and analyses its algorithms on a **CREW
+//! PRAM**: a shared-memory machine where any number of processors may
+//! *read* an address concurrently, but at most one may *write* it, and all
+//! processors advance in lockstep with unit-cost memory access.
+//!
+//! The paper's evaluation substitutes a 12-core x86 server for the ideal
+//! machine. This crate substitutes the ideal machine for the 12-core x86
+//! server: the host running this reproduction has a single CPU, so
+//! wall-clock speedups cannot be observed directly — but the PRAM model
+//! *defines* parallel time as the maximum per-processor operation count per
+//! superstep, which a simulator measures exactly, for any `p`.
+//!
+//! The simulator is a BSP-style machine: each [`PramMachine::step`] runs a
+//! kernel once per processor (sequentially on the host), records every
+//! memory access, **detects CREW violations** (two writers to one address
+//! in one superstep, or a read racing a write), applies the buffered writes
+//! at the superstep boundary, and charges the superstep's elapsed time as
+//! the *maximum* cost any processor incurred.
+//!
+//! [`kernels`] implements the paper's algorithms on this machine; the
+//! Figure 5 reproduction drives them with `p = 1..12`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod machine;
+
+pub use machine::{MemoryMode, PramError, PramMachine, ProcCtx, StepReport};

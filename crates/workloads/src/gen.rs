@@ -1,0 +1,391 @@
+//! Seeded generators for merge and sort inputs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Input families for the two-array merge experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeWorkload {
+    /// Both arrays drawn uniformly from the full `u32` range — the paper's
+    /// §VI configuration; the merge path hugs the main diagonal.
+    Uniform,
+    /// Every element of `A` greater than every element of `B` — the §I
+    /// counterexample to naive partitioning; the path is an `L`.
+    AllAGreater,
+    /// Every element of `A` smaller than every element of `B`.
+    AllALess,
+    /// Perfect interleaving (`A` holds evens, `B` odds): the path is a
+    /// staircase, worst case for branch predictors.
+    Interleaved,
+    /// Few distinct values: exercises stability and tie handling.
+    DuplicateHeavy,
+    /// Alternating long runs from each array: best case for galloping.
+    Runs,
+    /// `A` drawn from a narrow range inside `B`'s wide range: skewed
+    /// consumption rates (the data-dependent rate of §IV.B).
+    SkewedRanges,
+    /// Zipf-like key popularity (power-law duplicates): the realistic
+    /// database-join distribution; stresses tie handling at scale.
+    Zipfian,
+    /// Sawtooth global order: the merge path oscillates with period ~64,
+    /// the branch-predictor middle ground between `Interleaved` and
+    /// `Runs`.
+    SawTooth,
+}
+
+impl MergeWorkload {
+    /// All variants, for exhaustive sweeps.
+    pub const ALL: [MergeWorkload; 9] = [
+        MergeWorkload::Uniform,
+        MergeWorkload::AllAGreater,
+        MergeWorkload::AllALess,
+        MergeWorkload::Interleaved,
+        MergeWorkload::DuplicateHeavy,
+        MergeWorkload::Runs,
+        MergeWorkload::SkewedRanges,
+        MergeWorkload::Zipfian,
+        MergeWorkload::SawTooth,
+    ];
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MergeWorkload::Uniform => "uniform",
+            MergeWorkload::AllAGreater => "all-a-greater",
+            MergeWorkload::AllALess => "all-a-less",
+            MergeWorkload::Interleaved => "interleaved",
+            MergeWorkload::DuplicateHeavy => "duplicate-heavy",
+            MergeWorkload::Runs => "runs",
+            MergeWorkload::SkewedRanges => "skewed-ranges",
+            MergeWorkload::Zipfian => "zipfian",
+            MergeWorkload::SawTooth => "sawtooth",
+        }
+    }
+}
+
+/// Input families for the sort experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortWorkload {
+    /// Uniform random keys.
+    Uniform,
+    /// Already sorted.
+    Sorted,
+    /// Reverse sorted.
+    Reversed,
+    /// Sorted except for a few random swaps.
+    NearlySorted,
+    /// Few distinct values.
+    DuplicateHeavy,
+    /// Ascending then descending (organ pipe).
+    OrganPipe,
+}
+
+impl SortWorkload {
+    /// All variants, for exhaustive sweeps.
+    pub const ALL: [SortWorkload; 6] = [
+        SortWorkload::Uniform,
+        SortWorkload::Sorted,
+        SortWorkload::Reversed,
+        SortWorkload::NearlySorted,
+        SortWorkload::DuplicateHeavy,
+        SortWorkload::OrganPipe,
+    ];
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SortWorkload::Uniform => "uniform",
+            SortWorkload::Sorted => "sorted",
+            SortWorkload::Reversed => "reversed",
+            SortWorkload::NearlySorted => "nearly-sorted",
+            SortWorkload::DuplicateHeavy => "duplicate-heavy",
+            SortWorkload::OrganPipe => "organ-pipe",
+        }
+    }
+}
+
+/// `n` sorted keys drawn uniformly from the full `u32` range.
+pub fn sorted_keys(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+    v.sort_unstable();
+    v
+}
+
+/// `n` unsorted keys for the sort experiments, per `workload`.
+pub fn unsorted_keys(workload: SortWorkload, n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match workload {
+        SortWorkload::Uniform => (0..n).map(|_| rng.gen()).collect(),
+        SortWorkload::Sorted => (0..n as u32).collect(),
+        SortWorkload::Reversed => (0..n as u32).rev().collect(),
+        SortWorkload::NearlySorted => {
+            let mut v: Vec<u32> = (0..n as u32).collect();
+            let swaps = (n / 100).max(1);
+            for _ in 0..swaps {
+                if n >= 2 {
+                    let i = rng.gen_range(0..n);
+                    let j = rng.gen_range(0..n);
+                    v.swap(i, j);
+                }
+            }
+            v
+        }
+        SortWorkload::DuplicateHeavy => {
+            let distinct = (n / 64).max(2) as u32;
+            (0..n).map(|_| rng.gen_range(0..distinct)).collect()
+        }
+        SortWorkload::OrganPipe => {
+            let half = n / 2;
+            (0..half as u32)
+                .chain((0..(n - half) as u32).rev())
+                .collect()
+        }
+    }
+}
+
+/// A sorted `(A, B)` pair of `n` elements each, per `workload`.
+///
+/// Equal sizes match the paper's Figure 5 configuration; use
+/// [`merge_pair_sized`] for asymmetric shapes.
+///
+/// # Examples
+/// ```
+/// use mergepath_workloads::{merge_pair, MergeWorkload};
+/// let (a, b) = merge_pair(MergeWorkload::AllAGreater, 100, 42);
+/// assert!(a.first().unwrap() > b.last().unwrap()); // the §I counterexample shape
+/// let (a2, _) = merge_pair(MergeWorkload::AllAGreater, 100, 42);
+/// assert_eq!(a, a2); // seeded: bit-for-bit reproducible
+/// ```
+pub fn merge_pair(workload: MergeWorkload, n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    merge_pair_sized(workload, n, n, seed)
+}
+
+/// A sorted `(A, B)` pair with independent sizes.
+pub fn merge_pair_sized(
+    workload: MergeWorkload,
+    na: usize,
+    nb: usize,
+    seed: u64,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match workload {
+        MergeWorkload::Uniform => {
+            let mut a: Vec<u32> = (0..na).map(|_| rng.gen()).collect();
+            let mut b: Vec<u32> = (0..nb).map(|_| rng.gen()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            (a, b)
+        }
+        MergeWorkload::AllAGreater => {
+            let mut b: Vec<u32> = (0..nb).map(|_| rng.gen_range(0..u32::MAX / 2)).collect();
+            let mut a: Vec<u32> = (0..na)
+                .map(|_| rng.gen_range(u32::MAX / 2..u32::MAX))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            (a, b)
+        }
+        MergeWorkload::AllALess => {
+            let (b, a) = merge_pair_sized(MergeWorkload::AllAGreater, nb, na, seed);
+            (a, b)
+        }
+        MergeWorkload::Interleaved => {
+            let a: Vec<u32> = (0..na as u32).map(|x| 2 * x).collect();
+            let b: Vec<u32> = (0..nb as u32).map(|x| 2 * x + 1).collect();
+            (a, b)
+        }
+        MergeWorkload::DuplicateHeavy => {
+            let distinct = ((na + nb) / 128).max(2) as u32;
+            let mut a: Vec<u32> = (0..na).map(|_| rng.gen_range(0..distinct)).collect();
+            let mut b: Vec<u32> = (0..nb).map(|_| rng.gen_range(0..distinct)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            (a, b)
+        }
+        MergeWorkload::Runs => {
+            // Alternate ~1024-element runs of the global order between the
+            // two arrays.
+            let run = 1024usize;
+            let mut a = Vec::with_capacity(na);
+            let mut b = Vec::with_capacity(nb);
+            let mut next = 0u32;
+            let mut turn_a = true;
+            while a.len() < na || b.len() < nb {
+                let to_a = (turn_a && a.len() < na) || b.len() >= nb;
+                let (dst, cap) = if to_a { (&mut a, na) } else { (&mut b, nb) };
+                let take = run.min(cap - dst.len());
+                for _ in 0..take {
+                    dst.push(next);
+                    next = next.wrapping_add(1);
+                }
+                turn_a = !turn_a;
+            }
+            (a, b)
+        }
+        MergeWorkload::SkewedRanges => {
+            let mut a: Vec<u32> = (0..na)
+                .map(|_| rng.gen_range(u32::MAX / 3..2 * (u32::MAX / 3)))
+                .collect();
+            let mut b: Vec<u32> = (0..nb).map(|_| rng.gen()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            (a, b)
+        }
+        MergeWorkload::Zipfian => {
+            // Inverse-CDF sampling of a Zipf(s≈1) popularity over ~n/8
+            // distinct keys: key rank r has probability ∝ 1/(r+1).
+            let universe = ((na + nb) / 8).max(2) as u32;
+            let hn: f64 = (1..=universe).map(|r| 1.0 / r as f64).sum();
+            let draw = |rng: &mut SmallRng| -> u32 {
+                let mut target = rng.gen::<f64>() * hn;
+                for r in 1..=universe {
+                    target -= 1.0 / r as f64;
+                    if target <= 0.0 {
+                        return r - 1;
+                    }
+                }
+                universe - 1
+            };
+            let mut a: Vec<u32> = (0..na).map(|_| draw(&mut rng)).collect();
+            let mut b: Vec<u32> = (0..nb).map(|_| draw(&mut rng)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            (a, b)
+        }
+        MergeWorkload::SawTooth => {
+            // Assign the global order 0..na+nb to the arrays in a sawtooth:
+            // blocks of 64 alternate, but with a 3:1 duty cycle so neither
+            // degenerates to `Runs`.
+            let mut a = Vec::with_capacity(na);
+            let mut b = Vec::with_capacity(nb);
+            let mut next = 0u32;
+            while a.len() < na || b.len() < nb {
+                for _ in 0..48 {
+                    if a.len() < na {
+                        a.push(next);
+                        next += 1;
+                    } else if b.len() < nb {
+                        b.push(next);
+                        next += 1;
+                    }
+                }
+                for _ in 0..16 {
+                    if b.len() < nb {
+                        b.push(next);
+                        next += 1;
+                    } else if a.len() < na {
+                        a.push(next);
+                        next += 1;
+                    }
+                }
+            }
+            (a, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_sorted;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for w in MergeWorkload::ALL {
+            let (a1, b1) = merge_pair(w, 500, 42);
+            let (a2, b2) = merge_pair(w, 500, 42);
+            assert_eq!(a1, a2, "{}", w.name());
+            assert_eq!(b1, b2, "{}", w.name());
+            let (a3, _) = merge_pair(w, 500, 43);
+            if !matches!(
+                w,
+                MergeWorkload::Interleaved | MergeWorkload::Runs | MergeWorkload::SawTooth
+            ) {
+                assert_ne!(a1, a3, "{} must vary with the seed", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_pairs_are_sorted_and_sized() {
+        for w in MergeWorkload::ALL {
+            let (a, b) = merge_pair_sized(w, 300, 700, 7);
+            assert_eq!(a.len(), 300, "{}", w.name());
+            assert_eq!(b.len(), 700, "{}", w.name());
+            assert!(is_sorted(&a), "{} A unsorted", w.name());
+            assert!(is_sorted(&b), "{} B unsorted", w.name());
+        }
+    }
+
+    #[test]
+    fn all_a_greater_shape() {
+        let (a, b) = merge_pair(MergeWorkload::AllAGreater, 100, 3);
+        assert!(a.first().unwrap() > b.last().unwrap());
+        let (a, b) = merge_pair(MergeWorkload::AllALess, 100, 3);
+        assert!(a.last().unwrap() < b.first().unwrap());
+    }
+
+    #[test]
+    fn interleaved_shape() {
+        let (a, b) = merge_pair(MergeWorkload::Interleaved, 10, 0);
+        assert_eq!(a, [0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
+        assert_eq!(b, [1, 3, 5, 7, 9, 11, 13, 15, 17, 19]);
+    }
+
+    #[test]
+    fn duplicate_heavy_has_few_distinct() {
+        let (a, b) = merge_pair(MergeWorkload::DuplicateHeavy, 1000, 5);
+        let mut all: Vec<u32> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert!(all.len() <= 16, "distinct values: {}", all.len());
+    }
+
+    #[test]
+    fn runs_workload_alternates_blocks() {
+        let (a, b) = merge_pair(MergeWorkload::Runs, 4096, 0);
+        assert!(is_sorted(&a) && is_sorted(&b));
+        // First run goes to A.
+        assert_eq!(a[0], 0);
+        assert_eq!(b[0], 1024);
+    }
+
+    #[test]
+    fn sort_workloads_have_expected_shapes() {
+        assert!(is_sorted(&unsorted_keys(SortWorkload::Sorted, 100, 0)));
+        let rev = unsorted_keys(SortWorkload::Reversed, 100, 0);
+        assert!(rev.windows(2).all(|w| w[0] >= w[1]));
+        let organ = unsorted_keys(SortWorkload::OrganPipe, 10, 0);
+        assert_eq!(organ, [0, 1, 2, 3, 4, 4, 3, 2, 1, 0]);
+        let uni1 = unsorted_keys(SortWorkload::Uniform, 100, 1);
+        let uni2 = unsorted_keys(SortWorkload::Uniform, 100, 1);
+        assert_eq!(uni1, uni2);
+        let near = unsorted_keys(SortWorkload::NearlySorted, 1000, 2);
+        let inversions = near.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0 && inversions < 50);
+    }
+
+    #[test]
+    fn sorted_keys_are_sorted_and_full_range() {
+        let v = sorted_keys(10_000, 9);
+        assert!(is_sorted(&v));
+        // Uniform over u32: expect values above 3/4 of the range.
+        assert!(*v.last().unwrap() > u32::MAX / 4 * 3);
+    }
+
+    #[test]
+    fn zero_sized_requests() {
+        for w in MergeWorkload::ALL {
+            let (a, b) = merge_pair_sized(w, 0, 10, 1);
+            assert!(a.is_empty());
+            assert_eq!(b.len(), 10);
+            let (a, b) = merge_pair(w, 0, 1);
+            assert!(a.is_empty() && b.is_empty());
+        }
+        assert!(sorted_keys(0, 0).is_empty());
+        for w in SortWorkload::ALL {
+            assert!(unsorted_keys(w, 0, 0).is_empty());
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # mergepath-workloads — reproducible inputs for the experiments
+//!
+//! The paper's evaluation (§VI) merges uniformly-random 32-bit integer
+//! arrays; its correctness arguments, however, hinge on adversarial shapes
+//! (e.g. "all of `A` greater than all of `B`", the §I counterexample to
+//! naive partitioning). This crate generates both families, deterministically
+//! from a seed, so every figure and table in `EXPERIMENTS.md` can be
+//! regenerated bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod validate;
+
+pub use gen::{merge_pair, merge_pair_sized, sorted_keys, unsorted_keys, MergeWorkload, SortWorkload};
+pub use validate::{is_sorted, is_stable_merge_of, same_multiset};

@@ -1,0 +1,92 @@
+//! Validity oracles used by tests and experiment harnesses.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Returns `true` if `v` is non-decreasing.
+pub fn is_sorted<T: Ord>(v: &[T]) -> bool {
+    v.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Returns `true` if `x` and `y` contain the same elements with the same
+/// multiplicities.
+pub fn same_multiset<T: Eq + Hash>(x: &[T], y: &[T]) -> bool {
+    if x.len() != y.len() {
+        return false;
+    }
+    let mut counts: HashMap<&T, isize> = HashMap::with_capacity(x.len());
+    for e in x {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    for e in y {
+        match counts.get_mut(e) {
+            Some(c) => {
+                *c -= 1;
+                if *c < 0 {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Returns `true` if `out` is exactly the stable merge of `a` and `b`
+/// (ties drawn from `a` first), verified by replaying the canonical
+/// two-pointer walk.
+pub fn is_stable_merge_of<T: Ord + Eq>(out: &[T], a: &[T], b: &[T]) -> bool {
+    if out.len() != a.len() + b.len() {
+        return false;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    for o in out {
+        let take_a = i < a.len() && (j >= b.len() || a[i] <= b[j]);
+        let expected = if take_a {
+            let e = &a[i];
+            i += 1;
+            e
+        } else {
+            let e = &b[j];
+            j += 1;
+            e
+        };
+        if o != expected {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_sorted_basics() {
+        assert!(is_sorted::<u32>(&[]));
+        assert!(is_sorted(&[1]));
+        assert!(is_sorted(&[1, 1, 2]));
+        assert!(!is_sorted(&[2, 1]));
+    }
+
+    #[test]
+    fn same_multiset_detects_differences() {
+        assert!(same_multiset(&[1, 2, 2, 3], &[2, 3, 1, 2]));
+        assert!(!same_multiset(&[1, 2, 2], &[1, 2, 3]));
+        assert!(!same_multiset(&[1, 2], &[1, 2, 2]));
+        assert!(!same_multiset(&[1, 1, 2], &[1, 2, 2]));
+        assert!(same_multiset::<u32>(&[], &[]));
+    }
+
+    #[test]
+    fn stable_merge_oracle() {
+        assert!(is_stable_merge_of(&[1, 2, 3], &[1, 3], &[2]));
+        assert!(!is_stable_merge_of(&[1, 3, 2], &[1, 3], &[2]));
+        assert!(!is_stable_merge_of(&[1, 2], &[1, 3], &[2]));
+        // Sorted but not the merge of the inputs.
+        assert!(!is_stable_merge_of(&[1, 2, 4], &[1, 3], &[2]));
+        // Empty cases.
+        assert!(is_stable_merge_of::<u32>(&[], &[], &[]));
+    }
+}

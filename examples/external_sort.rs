@@ -1,0 +1,141 @@
+//! External sorting — the classic workload merge algorithms exist for:
+//! a dataset larger than working memory, sorted via bounded-memory runs
+//! and a k-way merge.
+//!
+//! Pipeline (all on the public API):
+//!   1. stream the input in memory-budget-sized chunks; sort each chunk
+//!      with the parallel merge sort and spill it as a sorted run file;
+//!   2. k-way merge the run files back into one sorted output — the
+//!      in-memory tails of all runs are merged with the rank-partitioned
+//!      parallel k-way merge, batch by batch.
+//!
+//! Uses a temp directory; cleans up after itself.
+//!
+//! Run: `cargo run --release --example external_sort`
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use mergepath_suite::mergepath::merge::kway::kway_rank_split;
+use mergepath_suite::mergepath::prelude::*;
+use mergepath_suite::workloads::{unsorted_keys, SortWorkload};
+
+const MEMORY_BUDGET: usize = 1 << 18; // elements held in RAM at once
+const TOTAL: usize = 1 << 21; // 2M elements ≈ 8 MiB of u32s
+const THREADS: usize = 4;
+
+fn write_run(path: &PathBuf, data: &[u32]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+fn read_chunk(r: &mut BufReader<File>, max: usize) -> std::io::Result<Vec<u32>> {
+    let mut out = Vec::with_capacity(max);
+    let mut buf = [0u8; 4];
+    for _ in 0..max {
+        match r.read_exact(&mut buf) {
+            Ok(()) => out.push(u32::from_le_bytes(buf)),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join(format!("mergepath_extsort_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+
+    // ---- Phase 0: synthesize the "too big for RAM" input file ----------
+    let input = unsorted_keys(SortWorkload::Uniform, TOTAL, 0xE57);
+    let input_path = dir.join("input.bin");
+    write_run(&input_path, &input)?;
+    println!(
+        "input: {} elements ({} MiB), memory budget {} elements",
+        TOTAL,
+        (TOTAL * 4) >> 20,
+        MEMORY_BUDGET
+    );
+
+    // ---- Phase 1: sorted runs -------------------------------------------
+    let mut run_paths = Vec::new();
+    {
+        let mut reader = BufReader::new(File::open(&input_path)?);
+        loop {
+            let mut chunk = read_chunk(&mut reader, MEMORY_BUDGET)?;
+            if chunk.is_empty() {
+                break;
+            }
+            parallel_merge_sort(&mut chunk, THREADS);
+            let path = dir.join(format!("run{}.bin", run_paths.len()));
+            write_run(&path, &chunk)?;
+            run_paths.push(path);
+        }
+    }
+    println!("phase 1: spilled {} sorted runs", run_paths.len());
+
+    // ---- Phase 2: k-way merge of the runs, batch by batch ----------------
+    // Each run gets an in-memory tail of budget/(k+1) elements; one output
+    // batch of the same size is produced per iteration with the parallel
+    // k-way merge, consuming from each tail exactly what the rank split
+    // dictates (the k-way generalization of the paper's Algorithm 2 loop).
+    let k = run_paths.len();
+    let tail_cap = (MEMORY_BUDGET / (k + 1)).max(1);
+    let mut readers: Vec<BufReader<File>> = run_paths
+        .iter()
+        .map(|p| File::open(p).map(BufReader::new))
+        .collect::<std::io::Result<_>>()?;
+    let mut tails: Vec<Vec<u32>> = Vec::with_capacity(k);
+    for r in &mut readers {
+        tails.push(read_chunk(r, tail_cap)?);
+    }
+    let out_path = dir.join("sorted.bin");
+    let mut out = BufWriter::new(File::create(&out_path)?);
+    let mut emitted = 0usize;
+    let mut batches = 0usize;
+    while emitted < TOTAL {
+        let available: usize = tails.iter().map(|t| t.len()).sum();
+        let batch = tail_cap.min(available);
+        // Feasibility mirrors Theorem 16: each tail holds ≤ tail_cap, and
+        // emitting ≤ tail_cap consumes ≤ tail_cap from any single run.
+        let lists: Vec<&[u32]> = tails.iter().map(|t| t.as_slice()).collect();
+        let take = kway_rank_split(&lists, batch);
+        let batch_lists: Vec<&[u32]> = lists
+            .iter()
+            .zip(&take)
+            .map(|(l, &t)| &l[..t])
+            .collect();
+        let mut merged = vec![0u32; batch];
+        parallel_kway_merge(&batch_lists, &mut merged, THREADS);
+        for v in &merged {
+            out.write_all(&v.to_le_bytes())?;
+        }
+        emitted += batch;
+        batches += 1;
+        // Refill each tail by what was consumed.
+        for ((tail, reader), consumed) in tails.iter_mut().zip(&mut readers).zip(&take) {
+            tail.drain(..consumed);
+            let refill = read_chunk(reader, tail_cap - tail.len())?;
+            tail.extend(refill);
+        }
+    }
+    out.flush()?;
+    println!("phase 2: merged {k} runs in {batches} bounded-memory batches");
+
+    // ---- Verify ------------------------------------------------------------
+    let mut reader = BufReader::new(File::open(&out_path)?);
+    let sorted = read_chunk(&mut reader, TOTAL)?;
+    assert_eq!(sorted.len(), TOTAL);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
+    let mut expect = input;
+    expect.sort_unstable();
+    assert_eq!(sorted, expect, "output is a permutation-preserving sort");
+    println!("verified: output equals std sort of the input");
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Latency percentiles across two sorted shards — selection and paging
+//! over a *virtual* merged view, no merge materialized.
+//!
+//! Two services export their request-latency histograms as sorted arrays.
+//! The SLO questions — p50/p95/p99 of the combined traffic, and "show me
+//! the requests right around the p99 boundary" — are answered with the
+//! diagonal search: `O(log n)` per percentile, `O(log n + window)` per
+//! page, never touching the other million elements.
+//!
+//! Run: `cargo run --release --example percentiles`
+
+use mergepath_suite::mergepath::iter::merged_range;
+use mergepath_suite::mergepath::select::{kth_of_union, medians_of_union};
+use mergepath_suite::workloads::{merge_pair, MergeWorkload};
+
+fn main() {
+    // Two shards of latency samples (microseconds), already sorted.
+    let n = 1_000_000usize;
+    let (fast_shard, slow_shard) = merge_pair(MergeWorkload::SkewedRanges, n, 0x9E);
+    let total = 2 * n;
+
+    println!("combined latency distribution over {total} samples (two sorted shards):\n");
+
+    // Percentiles via selection — O(log n) each.
+    for pct in [50usize, 90, 95, 99] {
+        let k = (total * pct / 100).saturating_sub(1);
+        let v = kth_of_union(&fast_shard, &slow_shard, k);
+        println!("  p{pct:<2} = {v:>12} us");
+    }
+    let (lo, hi) = medians_of_union(&fast_shard, &slow_shard);
+    println!("  median pair = ({lo}, {hi})\n");
+
+    // Page around the p99 boundary without merging: the virtual merged
+    // view is randomly addressable through the diagonal search.
+    let p99_rank = total * 99 / 100;
+    let window = 5usize;
+    let page: Vec<u32> = merged_range(
+        &fast_shard,
+        &slow_shard,
+        p99_rank - window..p99_rank + window,
+    )
+    .copied()
+    .collect();
+    println!("samples around the p99 boundary (rank {p99_rank} ± {window}):");
+    println!("  {page:?}");
+    assert!(page.windows(2).all(|w| w[0] <= w[1]));
+
+    // Cross-check one percentile against a real merge.
+    let mut all: Vec<u32> = fast_shard.iter().chain(&slow_shard).copied().collect();
+    all.sort_unstable();
+    let k95 = (total * 95 / 100) - 1;
+    assert_eq!(*kth_of_union(&fast_shard, &slow_shard, k95), all[k95]);
+    println!("\n(cross-checked against a materialized merge: exact match)");
+}

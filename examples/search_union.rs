@@ -1,0 +1,81 @@
+//! Posting-list union — the search-engine OR-query workload.
+//!
+//! An inverted index stores, per term, a sorted list of document ids. An
+//! `OR` query over k terms is the k-way union of those lists: a k-way
+//! merge with duplicate collapse (a document matching several terms is
+//! reported once, with its match count). Ranked pagination ("documents
+//! 10,000–10,020 of the union") uses the k-way rank split — no full
+//! materialization.
+//!
+//! Run: `cargo run --release --example search_union`
+
+use mergepath_suite::mergepath::merge::kway::{kway_rank_split, LoserTree};
+use mergepath_suite::workloads::sorted_keys;
+
+/// Deduplicated union with match counts, streamed from a loser tree.
+fn union_with_counts(lists: &[&[u32]]) -> Vec<(u32, u32)> {
+    let cmp = |x: &u32, y: &u32| x.cmp(y);
+    let mut tree = LoserTree::new(lists, &cmp);
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for &doc in tree.by_ref() {
+        match out.last_mut() {
+            Some((d, count)) if *d == doc => *count += 1,
+            _ => out.push((doc, 1)),
+        }
+    }
+    out
+}
+
+fn main() {
+    // Six terms with posting lists of assorted sizes over a 2^22-doc corpus.
+    let sizes = [120_000usize, 80_000, 200_000, 15_000, 60_000, 150_000];
+    let postings: Vec<Vec<u32>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let mut l = sorted_keys(n, 0x5EA2C4 + i as u64);
+            for d in &mut l {
+                *d >>= 10; // compress the key space so terms overlap
+            }
+            l.dedup();
+            l
+        })
+        .collect();
+    let lists: Vec<&[u32]> = postings.iter().map(|l| l.as_slice()).collect();
+    let total: usize = lists.iter().map(|l| l.len()).sum();
+
+    println!(
+        "OR query over {} terms ({} postings total):",
+        lists.len(),
+        total
+    );
+    let union = union_with_counts(&lists);
+    println!("  distinct documents: {}", union.len());
+    let multi: usize = union.iter().filter(|&&(_, c)| c > 1).count();
+    println!("  matching ≥ 2 terms: {multi}");
+    let best = union.iter().max_by_key(|&&(_, c)| c).unwrap();
+    println!("  best match: doc {} ({} terms)\n", best.0, best.1);
+
+    // Ranked pagination: postings 100_000..100_010 of the raw union, found
+    // by the k-way rank split without merging the first 100_000.
+    let page_start = 100_000usize;
+    let take = kway_rank_split(&lists, page_start);
+    let page_lists: Vec<&[u32]> = lists
+        .iter()
+        .zip(&take)
+        .map(|(l, &t)| &l[t..])
+        .collect();
+    let cmp = |x: &u32, y: &u32| x.cmp(y);
+    let mut tree = LoserTree::new(&page_lists, &cmp);
+    let page: Vec<u32> = tree.by_ref().take(10).copied().collect();
+    println!("postings {page_start}..{} of the union: {page:?}", page_start + 10);
+
+    // Verify against the materialized union.
+    let mut all: Vec<u32> = postings.iter().flatten().copied().collect();
+    all.sort_unstable();
+    assert_eq!(&all[page_start..page_start + 10], &page[..]);
+    let mut dedup = all.clone();
+    dedup.dedup();
+    assert_eq!(dedup.len(), union.len());
+    println!("\n(verified against materialized union)");
+}

@@ -1,0 +1,7 @@
+//! Workspace umbrella crate: hosts the cross-crate integration tests and
+//! the runnable examples. Re-exports the member crates for convenience.
+pub use mergepath;
+pub use mergepath_baselines as baselines;
+pub use mergepath_cache_sim as cache_sim;
+pub use mergepath_pram as pram;
+pub use mergepath_workloads as workloads;

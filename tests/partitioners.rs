@@ -1,0 +1,132 @@
+//! Conformance suite for every partitioning scheme in the workspace.
+//!
+//! A merge partitioner — whatever its search strategy — must produce
+//! segments that (1) tile both inputs in order, (2) tile the output, and
+//! (3) merge-and-concatenate to the stable merge (the paper's Theorem 5 /
+//! Corollary 6). This suite runs merge-path, rank-partition, Akl–Santoro
+//! bisection and multiselection through identical invariant checks on
+//! every workload family, and records each scheme's balance so the
+//! differences (Corollary 7 vs the rest) are asserted, not assumed.
+
+use mergepath_suite::baselines::akl_santoro::bisect_partition;
+use mergepath_suite::baselines::multiselect::multiselect_partition;
+use mergepath_suite::baselines::rank_partition::rank_partition_segments;
+use mergepath_suite::mergepath::merge::sequential::merge_into;
+use mergepath_suite::mergepath::partition::{partition_segments, Segment};
+use mergepath_suite::workloads::{merge_pair, MergeWorkload};
+
+struct Scheme {
+    name: &'static str,
+    run: fn(&[u32], &[u32], usize) -> Vec<Segment>,
+    perfectly_balanced: bool,
+}
+
+const SCHEMES: &[Scheme] = &[
+    Scheme {
+        name: "merge-path",
+        run: |a, b, p| partition_segments(a, b, p),
+        perfectly_balanced: true,
+    },
+    Scheme {
+        name: "rank-partition",
+        run: |a, b, p| rank_partition_segments(a, b, p),
+        perfectly_balanced: false,
+    },
+    Scheme {
+        name: "akl-santoro",
+        run: |a, b, p| bisect_partition(a, b, p).segments,
+        perfectly_balanced: true,
+    },
+    Scheme {
+        name: "multiselect",
+        run: |a, b, p| multiselect_partition(a, b, p).segments,
+        perfectly_balanced: true,
+    },
+];
+
+fn check_tiling(name: &str, segs: &[Segment], a: &[u32], b: &[u32], p: usize) {
+    assert_eq!(segs.len(), p, "{name}: segment count");
+    assert_eq!(segs[0].a_start, 0, "{name}");
+    assert_eq!(segs[0].b_start, 0, "{name}");
+    assert_eq!(segs[0].out_start, 0, "{name}");
+    for w in segs.windows(2) {
+        assert_eq!(w[0].a_end, w[1].a_start, "{name}: A tiling");
+        assert_eq!(w[0].b_end, w[1].b_start, "{name}: B tiling");
+        assert_eq!(w[0].out_end, w[1].out_start, "{name}: out tiling");
+    }
+    let last = segs.last().unwrap();
+    assert_eq!(last.a_end, a.len(), "{name}");
+    assert_eq!(last.b_end, b.len(), "{name}");
+    assert_eq!(last.out_end, a.len() + b.len(), "{name}");
+    for s in segs {
+        assert_eq!(s.a_len() + s.b_len(), s.len(), "{name}: arity");
+    }
+}
+
+fn check_merge_concat(name: &str, segs: &[Segment], a: &[u32], b: &[u32]) {
+    let mut reference = vec![0u32; a.len() + b.len()];
+    merge_into(a, b, &mut reference);
+    let mut rebuilt = Vec::with_capacity(reference.len());
+    for s in segs {
+        let mut piece = vec![0u32; s.len()];
+        merge_into(&a[s.a_start..s.a_end], &b[s.b_start..s.b_end], &mut piece);
+        rebuilt.extend(piece);
+    }
+    assert_eq!(rebuilt, reference, "{name}: Theorem 5 concatenation");
+}
+
+#[test]
+fn all_schemes_satisfy_theorem_5_on_all_workloads() {
+    for wl in MergeWorkload::ALL {
+        let (a, b) = merge_pair(wl, 2500, 0x9A7);
+        for scheme in SCHEMES {
+            for p in [1usize, 2, 7, 12] {
+                let segs = (scheme.run)(&a, &b, p);
+                check_tiling(scheme.name, &segs, &a, &b, p);
+                check_merge_concat(scheme.name, &segs, &a, &b);
+            }
+        }
+    }
+}
+
+#[test]
+fn balance_guarantees_hold_and_differ() {
+    // Adversarial duplicates break rank-partition's balance but nothing
+    // else's — Corollary 7 for merge-path, and the per-rank equispacing
+    // for the two bisection-style schemes.
+    let a: Vec<u32> = (0..60_000).collect();
+    let b: Vec<u32> = vec![59_999; 60_000];
+    let p = 12;
+    for scheme in SCHEMES {
+        let segs = (scheme.run)(&a, &b, p);
+        let max = segs.iter().map(Segment::len).max().unwrap();
+        let min = segs.iter().map(Segment::len).min().unwrap();
+        if scheme.perfectly_balanced {
+            assert!(
+                max - min <= 1,
+                "{}: expected perfect balance, got {min}..{max}",
+                scheme.name
+            );
+        } else {
+            assert!(
+                max - min > 1,
+                "{}: expected imbalance on the adversarial input",
+                scheme.name
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_processor_counts() {
+    let (a, b) = merge_pair(MergeWorkload::Uniform, 50, 1);
+    for scheme in SCHEMES {
+        // p = 1: one segment covering everything.
+        let segs = (scheme.run)(&a, &b, 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 100, "{}", scheme.name);
+        // p > n: many empty segments, still a tiling.
+        let segs = (scheme.run)(&a, &b, 300);
+        check_tiling(scheme.name, &segs, &a, &b, 300);
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration tests for the two analysis substrates working against the
+//! real kernels: cache scenarios reproduce the §IV phenomena, and the PRAM
+//! bandwidth model reproduces the §VI saturation.
+
+use mergepath_suite::cache_sim::cache::CacheConfig;
+use mergepath_suite::cache_sim::scenarios::{
+    parallel_merge_shared, sequential_merge, spm_cyclic_shared, spm_windowed_shared,
+};
+use mergepath_suite::cache_sim::MemoryLayout;
+use mergepath_suite::mergepath::merge::segmented::SpmConfig;
+use mergepath_suite::pram::kernels::measure_merge_bw;
+use mergepath_suite::workloads::{merge_pair, MergeWorkload};
+
+#[test]
+fn three_way_associativity_suffices_sequentially() {
+    // The §IV.B remark, end to end: same data, same capacity-per-way,
+    // aligned streams; ways swept 1..4.
+    let (a, b) = merge_pair(MergeWorkload::Uniform, 1 << 13, 0x3A);
+    let way = 4096u64;
+    let mut rates = Vec::new();
+    for ways in [1usize, 2, 3, 4] {
+        let cfg = CacheConfig {
+            capacity_bytes: ways * way as usize,
+            line_bytes: 64,
+            associativity: ways,
+        };
+        let layout = MemoryLayout::set_aligned(4, way, 0);
+        rates.push(sequential_merge(&a, &b, layout, cfg).miss_rate());
+    }
+    // 1-way thrashes; 3-way reaches the compulsory floor; 4-way adds ~nothing.
+    assert!(rates[0] > 3.0 * rates[2], "1-way {} vs 3-way {}", rates[0], rates[2]);
+    assert!((rates[2] - rates[3]).abs() < 0.01, "3-way ≈ 4-way");
+}
+
+#[test]
+fn spm_outperforms_basic_merge_on_simple_caches() {
+    // The Hypercore scenario (§VI): simple shared cache, several cores.
+    // Basic Algorithm 1 lets p workers walk 3p unbounded streams; SPM
+    // confines them to a fixed staging footprint.
+    let (a, b) = merge_pair(MergeWorkload::Uniform, 1 << 14, 0x5B);
+    let cfg = CacheConfig {
+        capacity_bytes: 16 * 1024,
+        line_bytes: 64,
+        associativity: 1, // direct-mapped: the "simple cache"
+    };
+    let spm = SpmConfig::new(cfg.capacity_elems(4), 4);
+    let layout = MemoryLayout::natural(4, 1 << 14, 1 << 14, spm.segment_len() as u64);
+    let basic = parallel_merge_shared(&a, &b, 4, layout, cfg);
+    let cyclic = spm_cyclic_shared(&a, &b, &spm, layout, cfg);
+    assert!(
+        cyclic.miss_rate() < basic.miss_rate(),
+        "SPM {} should beat basic {} on a direct-mapped shared cache",
+        cyclic.miss_rate(),
+        basic.miss_rate()
+    );
+}
+
+#[test]
+fn windowed_spm_matches_semantics_while_tracing() {
+    // The windowed scenario consumes exactly the full inputs (its internal
+    // accounting drives the windows); totals must reconcile.
+    let (a, b) = merge_pair(MergeWorkload::DuplicateHeavy, 3000, 0x77);
+    let spm = SpmConfig::new(99, 3);
+    let layout = MemoryLayout::natural(4, 3000, 3000, spm.segment_len() as u64);
+    let cfg = CacheConfig::new(64 * 1024, 8);
+    let stats = spm_windowed_shared(&a, &b, &spm, layout, cfg);
+    // Every output element is written exactly once → at least N accesses.
+    assert!(stats.accesses() >= 6000);
+}
+
+#[test]
+fn bandwidth_model_caps_speedup() {
+    let (a32, b32) = merge_pair(MergeWorkload::Uniform, 1 << 14, 0x88);
+    let a: Vec<u64> = a32.iter().map(|&x| x as u64).collect();
+    let b: Vec<u64> = b32.iter().map(|&x| x as u64).collect();
+    let (t1, _) = measure_merge_bw(&a, &b, 1, false, Some(8.0)).unwrap();
+    let (t16, _) = measure_merge_bw(&a, &b, 16, false, Some(8.0)).unwrap();
+    let speedup = t1.time as f64 / t16.time as f64;
+    // 4 memory ops of 5 total per element → cap = 8 / (4/5) = 10.
+    assert!(speedup < 10.5, "bandwidth cap exceeded: {speedup}");
+    assert!(speedup > 9.0, "cap should be nearly reached: {speedup}");
+    // Unlimited bandwidth for contrast.
+    let (u1, _) = measure_merge_bw(&a, &b, 1, false, None).unwrap();
+    let (u16, _) = measure_merge_bw(&a, &b, 16, false, None).unwrap();
+    assert!(u1.time as f64 / u16.time as f64 > 15.0);
+}
+
+#[test]
+fn scenario_miss_counts_scale_with_data_not_cache() {
+    // Streaming compulsory misses are a property of the data size; cache
+    // capacity beyond the working set must not change them.
+    let (a, b) = merge_pair(MergeWorkload::Uniform, 1 << 13, 0x99);
+    let layout = MemoryLayout::natural(4, 1 << 13, 1 << 13, 0);
+    let m1 = sequential_merge(&a, &b, layout, CacheConfig::new(1 << 20, 8));
+    let m2 = sequential_merge(&a, &b, layout, CacheConfig::new(1 << 22, 8));
+    assert_eq!(m1.misses, m2.misses);
+}
