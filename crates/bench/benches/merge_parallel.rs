@@ -1,13 +1,51 @@
-//! Algorithm 1 across thread counts and execution backends (fresh
-//! `thread::scope` per call vs the persistent OpenMP-style pool).
+//! Algorithm 1 across thread counts and execution backends.
+//!
+//! `pooled` is the library kernel (`parallel_merge_into`), which executes
+//! on the persistent process-wide pool. `scoped` is a local re-creation of
+//! the fork-join-per-call backend (a fresh `thread::scope` every merge),
+//! kept here so the per-call spawn overhead — the §VI "6% single-thread
+//! overhead" experiment — stays measurable after the library moved all
+//! kernels onto the pool.
 //!
 //! The thread sweep is the wall-clock leg of Figure 5; on a multi-core
 //! host throughput scales with the thread count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mergepath::executor::Pool;
+use mergepath::diagonal::co_rank;
 use mergepath::merge::parallel::parallel_merge_into;
+use mergepath::merge::sequential::merge_into;
+use mergepath::partition::segment_boundary;
 use mergepath_workloads::{merge_pair, MergeWorkload};
+
+/// Algorithm 1 on a fresh `thread::scope` per call — the baseline backend
+/// the library itself no longer uses.
+fn scoped_merge_into(a: &[u32], b: &[u32], out: &mut [u32], threads: usize) {
+    let n = a.len() + b.len();
+    assert_eq!(out.len(), n);
+    if threads <= 1 || n <= threads {
+        merge_into(a, b, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for k in 0..threads {
+            let d_lo = segment_boundary(n, threads, k);
+            let d_hi = segment_boundary(n, threads, k + 1);
+            let (chunk, tail) = rest.split_at_mut(d_hi - d_lo);
+            rest = tail;
+            let work = move || {
+                let i_lo = co_rank(d_lo, a, b);
+                let i_hi = co_rank(d_hi, a, b);
+                merge_into(&a[i_lo..i_hi], &b[d_lo - i_lo..d_hi - i_hi], chunk);
+            };
+            if k + 1 == threads {
+                work();
+            } else {
+                scope.spawn(work);
+            }
+        }
+    });
+}
 
 fn bench(c: &mut Criterion) {
     let n = 1 << 20;
@@ -18,11 +56,10 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(2 * n as u64));
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("scoped", threads), &threads, |bch, &p| {
-            bch.iter(|| parallel_merge_into(&a, &b, &mut out, p));
+            bch.iter(|| scoped_merge_into(&a, &b, &mut out, p));
         });
-        let pool = Pool::new(threads);
-        group.bench_with_input(BenchmarkId::new("pooled", threads), &threads, |bch, _| {
-            bch.iter(|| pool.merge_into(&a, &b, &mut out));
+        group.bench_with_input(BenchmarkId::new("pooled", threads), &threads, |bch, &p| {
+            bch.iter(|| parallel_merge_into(&a, &b, &mut out, p));
         });
     }
     group.finish();

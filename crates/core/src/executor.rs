@@ -14,10 +14,30 @@
 //! Because `run` does not return until every worker has passed the end
 //! barrier, handing workers a reference with an artificially extended
 //! lifetime is sound.
+//!
+//! # The shared global pool
+//!
+//! Every parallel kernel in this crate executes its fork-join rounds on a
+//! single process-wide pool obtained from [`global`]. The pool is created
+//! lazily on first use with [`default_threads`] participants
+//! (`MERGEPATH_THREADS` if set and valid, otherwise
+//! `std::thread::available_parallelism()`), and lives for the rest of the
+//! process. Kernels submit *logical* shares via [`Pool::run_indexed`]: the
+//! requested share count is decoupled from the pool's physical size, so a
+//! kernel asked for `p` shares produces bitwise-identical output whether
+//! the pool has 1, `p`, or 100 threads.
+//!
+//! Concurrent callers are serialized — the pool runs one round at a time
+//! and other callers block until it finishes. A *nested* call (a share
+//! calling back into [`Pool::run`] or [`Pool::run_indexed`] on any pool
+//! while a round is executing on this thread) is supported and executes
+//! all of its shares inline, sequentially, on the calling thread — the
+//! same behaviour as OpenMP with nested parallelism disabled.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Barrier, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 use core::cmp::Ordering;
@@ -70,6 +90,70 @@ pub struct Pool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Serializes rounds: the pool's barriers support one job at a time,
+    /// so concurrent callers of [`Pool::run`] queue here.
+    round: Mutex<()>,
+}
+
+thread_local! {
+    /// True while this thread is executing a share of a pool round. Used
+    /// to detect nested `run` calls, which execute inline (see module
+    /// docs).
+    static IN_POOL_ROUND: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets [`IN_POOL_ROUND`] for the current scope, restoring the previous
+/// value on drop (including during unwinding, so a panicking share does
+/// not leave the flag stuck).
+struct RoundMark {
+    prev: bool,
+}
+
+impl RoundMark {
+    fn enter() -> Self {
+        let prev = IN_POOL_ROUND.with(|f| f.replace(true));
+        RoundMark { prev }
+    }
+}
+
+impl Drop for RoundMark {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_POOL_ROUND.with(|f| f.set(prev));
+    }
+}
+
+/// The process-wide pool shared by every parallel kernel in this crate.
+///
+/// Created lazily on first use with [`default_threads`] participants and
+/// never dropped. Because kernels pass their *logical* share count to
+/// [`Pool::run_indexed`], the size of this pool affects only scheduling,
+/// never results.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+/// The participant count used for the global pool: `MERGEPATH_THREADS`
+/// when set to a positive integer, otherwise
+/// `std::thread::available_parallelism()` (or 1 if that is unavailable).
+pub fn default_threads() -> usize {
+    threads_from_env(std::env::var("MERGEPATH_THREADS").ok().as_deref())
+}
+
+/// Parses a `MERGEPATH_THREADS`-style override. `None`, empty, zero, or
+/// unparsable values fall back to the machine's available parallelism.
+/// Factored out of [`default_threads`] so the policy is testable without
+/// mutating the process environment.
+pub fn threads_from_env(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 impl Pool {
@@ -100,6 +184,7 @@ impl Pool {
             shared,
             workers,
             threads,
+            round: Mutex::new(()),
         }
     }
 
@@ -111,15 +196,40 @@ impl Pool {
     /// Executes `job(tid)` once for every `tid in 0..threads`, in parallel,
     /// returning when all have finished (implicit barrier, as at the end of
     /// an OpenMP parallel region).
+    ///
+    /// Concurrent callers are serialized: the pool runs one round at a
+    /// time and later callers block until it is free. If a share itself
+    /// calls `run` (on this or any pool), the nested call executes all of
+    /// its shares inline on the calling thread — nested rounds never
+    /// recruit the team, mirroring OpenMP with nested parallelism off.
+    ///
     /// # Panics
     /// If any share panics, the panic is re-raised on the calling thread
     /// after all participants have finished the round (the pool itself
     /// stays usable).
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        if IN_POOL_ROUND.with(|f| f.get()) {
+            // Nested call from inside a share: run every tid inline. The
+            // flag is already set, so deeper nesting also stays inline.
+            for tid in 0..self.threads {
+                job(tid);
+            }
+            return;
+        }
         if self.threads == 1 {
+            let _mark = RoundMark::enter();
             job(0);
             return;
         }
+        // Hold the round lock for the entire fork-join round so concurrent
+        // callers cannot interleave jobs on the same barrier pair. A
+        // panicking round poisons the mutex on unwind; the poison carries
+        // no meaning here (the pool is left in a clean state), so it is
+        // ignored.
+        let _round = self
+            .round
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         // SAFETY: we erase the lifetime of `job`. The pointer is consumed
         // only by workers between the start and end barriers below, and
         // this function does not return until `end.wait()` has been passed
@@ -131,7 +241,10 @@ impl Pool {
         };
         *self.shared.job.lock().expect("pool mutex poisoned") = Some(JobPtr(erased));
         self.shared.start.wait();
-        let own = catch_unwind(AssertUnwindSafe(|| job(0)));
+        let own = {
+            let _mark = RoundMark::enter();
+            catch_unwind(AssertUnwindSafe(|| job(0)))
+        };
         if own.is_err() {
             self.shared.panicked.store(true, AtomicOrdering::Release);
         }
@@ -142,6 +255,38 @@ impl Pool {
             Err(payload) => resume_unwind(payload),
             Ok(()) if was_panicked => panic!("a pool worker's share panicked"),
             Ok(()) => {}
+        }
+    }
+
+    /// Executes `job(i)` once for every `i in 0..shares`, distributing the
+    /// shares over the team, and returns when all have finished.
+    ///
+    /// This is the entry point the parallel kernels use: `shares` is the
+    /// *logical* processor count `p` from the algorithm (the number of
+    /// Merge Path segments), which is deliberately decoupled from the
+    /// pool's physical thread count. Shares are claimed dynamically via an
+    /// atomic counter, so `shares > threads` oversubscribes gracefully and
+    /// `shares < threads` leaves the surplus workers idle for the round.
+    /// Output is therefore identical regardless of pool size.
+    ///
+    /// Panic propagation and nested-call behaviour match [`Pool::run`].
+    pub fn run_indexed(&self, shares: usize, job: &(dyn Fn(usize) + Sync)) {
+        match shares {
+            0 => {}
+            1 => {
+                let _mark = RoundMark::enter();
+                job(0);
+            }
+            _ => {
+                let next = AtomicUsize::new(0);
+                self.run(&|_tid| loop {
+                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                    if i >= shares {
+                        break;
+                    }
+                    job(i);
+                });
+            }
         }
     }
 
@@ -220,6 +365,7 @@ fn worker_loop(tid: usize, shared: &Shared) {
         if let Some(ptr) = ptr {
             // SAFETY: see `Pool::run` — the job outlives this round.
             let job = unsafe { &*ptr };
+            let _mark = RoundMark::enter();
             if catch_unwind(AssertUnwindSafe(|| job(tid))).is_err() {
                 shared.panicked.store(true, AtomicOrdering::Release);
             }
@@ -229,10 +375,23 @@ fn worker_loop(tid: usize, shared: &Shared) {
 }
 
 /// A `Send + Sync` wrapper for a raw pointer handed to pool workers.
-struct SendPtr<T>(*mut T);
+///
+/// The parallel kernels partition one output buffer into disjoint ranges
+/// and hand each share a base pointer through this wrapper; each share
+/// reconstructs its own sub-slice with `from_raw_parts_mut`. Every use
+/// site must uphold the contract in the `unsafe impl`s below: shares only
+/// touch pairwise-disjoint ranges, and the owning borrow outlives the
+/// round (guaranteed by [`Pool::run`]'s end barrier).
+pub struct SendPtr<T>(*mut T);
 
 impl<T> SendPtr<T> {
-    fn get(&self) -> *mut T {
+    /// Wraps `ptr` for transfer into pool shares.
+    pub fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// The wrapped pointer.
+    pub fn get(&self) -> *mut T {
         self.0
     }
 }
@@ -373,6 +532,138 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_threads_rejected() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn run_indexed_covers_every_share_once() {
+        let pool = Pool::new(4);
+        // Oversubscribed (shares > threads), exact, undersubscribed, and
+        // the 0/1 degenerate counts.
+        for shares in [0usize, 1, 2, 4, 7, 64] {
+            let seen: Vec<AtomicUsize> = (0..shares).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_indexed(shares, &|i| {
+                seen[i].fetch_add(1, AtomicOrdering::Relaxed);
+            });
+            for (i, s) in seen.iter().enumerate() {
+                assert_eq!(s.load(AtomicOrdering::Relaxed), 1, "share {i} of {shares}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_indexed_on_single_thread_pool() {
+        let pool = Pool::new(1);
+        let seen: Vec<AtomicUsize> = (0..9).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_indexed(9, &|i| {
+            seen[i].fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert!(seen.iter().all(|s| s.load(AtomicOrdering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_indexed_panic_propagates_without_deadlock() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_indexed(16, &|i| {
+                if i == 11 {
+                    panic!("boom in share 11");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool remains usable after the failed round.
+        let count = AtomicUsize::new(0);
+        pool.run_indexed(8, &|_| {
+            count.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_run_executes_inline_and_completes() {
+        let pool = Pool::new(4);
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        pool.run(&|_tid| {
+            outer.fetch_add(1, AtomicOrdering::Relaxed);
+            // Nested call from inside a share: must not deadlock; every
+            // nested share executes (inline, on this thread).
+            pool.run_indexed(3, &|_i| {
+                inner.fetch_add(1, AtomicOrdering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(AtomicOrdering::Relaxed), 4);
+        assert_eq!(inner.load(AtomicOrdering::Relaxed), 4 * 3);
+    }
+
+    #[test]
+    fn nested_merge_inside_share_is_correct() {
+        // A share invoking a full parallel kernel (which itself calls
+        // run_indexed on the global pool) must fall back to inline
+        // execution and still produce correct output.
+        let pool = Pool::new(3);
+        let a: Vec<i64> = (0..500).map(|x| x * 2).collect();
+        let b: Vec<i64> = (0..500).map(|x| x * 2 + 1).collect();
+        let mut expect = vec![0i64; 1000];
+        merge_into_by(&a, &b, &mut expect, &|x, y| x.cmp(y));
+        let outputs: Vec<Mutex<Vec<i64>>> =
+            (0..3).map(|_| Mutex::new(vec![0i64; 1000])).collect();
+        pool.run(&|tid| {
+            let mut out = outputs[tid].lock().expect("test mutex");
+            super::global().merge_into_by(&a, &b, &mut out, &|x, y| x.cmp(y));
+        });
+        for o in &outputs {
+            assert_eq!(*o.lock().expect("test mutex"), expect);
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_are_serialized() {
+        let pool = Arc::new(Pool::new(3));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        pool.run_indexed(6, &|_| {
+                            total.fetch_add(1, AtomicOrdering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("caller thread panicked");
+        }
+        assert_eq!(total.load(AtomicOrdering::Relaxed), 4 * 25 * 6);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_usable() {
+        let p1 = super::global() as *const Pool;
+        let p2 = super::global() as *const Pool;
+        assert_eq!(p1, p2, "global() must return one process-wide pool");
+        assert!(super::global().threads() >= 1);
+        let count = AtomicUsize::new(0);
+        super::global().run_indexed(5, &|_| {
+            count.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 5);
+    }
+
+    #[test]
+    fn threads_from_env_parsing() {
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 8 ")), 8);
+        let fallback = threads_from_env(None);
+        assert!(fallback >= 1);
+        // Invalid values fall back to available parallelism.
+        assert_eq!(threads_from_env(Some("0")), fallback);
+        assert_eq!(threads_from_env(Some("")), fallback);
+        assert_eq!(threads_from_env(Some("lots")), fallback);
+        assert_eq!(threads_from_env(Some("-2")), fallback);
     }
 
     #[test]

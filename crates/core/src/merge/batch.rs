@@ -15,6 +15,7 @@
 use core::cmp::Ordering;
 
 use crate::diagonal::co_rank_by;
+use crate::executor::{self, SendPtr};
 use crate::merge::sequential::merge_into_by;
 use crate::partition::segment_boundary;
 
@@ -76,43 +77,36 @@ where
         return;
     }
 
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        for k in 0..p {
-            let g_lo = segment_boundary(total, p, k);
-            let g_hi = segment_boundary(total, p, k + 1);
-            let (chunk, tail) = rest.split_at_mut(g_hi - g_lo);
-            rest = tail;
-            let offsets = &offsets;
-            let mut work = move || {
-                // Pairs overlapping [g_lo, g_hi): binary search the first.
-                let mut pi = offsets.partition_point(|&off| off <= g_lo) - 1;
-                let mut chunk_pos = 0usize;
-                while pi < pairs.len() && offsets[pi] < g_hi {
-                    let (a, b) = pairs[pi];
-                    // This worker's sub-range of pair pi's output.
-                    let lo = g_lo.max(offsets[pi]) - offsets[pi];
-                    let hi = g_hi.min(offsets[pi + 1]) - offsets[pi];
-                    let i_lo = co_rank_by(lo, a, b, cmp);
-                    let i_hi = co_rank_by(hi, a, b, cmp);
-                    let len = hi - lo;
-                    merge_into_by(
-                        &a[i_lo..i_hi],
-                        &b[lo - i_lo..hi - i_hi],
-                        &mut chunk[chunk_pos..chunk_pos + len],
-                        cmp,
-                    );
-                    chunk_pos += len;
-                    pi += 1;
-                }
-                debug_assert_eq!(chunk_pos, chunk.len());
-            };
-            if k + 1 == p {
-                work();
-            } else {
-                scope.spawn(work);
-            }
+    let base = SendPtr::new(out.as_mut_ptr());
+    let offsets = &offsets;
+    executor::global().run_indexed(p, &|k| {
+        let g_lo = segment_boundary(total, p, k);
+        let g_hi = segment_boundary(total, p, k + 1);
+        // SAFETY: `g_lo..g_hi` ranges are disjoint across shares and tile
+        // `out` exactly (`g_hi <= total == out.len()`); the pool's end
+        // barrier orders the writes before this frame resumes.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(g_lo), g_hi - g_lo) };
+        // Pairs overlapping [g_lo, g_hi): binary search the first.
+        let mut pi = offsets.partition_point(|&off| off <= g_lo) - 1;
+        let mut chunk_pos = 0usize;
+        while pi < pairs.len() && offsets[pi] < g_hi {
+            let (a, b) = pairs[pi];
+            // This worker's sub-range of pair pi's output.
+            let lo = g_lo.max(offsets[pi]) - offsets[pi];
+            let hi = g_hi.min(offsets[pi + 1]) - offsets[pi];
+            let i_lo = co_rank_by(lo, a, b, cmp);
+            let i_hi = co_rank_by(hi, a, b, cmp);
+            let len = hi - lo;
+            merge_into_by(
+                &a[i_lo..i_hi],
+                &b[lo - i_lo..hi - i_hi],
+                &mut chunk[chunk_pos..chunk_pos + len],
+                cmp,
+            );
+            chunk_pos += len;
+            pi += 1;
         }
+        debug_assert_eq!(chunk_pos, chunk.len());
     });
 }
 

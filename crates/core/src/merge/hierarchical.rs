@@ -11,7 +11,8 @@
 //!
 //! This module reproduces that structure faithfully on the CPU:
 //!
-//! * level 1 runs the blocks on real scoped threads (independent by
+//! * level 1 runs the blocks as shares of the process-wide worker pool
+//!   ([`crate::executor::global`]; the blocks are independent by
 //!   Theorem 5);
 //! * level 2 stages `tile` elements per input into a block-local buffer
 //!   and partitions the staged merge among the lanes (sequentially — lanes
@@ -27,6 +28,7 @@ use core::cmp::Ordering;
 
 use crate::diagonal::co_rank_by;
 use crate::error::MergeError;
+use crate::executor::{self, SendPtr};
 use crate::merge::sequential::merge_into_by;
 use crate::partition::{partition_points_by, segment_boundary};
 
@@ -122,26 +124,20 @@ pub fn hierarchical_merge_into_by<T, F>(
     }
     let blocks = config.blocks.min(n);
 
-    // Level 1: grid partition on the global arrays.
+    // Level 1: grid partition on the global arrays, one pool share per
+    // block.
     let points = partition_points_by(a, b, blocks, cmp);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        for blk in 0..blocks {
-            let (i_lo, j_lo) = points[blk];
-            let (i_hi, j_hi) = points[blk + 1];
-            let len = (i_hi - i_lo) + (j_hi - j_lo);
-            let (chunk, tail) = rest.split_at_mut(len);
-            rest = tail;
-            let block_a = &a[i_lo..i_hi];
-            let block_b = &b[j_lo..j_hi];
-            let mut work =
-                move || merge_block_tiled(block_a, block_b, chunk, config, cmp);
-            if blk + 1 == blocks {
-                work();
-            } else {
-                scope.spawn(work);
-            }
-        }
+    let base = SendPtr::new(out.as_mut_ptr());
+    executor::global().run_indexed(blocks, &|blk| {
+        let (i_lo, j_lo) = points[blk];
+        let (i_hi, j_hi) = points[blk + 1];
+        // Block blk's output range starts at its path offset i_lo + j_lo.
+        let (d_lo, len) = (i_lo + j_lo, (i_hi - i_lo) + (j_hi - j_lo));
+        // SAFETY: partition points are monotone, so the `d_lo..d_lo+len`
+        // ranges are disjoint across blocks and tile `out` exactly; the
+        // pool's end barrier orders the writes before this frame resumes.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), len) };
+        merge_block_tiled(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, config, cmp);
     });
 }
 

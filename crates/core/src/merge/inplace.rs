@@ -23,6 +23,7 @@
 use core::cmp::Ordering;
 
 use crate::diagonal::co_rank_by;
+use crate::executor::{self, SendPtr};
 
 /// Below this many elements the recursion falls back to a simple in-place
 /// insertion merge; also the parallel variant's sequential cutoff.
@@ -111,6 +112,15 @@ where
     go_parallel(v, mid, threads, cmp);
 }
 
+/// A pending sub-merge: `v[start .. start + len]` holds two sorted runs
+/// split at relative index `mid`.
+#[derive(Clone, Copy)]
+struct Sub {
+    start: usize,
+    len: usize,
+    mid: usize,
+}
+
 fn go_parallel<T, F>(v: &mut [T], mid: usize, threads: usize, cmp: &F)
 where
     T: Send,
@@ -124,15 +134,73 @@ where
         inplace_merge_by(v, mid, cmp);
         return;
     }
-    let (i, j, new_mid) = split_and_rotate(v, mid, cmp);
-    let (left, right) = v.split_at_mut(new_mid);
-    let right_mid = mid - i;
-    let _ = j;
-    std::thread::scope(|scope| {
-        let lt = threads / 2;
-        let rt = threads - lt;
-        scope.spawn(move || go_parallel(left, i, lt.max(1), cmp));
-        go_parallel(right, right_mid, rt, cmp);
+    // Breadth-first splitting, one fork-join round per level: every level
+    // splits each frontier problem at its output midpoint and rotates, so
+    // after ceil(log2(threads)) levels there are >= threads independent
+    // sub-merges, which a final round merges sequentially. All splits of
+    // one level run in parallel on disjoint sub-slices, preserving the
+    // recursive variant's doubling parallelism.
+    let levels = (usize::BITS - (threads - 1).leading_zeros()) as usize;
+    let mut frontier = vec![Sub { start: 0, len: n, mid }];
+    let base = SendPtr::new(v.as_mut_ptr());
+    for _ in 0..levels {
+        let mut children = vec![
+            Sub {
+                start: 0,
+                len: 0,
+                mid: 0,
+            };
+            frontier.len() * 2
+        ];
+        let child_base = SendPtr::new(children.as_mut_ptr());
+        let frontier_ref = &frontier;
+        executor::global().run_indexed(frontier_ref.len(), &|idx| {
+            let sub = frontier_ref[idx];
+            let done = Sub {
+                start: sub.start + sub.len,
+                len: 0,
+                mid: 0,
+            };
+            let (c0, c1) = if sub.mid == 0 || sub.mid == sub.len || sub.len <= INPLACE_CUTOFF {
+                // Nothing left to split; carry the problem to the leaves.
+                (sub, done)
+            } else {
+                // SAFETY: frontier sub-ranges are pairwise disjoint within
+                // `v` (each level partitions its parent's range), so share
+                // `idx` holds the only live reference to this sub-slice.
+                let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(sub.start), sub.len) };
+                let (i, _j, new_mid) = split_and_rotate(s, sub.mid, cmp);
+                (
+                    Sub {
+                        start: sub.start,
+                        len: new_mid,
+                        mid: i,
+                    },
+                    Sub {
+                        start: sub.start + new_mid,
+                        len: sub.len - new_mid,
+                        mid: sub.mid - i,
+                    },
+                )
+            };
+            // SAFETY: child slots 2·idx and 2·idx+1 belong to this share
+            // alone; the pool's end barrier publishes them to this frame.
+            unsafe {
+                *child_base.get().add(2 * idx) = c0;
+                *child_base.get().add(2 * idx + 1) = c1;
+            }
+        });
+        frontier = children;
+    }
+    let frontier_ref = &frontier;
+    executor::global().run_indexed(frontier_ref.len(), &|idx| {
+        let sub = frontier_ref[idx];
+        if sub.len == 0 || sub.mid == 0 || sub.mid == sub.len {
+            return;
+        }
+        // SAFETY: leaf sub-ranges are pairwise disjoint within `v`.
+        let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(sub.start), sub.len) };
+        inplace_merge_by(s, sub.mid, cmp);
     });
 }
 

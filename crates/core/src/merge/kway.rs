@@ -17,6 +17,7 @@
 
 use core::cmp::Ordering;
 
+use crate::executor::{self, SendPtr};
 use crate::partition::segment_boundary;
 
 /// Index of the first element of `v` that is `>= key` (lower bound).
@@ -322,28 +323,23 @@ where
     let splits: Vec<Vec<usize>> = (0..=threads)
         .map(|t| kway_rank_split_by(lists, segment_boundary(total, threads, t), cmp))
         .collect();
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        for t in 0..threads {
-            let len = segment_boundary(total, threads, t + 1) - segment_boundary(total, threads, t);
-            let (chunk, tail) = rest.split_at_mut(len);
-            rest = tail;
-            let lo = &splits[t];
-            let hi = &splits[t + 1];
-            let mut work = move || {
-                let sub: Vec<&[T]> = lists
-                    .iter()
-                    .enumerate()
-                    .map(|(i, l)| &l[lo[i]..hi[i]])
-                    .collect();
-                kway_merge_by(&sub, chunk, cmp);
-            };
-            if t + 1 == threads {
-                work();
-            } else {
-                scope.spawn(work);
-            }
-        }
+    let base = SendPtr::new(out.as_mut_ptr());
+    let splits = &splits;
+    executor::global().run_indexed(threads, &|t| {
+        let d_lo = segment_boundary(total, threads, t);
+        let d_hi = segment_boundary(total, threads, t + 1);
+        let lo = &splits[t];
+        let hi = &splits[t + 1];
+        // SAFETY: `d_lo..d_hi` ranges are disjoint across shares and tile
+        // `out` exactly (`d_hi <= total == out.len()`); the pool's end
+        // barrier orders the writes before this frame resumes.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
+        let sub: Vec<&[T]> = lists
+            .iter()
+            .enumerate()
+            .map(|(i, l)| &l[lo[i]..hi[i]])
+            .collect();
+        kway_merge_by(&sub, chunk, cmp);
     });
 }
 

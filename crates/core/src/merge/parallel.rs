@@ -16,16 +16,19 @@
 //! Time `O(N/p + log N)`; work `O(N + p·log N)` — optimal for
 //! `p ≤ N / log N`.
 //!
-//! Two execution backends are provided: [`parallel_merge_into_by`] forks a
-//! fresh [`std::thread::scope`] per call (the paper's fork-join structure),
-//! while [`pooled_merge_into_by`](crate::executor::Pool::merge_into_by)
-//! reuses a persistent worker pool, mirroring the OpenMP runtime used in
-//! §VI.
+//! Execution happens on the process-wide persistent worker pool
+//! ([`crate::executor::global`]), mirroring the OpenMP runtime used in
+//! §VI: `threads` is the *logical* processor count `p` of the algorithm
+//! (the number of Merge Path segments), scheduled as `p` shares over the
+//! pool. Output is bitwise identical regardless of the pool's physical
+//! size. [`Pool::merge_into_by`](crate::executor::Pool::merge_into_by)
+//! offers the same kernel pinned to an explicitly constructed pool.
 
 use core::cmp::Ordering;
 
 use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::error::MergeError;
+use crate::executor::{self, SendPtr};
 use crate::merge::sequential::merge_into_by;
 use crate::partition::segment_boundary;
 use crate::stats::MergeStats;
@@ -77,30 +80,23 @@ where
         return;
     }
 
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        for k in 0..threads {
-            let d_lo = segment_boundary(n, threads, k);
-            let d_hi = segment_boundary(n, threads, k + 1);
-            let (chunk, tail) = rest.split_at_mut(d_hi - d_lo);
-            rest = tail;
-            let mut work = move || {
-                // Step 2 of Algorithm 1: each worker finds its own
-                // intersections, independently of every other worker.
-                let i_lo = co_rank_by(d_lo, a, b, cmp);
-                let i_hi = co_rank_by(d_hi, a, b, cmp);
-                let (j_lo, j_hi) = (d_lo - i_lo, d_hi - i_hi);
-                // Step 3: a plain sequential merge of the private segment.
-                merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
-            };
-            if k + 1 == threads {
-                // Run the last segment on the calling thread; the implicit
-                // join of the scope is the paper's barrier.
-                work();
-            } else {
-                scope.spawn(work);
-            }
-        }
+    let base = SendPtr::new(out.as_mut_ptr());
+    executor::global().run_indexed(threads, &|k| {
+        let d_lo = segment_boundary(n, threads, k);
+        let d_hi = segment_boundary(n, threads, k + 1);
+        // Step 2 of Algorithm 1: each worker finds its own intersections,
+        // independently of every other worker.
+        let i_lo = co_rank_by(d_lo, a, b, cmp);
+        let i_hi = co_rank_by(d_hi, a, b, cmp);
+        let (j_lo, j_hi) = (d_lo - i_lo, d_hi - i_hi);
+        // SAFETY: segment boundaries are monotone, so `d_lo..d_hi` ranges
+        // are pairwise disjoint across shares and lie within `out`
+        // (`d_hi <= n == out.len()`); the pool's end barrier orders all
+        // writes before `run_indexed` returns to this frame, which still
+        // holds the unique borrow of `out`.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
+        // Step 3: a plain sequential merge of the private segment.
+        merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
     });
 }
 
@@ -164,28 +160,25 @@ where
     let mut partition_comparisons = vec![0u32; threads];
     let mut merged_elements = vec![0usize; threads];
 
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let comp_slots = partition_comparisons.iter_mut();
-        let elem_slots = merged_elements.iter_mut();
-        for ((k, c_slot), e_slot) in (0..threads).zip(comp_slots).zip(elem_slots) {
-            let d_lo = segment_boundary(n, threads, k);
-            let d_hi = segment_boundary(n, threads, k + 1);
-            let (chunk, tail) = rest.split_at_mut(d_hi - d_lo);
-            rest = tail;
-            let mut work = move || {
-                let (i_lo, c1) = co_rank_counted(d_lo, a, b, cmp);
-                let (i_hi, c2) = co_rank_counted(d_hi, a, b, cmp);
-                *c_slot = c1 + c2;
-                *e_slot = d_hi - d_lo;
-                let (j_lo, j_hi) = (d_lo - i_lo, d_hi - i_hi);
-                merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
-            };
-            if k + 1 == threads {
-                work();
-            } else {
-                scope.spawn(work);
-            }
+    let out_base = SendPtr::new(out.as_mut_ptr());
+    let comp_base = SendPtr::new(partition_comparisons.as_mut_ptr());
+    let elem_base = SendPtr::new(merged_elements.as_mut_ptr());
+    executor::global().run_indexed(threads, &|k| {
+        let d_lo = segment_boundary(n, threads, k);
+        let d_hi = segment_boundary(n, threads, k + 1);
+        let (i_lo, c1) = co_rank_counted(d_lo, a, b, cmp);
+        let (i_hi, c2) = co_rank_counted(d_hi, a, b, cmp);
+        let (j_lo, j_hi) = (d_lo - i_lo, d_hi - i_hi);
+        // SAFETY: share `k` exclusively owns output range `d_lo..d_hi`
+        // (boundaries are monotone, `d_hi <= n == out.len()`) and stats
+        // slot `k` (`k < threads`, each share index occurs once); the
+        // pool's end barrier orders all writes before this frame reads
+        // the vectors again.
+        unsafe {
+            *comp_base.get().add(k) = c1 + c2;
+            *elem_base.get().add(k) = d_hi - d_lo;
+            let chunk = std::slice::from_raw_parts_mut(out_base.get().add(d_lo), d_hi - d_lo);
+            merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
         }
     });
 

@@ -37,6 +37,7 @@ use core::cmp::Ordering;
 
 use crate::diagonal::co_rank_by;
 use crate::error::MergeError;
+use crate::executor::{self, SendPtr};
 use crate::merge::sequential::{merge_into_by, merge_views_into_by};
 use crate::partition::{partition_points_by, segment_boundary};
 use crate::view::{RingBuffer, SortedView};
@@ -281,24 +282,17 @@ where
         merge_into_by(sa, sb, out, cmp);
         return;
     }
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        for k in 0..p {
-            let d_lo = segment_boundary(step, p, k);
-            let d_hi = segment_boundary(step, p, k + 1);
-            let (chunk, tail) = rest.split_at_mut(d_hi - d_lo);
-            rest = tail;
-            let mut work = move || {
-                let i_lo = co_rank_by(d_lo, sa, sb, cmp);
-                let i_hi = co_rank_by(d_hi, sa, sb, cmp);
-                merge_into_by(&sa[i_lo..i_hi], &sb[d_lo - i_lo..d_hi - i_hi], chunk, cmp);
-            };
-            if k + 1 == p {
-                work();
-            } else {
-                scope.spawn(work);
-            }
-        }
+    let base = SendPtr::new(out.as_mut_ptr());
+    executor::global().run_indexed(p, &|k| {
+        let d_lo = segment_boundary(step, p, k);
+        let d_hi = segment_boundary(step, p, k + 1);
+        let i_lo = co_rank_by(d_lo, sa, sb, cmp);
+        let i_hi = co_rank_by(d_hi, sa, sb, cmp);
+        // SAFETY: `d_lo..d_hi` ranges are disjoint across shares and lie
+        // within `out` (`d_hi <= step == out.len()`); the pool's end
+        // barrier orders the writes before this frame resumes.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
+        merge_into_by(&sa[i_lo..i_hi], &sb[d_lo - i_lo..d_hi - i_hi], chunk, cmp);
     });
 }
 
@@ -317,28 +311,22 @@ where
         return;
     }
     let points = partition_points_by(&sa, &sb, p, cmp);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        for k in 0..p {
-            let (i_lo, j_lo) = points[k];
-            let (i_hi, j_hi) = points[k + 1];
-            let len = (i_hi - i_lo) + (j_hi - j_lo);
-            let (chunk, tail) = rest.split_at_mut(len);
-            rest = tail;
-            let mut work = move || {
-                merge_views_into_by(
-                    &RingSlice::new(sa, i_lo, i_hi),
-                    &RingSlice::new(sb, j_lo, j_hi),
-                    chunk,
-                    cmp,
-                );
-            };
-            if k + 1 == p {
-                work();
-            } else {
-                scope.spawn(work);
-            }
-        }
+    let base = SendPtr::new(out.as_mut_ptr());
+    executor::global().run_indexed(p, &|k| {
+        let (i_lo, j_lo) = points[k];
+        let (i_hi, j_hi) = points[k + 1];
+        // Worker k's output range starts at its path offset i_lo + j_lo.
+        let (d_lo, len) = (i_lo + j_lo, (i_hi - i_lo) + (j_hi - j_lo));
+        // SAFETY: partition points are monotone, so the `d_lo..d_lo+len`
+        // ranges are disjoint across shares and tile `out` exactly; the
+        // pool's end barrier orders the writes before this frame resumes.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), len) };
+        merge_views_into_by(
+            &RingSlice::new(sa, i_lo, i_hi),
+            &RingSlice::new(sb, j_lo, j_hi),
+            chunk,
+            cmp,
+        );
     });
 }
 

@@ -13,6 +13,7 @@
 
 use core::cmp::Ordering;
 
+use crate::executor::{self, SendPtr};
 use crate::merge::kway::parallel_kway_merge_by;
 use crate::partition::segment_boundary;
 use crate::sort::sequential::merge_sort_with_scratch_by;
@@ -59,23 +60,23 @@ where
     let bounds: Vec<usize> = (0..=threads)
         .map(|k| segment_boundary(n, threads, k))
         .collect();
-    std::thread::scope(|scope| {
-        let mut rest = &mut *v;
-        for k in 0..threads {
-            let len = bounds[k + 1] - bounds[k];
-            let (chunk, tail) = rest.split_at_mut(len);
-            rest = tail;
-            let mut work = move || {
-                let mut scratch = vec![T::default(); chunk.len()];
-                merge_sort_with_scratch_by(chunk, &mut scratch, cmp);
+    {
+        let base = SendPtr::new(v.as_mut_ptr());
+        let bounds = &bounds;
+        executor::global().run_indexed(threads, &|k| {
+            // SAFETY: chunk ranges `bounds[k]..bounds[k+1]` are disjoint
+            // across shares and tile `v` exactly; the pool's end barrier
+            // orders the writes before this frame resumes.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(bounds[k]),
+                    bounds[k + 1] - bounds[k],
+                )
             };
-            if k + 1 == threads {
-                work();
-            } else {
-                scope.spawn(work);
-            }
-        }
-    });
+            let mut scratch = vec![T::default(); chunk.len()];
+            merge_sort_with_scratch_by(chunk, &mut scratch, cmp);
+        });
+    }
 
     // Phase 2: one k-way merge of the p runs, itself parallelized by the
     // multi-way rank split. Stability: runs are indexed in array order, and

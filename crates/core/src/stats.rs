@@ -139,16 +139,13 @@ mod tests {
     #[test]
     fn counting_cmp_is_shareable_across_threads() {
         let counter = CountingCmp::new();
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                let cmp = counter.cmp_fn::<u64>();
-                s.spawn(move || {
-                    for i in 0..1000u64 {
-                        let _ = cmp(&i, &(i + 1));
-                    }
-                });
+        let cmp = counter.cmp_fn::<u64>();
+        crate::executor::global().run_indexed(4, &|_share| {
+            for i in 0..1000u64 {
+                let _ = cmp(&i, &(i + 1));
             }
         });
+        drop(cmp);
         assert_eq!(counter.count(), 4000);
     }
 

@@ -1,0 +1,252 @@
+//! Offline drop-in subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmarking crate.
+//!
+//! The workspace builds with **no registry access**, so the real criterion
+//! cannot be resolved. This shim implements the API surface used by
+//! `crates/bench/benches/*` — enough to compile every bench target and to
+//! produce useful wall-clock numbers: each benchmark is warmed up, then
+//! timed over an adaptively chosen iteration count, and the mean time per
+//! iteration (plus throughput, when declared) is printed in a
+//! criterion-like one-line format.
+//!
+//! It intentionally performs no statistical analysis, keeps no baselines,
+//! and writes no reports — the workspace's figure/table pipeline consumes
+//! the `mergepath-bench` binaries, not criterion's output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (split across samples).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up, pick an iteration count that fills the
+    /// measurement budget, then measure. The routine's output is passed
+    /// through [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: run until ~10ms has elapsed.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_start.elapsed() >= Duration::from_millis(10) {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed() / calib_iters.max(1) as u32;
+        let iters = (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u64::MAX as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(&full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Conversion into [`BenchmarkId`] accepted by the `bench_*` entry points.
+pub trait IntoBenchmarkId {
+    /// Converts `self`.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { measured: None };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((elapsed, iters)) => {
+            let per_iter_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!(" ({:.1} Melem/s)", n as f64 / per_iter_ns * 1e3)
+                }
+                Throughput::Bytes(n) => {
+                    format!(" ({:.1} MiB/s)", n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64)
+                }
+            });
+            println!(
+                "{id:<50} time: {:>12.1} ns/iter{} [{} iters]",
+                per_iter_ns,
+                rate.unwrap_or_default(),
+                iters
+            );
+        }
+        None => println!("{id:<50} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("str-id", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

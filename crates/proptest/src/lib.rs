@@ -1,0 +1,160 @@
+//! Offline drop-in subset of the [`proptest`](https://docs.rs/proptest)
+//! property-testing crate.
+//!
+//! This workspace builds in an environment with **no registry access**, so
+//! the real `proptest` cannot be downloaded — not even as an unused optional
+//! dependency, because dependency resolution itself needs the registry.
+//! This vendored shim implements exactly the API surface the workspace's
+//! tests use, backed by the repo's deterministic PRNG
+//! ([`mergepath_workloads::prng::Prng`]), so the whole property-test suite
+//! builds and runs hermetically.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { fn name(pat in strategy, ...) { body } }` (multiple
+//!   functions per block, outer attributes, `mut` bindings);
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! * integer/float range strategies (`-10i64..10`, `0.0f64..=1.0`),
+//!   tuple strategies, `Just`, `proptest::collection::vec`, and
+//!   `.prop_map(..)`;
+//! * `PROPTEST_CASES` to override the per-property case count (default 64).
+//!
+//! Differences from real proptest: cases are generated from a seed derived
+//! deterministically from the test's module path and name (every run
+//! explores the same inputs — reproducibility is favoured over novelty),
+//! and failing inputs are **not shrunk**; the assertion message reports the
+//! case number instead.
+
+use mergepath_workloads::prng::Prng;
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Prelude mirroring `proptest::prelude::*` for the supported subset.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Number of cases each property runs, from `PROPTEST_CASES` or 64.
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// A deterministic generator for the property named `name` (normally
+/// `concat!(module_path!(), "::", stringify!(test_fn))`): the seed is an
+/// FNV-1a hash of the name, so every test owns a stable, distinct stream.
+pub fn rng_for(name: &str) -> Prng {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    Prng::seed_from_u64(h)
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cases = $crate::cases();
+                let mut __pt_rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __pt_case in 0..__pt_cases {
+                    let _ = __pt_case;
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Expands to a `continue` targeting the case loop, so it must appear at
+/// the top level of the property body (not inside a nested loop) — which
+/// is how the workspace uses it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_for_is_stable_and_distinct() {
+        let mut a = crate::rng_for("x::y");
+        let mut b = crate::rng_for("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::rng_for("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        fn ranges_stay_in_bounds(x in -50i64..50, y in 1usize..16) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..16).contains(&y));
+        }
+
+        fn vec_and_map_compose(
+            mut v in crate::collection::vec(0u32..100, 0..20)
+                .prop_map(|mut v: Vec<u32>| { v.sort_unstable(); v }),
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            v.push(0);
+        }
+
+        fn tuples_and_assume(pair in (0i32..5, 0u32..500)) {
+            prop_assume!(pair.0 != 4);
+            prop_assert!(pair.0 < 4);
+            prop_assert_ne!(pair.0, 4);
+        }
+
+        fn float_unit_range(f in 0.0f64..=1.0) {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        fn just_yields_constant(v in Just(7i32)) {
+            prop_assert_eq!(v, 7);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Value-generation strategies (no shrinking).
+
+use core::ops::{Range, RangeInclusive};
+
+use mergepath_workloads::prng::Prng;
+
+/// A reusable recipe for generating values of one type.
+///
+/// The real proptest `Strategy` produces shrinkable value *trees*; this
+/// shim only generates values, which is all deterministic regression
+/// testing needs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut Prng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors `.prop_map(..)`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut Prng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Prng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Prng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Prng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range must be non-empty");
+                if hi < <$t>::MAX {
+                    rng.gen_range(lo..hi + 1)
+                } else if lo > <$t>::MIN {
+                    // Sample lo-1..hi then shift: keeps the span in range.
+                    rng.gen_range(lo - 1..hi) + 1
+                } else {
+                    // The full domain: 64 raw bits truncated.
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Prng) -> f64 {
+        assert!(self.start < self.end, "strategy range must be non-empty");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Prng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "strategy range must be non-empty");
+        // next_f64 is in [0, 1); the hi endpoint is reachable only up to
+        // rounding, which is indistinguishable for test generation.
+        lo + (hi - lo) * rng.next_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Prng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_integer_endpoints_reachable() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..500 {
+            match (0u8..=3).generate(&mut rng) {
+                0 => saw_lo = true,
+                3 => saw_hi = true,
+                1 | 2 => {}
+                v => panic!("out of range: {v}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+        // Degenerate single-point range.
+        assert_eq!((9i32..=9).generate(&mut rng), 9);
+        // Full-domain range must not overflow.
+        let _ = (u8::MIN..=u8::MAX).generate(&mut rng);
+        let _ = (i64::MIN..=i64::MAX).generate(&mut rng);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let mut rng = Prng::seed_from_u64(2);
+        let doubled = (0i32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((0..20).contains(&v));
+        }
+    }
+}

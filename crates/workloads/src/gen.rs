@@ -1,7 +1,6 @@
 //! Seeded generators for merge and sort inputs.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Prng;
 
 /// Input families for the two-array merge experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,17 +105,17 @@ impl SortWorkload {
 
 /// `n` sorted keys drawn uniformly from the full `u32` range.
 pub fn sorted_keys(n: usize, seed: u64) -> Vec<u32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut v: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
     v.sort_unstable();
     v
 }
 
 /// `n` unsorted keys for the sort experiments, per `workload`.
 pub fn unsorted_keys(workload: SortWorkload, n: usize, seed: u64) -> Vec<u32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     match workload {
-        SortWorkload::Uniform => (0..n).map(|_| rng.gen()).collect(),
+        SortWorkload::Uniform => (0..n).map(|_| rng.next_u32()).collect(),
         SortWorkload::Sorted => (0..n as u32).collect(),
         SortWorkload::Reversed => (0..n as u32).rev().collect(),
         SortWorkload::NearlySorted => {
@@ -168,11 +167,11 @@ pub fn merge_pair_sized(
     nb: usize,
     seed: u64,
 ) -> (Vec<u32>, Vec<u32>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     match workload {
         MergeWorkload::Uniform => {
-            let mut a: Vec<u32> = (0..na).map(|_| rng.gen()).collect();
-            let mut b: Vec<u32> = (0..nb).map(|_| rng.gen()).collect();
+            let mut a: Vec<u32> = (0..na).map(|_| rng.next_u32()).collect();
+            let mut b: Vec<u32> = (0..nb).map(|_| rng.next_u32()).collect();
             a.sort_unstable();
             b.sort_unstable();
             (a, b)
@@ -227,7 +226,7 @@ pub fn merge_pair_sized(
             let mut a: Vec<u32> = (0..na)
                 .map(|_| rng.gen_range(u32::MAX / 3..2 * (u32::MAX / 3)))
                 .collect();
-            let mut b: Vec<u32> = (0..nb).map(|_| rng.gen()).collect();
+            let mut b: Vec<u32> = (0..nb).map(|_| rng.next_u32()).collect();
             a.sort_unstable();
             b.sort_unstable();
             (a, b)
@@ -237,8 +236,8 @@ pub fn merge_pair_sized(
             // distinct keys: key rank r has probability ∝ 1/(r+1).
             let universe = ((na + nb) / 8).max(2) as u32;
             let hn: f64 = (1..=universe).map(|r| 1.0 / r as f64).sum();
-            let draw = |rng: &mut SmallRng| -> u32 {
-                let mut target = rng.gen::<f64>() * hn;
+            let draw = |rng: &mut Prng| -> u32 {
+                let mut target = rng.next_f64() * hn;
                 for r in 1..=universe {
                     target -= 1.0 / r as f64;
                     if target <= 0.0 {

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod prng;
 pub mod validate;
 
 pub use gen::{merge_pair, merge_pair_sized, sorted_keys, unsorted_keys, MergeWorkload, SortWorkload};

@@ -1,0 +1,56 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! The workspace must stay **hermetic**: every dependency is either the
+//! standard library or an in-repo path crate, so a fresh checkout builds
+//! and tests with no network or registry access. `verify-offline` is the
+//! gate for that property — CI (or a release checklist) runs it so a
+//! crates-io dependency can never silently creep back into the graph.
+
+use std::env;
+use std::process::{Command, ExitCode};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask <task>");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  verify-offline   build (release) and test the whole workspace with");
+    eprintln!("                   cargo's --offline flag; fails if anything needs the");
+    eprintln!("                   network or the registry");
+    ExitCode::FAILURE
+}
+
+/// Runs `cargo <args>` against the workspace root, echoing the command.
+fn cargo(args: &[&str]) -> bool {
+    let cargo = env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    println!("$ cargo {}", args.join(" "));
+    match Command::new(cargo).args(args).status() {
+        Ok(status) => status.success(),
+        Err(e) => {
+            eprintln!("failed to spawn cargo: {e}");
+            false
+        }
+    }
+}
+
+fn verify_offline() -> ExitCode {
+    let steps: &[&[&str]] = &[
+        &["build", "--offline", "--release", "--workspace"],
+        &["test", "--offline", "-q", "--workspace"],
+    ];
+    for step in steps {
+        if !cargo(step) {
+            eprintln!("verify-offline: FAILED at `cargo {}`", step.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("verify-offline: OK (workspace builds and tests with no network)");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let task = env::args().nth(1);
+    match task.as_deref() {
+        Some("verify-offline") => verify_offline(),
+        _ => usage(),
+    }
+}

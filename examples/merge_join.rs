@@ -10,6 +10,7 @@
 
 use mergepath_suite::mergepath::partition::partition_segments_by;
 use mergepath_suite::mergepath::sort::parallel::parallel_merge_sort_by;
+use mergepath_suite::workloads::prng::Prng;
 
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Order {
@@ -23,32 +24,23 @@ struct User {
     region: u8,
 }
 
-/// Deterministic pseudo-random stream (no external crates needed here).
-fn lcg(seed: u64) -> impl FnMut() -> u64 {
-    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-    move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        state >> 11
-    }
-}
-
 fn main() {
     let threads = 8;
     let n_orders = 2_000_000usize;
     let n_users = 500_000usize;
 
-    // Unsorted input relations.
-    let mut rnd = lcg(42);
+    // Unsorted input relations (deterministic in-repo PRNG).
+    let mut rnd = Prng::seed_from_u64(42);
     let mut orders: Vec<Order> = (0..n_orders)
         .map(|_| Order {
-            user_id: (rnd() % n_users as u64) as u32,
-            amount_cents: rnd() % 100_000,
+            user_id: rnd.below(n_users as u64) as u32,
+            amount_cents: rnd.below(100_000),
         })
         .collect();
     let mut users: Vec<User> = (0..n_users)
         .map(|i| User {
             user_id: i as u32,
-            region: (rnd() % 12) as u8,
+            region: rnd.below(12) as u8,
         })
         .collect();
     // Shuffle users via the keyless sort below — they start sorted by id;

@@ -1,0 +1,145 @@
+//! Partition invariants from the paper's §II–III, checked end to end:
+//!
+//! * [`segment_boundary`] (the ⌊k·n/p⌋ cut schedule) is monotone, starts
+//!   at 0, ends at `n`, and yields segments whose sizes differ by at most
+//!   one (Corollary 7, perfect balance);
+//! * [`co_rank`] is monotone in the diagonal index and always splits a
+//!   diagonal into a feasible `(i, j)` with `i + j = d` (Theorem 9);
+//! * [`partition_points`] produces monotone per-input cut points that
+//!   cover `|A| + |B|` exactly.
+
+use mergepath_suite::mergepath::diagonal::{co_rank, split_is_valid};
+use mergepath_suite::mergepath::partition::{partition_points, segment_boundary};
+use mergepath_suite::workloads::prng::Prng;
+
+use proptest::prelude::*;
+
+#[test]
+fn segment_boundaries_are_monotone_and_cover_exactly() {
+    for n in [0usize, 1, 2, 7, 100, 101, 4096, 99_991] {
+        for p in [1usize, 2, 3, 7, 16, 61, 128] {
+            assert_eq!(segment_boundary(n, p, 0), 0, "n={n} p={p}");
+            assert_eq!(segment_boundary(n, p, p), n, "n={n} p={p}");
+            let mut sizes = Vec::with_capacity(p);
+            for k in 0..p {
+                let lo = segment_boundary(n, p, k);
+                let hi = segment_boundary(n, p, k + 1);
+                assert!(lo <= hi, "monotone: n={n} p={p} k={k}");
+                sizes.push(hi - lo);
+            }
+            assert_eq!(sizes.iter().sum::<usize>(), n, "coverage: n={n} p={p}");
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            assert!(
+                max - min <= 1,
+                "Corollary 7 balance: n={n} p={p} sizes={sizes:?}"
+            );
+        }
+    }
+}
+
+fn random_sorted(rng: &mut Prng, len: usize, key_space: u64) -> Vec<i64> {
+    let mut v: Vec<i64> = (0..len).map(|_| rng.below(key_space) as i64).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn co_rank_is_monotone_and_splits_every_diagonal() {
+    let mut rng = Prng::seed_from_u64(0x5EED);
+    let shapes: Vec<(Vec<i64>, Vec<i64>)> = vec![
+        (random_sorted(&mut rng, 400, 50), random_sorted(&mut rng, 300, 50)),
+        (vec![3; 250], vec![3; 175]),
+        ((0..500).collect(), vec![]),
+        (vec![], (0..350).collect()),
+        ((0..200).map(|x| x * 2).collect(), (0..200).map(|x| x * 2 + 1).collect()),
+    ];
+    for (a, b) in &shapes {
+        let n = a.len() + b.len();
+        let mut prev_i = 0usize;
+        for d in 0..=n {
+            let i = co_rank(d, a, b);
+            let j = d - i;
+            assert!(i <= a.len() && j <= b.len(), "bounds: d={d}");
+            assert!(i >= prev_i, "co-rank must be monotone in d: d={d}");
+            assert!(i - prev_i <= 1, "consecutive diagonals differ by one step");
+            assert!(
+                split_is_valid(d, a.as_slice(), b.as_slice(), &|x: &i64, y: &i64| x.cmp(y), i),
+                "Theorem 9 split validity: d={d} i={i}"
+            );
+            prev_i = i;
+        }
+    }
+}
+
+#[test]
+fn partition_points_are_monotone_and_cover_both_inputs() {
+    let mut rng = Prng::seed_from_u64(0xBEEF);
+    for (la, lb) in [(0usize, 0usize), (1, 0), (0, 97), (513, 1), (700, 450), (333, 333)] {
+        let a = random_sorted(&mut rng, la, 17);
+        let b = random_sorted(&mut rng, lb, 17);
+        let n = la + lb;
+        for p in [1usize, 2, 5, 9, 32] {
+            let points = partition_points(&a, &b, p);
+            assert_eq!(points.len(), p + 1);
+            assert_eq!(points[0], (0, 0));
+            assert_eq!(points[p], (la, lb), "cover |A| and |B| exactly");
+            for k in 0..p {
+                let (i_lo, j_lo) = points[k];
+                let (i_hi, j_hi) = points[k + 1];
+                assert!(i_lo <= i_hi && j_lo <= j_hi, "monotone per input");
+                // Segment k covers exactly the diagonal range of the
+                // ⌊k·n/p⌋ schedule — sizes differ by at most one.
+                let len = (i_hi - i_lo) + (j_hi - j_lo);
+                let want = segment_boundary(n, p, k + 1) - segment_boundary(n, p, k);
+                assert_eq!(len, want, "p={p} k={k}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn co_rank_monotonicity_holds_on_random_inputs(
+        mut a in proptest::collection::vec(-50i64..50, 0..120),
+        mut b in proptest::collection::vec(-50i64..50, 0..120),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let n = a.len() + b.len();
+        let mut prev = 0usize;
+        for d in 0..=n {
+            let i = co_rank(d, &a, &b);
+            prop_assert!(i >= prev && i - prev <= 1);
+            prop_assert!(i <= a.len() && d - i <= b.len());
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn partition_covers_on_random_inputs(
+        mut a in proptest::collection::vec(-50i64..50, 0..120),
+        mut b in proptest::collection::vec(-50i64..50, 0..120),
+        p in 1usize..20,
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let points = partition_points(&a, &b, p);
+        prop_assert_eq!(points[0], (0, 0));
+        prop_assert_eq!(points[p], (a.len(), b.len()));
+        let n = a.len() + b.len();
+        let mut max_len = 0usize;
+        let mut min_len = usize::MAX;
+        for w in points.windows(2) {
+            let (i_lo, j_lo) = w[0];
+            let (i_hi, j_hi) = w[1];
+            prop_assert!(i_lo <= i_hi && j_lo <= j_hi);
+            let len = (i_hi - i_lo) + (j_hi - j_lo);
+            max_len = max_len.max(len);
+            min_len = min_len.min(len);
+        }
+        if n > 0 {
+            prop_assert!(max_len - min_len <= 1, "Corollary 7 balance");
+        }
+    }
+}
