@@ -33,7 +33,7 @@ fn scoped_merge_into(a: &[u32], b: &[u32], out: &mut [u32], threads: usize) {
             let d_hi = segment_boundary(n, threads, k + 1);
             let (chunk, tail) = rest.split_at_mut(d_hi - d_lo);
             rest = tail;
-            let work = move || {
+            let mut work = move || {
                 let i_lo = co_rank(d_lo, a, b);
                 let i_hi = co_rank(d_hi, a, b);
                 merge_into(&a[i_lo..i_hi], &b[d_lo - i_lo..d_hi - i_hi], chunk);

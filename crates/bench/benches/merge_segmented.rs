@@ -2,8 +2,8 @@
 //! basic Algorithm 1 — the wall-clock side of experiment C2.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mergepath::merge::parallel::parallel_merge_into;
 use mergepath::merge::hierarchical::{hierarchical_merge_into, HierarchicalConfig};
+use mergepath::merge::parallel::parallel_merge_into;
 use mergepath::merge::segmented::{segmented_parallel_merge_into, SpmConfig, Staging};
 use mergepath_workloads::{merge_pair, MergeWorkload};
 
@@ -41,9 +41,13 @@ fn bench(c: &mut Criterion) {
     // The two-level GPU-style decomposition across tile sizes.
     for tile in [64usize, 256, 1024] {
         let cfg = HierarchicalConfig::new(p).with_tile(tile);
-        group.bench_with_input(BenchmarkId::new("hierarchical_tile", tile), &(), |bch, _| {
-            bch.iter(|| hierarchical_merge_into(&a, &b, &mut out, &cfg));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical_tile", tile),
+            &(),
+            |bch, _| {
+                bch.iter(|| hierarchical_merge_into(&a, &b, &mut out, &cfg));
+            },
+        );
     }
     group.finish();
 }

@@ -31,13 +31,11 @@ fn main() {
     let elem = 4u64;
 
     // --- C2a: basic vs segmented across cache sizes --------------------
-    println!("=== C2a: miss rate, Algorithm 1 vs Algorithm 2, p = {p}, |A|=|B|={} ===\n", mega_label(n));
-    let mut t = Table::new(&[
-        "cache",
-        "basic par. merge",
-        "SPM windowed",
-        "SPM cyclic",
-    ]);
+    println!(
+        "=== C2a: miss rate, Algorithm 1 vs Algorithm 2, p = {p}, |A|=|B|={} ===\n",
+        mega_label(n)
+    );
+    let mut t = Table::new(&["cache", "basic par. merge", "SPM windowed", "SPM cyclic"]);
     for cap_kib in [16usize, 64, 256, 1024] {
         let cfg = CacheConfig::new(cap_kib * 1024, 8);
         let cache_elems = cfg.capacity_elems(elem as usize);
@@ -140,7 +138,12 @@ fn main() {
     println!("=== C2d: next-line prefetching on the basic parallel merge ===\n");
     let cfg = CacheConfig::new(64 * 1024, 8);
     let layout = MemoryLayout::natural(elem, n as u64, n as u64, 0);
-    let mut t4 = Table::new(&["prefetch degree", "demand misses", "miss rate", "prefetch fills"]);
+    let mut t4 = Table::new(&[
+        "prefetch degree",
+        "demand misses",
+        "miss rate",
+        "prefetch fills",
+    ]);
     for degree in [0usize, 1, 2, 4, 8] {
         let stats = parallel_merge_shared_prefetch(&a, &b, p, layout, cfg, degree);
         t4.row(&[

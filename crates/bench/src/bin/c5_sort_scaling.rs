@@ -26,7 +26,10 @@ fn main() {
         Scale::Smoke => 1 << 12,
         _ => 1 << 18,
     };
-    println!("=== C5a: §III parallel merge sort, PRAM-model time vs p (N = {}) ===\n", mega_label(n));
+    println!(
+        "=== C5a: §III parallel merge sort, PRAM-model time vs p (N = {}) ===\n",
+        mega_label(n)
+    );
     let data: Vec<u64> = unsorted_keys(SortWorkload::Uniform, n, 0xC5)
         .into_iter()
         .map(|x| x as u64)
@@ -59,7 +62,10 @@ fn main() {
         Scale::Default => 1 << 20,
     };
     let reps = scale.reps();
-    println!("=== C5b: wall-clock sorts on this host (N = {}) ===\n", mega_label(n));
+    println!(
+        "=== C5b: wall-clock sorts on this host (N = {}) ===\n",
+        mega_label(n)
+    );
     let base = unsorted_keys(SortWorkload::Uniform, n, 0xC5B);
     let mut t2 = Table::new(&["algorithm", "seconds", "vs merge_sort"]);
     let mut results: Vec<(&str, f64)> = Vec::new();

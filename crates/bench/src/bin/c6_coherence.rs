@@ -31,7 +31,10 @@ fn main() {
     let layout = MemoryLayout::natural(4, n as u64, n as u64, 0);
     let per_core = CacheConfig::new(32 * 1024, 8); // an L1 per core
 
-    println!("=== C6: MSI coherence traffic of Algorithm 1, |A|=|B|={} ===\n", mega_label(n));
+    println!(
+        "=== C6: MSI coherence traffic of Algorithm 1, |A|=|B|={} ===\n",
+        mega_label(n)
+    );
     let mut t = Table::new(&[
         "p",
         "assignment",

@@ -11,10 +11,10 @@
 //! Run: `cargo run -p mergepath-bench --bin fig1_matrix`
 
 use mergepath::diagonal::diagonal_intersection;
-use mergepath_bench::svg::merge_grid_svg;
 use mergepath::matrix::MergeMatrix;
 use mergepath::partition::segment_boundary;
 use mergepath::path::MergePath;
+use mergepath_bench::svg::merge_grid_svg;
 use mergepath_workloads::{merge_pair_sized, MergeWorkload};
 
 fn show(a: &[u32], b: &[u32], p: usize, title: &str) {

@@ -50,13 +50,13 @@ fn main() {
             .map(|b| (b.a_start, b.b_start))
             .chain(std::iter::once((a.len(), b.len())))
             .collect();
-        println!("grid (rows = A consumed / {step}, cols = B consumed / {step}; 'O' = block corner):");
+        println!(
+            "grid (rows = A consumed / {step}, cols = B consumed / {step}; 'O' = block corner):"
+        );
         for r in 0..=a.len() / step {
             let mut line = String::new();
             for c in 0..=b.len() / step {
-                let hit = corners
-                    .iter()
-                    .any(|&(i, j)| i / step == r && j / step == c);
+                let hit = corners.iter().any(|&(i, j)| i / step == r && j / step == c);
                 line.push(if hit { 'O' } else { '.' });
                 line.push(' ');
             }

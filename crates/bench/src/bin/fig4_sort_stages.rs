@@ -25,7 +25,10 @@ fn main() {
     // Stage 1 (replicated manually so it can be narrated).
     let cfg = CacheAwareConfig::new(cache, threads);
     let block = cfg.block_len();
-    println!("Stage 1: sort ⌈N/B⌉ = {} blocks of B = C/2 = {block} elements,", n.div_ceil(block));
+    println!(
+        "Stage 1: sort ⌈N/B⌉ = {} blocks of B = C/2 = {block} elements,",
+        n.div_ceil(block)
+    );
     println!("         one after the other, each with the full-p parallel sort:\n");
     let mut staged = data.clone();
     let mut t = Table::new(&["block", "range", "sorted after stage 1"]);

@@ -132,7 +132,13 @@ fn main() {
     let wall_sizes: Vec<usize> = sizes
         .iter()
         .copied()
-        .filter(|&n| n <= if matches!(scale, Scale::Full) { 256 << 20 } else { 16 << 20 })
+        .filter(|&n| {
+            n <= if matches!(scale, Scale::Full) {
+                256 << 20
+            } else {
+                16 << 20
+            }
+        })
         .collect();
     let mut wtable = Table::from_headers(
         std::iter::once("threads".to_string())

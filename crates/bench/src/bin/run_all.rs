@@ -39,7 +39,16 @@ fn main() {
         let status = match exe_dir.as_ref().map(|d| d.join(name)) {
             Some(path) if path.exists() => Command::new(path).args(&flags).status(),
             _ => Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "mergepath-bench", "--bin", name, "--"])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "mergepath-bench",
+                    "--bin",
+                    name,
+                    "--",
+                ])
                 .args(&flags)
                 .status(),
         };
@@ -57,7 +66,10 @@ fn main() {
     }
     println!("\n================================================================");
     if failures.is_empty() {
-        println!("all {} experiments completed; outputs in results/", EXPERIMENTS.len());
+        println!(
+            "all {} experiments completed; outputs in results/",
+            EXPERIMENTS.len()
+        );
     } else {
         println!("FAILED: {failures:?}");
         std::process::exit(1);

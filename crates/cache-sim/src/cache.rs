@@ -264,9 +264,7 @@ impl Hierarchy {
         if total == 0.0 {
             return 0.0;
         }
-        (l1.hits as f64 * l1_cycles
-            + l2.hits as f64 * l2_cycles
-            + l2.misses as f64 * mem_cycles)
+        (l1.hits as f64 * l1_cycles + l2.hits as f64 * l2_cycles + l2.misses as f64 * mem_cycles)
             / total
     }
 }

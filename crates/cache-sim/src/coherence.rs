@@ -198,10 +198,7 @@ impl CoherentSystem {
                         continue;
                     }
                     let (si, tag) = self.cores[other].set_and_tag(line);
-                    if let Some(e) = self.cores[other].sets[si]
-                        .iter_mut()
-                        .find(|e| e.tag == tag)
-                    {
+                    if let Some(e) = self.cores[other].sets[si].iter_mut().find(|e| e.tag == tag) {
                         if e.state == State::Modified {
                             e.state = State::Shared;
                             self.stats.downgrades += 1;

@@ -168,10 +168,7 @@ mod tests {
     #[test]
     fn round_robin_interleaves_fairly() {
         let s = vec![vec![1u64, 2, 3], vec![10, 20], vec![100]];
-        assert_eq!(
-            interleave_round_robin(s),
-            vec![1, 10, 100, 2, 20, 3]
-        );
+        assert_eq!(interleave_round_robin(s), vec![1, 10, 100, 2, 20, 3]);
     }
 
     #[test]

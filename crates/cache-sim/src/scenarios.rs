@@ -528,14 +528,8 @@ mod tests {
         let (a, b) = interleaved(4096);
         let layout = MemoryLayout::natural(4, 4096, 4096, 0);
         let cfg = CacheConfig::new(32 * 1024, 8);
-        let cont = parallel_merge_private_caches(
-            &a,
-            &b,
-            4,
-            layout,
-            cfg,
-            OutputAssignment::Contiguous,
-        );
+        let cont =
+            parallel_merge_private_caches(&a, &b, 4, layout, cfg, OutputAssignment::Contiguous);
         // Only segment-boundary lines can be shared between writers: at
         // most p−1 lines ⇒ a handful of invalidations.
         assert!(

@@ -7,7 +7,16 @@
 //! mp sort   FILE       [-o OUT] [--threads N] [--numeric] [--algo ALGO]
 //! mp select A.txt B.txt --rank K [--numeric]       # k-th of the merged view
 //! mp check  FILE [--numeric]                        # is the file sorted?
+//! mp trace  --kernel K [--n N] [--threads P] [--seed S]
+//!           [--trace-out F] [--metrics-out F]       # run + record telemetry
 //! ```
+//!
+//! `mp trace` runs one kernel on a synthetic workload with the
+//! [`TimelineRecorder`](mergepath::telemetry::TimelineRecorder) attached and
+//! writes a Chrome `trace_event` JSON file (loadable in Perfetto /
+//! `chrome://tracing`) plus a flat JSONL metrics stream ending in a
+//! load-balance summary line (Theorem 14's `⌈N/p⌉` prediction against the
+//! observed per-worker element counts).
 //!
 //! Files are line-oriented. By default lines compare lexicographically
 //! (like `sort`); `--numeric` parses each line as an `i64` (like
@@ -25,12 +34,23 @@
 
 use std::fmt::Write as _;
 
-use mergepath::merge::parallel::parallel_merge_into_by;
+use mergepath::merge::batch::batch_merge_into_recorded;
+use mergepath::merge::hierarchical::{hierarchical_merge_into_recorded, HierarchicalConfig};
+use mergepath::merge::inplace::parallel_inplace_merge_recorded;
+use mergepath::merge::kway::parallel_kway_merge_recorded;
+use mergepath::merge::parallel::{parallel_merge_into_by, parallel_merge_into_recorded};
+use mergepath::merge::segmented::{segmented_parallel_merge_into_recorded, SpmConfig};
 use mergepath::select::kth_of_union_by;
-use mergepath::sort::cache_aware::cache_aware_parallel_sort_by;
-use mergepath::sort::kway::kway_merge_sort_by;
+use mergepath::sort::cache_aware::{
+    cache_aware_parallel_sort_by, cache_aware_parallel_sort_recorded, CacheAwareConfig,
+};
+use mergepath::sort::kway::{kway_merge_sort_by, kway_merge_sort_recorded};
 use mergepath::sort::natural::natural_merge_sort_by;
-use mergepath::sort::parallel::parallel_merge_sort_by;
+use mergepath::sort::parallel::{parallel_merge_sort_by, parallel_merge_sort_recorded};
+use mergepath::telemetry::{LoadBalanceReport, TimelineRecorder};
+use mergepath_workloads::{
+    merge_pair_sized, sorted_keys, unsorted_keys, MergeWorkload, SortWorkload,
+};
 
 /// Everything that can go wrong, with user-facing messages.
 #[derive(Debug, PartialEq, Eq)]
@@ -87,7 +107,10 @@ pub const USAGE: &str = "usage:
   mp merge  A B [-o OUT] [--threads N] [--numeric]
   mp sort   FILE [-o OUT] [--threads N] [--numeric] [--algo parallel|kway|natural|cache-aware]
   mp select A B --rank K [--numeric]
-  mp check  FILE [--numeric]";
+  mp check  FILE [--numeric]
+  mp trace  --kernel parallel|segmented|batch|inplace|kway|hierarchical|\
+sort-parallel|sort-kway|sort-cache-aware
+            [--n N] [--threads P] [--seed S] [--trace-out F] [--metrics-out F]";
 
 /// Sorting algorithm selector for `mp sort`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,6 +134,63 @@ impl SortAlgo {
             "natural" => Ok(SortAlgo::Natural),
             "cache-aware" => Ok(SortAlgo::CacheAware),
             other => Err(CliError::Usage(format!("unknown --algo {other:?}"))),
+        }
+    }
+}
+
+/// Kernel selector for `mp trace` — every parallel kernel of the suite plus
+/// the sorts built on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKernel {
+    /// Algorithm 1 parallel merge.
+    Parallel,
+    /// Algorithm 2 segmented (SPM) merge.
+    Segmented,
+    /// Batched pairwise merges under one worker budget.
+    Batch,
+    /// Rotation-based parallel in-place merge.
+    Inplace,
+    /// Rank-partitioned parallel k-way merge.
+    Kway,
+    /// Two-level (GPU-shaped) hierarchical merge.
+    Hierarchical,
+    /// §III parallel merge sort.
+    SortParallel,
+    /// Single-round k-way merge sort.
+    SortKway,
+    /// §IV.C cache-aware sort.
+    SortCacheAware,
+}
+
+impl TraceKernel {
+    /// Parses a `--kernel` name.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "parallel" => Ok(TraceKernel::Parallel),
+            "segmented" => Ok(TraceKernel::Segmented),
+            "batch" => Ok(TraceKernel::Batch),
+            "inplace" => Ok(TraceKernel::Inplace),
+            "kway" => Ok(TraceKernel::Kway),
+            "hierarchical" => Ok(TraceKernel::Hierarchical),
+            "sort-parallel" => Ok(TraceKernel::SortParallel),
+            "sort-kway" => Ok(TraceKernel::SortKway),
+            "sort-cache-aware" => Ok(TraceKernel::SortCacheAware),
+            other => Err(CliError::Usage(format!("unknown --kernel {other:?}"))),
+        }
+    }
+
+    /// The kernel's `--kernel` name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKernel::Parallel => "parallel",
+            TraceKernel::Segmented => "segmented",
+            TraceKernel::Batch => "batch",
+            TraceKernel::Inplace => "inplace",
+            TraceKernel::Kway => "kway",
+            TraceKernel::Hierarchical => "hierarchical",
+            TraceKernel::SortParallel => "sort-parallel",
+            TraceKernel::SortKway => "sort-kway",
+            TraceKernel::SortCacheAware => "sort-cache-aware",
         }
     }
 }
@@ -162,6 +242,21 @@ pub enum Command {
         /// Numeric comparison.
         numeric: bool,
     },
+    /// `mp trace`.
+    Trace {
+        /// Kernel to run under the recorder.
+        kernel: TraceKernel,
+        /// Total output size `N`.
+        n: usize,
+        /// Logical worker count `p`.
+        threads: usize,
+        /// Workload PRNG seed.
+        seed: u64,
+        /// Chrome trace output path (default `mp-trace.json`).
+        trace_out: String,
+        /// JSONL metrics output path (default `mp-metrics.jsonl`).
+        metrics_out: String,
+    },
 }
 
 /// Parses an argument vector (without the program name).
@@ -174,6 +269,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut numeric = false;
     let mut algo = SortAlgo::default();
     let mut rank: Option<usize> = None;
+    let mut kernel: Option<TraceKernel> = None;
+    let mut n = 1_000_000usize;
+    let mut seed = 42u64;
+    let mut trace_out = String::from("mp-trace.json");
+    let mut metrics_out = String::from("mp-metrics.jsonl");
     let mut it = args.iter();
     let sub = it
         .next()
@@ -213,6 +313,42 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError::Usage(format!("bad rank {r:?}")))?,
                 );
             }
+            "--kernel" => {
+                let k = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--kernel needs a name".into()))?;
+                kernel = Some(TraceKernel::parse(k)?);
+            }
+            "--n" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--n needs a count".into()))?;
+                n = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad element count {v:?}")))?;
+            }
+            "--seed" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
+                seed = s
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("bad seed {s:?}")))?;
+            }
+            "--trace-out" => {
+                trace_out = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--trace-out needs a path".into()))?
+                    .clone();
+            }
+            "--metrics-out" => {
+                metrics_out = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--metrics-out needs a path".into()))?
+                    .clone();
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {other:?}")));
             }
@@ -243,6 +379,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         ("check", [file]) => Ok(Command::Check {
             file: file.to_string(),
             numeric,
+        }),
+        ("trace", []) => Ok(Command::Trace {
+            kernel: kernel.ok_or_else(|| CliError::Usage("trace needs --kernel".into()))?,
+            n,
+            threads,
+            seed,
+            trace_out,
+            metrics_out,
         }),
         (sub, pos) => Err(CliError::Usage(format!(
             "bad arguments for {sub:?} (got {} positional argument(s))",
@@ -353,10 +497,8 @@ where
                 SortAlgo::Kway => kway_merge_sort_by(&mut records, *threads, &cmp),
                 SortAlgo::Natural => natural_merge_sort_by(&mut records, *threads, &cmp),
                 SortAlgo::CacheAware => {
-                    let cfg = mergepath::sort::cache_aware::CacheAwareConfig::new(
-                        64 * 1024,
-                        *threads,
-                    );
+                    let cfg =
+                        mergepath::sort::cache_aware::CacheAwareConfig::new(64 * 1024, *threads);
                     cache_aware_parallel_sort_by(&mut records, &cfg, &cmp);
                 }
             }
@@ -374,10 +516,7 @@ where
             ensure_sorted(b, &rb, *numeric)?;
             let total = ra.len() + rb.len();
             if *rank >= total {
-                return Err(CliError::RankOutOfRange {
-                    rank: *rank,
-                    total,
-                });
+                return Err(CliError::RankOutOfRange { rank: *rank, total });
             }
             let rec = kth_of_union_by(&ra, &rb, *rank, &compare(*numeric));
             Ok(format!("{}\n", rec.text))
@@ -389,6 +528,174 @@ where
                 Err(e) => Err(e),
             }
         }
+        Command::Trace {
+            kernel,
+            n,
+            threads,
+            seed,
+            ..
+        } => Ok(run_trace(*kernel, *n, *threads, *seed).summary),
+    }
+}
+
+/// The rendered artifacts of one traced kernel run.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// Human-readable summary for stdout.
+    pub summary: String,
+    /// Chrome `trace_event` JSON (Perfetto / `chrome://tracing`).
+    pub chrome_json: String,
+    /// Flat JSONL metrics: a run header, every event, then a
+    /// `load_balance` summary line.
+    pub metrics_jsonl: String,
+    /// The derived load-balance report.
+    pub report: LoadBalanceReport,
+}
+
+/// Runs `kernel` on a deterministic synthetic workload of `n` total output
+/// elements with the [`TimelineRecorder`] attached, and renders both
+/// exporters plus the load-balance report.
+pub fn run_trace(kernel: TraceKernel, n: usize, threads: usize, seed: u64) -> TraceRun {
+    let rec = TimelineRecorder::new();
+    let cmp = |x: &u32, y: &u32| x.cmp(y);
+    match kernel {
+        TraceKernel::Parallel => {
+            let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
+            let mut out = vec![0u32; n];
+            parallel_merge_into_recorded(&a, &b, &mut out, threads, &cmp, &rec);
+        }
+        TraceKernel::Segmented => {
+            let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
+            let mut out = vec![0u32; n];
+            let spm = SpmConfig::new(64 * 1024, threads);
+            segmented_parallel_merge_into_recorded(&a, &b, &mut out, &spm, &cmp, &rec);
+        }
+        TraceKernel::Batch => {
+            // A ragged batch: one pair per worker, sizes differing by design.
+            let pair_count = threads.max(2);
+            let data: Vec<(Vec<u32>, Vec<u32>)> = (0..pair_count)
+                .map(|i| {
+                    let lo = i * n / pair_count;
+                    let hi = (i + 1) * n / pair_count;
+                    let total = hi - lo;
+                    merge_pair_sized(
+                        MergeWorkload::Uniform,
+                        total / 2,
+                        total - total / 2,
+                        seed.wrapping_add(i as u64),
+                    )
+                })
+                .collect();
+            let pairs: Vec<(&[u32], &[u32])> = data
+                .iter()
+                .map(|(a, b)| (a.as_slice(), b.as_slice()))
+                .collect();
+            let mut out = vec![0u32; n];
+            batch_merge_into_recorded(&pairs, &mut out, threads, &cmp, &rec);
+        }
+        TraceKernel::Inplace => {
+            let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
+            let mid = a.len();
+            let mut v = a;
+            v.extend(b);
+            parallel_inplace_merge_recorded(&mut v, mid, threads, &cmp, &rec);
+        }
+        TraceKernel::Kway => {
+            let k = 8usize.min(n.max(1));
+            let lists: Vec<Vec<u32>> = (0..k)
+                .map(|i| {
+                    let lo = i * n / k;
+                    let hi = (i + 1) * n / k;
+                    sorted_keys(hi - lo, seed.wrapping_add(i as u64))
+                })
+                .collect();
+            let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+            let mut out = vec![0u32; n];
+            parallel_kway_merge_recorded(&refs, &mut out, threads, &cmp, &rec);
+        }
+        TraceKernel::Hierarchical => {
+            let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
+            let mut out = vec![0u32; n];
+            let cfg = HierarchicalConfig::new(threads);
+            hierarchical_merge_into_recorded(&a, &b, &mut out, &cfg, &cmp, &rec);
+        }
+        TraceKernel::SortParallel => {
+            let mut v = unsorted_keys(SortWorkload::Uniform, n, seed);
+            parallel_merge_sort_recorded(&mut v, threads, &cmp, &rec);
+        }
+        TraceKernel::SortKway => {
+            let mut v = unsorted_keys(SortWorkload::Uniform, n, seed);
+            kway_merge_sort_recorded(&mut v, threads, &cmp, &rec);
+        }
+        TraceKernel::SortCacheAware => {
+            let mut v = unsorted_keys(SortWorkload::Uniform, n, seed);
+            let cfg = CacheAwareConfig::new(64 * 1024, threads);
+            cache_aware_parallel_sort_recorded(&mut v, &cfg, &cmp, &rec);
+        }
+    }
+    let telemetry = rec.finish();
+    let report = telemetry.load_balance(n as u64, threads);
+    let chrome_json = telemetry.to_chrome_trace();
+
+    let mut metrics_jsonl = format!(
+        "{{\"type\":\"run\",\"kernel\":\"{}\",\"n\":{},\"threads\":{},\"seed\":{}}}\n",
+        kernel.name(),
+        n,
+        threads,
+        seed
+    );
+    metrics_jsonl.push_str(&telemetry.to_jsonl());
+    metrics_jsonl.push_str(&report.to_json());
+    metrics_jsonl.push('\n');
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "traced {}: n={} threads={} seed={}",
+        kernel.name(),
+        n,
+        threads,
+        seed
+    );
+    let _ = writeln!(
+        summary,
+        "  items/worker: max={} min={} predicted ceil(N/p)={} thm14_exact={}",
+        report.max_items, report.min_items, report.predicted_max, report.thm14_exact
+    );
+    let _ = writeln!(
+        summary,
+        "  busy/worker:  max={:.3}ms min={:.3}ms mean={:.3}ms imbalance={:.3}",
+        report.busy.max_ns as f64 / 1e6,
+        report.busy.min_ns as f64 / 1e6,
+        report.busy.mean_ns / 1e6,
+        report.busy.imbalance
+    );
+    let comparisons: u64 = telemetry
+        .counters
+        .iter()
+        .filter(|c| c.kind.name() == "comparisons")
+        .map(|c| c.total)
+        .sum();
+    let probes: u64 = telemetry
+        .counters
+        .iter()
+        .filter(|c| c.kind.name() == "diagonal_probe_steps")
+        .map(|c| c.total)
+        .sum();
+    let _ = writeln!(
+        summary,
+        "  spans={} comparisons={} diagonal_probe_steps={} rounds={} round_wait={}ns",
+        telemetry.spans.len(),
+        comparisons,
+        probes,
+        telemetry.rounds.len(),
+        report.total_wait_ns
+    );
+    TraceRun {
+        summary,
+        chrome_json,
+        metrics_jsonl,
+        report,
     }
 }
 
@@ -434,12 +741,30 @@ mod tests {
 
     #[test]
     fn parse_errors_are_usage() {
-        assert!(matches!(parse_args(&argv("merge only-one")), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&argv("frobnicate x")), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&argv("sort f --threads 0")), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&argv("sort f --algo bogus")), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&argv("select a b")), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&argv("sort f --bad-flag")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&argv("merge only-one")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("frobnicate x")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("sort f --threads 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("sort f --algo bogus")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("select a b")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("sort f --bad-flag")),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(parse_args(&[]), Err(CliError::Usage(_))));
     }
 
@@ -575,5 +900,119 @@ mod tests {
         let nums: Vec<i64> = out.lines().map(|l| l.parse().unwrap()).collect();
         assert_eq!(nums.len(), 10_000);
         assert!(nums.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parse_trace_command() {
+        let cmd = parse_args(&argv(
+            "trace --kernel hierarchical --n 5000 --threads 3 --seed 9 \
+             --trace-out t.json --metrics-out m.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                kernel: TraceKernel::Hierarchical,
+                n: 5000,
+                threads: 3,
+                seed: 9,
+                trace_out: "t.json".into(),
+                metrics_out: "m.jsonl".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn trace_defaults_and_errors() {
+        let cmd = parse_args(&argv("trace --kernel parallel")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                kernel: TraceKernel::Parallel,
+                n: 1_000_000,
+                threads: mergepath::executor::default_threads(),
+                seed: 42,
+                trace_out: "mp-trace.json".into(),
+                metrics_out: "mp-metrics.jsonl".into(),
+            }
+        );
+        assert!(matches!(
+            parse_args(&argv("trace")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("trace --kernel bogus")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("trace --kernel parallel --n 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_kernel_names_round_trip() {
+        for name in [
+            "parallel",
+            "segmented",
+            "batch",
+            "inplace",
+            "kway",
+            "hierarchical",
+            "sort-parallel",
+            "sort-kway",
+            "sort-cache-aware",
+        ] {
+            assert_eq!(TraceKernel::parse(name).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn run_trace_parallel_satisfies_thm14_and_exports_parse() {
+        let run = run_trace(TraceKernel::Parallel, 10_000, 4, 7);
+        assert!(run.report.thm14_exact);
+        assert_eq!(run.report.predicted_max, 2500);
+        assert_eq!(run.report.max_items, 2500);
+        // Both artifacts must be valid JSON (the trace as one document, the
+        // metrics line by line).
+        mergepath::telemetry::json::parse(&run.chrome_json).unwrap();
+        let mut saw_load_balance = false;
+        for line in run.metrics_jsonl.lines() {
+            let v = mergepath::telemetry::json::parse(line).unwrap();
+            if v.get("type").and_then(|t| t.as_str()) == Some("load_balance") {
+                saw_load_balance = true;
+            }
+        }
+        assert!(saw_load_balance);
+        assert!(run.summary.contains("thm14_exact=true"));
+    }
+
+    #[test]
+    fn run_trace_covers_every_kernel() {
+        for kernel in [
+            TraceKernel::Segmented,
+            TraceKernel::Batch,
+            TraceKernel::Inplace,
+            TraceKernel::Kway,
+            TraceKernel::Hierarchical,
+            TraceKernel::SortParallel,
+            TraceKernel::SortKway,
+            TraceKernel::SortCacheAware,
+        ] {
+            let run = run_trace(kernel, 3000, 3, 11);
+            assert!(
+                !run.report.per_worker_items.is_empty(),
+                "{}: no per-worker items",
+                kernel.name()
+            );
+            mergepath::telemetry::json::parse(&run.chrome_json).unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_through_execute_returns_summary() {
+        let cmd = parse_args(&argv("trace --kernel kway --n 2000 --threads 2")).unwrap();
+        let out = execute(&cmd, memfs(&[])).unwrap();
+        assert!(out.contains("traced kway"));
     }
 }

@@ -1,6 +1,6 @@
 //! Thin I/O shim over [`mergepath_cli`]: parse, execute, print.
 
-use mergepath_cli::{execute, fs_loader, parse_args, Command};
+use mergepath_cli::{execute, fs_loader, parse_args, run_trace, Command};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,6 +11,29 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Command::Trace {
+        kernel,
+        n,
+        threads,
+        seed,
+        trace_out,
+        metrics_out,
+    } = &cmd
+    {
+        let run = run_trace(*kernel, *n, *threads, *seed);
+        for (path, body) in [
+            (trace_out, &run.chrome_json),
+            (metrics_out, &run.metrics_jsonl),
+        ] {
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("mp: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        print!("{}", run.summary);
+        println!("  trace: {trace_out}\n  metrics: {metrics_out}");
+        return;
+    }
     match execute(&cmd, fs_loader) {
         Ok(output) => {
             let out_path = match &cmd {

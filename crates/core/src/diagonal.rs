@@ -387,7 +387,13 @@ mod tests {
         let a: Vec<i64> = (0..128).collect();
         let b: Vec<i64> = (0..128).map(|x| x + 50).collect();
         let mut probe = TraceProbe::default();
-        let i = co_rank_probed(128, a.as_slice(), b.as_slice(), &|x, y| x.cmp(y), &mut probe);
+        let i = co_rank_probed(
+            128,
+            a.as_slice(),
+            b.as_slice(),
+            &|x, y| x.cmp(y),
+            &mut probe,
+        );
         assert_eq!(i, co_rank(128, &a, &b));
         assert!(!probe.events.is_empty());
         // Binary search: trace length is 2 accesses per comparison, ≤ 2·(log2(128)+1).

@@ -33,6 +33,26 @@
 //! while a round is executing on this thread) is supported and executes
 //! all of its shares inline, sequentially, on the calling thread — the
 //! same behaviour as OpenMP with nested parallelism disabled.
+//!
+//! # Thread-count freeze
+//!
+//! [`default_threads`] reads `MERGEPATH_THREADS` **once per process** (the
+//! result is cached behind a `OnceLock`); changing the variable after the
+//! first call has no effect. This matches the lifetime of the global pool
+//! itself, whose participant count is fixed at first use — kernels that
+//! need a different share count pass it explicitly to
+//! [`Pool::run_indexed`], which never consults the environment.
+//!
+//! # Telemetry
+//!
+//! [`Pool::run_recorded`] and [`Pool::run_indexed_recorded`] are the
+//! instrumented twins of [`Pool::run`] / [`Pool::run_indexed`]: they report
+//! round start/stop, the caller's wait on the round mutex, and one busy
+//! window per executed share into a `mergepath_telemetry::Recorder`. The
+//! recorder type is a compile-time parameter; with the zero-sized
+//! `NoRecorder` (`ACTIVE == false`) the instrumented twins delegate
+//! directly to the untraced entry points, so the hot path is unchanged
+//! unless a real recorder is supplied.
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -41,6 +61,8 @@ use std::sync::{Arc, Barrier, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 use core::cmp::Ordering;
+
+use mergepath_telemetry::{now_ns, Recorder};
 
 use crate::diagonal::co_rank_by;
 use crate::merge::sequential::merge_into_by;
@@ -137,8 +159,15 @@ pub fn global() -> &'static Pool {
 /// The participant count used for the global pool: `MERGEPATH_THREADS`
 /// when set to a positive integer, otherwise
 /// `std::thread::available_parallelism()` (or 1 if that is unavailable).
+///
+/// The environment is consulted **once**; the result is cached for the
+/// rest of the process (see the module-level *Thread-count freeze* note).
+/// Mutating `MERGEPATH_THREADS` after the first call is therefore
+/// ineffective — by design, since the global pool's team size is frozen at
+/// first use anyway.
 pub fn default_threads() -> usize {
-    threads_from_env(std::env::var("MERGEPATH_THREADS").ok().as_deref())
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| threads_from_env(std::env::var("MERGEPATH_THREADS").ok().as_deref()))
 }
 
 /// Parses a `MERGEPATH_THREADS`-style override. `None`, empty, zero, or
@@ -226,18 +255,24 @@ impl Pool {
         // panicking round poisons the mutex on unwind; the poison carries
         // no meaning here (the pool is left in a clean state), so it is
         // ignored.
-        let _round = self
-            .round
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let _round = self.round.lock().unwrap_or_else(PoisonError::into_inner);
+        self.run_round(job);
+    }
+
+    /// The barrier round itself: publishes `job`, releases the team,
+    /// executes share 0 on the calling thread and propagates panics.
+    /// Caller must hold the round lock and have ruled out nested and
+    /// single-thread execution.
+    fn run_round(&self, job: &(dyn Fn(usize) + Sync)) {
         // SAFETY: we erase the lifetime of `job`. The pointer is consumed
         // only by workers between the start and end barriers below, and
         // this function does not return until `end.wait()` has been passed
         // by every worker, so the reference outlives every dereference.
         let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
-                job as *const _,
-            )
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job as *const _)
         };
         *self.shared.job.lock().expect("pool mutex poisoned") = Some(JobPtr(erased));
         self.shared.start.wait();
@@ -290,6 +325,98 @@ impl Pool {
         }
     }
 
+    /// [`Pool::run`] with telemetry: reports the round (begin/end, round
+    /// mutex wait) and one busy window per share into `rec`.
+    ///
+    /// With an inactive recorder (`R::ACTIVE == false`, i.e.
+    /// `NoRecorder`) this delegates to [`Pool::run`] unchanged.
+    pub fn run_recorded<R: Recorder>(&self, rec: &R, job: &(dyn Fn(usize) + Sync)) {
+        if !R::ACTIVE {
+            self.run(job);
+            return;
+        }
+        let wrapped = |tid: usize| {
+            let start = now_ns();
+            job(tid);
+            rec.share_window(tid, tid, start, now_ns());
+        };
+        self.run_observed(rec, self.threads, &wrapped);
+    }
+
+    /// [`Pool::run_indexed`] with telemetry: reports the round and one
+    /// busy window per *logical share* (tagged with the physical thread
+    /// that claimed it) into `rec`.
+    ///
+    /// With an inactive recorder this delegates to [`Pool::run_indexed`]
+    /// unchanged — the untraced hot path is byte-for-byte the same code.
+    pub fn run_indexed_recorded<R: Recorder>(
+        &self,
+        shares: usize,
+        rec: &R,
+        job: &(dyn Fn(usize) + Sync),
+    ) {
+        if !R::ACTIVE {
+            self.run_indexed(shares, job);
+            return;
+        }
+        match shares {
+            0 => {}
+            1 => {
+                rec.round_begin(1);
+                let start = now_ns();
+                {
+                    let _mark = RoundMark::enter();
+                    job(0);
+                }
+                rec.share_window(0, 0, start, now_ns());
+                rec.round_end();
+            }
+            _ => {
+                let next = AtomicUsize::new(0);
+                let claim = |tid: usize| loop {
+                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                    if i >= shares {
+                        break;
+                    }
+                    let start = now_ns();
+                    job(i);
+                    rec.share_window(tid, i, start, now_ns());
+                };
+                self.run_observed(rec, shares, &claim);
+            }
+        }
+    }
+
+    /// Shared telemetry wrapper around a fork-join round: replicates
+    /// [`Pool::run`]'s nested / single-thread / locked-round dispatch while
+    /// reporting round begin/end and the round-mutex wait. `job` is
+    /// expected to report its own share windows.
+    fn run_observed<R: Recorder>(&self, rec: &R, shares: usize, job: &(dyn Fn(usize) + Sync)) {
+        if IN_POOL_ROUND.with(|f| f.get()) {
+            rec.round_begin(shares);
+            for tid in 0..self.threads {
+                job(tid);
+            }
+            rec.round_end();
+            return;
+        }
+        if self.threads == 1 {
+            rec.round_begin(shares);
+            {
+                let _mark = RoundMark::enter();
+                job(0);
+            }
+            rec.round_end();
+            return;
+        }
+        let wait_from = now_ns();
+        let _round = self.round.lock().unwrap_or_else(PoisonError::into_inner);
+        rec.round_wait_ns(now_ns().saturating_sub(wait_from));
+        rec.round_begin(shares);
+        self.run_round(job);
+        rec.round_end();
+    }
+
     /// Stable parallel merge executed on this pool (Algorithm 1 with the
     /// OpenMP-style backend). Semantics are identical to
     /// [`parallel_merge_into_by`](crate::merge::parallel::parallel_merge_into_by).
@@ -322,9 +449,8 @@ impl Pool {
             // within `out` (d_hi <= n == out.len()); the pool's end barrier
             // orders all writes before `merge_into_by` returns to the
             // caller, which still holds the unique borrow of `out`.
-            let chunk = unsafe {
-                std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo)
-            };
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
             merge_into_by(&a[i_lo..i_hi], &b[d_lo - i_lo..d_hi - i_hi], chunk, cmp);
         });
     }
@@ -452,7 +578,10 @@ mod tests {
             let s: u64 = chunk.iter().sum();
             partial[tid].store(s as usize, AtomicOrdering::Relaxed);
         });
-        let total: usize = partial.iter().map(|p| p.load(AtomicOrdering::Relaxed)).sum();
+        let total: usize = partial
+            .iter()
+            .map(|p| p.load(AtomicOrdering::Relaxed))
+            .sum();
         assert_eq!(total, (0..1000u64).sum::<u64>() as usize);
     }
 
@@ -606,8 +735,7 @@ mod tests {
         let b: Vec<i64> = (0..500).map(|x| x * 2 + 1).collect();
         let mut expect = vec![0i64; 1000];
         merge_into_by(&a, &b, &mut expect, &|x, y| x.cmp(y));
-        let outputs: Vec<Mutex<Vec<i64>>> =
-            (0..3).map(|_| Mutex::new(vec![0i64; 1000])).collect();
+        let outputs: Vec<Mutex<Vec<i64>>> = (0..3).map(|_| Mutex::new(vec![0i64; 1000])).collect();
         pool.run(&|tid| {
             let mut out = outputs[tid].lock().expect("test mutex");
             super::global().merge_into_by(&a, &b, &mut out, &|x, y| x.cmp(y));

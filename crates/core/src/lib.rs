@@ -33,6 +33,7 @@
 //! | [`executor`] | a persistent fork-join worker pool (the OpenMP-style backend) |
 //! | [`probe`] | zero-cost memory-access probes used by the cache simulator |
 //! | [`stats`] | comparison/search counters used by the complexity experiments |
+//! | [`telemetry`] | re-export of `mergepath-telemetry`: recorder trait, per-worker timelines, trace exporters |
 //!
 //! ## Quickstart
 //!
@@ -76,16 +77,18 @@ pub mod sort;
 pub mod stats;
 pub mod view;
 
+pub use mergepath_telemetry as telemetry;
+
 /// Convenience re-exports of the most common entry points.
 pub mod prelude {
     pub use crate::diagonal::{co_rank, co_rank_by};
     pub use crate::iter::{merge_iter, merged_range};
+    pub use crate::merge::inplace::{inplace_merge, parallel_inplace_merge};
     pub use crate::merge::kway::{kway_merge, parallel_kway_merge};
     pub use crate::merge::parallel::{parallel_merge, parallel_merge_into};
     pub use crate::merge::segmented::{segmented_parallel_merge_into, SpmConfig};
     pub use crate::merge::sequential::{merge_into, merge_into_by};
     pub use crate::partition::{partition_segments, Segment};
-    pub use crate::merge::inplace::{inplace_merge, parallel_inplace_merge};
     pub use crate::select::{kth_of_union, median_of_union};
     pub use crate::sort::cache_aware::cache_aware_parallel_sort;
     pub use crate::sort::kway::kway_merge_sort;

@@ -112,7 +112,11 @@ where
             // Path-corner line.
             out.push_str("      ");
             for c in 0..=self.b.len() {
-                out.push_str(if on_path.contains(&(r, c)) { "  o " } else { "  . " });
+                out.push_str(if on_path.contains(&(r, c)) {
+                    "  o "
+                } else {
+                    "  . "
+                });
             }
             out.push('\n');
             if r < self.a.len() {

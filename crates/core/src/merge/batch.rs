@@ -12,9 +12,12 @@
 //!
 //! [`crate::sort::parallel`] uses this as its round primitive.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
 
-use crate::diagonal::co_rank_by;
+use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
+
+use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::executor::{self, SendPtr};
 use crate::merge::sequential::merge_into_by;
 use crate::partition::segment_boundary;
@@ -52,6 +55,22 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    batch_merge_into_recorded(pairs, out, threads, cmp, &NoRecorder);
+}
+
+/// [`batch_merge_into_by`] reporting spans, counters and per-worker element
+/// counts into `rec`. With `NoRecorder` this is the untraced kernel.
+pub fn batch_merge_into_recorded<T, F, R>(
+    pairs: &[(&[T], &[T])],
+    out: &mut [T],
+    threads: usize,
+    cmp: &F,
+    rec: &R,
+) where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     assert!(threads > 0, "thread count must be at least 1");
     // Global offsets of each pair's output.
     let mut offsets = Vec::with_capacity(pairs.len() + 1);
@@ -71,15 +90,28 @@ where
     }
     let p = threads.min(total);
     if p == 1 {
-        for ((a, b), w) in pairs.iter().zip(offsets.windows(2)) {
-            merge_into_by(a, b, &mut out[w[0]..w[1]], cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, 0, SpanKind::SegmentMerge);
+                let counting = counted_cmp(cmp, &hits);
+                for ((a, b), w) in pairs.iter().zip(offsets.windows(2)) {
+                    merge_into_by(a, b, &mut out[w[0]..w[1]], &counting);
+                }
+            }
+            rec.counter_add(0, CounterKind::Comparisons, hits.get());
+            rec.worker_items(0, total as u64);
+        } else {
+            for ((a, b), w) in pairs.iter().zip(offsets.windows(2)) {
+                merge_into_by(a, b, &mut out[w[0]..w[1]], cmp);
+            }
         }
         return;
     }
 
     let base = SendPtr::new(out.as_mut_ptr());
     let offsets = &offsets;
-    executor::global().run_indexed(p, &|k| {
+    executor::global().run_indexed_recorded(p, rec, &|k| {
         let g_lo = segment_boundary(total, p, k);
         let g_hi = segment_boundary(total, p, k + 1);
         // SAFETY: `g_lo..g_hi` ranges are disjoint across shares and tile
@@ -94,17 +126,49 @@ where
             // This worker's sub-range of pair pi's output.
             let lo = g_lo.max(offsets[pi]) - offsets[pi];
             let hi = g_hi.min(offsets[pi + 1]) - offsets[pi];
-            let i_lo = co_rank_by(lo, a, b, cmp);
-            let i_hi = co_rank_by(hi, a, b, cmp);
+            let (i_lo, i_hi) = if R::ACTIVE {
+                let _partition = span(rec, k, SpanKind::Partition);
+                let (i_lo, c_lo) = {
+                    let _search = span(rec, k, SpanKind::DiagonalSearch);
+                    co_rank_counted(lo, a, b, cmp)
+                };
+                let (i_hi, c_hi) = {
+                    let _search = span(rec, k, SpanKind::DiagonalSearch);
+                    co_rank_counted(hi, a, b, cmp)
+                };
+                let probes = (c_lo + c_hi) as u64;
+                rec.counter_add(k, CounterKind::DiagonalProbeSteps, probes);
+                rec.counter_add(k, CounterKind::Comparisons, probes);
+                (i_lo, i_hi)
+            } else {
+                (co_rank_by(lo, a, b, cmp), co_rank_by(hi, a, b, cmp))
+            };
             let len = hi - lo;
-            merge_into_by(
-                &a[i_lo..i_hi],
-                &b[lo - i_lo..hi - i_hi],
-                &mut chunk[chunk_pos..chunk_pos + len],
-                cmp,
-            );
+            if R::ACTIVE {
+                let hits = Cell::new(0u64);
+                {
+                    let _merge = span(rec, k, SpanKind::SegmentMerge);
+                    merge_into_by(
+                        &a[i_lo..i_hi],
+                        &b[lo - i_lo..hi - i_hi],
+                        &mut chunk[chunk_pos..chunk_pos + len],
+                        &counted_cmp(cmp, &hits),
+                    );
+                }
+                rec.counter_add(k, CounterKind::Comparisons, hits.get());
+            } else {
+                merge_into_by(
+                    &a[i_lo..i_hi],
+                    &b[lo - i_lo..hi - i_hi],
+                    &mut chunk[chunk_pos..chunk_pos + len],
+                    cmp,
+                );
+            }
             chunk_pos += len;
             pi += 1;
+        }
+        if R::ACTIVE {
+            rec.worker_items(k, (g_hi - g_lo) as u64);
         }
         debug_assert_eq!(chunk_pos, chunk.len());
     });
@@ -170,8 +234,7 @@ mod tests {
         let giant_a: Vec<i64> = (0..100_000).map(|x| x * 2).collect();
         let giant_b: Vec<i64> = (0..100_000).map(|x| x * 2 + 1).collect();
         let tiny: Vec<i64> = vec![5];
-        let pairs: Vec<(&[i64], &[i64])> =
-            vec![(&tiny, &[]), (&giant_a, &giant_b), (&[], &tiny)];
+        let pairs: Vec<(&[i64], &[i64])> = vec![(&tiny, &[]), (&giant_a, &giant_b), (&[], &tiny)];
         let expect = oracle(&pairs);
         let mut out = vec![0; expect.len()];
         batch_merge_into(&pairs, &mut out, 8);
@@ -190,14 +253,7 @@ mod tests {
         batch_merge_into_by(&pairs, &mut out, 3, &|x, y| x.0.cmp(&y.0));
         assert_eq!(
             out,
-            [
-                (1, 'a'),
-                (1, 'b'),
-                (1, 'x'),
-                (2, 'a'),
-                (2, 'x'),
-                (2, 'y')
-            ]
+            [(1, 'a'), (1, 'b'), (1, 'x'), (2, 'a'), (2, 'x'), (2, 'y')]
         );
     }
 

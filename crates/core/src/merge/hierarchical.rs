@@ -24,7 +24,10 @@
 //! staging buffer. `examples/cache_model_tour` and the `merge_segmented`
 //! bench quantify the effect.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
+
+use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
 
 use crate::diagonal::co_rank_by;
 use crate::error::MergeError;
@@ -112,6 +115,23 @@ pub fn hierarchical_merge_into_by<T, F>(
     T: Clone + Default + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    hierarchical_merge_into_recorded(a, b, out, config, cmp, &NoRecorder);
+}
+
+/// [`hierarchical_merge_into_by`] reporting spans, counters and per-worker
+/// element counts into `rec`. With `NoRecorder` this is the untraced kernel.
+pub fn hierarchical_merge_into_recorded<T, F, R>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    config: &HierarchicalConfig,
+    cmp: &F,
+    rec: &R,
+) where
+    T: Clone + Default + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     let n = a.len() + b.len();
     assert!(
         out.len() == n,
@@ -126,9 +146,20 @@ pub fn hierarchical_merge_into_by<T, F>(
 
     // Level 1: grid partition on the global arrays, one pool share per
     // block.
-    let points = partition_points_by(a, b, blocks, cmp);
+    let points = if R::ACTIVE {
+        let probes = Cell::new(0u64);
+        let points = {
+            let _partition = span(rec, 0, SpanKind::Partition);
+            partition_points_by(a, b, blocks, &counted_cmp(cmp, &probes))
+        };
+        rec.counter_add(0, CounterKind::DiagonalProbeSteps, probes.get());
+        rec.counter_add(0, CounterKind::Comparisons, probes.get());
+        points
+    } else {
+        partition_points_by(a, b, blocks, cmp)
+    };
     let base = SendPtr::new(out.as_mut_ptr());
-    executor::global().run_indexed(blocks, &|blk| {
+    executor::global().run_indexed_recorded(blocks, rec, &|blk| {
         let (i_lo, j_lo) = points[blk];
         let (i_hi, j_hi) = points[blk + 1];
         // Block blk's output range starts at its path offset i_lo + j_lo.
@@ -137,21 +168,27 @@ pub fn hierarchical_merge_into_by<T, F>(
         // ranges are disjoint across blocks and tile `out` exactly; the
         // pool's end barrier orders the writes before this frame resumes.
         let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), len) };
-        merge_block_tiled(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, config, cmp);
+        merge_block_tiled(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, config, cmp, blk, rec);
+        if R::ACTIVE {
+            rec.worker_items(blk, len as u64);
+        }
     });
 }
 
 /// Level 2: one block's merge, staged tile by tile through a block-local
 /// buffer and partitioned among the lanes.
-fn merge_block_tiled<T, F>(
+fn merge_block_tiled<T, F, R>(
     a: &[T],
     b: &[T],
     out: &mut [T],
     config: &HierarchicalConfig,
     cmp: &F,
+    blk: usize,
+    rec: &R,
 ) where
     T: Clone + Default,
     F: Fn(&T, &T) -> Ordering,
+    R: Recorder,
 {
     let tile = config.tile;
     let lanes = config.threads_per_block;
@@ -162,6 +199,11 @@ fn merge_block_tiled<T, F>(
     let mut stage_b: Vec<T> = Vec::with_capacity(tile);
     let (mut ai, mut bi, mut oi) = (0usize, 0usize, 0usize);
     while oi < n {
+        let _window = span(rec, blk, SpanKind::SpmWindow);
+        if R::ACTIVE {
+            let fills = (ai < na) as u64 + (bi < nb) as u64;
+            rec.counter_add(blk, CounterKind::StagingFills, fills);
+        }
         // Coalesced tile loads (Theorem 16 feasibility: `tile` of each
         // input always suffices for `tile` outputs).
         stage_a.clear();
@@ -171,7 +213,23 @@ fn merge_block_tiled<T, F>(
         let step = tile.min(n - oi);
         debug_assert!(step <= stage_a.len() + stage_b.len());
         // Tile end point, then lane partition *within the staged data*.
-        let ta = co_rank_by(step, stage_a.as_slice(), stage_b.as_slice(), cmp);
+        let ta = if R::ACTIVE {
+            let probes = Cell::new(0u64);
+            let ta = {
+                let _search = span(rec, blk, SpanKind::DiagonalSearch);
+                co_rank_by(
+                    step,
+                    stage_a.as_slice(),
+                    stage_b.as_slice(),
+                    &counted_cmp(cmp, &probes),
+                )
+            };
+            rec.counter_add(blk, CounterKind::DiagonalProbeSteps, probes.get());
+            rec.counter_add(blk, CounterKind::Comparisons, probes.get());
+            ta
+        } else {
+            co_rank_by(step, stage_a.as_slice(), stage_b.as_slice(), cmp)
+        };
         let tb = step - ta;
         let sa = &stage_a[..ta];
         let sb = &stage_b[..tb];
@@ -179,14 +237,39 @@ fn merge_block_tiled<T, F>(
         for lane in 0..active {
             let d_lo = segment_boundary(step, active, lane);
             let d_hi = segment_boundary(step, active, lane + 1);
-            let l_lo = co_rank_by(d_lo, sa, sb, cmp);
-            let l_hi = co_rank_by(d_hi, sa, sb, cmp);
-            merge_into_by(
-                &sa[l_lo..l_hi],
-                &sb[d_lo - l_lo..d_hi - l_hi],
-                &mut out[oi + d_lo..oi + d_hi],
-                cmp,
-            );
+            if R::ACTIVE {
+                let probes = Cell::new(0u64);
+                let (l_lo, l_hi) = {
+                    let _partition = span(rec, blk, SpanKind::Partition);
+                    let counting = counted_cmp(cmp, &probes);
+                    (
+                        co_rank_by(d_lo, sa, sb, &counting),
+                        co_rank_by(d_hi, sa, sb, &counting),
+                    )
+                };
+                rec.counter_add(blk, CounterKind::DiagonalProbeSteps, probes.get());
+                rec.counter_add(blk, CounterKind::Comparisons, probes.get());
+                let hits = Cell::new(0u64);
+                {
+                    let _merge = span(rec, blk, SpanKind::SegmentMerge);
+                    merge_into_by(
+                        &sa[l_lo..l_hi],
+                        &sb[d_lo - l_lo..d_hi - l_hi],
+                        &mut out[oi + d_lo..oi + d_hi],
+                        &counted_cmp(cmp, &hits),
+                    );
+                }
+                rec.counter_add(blk, CounterKind::Comparisons, hits.get());
+            } else {
+                let l_lo = co_rank_by(d_lo, sa, sb, cmp);
+                let l_hi = co_rank_by(d_hi, sa, sb, cmp);
+                merge_into_by(
+                    &sa[l_lo..l_hi],
+                    &sb[d_lo - l_lo..d_hi - l_hi],
+                    &mut out[oi + d_lo..oi + d_hi],
+                    cmp,
+                );
+            }
         }
         ai += ta;
         bi += tb;
@@ -298,7 +381,9 @@ mod tests {
         let cmp = |x: &(i32, u32), y: &(i32, u32)| x.0.cmp(&y.0);
         let mut expect = vec![(0, 0); 600];
         crate::merge::sequential::merge_into_by(&a, &b, &mut expect, &cmp);
-        let cfg = HierarchicalConfig::new(3).with_tile(64).with_threads_per_block(8);
+        let cfg = HierarchicalConfig::new(3)
+            .with_tile(64)
+            .with_threads_per_block(8);
         let mut out = vec![(0, 0); 600];
         hierarchical_merge_into_by(&a, &b, &mut out, &cfg, &cmp);
         assert_eq!(out, expect);
@@ -325,14 +410,10 @@ mod tests {
             tile: 256,
         };
         assert!(try_hierarchical_merge_into_by(&a, &b, &mut ok, &degenerate, &cmp).is_err());
-        assert!(try_hierarchical_merge_into_by(
-            &a,
-            &b,
-            &mut ok,
-            &HierarchicalConfig::new(2),
-            &cmp
-        )
-        .is_ok());
+        assert!(
+            try_hierarchical_merge_into_by(&a, &b, &mut ok, &HierarchicalConfig::new(2), &cmp)
+                .is_ok()
+        );
         assert_eq!(ok, [1, 2]);
     }
 

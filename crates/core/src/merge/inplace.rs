@@ -20,7 +20,10 @@
 //! allocation. The parallel variant runs the two sub-merges of each level
 //! concurrently down to a sequential cutoff.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
+
+use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
 
 use crate::diagonal::co_rank_by;
 use crate::executor::{self, SendPtr};
@@ -107,9 +110,25 @@ where
     T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    parallel_inplace_merge_recorded(v, mid, threads, cmp, &NoRecorder);
+}
+
+/// [`parallel_inplace_merge_by`] reporting spans, counters and per-worker
+/// element counts into `rec`. With `NoRecorder` this is the untraced kernel.
+pub fn parallel_inplace_merge_recorded<T, F, R>(
+    v: &mut [T],
+    mid: usize,
+    threads: usize,
+    cmp: &F,
+    rec: &R,
+) where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     assert!(mid <= v.len(), "mid {mid} out of bounds {}", v.len());
     assert!(threads > 0, "thread count must be at least 1");
-    go_parallel(v, mid, threads, cmp);
+    go_parallel(v, mid, threads, cmp, rec);
 }
 
 /// A pending sub-merge: `v[start .. start + len]` holds two sorted runs
@@ -121,17 +140,28 @@ struct Sub {
     mid: usize,
 }
 
-fn go_parallel<T, F>(v: &mut [T], mid: usize, threads: usize, cmp: &F)
+fn go_parallel<T, F, R>(v: &mut [T], mid: usize, threads: usize, cmp: &F, rec: &R)
 where
     T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
 {
     let n = v.len();
     if mid == 0 || mid == n {
         return;
     }
     if threads <= 1 || n <= INPLACE_CUTOFF {
-        inplace_merge_by(v, mid, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, 0, SpanKind::SegmentMerge);
+                inplace_merge_by(v, mid, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(0, CounterKind::Comparisons, hits.get());
+            rec.worker_items(0, n as u64);
+        } else {
+            inplace_merge_by(v, mid, cmp);
+        }
         return;
     }
     // Breadth-first splitting, one fork-join round per level: every level
@@ -141,7 +171,11 @@ where
     // one level run in parallel on disjoint sub-slices, preserving the
     // recursive variant's doubling parallelism.
     let levels = (usize::BITS - (threads - 1).leading_zeros()) as usize;
-    let mut frontier = vec![Sub { start: 0, len: n, mid }];
+    let mut frontier = vec![Sub {
+        start: 0,
+        len: n,
+        mid,
+    }];
     let base = SendPtr::new(v.as_mut_ptr());
     for _ in 0..levels {
         let mut children = vec![
@@ -154,7 +188,7 @@ where
         ];
         let child_base = SendPtr::new(children.as_mut_ptr());
         let frontier_ref = &frontier;
-        executor::global().run_indexed(frontier_ref.len(), &|idx| {
+        executor::global().run_indexed_recorded(frontier_ref.len(), rec, &|idx| {
             let sub = frontier_ref[idx];
             let done = Sub {
                 start: sub.start + sub.len,
@@ -168,8 +202,21 @@ where
                 // SAFETY: frontier sub-ranges are pairwise disjoint within
                 // `v` (each level partitions its parent's range), so share
                 // `idx` holds the only live reference to this sub-slice.
-                let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(sub.start), sub.len) };
-                let (i, _j, new_mid) = split_and_rotate(s, sub.mid, cmp);
+                let s =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(sub.start), sub.len) };
+                let (i, _j, new_mid) = if R::ACTIVE {
+                    let probes = Cell::new(0u64);
+                    let split = {
+                        let _partition = span(rec, idx, SpanKind::Partition);
+                        let _search = span(rec, idx, SpanKind::DiagonalSearch);
+                        split_and_rotate(s, sub.mid, &counted_cmp(cmp, &probes))
+                    };
+                    rec.counter_add(idx, CounterKind::DiagonalProbeSteps, probes.get());
+                    rec.counter_add(idx, CounterKind::Comparisons, probes.get());
+                    split
+                } else {
+                    split_and_rotate(s, sub.mid, cmp)
+                };
                 (
                     Sub {
                         start: sub.start,
@@ -193,14 +240,26 @@ where
         frontier = children;
     }
     let frontier_ref = &frontier;
-    executor::global().run_indexed(frontier_ref.len(), &|idx| {
+    executor::global().run_indexed_recorded(frontier_ref.len(), rec, &|idx| {
         let sub = frontier_ref[idx];
+        if R::ACTIVE {
+            rec.worker_items(idx, sub.len as u64);
+        }
         if sub.len == 0 || sub.mid == 0 || sub.mid == sub.len {
             return;
         }
         // SAFETY: leaf sub-ranges are pairwise disjoint within `v`.
         let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(sub.start), sub.len) };
-        inplace_merge_by(s, sub.mid, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, idx, SpanKind::SegmentMerge);
+                inplace_merge_by(s, sub.mid, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(idx, CounterKind::Comparisons, hits.get());
+        } else {
+            inplace_merge_by(s, sub.mid, cmp);
+        }
     });
 }
 

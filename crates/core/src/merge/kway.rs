@@ -15,7 +15,10 @@
 //! * [`parallel_kway_merge`] — rank-partitioned parallel k-way merge, each
 //!   worker running a private loser tree.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
+
+use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
 
 use crate::executor::{self, SendPtr};
 use crate::partition::segment_boundary;
@@ -115,8 +118,10 @@ where
             // lt < r <= le: the pivot's value is the boundary value. Take
             // all strictly-smaller elements, then distribute the remaining
             // ties in list order (the stable tie-break).
-            let mut take: Vec<usize> =
-                lists.iter().map(|l| lower_bound_by(l, pivot, cmp)).collect();
+            let mut take: Vec<usize> = lists
+                .iter()
+                .map(|l| lower_bound_by(l, pivot, cmp))
+                .collect();
             let mut need = r - lt;
             for i in 0..k {
                 let eq = upper_bound_by(lists[i], pivot, cmp) - take[i];
@@ -189,7 +194,11 @@ where
         }
         let w1 = self.compete(2 * t);
         let w2 = self.compete(2 * t + 1);
-        let (winner, loser) = if self.beats(w1, w2) { (w1, w2) } else { (w2, w1) };
+        let (winner, loser) = if self.beats(w1, w2) {
+            (w1, w2)
+        } else {
+            (w2, w1)
+        };
         self.node[t] = loser;
         winner
     }
@@ -307,6 +316,22 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    parallel_kway_merge_recorded(lists, out, threads, cmp, &NoRecorder);
+}
+
+/// [`parallel_kway_merge_by`] reporting spans, counters and per-worker
+/// element counts into `rec`. With `NoRecorder` this is the untraced kernel.
+pub fn parallel_kway_merge_recorded<T, F, R>(
+    lists: &[&[T]],
+    out: &mut [T],
+    threads: usize,
+    cmp: &F,
+    rec: &R,
+) where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     let total: usize = lists.iter().map(|l| l.len()).sum();
     assert!(
         out.len() == total,
@@ -315,17 +340,44 @@ where
     );
     assert!(threads > 0, "thread count must be at least 1");
     if threads == 1 || total <= threads {
-        kway_merge_by(lists, out, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, 0, SpanKind::SegmentMerge);
+                kway_merge_by(lists, out, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(0, CounterKind::Comparisons, hits.get());
+            rec.worker_items(0, total as u64);
+        } else {
+            kway_merge_by(lists, out, cmp);
+        }
         return;
     }
     // Cut ranks, computed independently (parallelizable, like Algorithm 1's
     // step 2; done here on the calling thread since p is tiny).
-    let splits: Vec<Vec<usize>> = (0..=threads)
-        .map(|t| kway_rank_split_by(lists, segment_boundary(total, threads, t), cmp))
-        .collect();
+    let splits: Vec<Vec<usize>> = if R::ACTIVE {
+        let probes = Cell::new(0u64);
+        let splits = {
+            let _partition = span(rec, 0, SpanKind::Partition);
+            let counting = counted_cmp(cmp, &probes);
+            (0..=threads)
+                .map(|t| {
+                    let _search = span(rec, 0, SpanKind::DiagonalSearch);
+                    kway_rank_split_by(lists, segment_boundary(total, threads, t), &counting)
+                })
+                .collect()
+        };
+        rec.counter_add(0, CounterKind::DiagonalProbeSteps, probes.get());
+        rec.counter_add(0, CounterKind::Comparisons, probes.get());
+        splits
+    } else {
+        (0..=threads)
+            .map(|t| kway_rank_split_by(lists, segment_boundary(total, threads, t), cmp))
+            .collect()
+    };
     let base = SendPtr::new(out.as_mut_ptr());
     let splits = &splits;
-    executor::global().run_indexed(threads, &|t| {
+    executor::global().run_indexed_recorded(threads, rec, &|t| {
         let d_lo = segment_boundary(total, threads, t);
         let d_hi = segment_boundary(total, threads, t + 1);
         let lo = &splits[t];
@@ -339,7 +391,17 @@ where
             .enumerate()
             .map(|(i, l)| &l[lo[i]..hi[i]])
             .collect();
-        kway_merge_by(&sub, chunk, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, t, SpanKind::SegmentMerge);
+                kway_merge_by(&sub, chunk, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(t, CounterKind::Comparisons, hits.get());
+            rec.worker_items(t, (d_hi - d_lo) as u64);
+        } else {
+            kway_merge_by(&sub, chunk, cmp);
+        }
     });
 }
 

@@ -24,7 +24,10 @@
 //! size. [`Pool::merge_into_by`](crate::executor::Pool::merge_into_by)
 //! offers the same kernel pinned to an explicitly constructed pool.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
+
+use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
 
 use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::error::MergeError;
@@ -66,6 +69,27 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    parallel_merge_into_recorded(a, b, out, threads, cmp, &NoRecorder);
+}
+
+/// [`parallel_merge_into_by`] reporting spans, counters and per-worker
+/// element counts into `rec`.
+///
+/// With [`NoRecorder`] every instrumented site is guarded by the
+/// compile-time `R::ACTIVE` flag, so the instantiation is exactly the
+/// untraced kernel (the public entry point above delegates here).
+pub fn parallel_merge_into_recorded<T, F, R>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    threads: usize,
+    cmp: &F,
+    rec: &R,
+) where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     let n = a.len() + b.len();
     assert!(
         out.len() == n,
@@ -76,18 +100,43 @@ where
 
     // Small inputs or a single worker: sequential merge, no fork overhead.
     if threads == 1 || n <= threads {
-        merge_into_by(a, b, out, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _span = span(rec, 0, SpanKind::SegmentMerge);
+                merge_into_by(a, b, out, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(0, CounterKind::Comparisons, hits.get());
+            rec.worker_items(0, n as u64);
+        } else {
+            merge_into_by(a, b, out, cmp);
+        }
         return;
     }
 
     let base = SendPtr::new(out.as_mut_ptr());
-    executor::global().run_indexed(threads, &|k| {
+    executor::global().run_indexed_recorded(threads, rec, &|k| {
         let d_lo = segment_boundary(n, threads, k);
         let d_hi = segment_boundary(n, threads, k + 1);
         // Step 2 of Algorithm 1: each worker finds its own intersections,
         // independently of every other worker.
-        let i_lo = co_rank_by(d_lo, a, b, cmp);
-        let i_hi = co_rank_by(d_hi, a, b, cmp);
+        let (i_lo, i_hi) = if R::ACTIVE {
+            let _partition = span(rec, k, SpanKind::Partition);
+            let (i_lo, c_lo) = {
+                let _search = span(rec, k, SpanKind::DiagonalSearch);
+                co_rank_counted(d_lo, a, b, cmp)
+            };
+            let (i_hi, c_hi) = {
+                let _search = span(rec, k, SpanKind::DiagonalSearch);
+                co_rank_counted(d_hi, a, b, cmp)
+            };
+            let probes = (c_lo + c_hi) as u64;
+            rec.counter_add(k, CounterKind::DiagonalProbeSteps, probes);
+            rec.counter_add(k, CounterKind::Comparisons, probes);
+            (i_lo, i_hi)
+        } else {
+            (co_rank_by(d_lo, a, b, cmp), co_rank_by(d_hi, a, b, cmp))
+        };
         let (j_lo, j_hi) = (d_lo - i_lo, d_hi - i_hi);
         // SAFETY: segment boundaries are monotone, so `d_lo..d_hi` ranges
         // are pairwise disjoint across shares and lie within `out`
@@ -96,7 +145,22 @@ where
         // holds the unique borrow of `out`.
         let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
         // Step 3: a plain sequential merge of the private segment.
-        merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, k, SpanKind::SegmentMerge);
+                merge_into_by(
+                    &a[i_lo..i_hi],
+                    &b[j_lo..j_hi],
+                    chunk,
+                    &counted_cmp(cmp, &hits),
+                );
+            }
+            rec.counter_add(k, CounterKind::Comparisons, hits.get());
+            rec.worker_items(k, (d_hi - d_lo) as u64);
+        } else {
+            merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
+        }
     });
 }
 

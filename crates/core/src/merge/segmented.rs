@@ -33,9 +33,12 @@
 //!   simple-cache machines (the paper's Hypercore target) and the one the
 //!   cache simulator analyses.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
 
-use crate::diagonal::co_rank_by;
+use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
+
+use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::error::MergeError;
 use crate::executor::{self, SendPtr};
 use crate::merge::sequential::{merge_into_by, merge_views_into_by};
@@ -158,6 +161,25 @@ pub fn segmented_parallel_merge_into_by<T, F>(
     T: Clone + Default + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    segmented_parallel_merge_into_recorded(a, b, out, config, cmp, &NoRecorder);
+}
+
+/// [`segmented_parallel_merge_into_by`] reporting telemetry into `rec`:
+/// one `spm_window` span per outer iteration (on worker 0, the
+/// orchestrating thread), `staging_fills` counts for the cyclic ring
+/// refills, and per-share partition/merge spans inside each window.
+pub fn segmented_parallel_merge_into_recorded<T, F, R>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    config: &SpmConfig,
+    cmp: &F,
+    rec: &R,
+) where
+    T: Clone + Default + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     let n = a.len() + b.len();
     assert!(
         out.len() == n,
@@ -166,8 +188,8 @@ pub fn segmented_parallel_merge_into_by<T, F>(
     );
     assert!(config.threads > 0, "thread count must be at least 1");
     match config.staging {
-        Staging::Windowed => spm_windowed(a, b, out, config, cmp),
-        Staging::Cyclic => spm_cyclic(a, b, out, config, cmp),
+        Staging::Windowed => spm_windowed(a, b, out, config, cmp, rec),
+        Staging::Cyclic => spm_cyclic(a, b, out, config, cmp, rec),
     }
 }
 
@@ -196,16 +218,18 @@ where
     Ok(())
 }
 
-fn spm_windowed<T, F>(a: &[T], b: &[T], out: &mut [T], config: &SpmConfig, cmp: &F)
+fn spm_windowed<T, F, R>(a: &[T], b: &[T], out: &mut [T], config: &SpmConfig, cmp: &F, rec: &R)
 where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
 {
     let (na, nb) = (a.len(), b.len());
     let n = na + nb;
     let l = config.segment_len();
     let (mut ai, mut bi, mut oi) = (0usize, 0usize, 0usize);
     while oi < n {
+        let _window = span(rec, 0, SpanKind::SpmWindow);
         // Step 1 (windowed): the next ≤ L unconsumed elements of each input.
         let wa = &a[ai..na.min(ai + l)];
         let wb = &b[bi..nb.min(bi + l)];
@@ -213,21 +237,37 @@ where
         debug_assert!(step <= wa.len() + wb.len(), "Theorem 16 feasibility");
         // End point of this block's path segment (the consumed mix is data
         // dependent and only determinable by search — paper's remark).
-        let ta = co_rank_by(step, wa, wb, cmp);
+        let ta = if R::ACTIVE {
+            let _search = span(rec, 0, SpanKind::DiagonalSearch);
+            let (ta, probes) = co_rank_counted(step, wa, wb, cmp);
+            rec.counter_add(0, CounterKind::DiagonalProbeSteps, probes as u64);
+            rec.counter_add(0, CounterKind::Comparisons, probes as u64);
+            ta
+        } else {
+            co_rank_by(step, wa, wb, cmp)
+        };
         let tb = step - ta;
         // Step 2: parallel merge within the segment (Algorithm 1 on the
         // window's cross diagonals).
-        segment_merge_parallel(&wa[..ta], &wb[..tb], &mut out[oi..oi + step], config, cmp);
+        segment_merge_parallel(
+            &wa[..ta],
+            &wb[..tb],
+            &mut out[oi..oi + step],
+            config,
+            cmp,
+            rec,
+        );
         ai += ta;
         bi += tb;
         oi += step;
     }
 }
 
-fn spm_cyclic<T, F>(a: &[T], b: &[T], out: &mut [T], config: &SpmConfig, cmp: &F)
+fn spm_cyclic<T, F, R>(a: &[T], b: &[T], out: &mut [T], config: &SpmConfig, cmp: &F, rec: &R)
 where
     T: Clone + Default + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
 {
     let (na, nb) = (a.len(), b.len());
     let n = na + nb;
@@ -238,6 +278,7 @@ where
     let (mut fa, mut fb) = (0usize, 0usize);
     let mut oi = 0usize;
     while oi < n {
+        let _window = span(rec, 0, SpanKind::SpmWindow);
         // Step 1: refill each buffer back up to L live elements (first
         // iteration fills from empty; later ones replace exactly what the
         // previous iteration consumed).
@@ -247,12 +288,24 @@ where
         let refill_b = (l - ring_b.len()).min(nb - fb);
         ring_b.refill(&b[fb..fb + refill_b]);
         fb += refill_b;
+        if R::ACTIVE {
+            let fills = (refill_a > 0) as u64 + (refill_b > 0) as u64;
+            rec.counter_add(0, CounterKind::StagingFills, fills);
+        }
 
         let va = ring_a.view();
         let vb = ring_b.view();
         let step = l.min(n - oi);
         debug_assert!(step <= va.len() + vb.len(), "Theorem 16 feasibility");
-        let ta = co_rank_by(step, &va, &vb, cmp);
+        let ta = if R::ACTIVE {
+            let _search = span(rec, 0, SpanKind::DiagonalSearch);
+            let (ta, probes) = co_rank_counted(step, &va, &vb, cmp);
+            rec.counter_add(0, CounterKind::DiagonalProbeSteps, probes as u64);
+            rec.counter_add(0, CounterKind::Comparisons, probes as u64);
+            ta
+        } else {
+            co_rank_by(step, &va, &vb, cmp)
+        };
         let tb = step - ta;
         // Step 2: parallel merge of the staged windows.
         segment_merge_views_parallel(
@@ -261,6 +314,7 @@ where
             &mut out[oi..oi + step],
             config,
             cmp,
+            rec,
         );
         // Step 3 happened implicitly (writes stream to `out`); retire the
         // consumed staging slots so the next refill overwrites them.
@@ -271,48 +325,115 @@ where
 }
 
 /// Parallel merge of one segment's sub-arrays (plain slices).
-fn segment_merge_parallel<T, F>(sa: &[T], sb: &[T], out: &mut [T], config: &SpmConfig, cmp: &F)
-where
+fn segment_merge_parallel<T, F, R>(
+    sa: &[T],
+    sb: &[T],
+    out: &mut [T],
+    config: &SpmConfig,
+    cmp: &F,
+    rec: &R,
+) where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
 {
     let step = out.len();
     let p = config.threads.min(step.max(1));
     if p <= 1 {
-        merge_into_by(sa, sb, out, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, 0, SpanKind::SegmentMerge);
+                merge_into_by(sa, sb, out, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(0, CounterKind::Comparisons, hits.get());
+            rec.worker_items(0, step as u64);
+        } else {
+            merge_into_by(sa, sb, out, cmp);
+        }
         return;
     }
     let base = SendPtr::new(out.as_mut_ptr());
-    executor::global().run_indexed(p, &|k| {
+    executor::global().run_indexed_recorded(p, rec, &|k| {
         let d_lo = segment_boundary(step, p, k);
         let d_hi = segment_boundary(step, p, k + 1);
-        let i_lo = co_rank_by(d_lo, sa, sb, cmp);
-        let i_hi = co_rank_by(d_hi, sa, sb, cmp);
+        let (i_lo, i_hi) = if R::ACTIVE {
+            let _partition = span(rec, k, SpanKind::Partition);
+            let (i_lo, c_lo) = {
+                let _search = span(rec, k, SpanKind::DiagonalSearch);
+                co_rank_counted(d_lo, sa, sb, cmp)
+            };
+            let (i_hi, c_hi) = {
+                let _search = span(rec, k, SpanKind::DiagonalSearch);
+                co_rank_counted(d_hi, sa, sb, cmp)
+            };
+            let probes = (c_lo + c_hi) as u64;
+            rec.counter_add(k, CounterKind::DiagonalProbeSteps, probes);
+            rec.counter_add(k, CounterKind::Comparisons, probes);
+            (i_lo, i_hi)
+        } else {
+            (co_rank_by(d_lo, sa, sb, cmp), co_rank_by(d_hi, sa, sb, cmp))
+        };
         // SAFETY: `d_lo..d_hi` ranges are disjoint across shares and lie
         // within `out` (`d_hi <= step == out.len()`); the pool's end
         // barrier orders the writes before this frame resumes.
         let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
-        merge_into_by(&sa[i_lo..i_hi], &sb[d_lo - i_lo..d_hi - i_hi], chunk, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, k, SpanKind::SegmentMerge);
+                merge_into_by(
+                    &sa[i_lo..i_hi],
+                    &sb[d_lo - i_lo..d_hi - i_hi],
+                    chunk,
+                    &counted_cmp(cmp, &hits),
+                );
+            }
+            rec.counter_add(k, CounterKind::Comparisons, hits.get());
+            rec.worker_items(k, (d_hi - d_lo) as u64);
+        } else {
+            merge_into_by(&sa[i_lo..i_hi], &sb[d_lo - i_lo..d_hi - i_hi], chunk, cmp);
+        }
     });
 }
 
 /// Parallel merge of one segment staged in ring-buffer views.
-fn segment_merge_views_parallel<T, A, B, F>(sa: A, sb: B, out: &mut [T], config: &SpmConfig, cmp: &F)
-where
+fn segment_merge_views_parallel<T, A, B, F, R>(
+    sa: A,
+    sb: B,
+    out: &mut [T],
+    config: &SpmConfig,
+    cmp: &F,
+    rec: &R,
+) where
     T: Clone + Send + Sync,
     A: SortedView<T> + Copy + Send + Sync,
     B: SortedView<T> + Copy + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
 {
     let step = out.len();
     let p = config.threads.min(step.max(1));
     if p <= 1 {
-        merge_views_into_by(&sa, &sb, out, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, 0, SpanKind::SegmentMerge);
+                merge_views_into_by(&sa, &sb, out, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(0, CounterKind::Comparisons, hits.get());
+            rec.worker_items(0, step as u64);
+        } else {
+            merge_views_into_by(&sa, &sb, out, cmp);
+        }
         return;
     }
-    let points = partition_points_by(&sa, &sb, p, cmp);
+    let points = {
+        let _partition = span(rec, 0, SpanKind::Partition);
+        partition_points_by(&sa, &sb, p, cmp)
+    };
     let base = SendPtr::new(out.as_mut_ptr());
-    executor::global().run_indexed(p, &|k| {
+    executor::global().run_indexed_recorded(p, rec, &|k| {
         let (i_lo, j_lo) = points[k];
         let (i_hi, j_hi) = points[k + 1];
         // Worker k's output range starts at its path offset i_lo + j_lo.
@@ -321,12 +442,27 @@ where
         // ranges are disjoint across shares and tile `out` exactly; the
         // pool's end barrier orders the writes before this frame resumes.
         let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), len) };
-        merge_views_into_by(
-            &RingSlice::new(sa, i_lo, i_hi),
-            &RingSlice::new(sb, j_lo, j_hi),
-            chunk,
-            cmp,
-        );
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _merge = span(rec, k, SpanKind::SegmentMerge);
+                merge_views_into_by(
+                    &RingSlice::new(sa, i_lo, i_hi),
+                    &RingSlice::new(sb, j_lo, j_hi),
+                    chunk,
+                    &counted_cmp(cmp, &hits),
+                );
+            }
+            rec.counter_add(k, CounterKind::Comparisons, hits.get());
+            rec.worker_items(k, len as u64);
+        } else {
+            merge_views_into_by(
+                &RingSlice::new(sa, i_lo, i_hi),
+                &RingSlice::new(sb, j_lo, j_hi),
+                chunk,
+                cmp,
+            );
+        }
     });
 }
 

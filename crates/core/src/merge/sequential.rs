@@ -17,7 +17,10 @@
 //!
 //! Each has a probed variant used by the cache simulator.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
+
+use mergepath_telemetry::{counted_cmp, span, CounterKind, Recorder, SpanKind};
 
 use crate::error::{first_unsorted_index, InputId, MergeError};
 use crate::probe::Probe;
@@ -66,6 +69,29 @@ where
         out[k..].clone_from_slice(&a[i..]);
     } else {
         out[k..].clone_from_slice(&b[j..]);
+    }
+}
+
+/// [`merge_into_by`] reporting a `segment_merge` span, the comparison count
+/// and the merged element count (attributed to worker 0) into `rec`.
+///
+/// With [`NoRecorder`](mergepath_telemetry::NoRecorder) this is exactly
+/// [`merge_into_by`] — the instrumentation monomorphizes away.
+pub fn merge_into_recorded<T: Clone, F, R>(a: &[T], b: &[T], out: &mut [T], cmp: &F, rec: &R)
+where
+    F: Fn(&T, &T) -> Ordering,
+    R: Recorder,
+{
+    if R::ACTIVE {
+        let hits = Cell::new(0u64);
+        {
+            let _merge = span(rec, 0, SpanKind::SegmentMerge);
+            merge_into_by(a, b, out, &counted_cmp(cmp, &hits));
+        }
+        rec.counter_add(0, CounterKind::Comparisons, hits.get());
+        rec.worker_items(0, out.len() as u64);
+    } else {
+        merge_into_by(a, b, out, cmp);
     }
 }
 

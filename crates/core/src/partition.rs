@@ -293,8 +293,7 @@ mod tests {
         let a: Vec<i64> = (0..4096).collect();
         let b: Vec<i64> = (0..4096).map(|x| x + 7).collect();
         let cp =
-            partition_segments_counted(a.as_slice(), b.as_slice(), 8, &|x: &i64, y: &i64| x
-                .cmp(y));
+            partition_segments_counted(a.as_slice(), b.as_slice(), 8, &|x: &i64, y: &i64| x.cmp(y));
         assert_eq!(cp.segments.len(), 8);
         assert_eq!(cp.comparisons.len(), 7);
         let bound = (4096f64).log2().ceil() as u32 + 1;

@@ -8,7 +8,6 @@
 
 use core::cmp::Ordering;
 
-
 /// One step of a merge path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Move {
@@ -94,7 +93,11 @@ impl MergePath {
 
     /// The sub-arrays covered by path steps `lo..hi` (Lemma 2: both are
     /// contiguous ranges). Returned as `(a_range, b_range)`.
-    pub fn segment(&self, lo: usize, hi: usize) -> (core::ops::Range<usize>, core::ops::Range<usize>) {
+    pub fn segment(
+        &self,
+        lo: usize,
+        hi: usize,
+    ) -> (core::ops::Range<usize>, core::ops::Range<usize>) {
         let (i0, j0) = self.points[lo];
         let (i1, j1) = self.points[hi];
         (i0..i1, j0..j1)

@@ -99,15 +99,13 @@ pub fn medians_of_union<'a, T: Ord>(a: &'a [T], b: &'a [T]) -> (&'a T, &'a T) {
 ///
 /// # Panics
 /// Panics if the union is empty, `quantiles == 0`, or `q >= quantiles`.
-pub fn quantile_of_union<'a, T: Ord>(
-    a: &'a [T],
-    b: &'a [T],
-    q: usize,
-    quantiles: usize,
-) -> &'a T {
+pub fn quantile_of_union<'a, T: Ord>(a: &'a [T], b: &'a [T], q: usize, quantiles: usize) -> &'a T {
     let n = a.len() + b.len();
     assert!(n > 0, "quantile of an empty union");
-    assert!(quantiles > 0 && q < quantiles, "quantile index out of range");
+    assert!(
+        quantiles > 0 && q < quantiles,
+        "quantile index out of range"
+    );
     let pos = ((q + 1) * n / quantiles).saturating_sub(1).min(n - 1);
     kth_of_union(a, b, pos)
 }

@@ -15,8 +15,10 @@
 
 use core::cmp::Ordering;
 
-use crate::merge::segmented::{segmented_parallel_merge_into_by, SpmConfig, Staging};
-use crate::sort::parallel::parallel_merge_sort_by;
+use mergepath_telemetry::{span, NoRecorder, Recorder, SpanKind};
+
+use crate::merge::segmented::{segmented_parallel_merge_into_recorded, SpmConfig, Staging};
+use crate::sort::parallel::parallel_merge_sort_recorded;
 
 /// Configuration of the cache-aware sort.
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +92,21 @@ where
     T: Clone + Default + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    cache_aware_parallel_sort_recorded(v, config, cmp, &NoRecorder);
+}
+
+/// [`cache_aware_parallel_sort_by`] reporting spans, counters and per-worker
+/// element counts into `rec`. With `NoRecorder` this is the untraced kernel.
+pub fn cache_aware_parallel_sort_recorded<T, F, R>(
+    v: &mut [T],
+    config: &CacheAwareConfig,
+    cmp: &F,
+    rec: &R,
+) where
+    T: Clone + Default + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     assert!(config.threads > 0, "thread count must be at least 1");
     let n = v.len();
     if n <= 1 {
@@ -103,7 +120,7 @@ where
     let mut start = 0;
     while start < n {
         let end = (start + block).min(n);
-        parallel_merge_sort_by(&mut v[start..end], config.threads, cmp);
+        parallel_merge_sort_recorded(&mut v[start..end], config.threads, cmp, rec);
         boundaries.push(start);
         start = end;
     }
@@ -122,15 +139,17 @@ where
             } else {
                 (&scratch, &mut *v)
             };
+            let _round = span(rec, 0, SpanKind::SortRound);
             let mut pair = 0;
             while pair + 2 < runs.len() {
                 let (lo, mid, hi) = (runs[pair], runs[pair + 1], runs[pair + 2]);
-                segmented_parallel_merge_into_by(
+                segmented_parallel_merge_into_recorded(
                     &src[lo..mid],
                     &src[mid..hi],
                     &mut dst[lo..hi],
                     &spm,
                     cmp,
+                    rec,
                 );
                 pair += 2;
             }
@@ -182,7 +201,9 @@ mod tests {
 
     #[test]
     fn stability_preserved() {
-        let mut v: Vec<(i32, usize)> = (0..3000usize).map(|i| (((i * 53) % 12) as i32, i)).collect();
+        let mut v: Vec<(i32, usize)> = (0..3000usize)
+            .map(|i| (((i * 53) % 12) as i32, i))
+            .collect();
         let mut expect = v.clone();
         expect.sort_by_key(|&(k, _)| k);
         let cfg = CacheAwareConfig::new(200, 4);

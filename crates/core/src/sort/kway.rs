@@ -11,10 +11,13 @@
 //! element in the loser tree versus `O(1)`-ish in a two-way merge; the
 //! `sort` bench measures the crossover.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
 
+use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
+
 use crate::executor::{self, SendPtr};
-use crate::merge::kway::parallel_kway_merge_by;
+use crate::merge::kway::parallel_kway_merge_recorded;
 use crate::partition::segment_boundary;
 use crate::sort::sequential::merge_sort_with_scratch_by;
 
@@ -45,6 +48,17 @@ where
     T: Clone + Default + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    kway_merge_sort_recorded(v, threads, cmp, &NoRecorder);
+}
+
+/// [`kway_merge_sort_by`] reporting spans, counters and per-worker element
+/// counts into `rec`. With `NoRecorder` this is the untraced kernel.
+pub fn kway_merge_sort_recorded<T, F, R>(v: &mut [T], threads: usize, cmp: &F, rec: &R)
+where
+    T: Clone + Default + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     assert!(threads > 0, "thread count must be at least 1");
     let n = v.len();
     if n <= 1 {
@@ -52,7 +66,17 @@ where
     }
     if threads == 1 || n <= 2 * threads {
         let mut scratch = vec![T::default(); n];
-        merge_sort_with_scratch_by(v, &mut scratch, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _round = span(rec, 0, SpanKind::SortRound);
+                merge_sort_with_scratch_by(v, &mut scratch, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(0, CounterKind::Comparisons, hits.get());
+            rec.worker_items(0, n as u64);
+        } else {
+            merge_sort_with_scratch_by(v, &mut scratch, cmp);
+        }
         return;
     }
 
@@ -63,30 +87,36 @@ where
     {
         let base = SendPtr::new(v.as_mut_ptr());
         let bounds = &bounds;
-        executor::global().run_indexed(threads, &|k| {
+        executor::global().run_indexed_recorded(threads, rec, &|k| {
             // SAFETY: chunk ranges `bounds[k]..bounds[k+1]` are disjoint
             // across shares and tile `v` exactly; the pool's end barrier
             // orders the writes before this frame resumes.
             let chunk = unsafe {
-                std::slice::from_raw_parts_mut(
-                    base.get().add(bounds[k]),
-                    bounds[k + 1] - bounds[k],
-                )
+                std::slice::from_raw_parts_mut(base.get().add(bounds[k]), bounds[k + 1] - bounds[k])
             };
             let mut scratch = vec![T::default(); chunk.len()];
-            merge_sort_with_scratch_by(chunk, &mut scratch, cmp);
+            if R::ACTIVE {
+                let hits = Cell::new(0u64);
+                {
+                    let _round = span(rec, k, SpanKind::SortRound);
+                    merge_sort_with_scratch_by(chunk, &mut scratch, &counted_cmp(cmp, &hits));
+                }
+                rec.counter_add(k, CounterKind::Comparisons, hits.get());
+            } else {
+                merge_sort_with_scratch_by(chunk, &mut scratch, cmp);
+            }
         });
     }
 
     // Phase 2: one k-way merge of the p runs, itself parallelized by the
     // multi-way rank split. Stability: runs are indexed in array order, and
     // the k-way merge breaks ties by run index.
-    let runs: Vec<&[T]> = bounds
-        .windows(2)
-        .map(|w| &v[w[0]..w[1]])
-        .collect();
+    let runs: Vec<&[T]> = bounds.windows(2).map(|w| &v[w[0]..w[1]]).collect();
     let mut out = vec![T::default(); n];
-    parallel_kway_merge_by(&runs, &mut out, threads, cmp);
+    {
+        let _round = span(rec, 0, SpanKind::SortRound);
+        parallel_kway_merge_recorded(&runs, &mut out, threads, cmp, rec);
+    }
     v.clone_from_slice(&out);
 }
 

@@ -194,9 +194,7 @@ mod tests {
 
     #[test]
     fn stability_matches_std() {
-        let mut v: Vec<(i32, usize)> = (0..5000usize)
-            .map(|i| (((i * 37) % 8) as i32, i))
-            .collect();
+        let mut v: Vec<(i32, usize)> = (0..5000usize).map(|i| (((i * 37) % 8) as i32, i)).collect();
         let mut expect = v.clone();
         expect.sort_by_key(|&(k, _)| k);
         natural_merge_sort_by(&mut v, 4, &|a, b| a.0.cmp(&b.0));

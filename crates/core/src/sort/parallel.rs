@@ -11,10 +11,13 @@
 //!
 //! Total time `O(N/p · log N + log p · log N)`.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
 
+use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
+
 use crate::executor::{self, SendPtr};
-use crate::merge::batch::batch_merge_into_by;
+use crate::merge::batch::batch_merge_into_recorded;
 use crate::sort::sequential::merge_sort_with_scratch_by;
 
 /// Sorts `v` in parallel with `threads` workers using the natural order.
@@ -45,6 +48,17 @@ where
     T: Clone + Default + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
+    parallel_merge_sort_recorded(v, threads, cmp, &NoRecorder);
+}
+
+/// [`parallel_merge_sort_by`] reporting spans, counters and per-worker
+/// element counts into `rec`. With `NoRecorder` this is the untraced kernel.
+pub fn parallel_merge_sort_recorded<T, F, R>(v: &mut [T], threads: usize, cmp: &F, rec: &R)
+where
+    T: Clone + Default + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
+{
     assert!(threads > 0, "thread count must be at least 1");
     let n = v.len();
     if n <= 1 {
@@ -52,7 +66,17 @@ where
     }
     if threads == 1 || n <= 2 * threads {
         let mut scratch = vec![T::default(); n];
-        merge_sort_with_scratch_by(v, &mut scratch, cmp);
+        if R::ACTIVE {
+            let hits = Cell::new(0u64);
+            {
+                let _round = span(rec, 0, SpanKind::SortRound);
+                merge_sort_with_scratch_by(v, &mut scratch, &counted_cmp(cmp, &hits));
+            }
+            rec.counter_add(0, CounterKind::Comparisons, hits.get());
+            rec.worker_items(0, n as u64);
+        } else {
+            merge_sort_with_scratch_by(v, &mut scratch, cmp);
+        }
         return;
     }
 
@@ -64,18 +88,24 @@ where
     {
         let base = SendPtr::new(v.as_mut_ptr());
         let bounds = &bounds;
-        executor::global().run_indexed(threads, &|k| {
+        executor::global().run_indexed_recorded(threads, rec, &|k| {
             // SAFETY: chunk ranges `bounds[k]..bounds[k+1]` are disjoint
             // across shares and tile `v` exactly; the pool's end barrier
             // orders the writes before this frame resumes.
             let chunk = unsafe {
-                std::slice::from_raw_parts_mut(
-                    base.get().add(bounds[k]),
-                    bounds[k + 1] - bounds[k],
-                )
+                std::slice::from_raw_parts_mut(base.get().add(bounds[k]), bounds[k + 1] - bounds[k])
             };
             let mut scratch = vec![T::default(); chunk.len()];
-            merge_sort_with_scratch_by(chunk, &mut scratch, cmp);
+            if R::ACTIVE {
+                let hits = Cell::new(0u64);
+                {
+                    let _round = span(rec, k, SpanKind::SortRound);
+                    merge_sort_with_scratch_by(chunk, &mut scratch, &counted_cmp(cmp, &hits));
+                }
+                rec.counter_add(k, CounterKind::Comparisons, hits.get());
+            } else {
+                merge_sort_with_scratch_by(chunk, &mut scratch, cmp);
+            }
         });
     }
 
@@ -91,7 +121,8 @@ where
             } else {
                 (&scratch, &mut *v)
             };
-            merge_round_parallel(src, dst, &runs, threads, cmp);
+            let _round = span(rec, 0, SpanKind::SortRound);
+            merge_round_parallel(src, dst, &runs, threads, cmp, rec);
         }
         in_v = !in_v;
         runs = halve_runs(&runs);
@@ -106,10 +137,17 @@ where
 /// ([`batch_merge_into_by`](crate::merge::batch::batch_merge_into_by)):
 /// even ragged final rounds keep every core busy — exactly the late-round
 /// starvation the paper's introduction calls out.
-fn merge_round_parallel<T, F>(src: &[T], dst: &mut [T], runs: &[usize], threads: usize, cmp: &F)
-where
+fn merge_round_parallel<T, F, R>(
+    src: &[T],
+    dst: &mut [T],
+    runs: &[usize],
+    threads: usize,
+    cmp: &F,
+    rec: &R,
+) where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
+    R: Recorder,
 {
     let mut pairs: Vec<(&[T], &[T])> = Vec::with_capacity(runs.len() / 2);
     let mut pair = 0;
@@ -119,7 +157,7 @@ where
         pair += 2;
     }
     let merged_end = runs[pair];
-    batch_merge_into_by(&pairs, &mut dst[..merged_end], threads, cmp);
+    batch_merge_into_recorded(&pairs, &mut dst[..merged_end], threads, cmp, rec);
     if pair + 2 == runs.len() {
         // Lone trailing run: copy through.
         let (lo, hi) = (runs[pair], runs[pair + 1]);
@@ -167,7 +205,9 @@ mod tests {
 
     #[test]
     fn parallel_sort_is_stable() {
-        let mut v: Vec<(i32, usize)> = (0..2000usize).map(|i| (((i * 37) % 16) as i32, i)).collect();
+        let mut v: Vec<(i32, usize)> = (0..2000usize)
+            .map(|i| (((i * 37) % 16) as i32, i))
+            .collect();
         let mut expect = v.clone();
         expect.sort_by_key(|&(k, _)| k);
         parallel_merge_sort_by(&mut v, 5, &|a, b| a.0.cmp(&b.0));

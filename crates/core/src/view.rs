@@ -145,7 +145,11 @@ impl<T> SortedView<T> for RingView<'_, T> {
 
     #[inline(always)]
     fn get(&self, i: usize) -> &T {
-        debug_assert!(i < self.len, "RingView index {i} out of bounds {}", self.len);
+        debug_assert!(
+            i < self.len,
+            "RingView index {i} out of bounds {}",
+            self.len
+        );
         &self.buf[self.physical_index(i)]
     }
 }
@@ -219,7 +223,12 @@ impl<T: Clone + Default> RingBuffer<T> {
     /// # Panics
     /// Panics if `n > self.len()`.
     pub fn consume(&mut self, n: usize) {
-        assert!(n <= self.len, "cannot consume {} of {} elements", n, self.len);
+        assert!(
+            n <= self.len,
+            "cannot consume {} of {} elements",
+            n,
+            self.len
+        );
         self.head = (self.head + n) & (self.capacity() - 1);
         self.len -= n;
     }

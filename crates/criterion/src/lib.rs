@@ -191,7 +191,10 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut
                     format!(" ({:.1} Melem/s)", n as f64 / per_iter_ns * 1e3)
                 }
                 Throughput::Bytes(n) => {
-                    format!(" ({:.1} MiB/s)", n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64)
+                    format!(
+                        " ({:.1} MiB/s)",
+                        n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64
+                    )
                 }
             });
             println!(

@@ -1,0 +1,277 @@
+//! The [`Recorder`] trait, its zero-cost [`NoRecorder`] default, and the
+//! small helpers instrumented call sites share (span guards, counted
+//! comparators, the process-epoch clock).
+
+use core::cmp::Ordering;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the first call to this function in the process.
+///
+/// All telemetry timestamps share this epoch so spans recorded by different
+/// threads land on one comparable timeline. The epoch is process-wide (a
+/// `OnceLock<Instant>`), so traces from consecutive kernel runs in one
+/// process are naturally ordered.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// A small dense per-thread index (0, 1, 2, …) assigned on first use.
+///
+/// `std::thread::ThreadId` has no stable numeric form; the telemetry layer
+/// needs one to pair round begin/end events emitted by the same thread and
+/// to name physical pool threads in the Chrome trace.
+pub fn thread_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+    INDEX.with(|slot| match slot.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT.fetch_add(1, AtomicOrdering::Relaxed);
+            slot.set(Some(i));
+            i
+        }
+    })
+}
+
+/// The span taxonomy. One variant per structurally distinct phase of the
+/// merge-path kernels (see DESIGN.md §Observability for the mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// Computing a share's segment boundaries (the cross-diagonal partition
+    /// phase of Algorithm 1 / the grid partition of the hierarchical merge).
+    Partition,
+    /// One binary search along a cross diagonal (`co_rank`).
+    DiagonalSearch,
+    /// Merging one contiguous output segment (the per-worker linear phase).
+    SegmentMerge,
+    /// One cache-sized window of the segmented (SPM) merge, §IV.
+    SpmWindow,
+    /// One round of a parallel sort (chunk sort or pairwise/k-way merge
+    /// round).
+    SortRound,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used by both exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Partition => "partition",
+            SpanKind::DiagonalSearch => "diagonal_search",
+            SpanKind::SegmentMerge => "segment_merge",
+            SpanKind::SpmWindow => "spm_window",
+            SpanKind::SortRound => "sort_round",
+        }
+    }
+}
+
+/// Monotonic counters accumulated per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CounterKind {
+    /// Comparator invocations (all phases).
+    Comparisons,
+    /// Comparisons spent inside diagonal binary searches only.
+    DiagonalProbeSteps,
+    /// Staging-buffer refills (SPM ring buffers, hierarchical tiles).
+    StagingFills,
+}
+
+impl CounterKind {
+    /// Stable lowercase name used by both exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::Comparisons => "comparisons",
+            CounterKind::DiagonalProbeSteps => "diagonal_probe_steps",
+            CounterKind::StagingFills => "staging_fills",
+        }
+    }
+}
+
+/// A sink for kernel and executor telemetry.
+///
+/// `worker` arguments are *logical* share indices (the algorithm's `p`
+/// workers); physical pool threads appear only in
+/// [`Recorder::share_window`]'s `tid`. All methods take `&self` and must be
+/// callable concurrently from the pool team.
+///
+/// Implementations other than [`NoRecorder`] keep the default
+/// `ACTIVE = true`; kernels guard every timestamp capture behind
+/// `R::ACTIVE`, so the `NoRecorder` instantiation compiles to the exact
+/// untraced code (the zero-cost contract is asserted by the oracle
+/// differential suite and `tests/telemetry_invariants.rs`).
+pub trait Recorder: Sync {
+    /// Compile-time activity flag; `false` only for [`NoRecorder`].
+    const ACTIVE: bool = true;
+
+    /// A span of `kind` opened on logical worker `worker` at [`now_ns`].
+    /// Spans on one worker follow stack discipline (strict nesting).
+    fn span_begin(&self, worker: usize, kind: SpanKind) {
+        let _ = (worker, kind);
+    }
+
+    /// Closes the most recently opened span of `kind` on `worker`.
+    fn span_end(&self, worker: usize, kind: SpanKind) {
+        let _ = (worker, kind);
+    }
+
+    /// Adds `delta` to the per-worker counter `kind`.
+    fn counter_add(&self, worker: usize, kind: CounterKind, delta: u64) {
+        let _ = (worker, kind, delta);
+    }
+
+    /// Reports that logical worker `worker` produced `items` output
+    /// elements (the Thm 14 per-worker element count).
+    fn worker_items(&self, worker: usize, items: u64) {
+        let _ = (worker, items);
+    }
+
+    /// A pool round with `shares` logical shares is starting on the calling
+    /// thread. Rounds nest per thread (nested kernel calls run inline).
+    fn round_begin(&self, shares: usize) {
+        let _ = shares;
+    }
+
+    /// The round most recently begun on the calling thread finished.
+    fn round_end(&self) {}
+
+    /// The calling thread waited `ns` nanoseconds to acquire the pool's
+    /// round mutex (queueing / serialization overhead).
+    fn round_wait_ns(&self, ns: u64) {
+        let _ = ns;
+    }
+
+    /// Physical pool thread `tid` executed logical share `share` over the
+    /// window `start_ns..end_ns` (per-share busy time).
+    fn share_window(&self, tid: usize, share: usize, start_ns: u64, end_ns: u64) {
+        let _ = (tid, share, start_ns, end_ns);
+    }
+}
+
+/// The zero-cost default recorder: a ZST with `ACTIVE = false`.
+///
+/// Every public kernel entry point delegates to its `*_recorded` variant
+/// with `&NoRecorder`; because call sites are guarded by `R::ACTIVE`, the
+/// instantiation is the original untraced code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoRecorder;
+
+impl Recorder for NoRecorder {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn span_begin(&self, _worker: usize, _kind: SpanKind) {}
+    #[inline(always)]
+    fn span_end(&self, _worker: usize, _kind: SpanKind) {}
+    #[inline(always)]
+    fn counter_add(&self, _worker: usize, _kind: CounterKind, _delta: u64) {}
+    #[inline(always)]
+    fn worker_items(&self, _worker: usize, _items: u64) {}
+    #[inline(always)]
+    fn round_begin(&self, _shares: usize) {}
+    #[inline(always)]
+    fn round_end(&self) {}
+    #[inline(always)]
+    fn round_wait_ns(&self, _ns: u64) {}
+    #[inline(always)]
+    fn share_window(&self, _tid: usize, _share: usize, _start_ns: u64, _end_ns: u64) {}
+}
+
+/// Opens a span on `rec`, closed when the returned guard drops (including
+/// during unwinding, so a panicking share leaves a well-formed timeline).
+///
+/// With `R = NoRecorder` this is a no-op that compiles away.
+#[inline(always)]
+pub fn span<R: Recorder>(rec: &R, worker: usize, kind: SpanKind) -> SpanGuard<'_, R> {
+    if R::ACTIVE {
+        rec.span_begin(worker, kind);
+    }
+    SpanGuard { rec, worker, kind }
+}
+
+/// Guard returned by [`span`]; ends the span on drop.
+pub struct SpanGuard<'r, R: Recorder> {
+    rec: &'r R,
+    worker: usize,
+    kind: SpanKind,
+}
+
+impl<R: Recorder> Drop for SpanGuard<'_, R> {
+    #[inline(always)]
+    fn drop(&mut self) {
+        if R::ACTIVE {
+            self.rec.span_end(self.worker, self.kind);
+        }
+    }
+}
+
+/// Wraps a comparator so every invocation bumps a share-local [`Cell`]
+/// counter (flushed once per share via [`Recorder::counter_add`], avoiding
+/// any shared atomic on the hot path).
+#[inline(always)]
+pub fn counted_cmp<'a, T, F>(cmp: &'a F, counter: &'a Cell<u64>) -> impl Fn(&T, &T) -> Ordering + 'a
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    move |x: &T, y: &T| {
+        counter.set(counter.get() + 1);
+        cmp(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_recorder_is_zero_sized_and_inactive() {
+        assert_eq!(core::mem::size_of::<NoRecorder>(), 0);
+        const { assert!(!NoRecorder::ACTIVE) }
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn thread_index_is_stable_per_thread() {
+        let a = thread_index();
+        let b = thread_index();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(thread_index).join().expect("join");
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn counted_cmp_counts_and_preserves_order() {
+        let hits = Cell::new(0u64);
+        let base = |x: &i32, y: &i32| x.cmp(y);
+        let cmp = counted_cmp(&base, &hits);
+        assert_eq!(cmp(&1, &2), Ordering::Less);
+        assert_eq!(cmp(&2, &1), Ordering::Greater);
+        assert_eq!(hits.get(), 2);
+    }
+
+    #[test]
+    fn span_names_are_stable() {
+        assert_eq!(SpanKind::Partition.name(), "partition");
+        assert_eq!(SpanKind::DiagonalSearch.name(), "diagonal_search");
+        assert_eq!(SpanKind::SegmentMerge.name(), "segment_merge");
+        assert_eq!(SpanKind::SpmWindow.name(), "spm_window");
+        assert_eq!(SpanKind::SortRound.name(), "sort_round");
+        assert_eq!(CounterKind::Comparisons.name(), "comparisons");
+        assert_eq!(
+            CounterKind::DiagonalProbeSteps.name(),
+            "diagonal_probe_steps"
+        );
+        assert_eq!(CounterKind::StagingFills.name(), "staging_fills");
+    }
+}

@@ -14,5 +14,7 @@ pub mod gen;
 pub mod prng;
 pub mod validate;
 
-pub use gen::{merge_pair, merge_pair_sized, sorted_keys, unsorted_keys, MergeWorkload, SortWorkload};
+pub use gen::{
+    merge_pair, merge_pair_sized, sorted_keys, unsorted_keys, MergeWorkload, SortWorkload,
+};
 pub use validate::{is_sorted, is_stable_merge_of, same_multiset};

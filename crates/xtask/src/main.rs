@@ -16,6 +16,9 @@ fn usage() -> ExitCode {
     eprintln!("  verify-offline   build (release) and test the whole workspace with");
     eprintln!("                   cargo's --offline flag; fails if anything needs the");
     eprintln!("                   network or the registry");
+    eprintln!("  verify-telemetry run `mp trace` on a small input and schema-check the");
+    eprintln!("                   Chrome trace and JSONL metrics it emits (Thm 14");
+    eprintln!("                   per-worker bounds included)");
     ExitCode::FAILURE
 }
 
@@ -47,10 +50,121 @@ fn verify_offline() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Schema-checks one `mp trace` run: the Chrome trace must be one JSON
+/// document with a non-empty `traceEvents` array, and every metrics line
+/// must parse, include a `load_balance` summary, and satisfy Thm 14 for the
+/// single-round parallel merge (per-worker counts each ≤ ⌈N/p⌉, sum = N).
+fn check_trace_outputs(trace_path: &str, metrics_path: &str, n: u64, p: u64) -> Result<(), String> {
+    let trace = std::fs::read_to_string(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+    let doc = mergepath_telemetry::json::parse(&trace).map_err(|e| format!("{trace_path}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{trace_path}: missing traceEvents array"))?;
+    if events.is_empty() {
+        return Err(format!("{trace_path}: traceEvents is empty"));
+    }
+    for ev in events {
+        for key in ["name", "ph"] {
+            if ev.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("{trace_path}: event without string `{key}`"));
+            }
+        }
+    }
+
+    let metrics =
+        std::fs::read_to_string(metrics_path).map_err(|e| format!("{metrics_path}: {e}"))?;
+    let mut balance = None;
+    for (i, line) in metrics.lines().enumerate() {
+        let v = mergepath_telemetry::json::parse(line)
+            .map_err(|e| format!("{metrics_path}:{}: {e}", i + 1))?;
+        if v.get("type").and_then(|t| t.as_str()).is_none() {
+            return Err(format!("{metrics_path}:{}: line without `type`", i + 1));
+        }
+        if v.get("type").and_then(|t| t.as_str()) == Some("load_balance") {
+            balance = Some(v);
+        }
+    }
+    let balance = balance.ok_or_else(|| format!("{metrics_path}: no load_balance line"))?;
+    let items: Vec<u64> = balance
+        .get("per_worker_items")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{metrics_path}: load_balance without per_worker_items"))?
+        .iter()
+        .map(|w| w.get("items").and_then(|x| x.as_f64()).unwrap_or(-1.0) as u64)
+        .collect();
+    let ceil = n.div_ceil(p);
+    let sum: u64 = items.iter().sum();
+    if sum != n || items.iter().any(|&c| c > ceil) {
+        return Err(format!(
+            "{metrics_path}: Thm 14 violated: sum={sum} (want {n}), max={} (want ≤ {ceil})",
+            items.iter().max().copied().unwrap_or(0)
+        ));
+    }
+    if balance.get("thm14_exact") != Some(&mergepath_telemetry::json::Value::Bool(true)) {
+        return Err(format!("{metrics_path}: thm14_exact is not true"));
+    }
+    Ok(())
+}
+
+fn verify_telemetry() -> ExitCode {
+    let dir = std::path::Path::new("target").join("xtask");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("verify-telemetry: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let trace = dir.join("verify-trace.json");
+    let metrics = dir.join("verify-metrics.jsonl");
+    let (n, p) = (100_000u64, 4u64);
+    let n_arg = n.to_string();
+    let p_arg = p.to_string();
+    let trace_arg = trace.display().to_string();
+    let metrics_arg = metrics.display().to_string();
+    let args = [
+        "run",
+        "--offline",
+        "--release",
+        "-q",
+        "-p",
+        "mergepath-cli",
+        "--bin",
+        "mp",
+        "--",
+        "trace",
+        "--kernel",
+        "parallel",
+        "--n",
+        &n_arg,
+        "--threads",
+        &p_arg,
+        "--trace-out",
+        &trace_arg,
+        "--metrics-out",
+        &metrics_arg,
+    ];
+    if !cargo(&args) {
+        eprintln!("verify-telemetry: FAILED running `mp trace`");
+        return ExitCode::FAILURE;
+    }
+    match check_trace_outputs(&trace_arg, &metrics_arg, n, p) {
+        Ok(()) => {
+            println!(
+                "verify-telemetry: OK (Chrome trace + JSONL metrics valid, Thm 14 bounds hold)"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("verify-telemetry: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let task = env::args().nth(1);
     match task.as_deref() {
         Some("verify-offline") => verify_offline(),
+        Some("verify-telemetry") => verify_telemetry(),
         _ => usage(),
     }
 }

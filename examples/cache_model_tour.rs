@@ -26,11 +26,14 @@ fn main() {
     for (label, cfg) in [
         ("32 KiB, 8-way (an L1)", CacheConfig::new(32 * 1024, 8)),
         ("256 KiB, 8-way (an L2)", CacheConfig::new(256 * 1024, 8)),
-        ("direct-mapped 32 KiB", CacheConfig {
-            capacity_bytes: 32 * 1024,
-            line_bytes: 64,
-            associativity: 1,
-        }),
+        (
+            "direct-mapped 32 KiB",
+            CacheConfig {
+                capacity_bytes: 32 * 1024,
+                line_bytes: 64,
+                associativity: 1,
+            },
+        ),
     ] {
         let seq = sequential_merge(&a, &b, layout, cfg);
         let par = parallel_merge_shared(&a, &b, 4, layout, cfg);

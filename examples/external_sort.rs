@@ -104,11 +104,7 @@ fn main() -> std::io::Result<()> {
         // emitting ≤ tail_cap consumes ≤ tail_cap from any single run.
         let lists: Vec<&[u32]> = tails.iter().map(|t| t.as_slice()).collect();
         let take = kway_rank_split(&lists, batch);
-        let batch_lists: Vec<&[u32]> = lists
-            .iter()
-            .zip(&take)
-            .map(|(l, &t)| &l[..t])
-            .collect();
+        let batch_lists: Vec<&[u32]> = lists.iter().zip(&take).map(|(l, &t)| &l[..t]).collect();
         let mut merged = vec![0u32; batch];
         parallel_kway_merge(&batch_lists, &mut merged, THREADS);
         for v in &merged {

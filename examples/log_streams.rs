@@ -81,6 +81,10 @@ fn main() {
         .windows(3)
         .find(|w| w[0].timestamp_us == w[2].timestamp_us)
     {
-        println!("tie burst at t={}: shards {:?}", w[0].timestamp_us, [w[0].shard, w[1].shard, w[2].shard]);
+        println!(
+            "tie burst at t={}: shards {:?}",
+            w[0].timestamp_us,
+            [w[0].shard, w[1].shard, w[2].shard]
+        );
     }
 }

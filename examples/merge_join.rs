@@ -121,7 +121,10 @@ fn main() {
     assert_eq!(revenue_by_region, expect, "parallel join must match oracle");
 
     println!("sort-merge join of {n_orders} orders x {n_users} users, {threads} threads");
-    println!("segment loads (orders): {:?}", segments.iter().map(|s| s.a_len()).collect::<Vec<_>>());
+    println!(
+        "segment loads (orders): {:?}",
+        segments.iter().map(|s| s.a_len()).collect::<Vec<_>>()
+    );
     for (region, cents) in revenue_by_region.iter().enumerate() {
         println!("  region {region:2}: ${}.{:02}", cents / 100, cents % 100);
     }

@@ -7,8 +7,8 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use mergepath_suite::mergepath::prelude::*;
 use mergepath_suite::mergepath::merge::segmented::Staging;
+use mergepath_suite::mergepath::prelude::*;
 
 fn main() {
     // --- 1. Parallel merge ------------------------------------------------
@@ -23,7 +23,12 @@ fn main() {
     for (k, seg) in partition_segments(&a, &b, 4).iter().enumerate() {
         println!(
             "  segment {k}: A[{}..{}] + B[{}..{}] -> out[{}..{}] ({} elements)",
-            seg.a_start, seg.a_end, seg.b_start, seg.b_end, seg.out_start, seg.out_end,
+            seg.a_start,
+            seg.a_end,
+            seg.b_start,
+            seg.b_end,
+            seg.out_start,
+            seg.out_end,
             seg.len(),
         );
     }
@@ -41,7 +46,9 @@ fn main() {
     );
 
     // --- 3. Parallel merge sort --------------------------------------------
-    let mut data: Vec<u64> = (0..2_000_000u64).map(|x| x.wrapping_mul(0x9E3779B9) % 1_000_000).collect();
+    let mut data: Vec<u64> = (0..2_000_000u64)
+        .map(|x| x.wrapping_mul(0x9E3779B9) % 1_000_000)
+        .collect();
     parallel_merge_sort(&mut data, 8);
     assert!(data.windows(2).all(|w| w[0] <= w[1]));
     println!("sorted {} elements with 8 threads", data.len());

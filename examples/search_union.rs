@@ -60,15 +60,14 @@ fn main() {
     // by the k-way rank split without merging the first 100_000.
     let page_start = 100_000usize;
     let take = kway_rank_split(&lists, page_start);
-    let page_lists: Vec<&[u32]> = lists
-        .iter()
-        .zip(&take)
-        .map(|(l, &t)| &l[t..])
-        .collect();
+    let page_lists: Vec<&[u32]> = lists.iter().zip(&take).map(|(l, &t)| &l[t..]).collect();
     let cmp = |x: &u32, y: &u32| x.cmp(y);
     let mut tree = LoserTree::new(&page_lists, &cmp);
     let page: Vec<u32> = tree.by_ref().take(10).copied().collect();
-    println!("postings {page_start}..{} of the union: {page:?}", page_start + 10);
+    println!(
+        "postings {page_start}..{} of the union: {page:?}",
+        page_start + 10
+    );
 
     // Verify against the materialized union.
     let mut all: Vec<u32> = postings.iter().flatten().copied().collect();

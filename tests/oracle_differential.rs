@@ -150,8 +150,7 @@ fn batch_variant_matches_oracle_on_ragged_batches() {
     // The batch kernel's own adversary: many pairs of wildly different
     // sizes, including empty pairs, merged under one worker budget.
     let families = adversarial_inputs();
-    let tagged: Vec<(Vec<Kv>, Vec<Kv>)> =
-        families.iter().map(|(_, ka, kb)| tag(ka, kb)).collect();
+    let tagged: Vec<(Vec<Kv>, Vec<Kv>)> = families.iter().map(|(_, ka, kb)| tag(ka, kb)).collect();
     let pairs: Vec<(&[Kv], &[Kv])> = tagged
         .iter()
         .map(|(a, b)| (a.as_slice(), b.as_slice()))

@@ -82,7 +82,10 @@ fn section_3_complexity_shape() {
         );
         // Work overhead O(p log N).
         let overhead = rp.work as f64 - r1.work as f64;
-        assert!(overhead <= 8.0 * p as f64 * logn, "p={p} overhead {overhead}");
+        assert!(
+            overhead <= 8.0 * p as f64 * logn,
+            "p={p} overhead {overhead}"
+        );
     }
 }
 

@@ -48,11 +48,17 @@ fn random_sorted(rng: &mut Prng, len: usize, key_space: u64) -> Vec<i64> {
 fn co_rank_is_monotone_and_splits_every_diagonal() {
     let mut rng = Prng::seed_from_u64(0x5EED);
     let shapes: Vec<(Vec<i64>, Vec<i64>)> = vec![
-        (random_sorted(&mut rng, 400, 50), random_sorted(&mut rng, 300, 50)),
+        (
+            random_sorted(&mut rng, 400, 50),
+            random_sorted(&mut rng, 300, 50),
+        ),
         (vec![3; 250], vec![3; 175]),
         ((0..500).collect(), vec![]),
         (vec![], (0..350).collect()),
-        ((0..200).map(|x| x * 2).collect(), (0..200).map(|x| x * 2 + 1).collect()),
+        (
+            (0..200).map(|x| x * 2).collect(),
+            (0..200).map(|x| x * 2 + 1).collect(),
+        ),
     ];
     for (a, b) in &shapes {
         let n = a.len() + b.len();
@@ -64,7 +70,13 @@ fn co_rank_is_monotone_and_splits_every_diagonal() {
             assert!(i >= prev_i, "co-rank must be monotone in d: d={d}");
             assert!(i - prev_i <= 1, "consecutive diagonals differ by one step");
             assert!(
-                split_is_valid(d, a.as_slice(), b.as_slice(), &|x: &i64, y: &i64| x.cmp(y), i),
+                split_is_valid(
+                    d,
+                    a.as_slice(),
+                    b.as_slice(),
+                    &|x: &i64, y: &i64| x.cmp(y),
+                    i
+                ),
                 "Theorem 9 split validity: d={d} i={i}"
             );
             prev_i = i;
@@ -75,7 +87,14 @@ fn co_rank_is_monotone_and_splits_every_diagonal() {
 #[test]
 fn partition_points_are_monotone_and_cover_both_inputs() {
     let mut rng = Prng::seed_from_u64(0xBEEF);
-    for (la, lb) in [(0usize, 0usize), (1, 0), (0, 97), (513, 1), (700, 450), (333, 333)] {
+    for (la, lb) in [
+        (0usize, 0usize),
+        (1, 0),
+        (0, 97),
+        (513, 1),
+        (700, 450),
+        (333, 333),
+    ] {
         let a = random_sorted(&mut rng, la, 17);
         let b = random_sorted(&mut rng, lb, 17);
         let n = la + lb;

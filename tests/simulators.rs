@@ -28,7 +28,12 @@ fn three_way_associativity_suffices_sequentially() {
         rates.push(sequential_merge(&a, &b, layout, cfg).miss_rate());
     }
     // 1-way thrashes; 3-way reaches the compulsory floor; 4-way adds ~nothing.
-    assert!(rates[0] > 3.0 * rates[2], "1-way {} vs 3-way {}", rates[0], rates[2]);
+    assert!(
+        rates[0] > 3.0 * rates[2],
+        "1-way {} vs 3-way {}",
+        rates[0],
+        rates[2]
+    );
     assert!((rates[2] - rates[3]).abs() < 0.01, "3-way ≈ 4-way");
 }
 
