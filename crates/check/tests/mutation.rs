@@ -1,0 +1,32 @@
+//! Mutation self-test: prove the checker can actually *detect* a broken
+//! partition, not just bless correct ones.
+//!
+//! Built with `RUSTFLAGS="--cfg mergepath_mutate"`, the Algorithm 1 merge
+//! deliberately extends share 0's diagonal by one element before co-ranking,
+//! so share 0 and share 1 both write the boundary slot. The written *value*
+//! is identical either way (both shares compute the same merged element), so
+//! output-diffing tests cannot see the fault — only the access-set
+//! disjointness check can. This test asserts exactly that: under mutation
+//! the checker must report `WriteOverlap`; in a clean build it must pass.
+//!
+//! `cargo xtask verify-schedules` runs the mutated configuration with this
+//! test as the filter.
+
+use mergepath_check::{check_kernel, CheckConfig, CheckError, Kernel};
+
+#[test]
+fn mutation_overlap_is_detected() {
+    let cfg = CheckConfig::default();
+    let result = check_kernel(Kernel::Parallel, 800, &cfg);
+    if cfg!(mergepath_mutate) {
+        match result {
+            Err(CheckError::WriteOverlap { kernel, .. }) => assert_eq!(kernel, "parallel"),
+            other => {
+                panic!("mutated parallel merge must be caught as a write overlap, got {other:?}")
+            }
+        }
+    } else {
+        let report = result.expect("clean build must pass the schedule check");
+        assert!(report.multi_rounds > 0, "{report}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based schedule exploration: random input shapes × random thread
+//! counts × permuted virtual schedules, for every kernel.
+//!
+//! Each case drives [`mergepath_check::check_kernel_on`], which runs the
+//! kernel under several seed-permuted single-threaded schedules, verifies
+//! CREW disjointness / coverage / the Thm 14 bound on the recorded access
+//! sets, and demands byte-identical agreement with a sequential oracle.
+
+use mergepath_check::{check_kernel_on, default_input, CheckConfig, Kernel, Kv};
+use proptest::prelude::*;
+
+fn tagged(keys: Vec<i32>, tag0: u32) -> Vec<Kv> {
+    let mut keys = keys;
+    keys.sort_unstable();
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, tag0 + i as u32))
+        .collect()
+}
+
+fn run_all(a: &[Kv], b: &[Kv], threads: usize, seed: u64) {
+    let cfg = CheckConfig {
+        threads,
+        schedules: 4,
+        seed,
+        pram_limit: 2048,
+    };
+    for &kernel in &Kernel::ALL {
+        if let Err(e) = check_kernel_on(kernel, a, b, &cfg) {
+            panic!("{kernel:?} failed with threads={threads} seed={seed}: {e}");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_shapes_survive_schedule_exploration(
+        ka in proptest::collection::vec(-40i32..40, 0..260),
+        kb in proptest::collection::vec(-40i32..40, 0..260),
+        threads in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let a = tagged(ka, 0);
+        let b = tagged(kb, 1_000_000);
+        run_all(&a, &b, threads, seed);
+    }
+
+    #[test]
+    fn lopsided_shapes_survive_schedule_exploration(
+        na in 0usize..40,
+        nb in 200usize..500,
+        threads in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        // Heavily skewed sizes stress the co-ranking boundary cases.
+        let a = tagged((0..na).map(|i| (i as i32) % 7).collect(), 0);
+        let b = tagged((0..nb).map(|i| (i as i32) % 11 - 5).collect(), 1_000_000);
+        run_all(&a, &b, threads, seed);
+    }
+}
+
+#[test]
+fn synthesized_inputs_scale_with_thread_count() {
+    for threads in [2, 3, 5, 8] {
+        let (a, b) = default_input(64 * threads + 37, threads as u64);
+        run_all(&a, &b, threads, 0xC0FFEE + threads as u64);
+    }
+}

@@ -7,9 +7,19 @@
 //! mp sort   FILE       [-o OUT] [--threads N] [--numeric] [--algo ALGO]
 //! mp select A.txt B.txt --rank K [--numeric]       # k-th of the merged view
 //! mp check  FILE [--numeric]                        # is the file sorted?
+//! mp check  --kernel K|all [--n N] [--threads P] [--seed S]
+//!           [--schedules K]                          # schedule-exploration check
 //! mp trace  --kernel K [--n N] [--threads P] [--seed S]
 //!           [--trace-out F] [--metrics-out F]       # run + record telemetry
 //! ```
+//!
+//! `mp check --kernel …` drives the deterministic schedule checker
+//! (`mergepath-check`): the kernel runs under several seed-permuted
+//! single-threaded virtual schedules while a shadow recorder captures every
+//! output write, and the tool verifies CREW exclusivity (Thm 9), exact
+//! coverage, the Thm 14 `⌈N/p⌉` bound, and byte-identical agreement with a
+//! sequential oracle. Violations exit non-zero with the offending schedule
+//! and round.
 //!
 //! `mp trace` runs one kernel on a synthetic workload with the
 //! [`TimelineRecorder`](mergepath::telemetry::TimelineRecorder) attached and
@@ -82,6 +92,8 @@ pub enum CliError {
         /// Total elements available.
         total: usize,
     },
+    /// `mp check --kernel`: the schedule checker found a violation.
+    CheckFailed(String),
 }
 
 impl core::fmt::Display for CliError {
@@ -98,6 +110,7 @@ impl core::fmt::Display for CliError {
             CliError::RankOutOfRange { rank, total } => {
                 write!(f, "rank {rank} out of range (merged length {total})")
             }
+            CliError::CheckFailed(msg) => write!(f, "schedule check failed: {msg}"),
         }
     }
 }
@@ -108,9 +121,11 @@ pub const USAGE: &str = "usage:
   mp sort   FILE [-o OUT] [--threads N] [--numeric] [--algo parallel|kway|natural|cache-aware]
   mp select A B --rank K [--numeric]
   mp check  FILE [--numeric]
-  mp trace  --kernel parallel|segmented|batch|inplace|kway|hierarchical|\
-sort-parallel|sort-kway|sort-cache-aware
-            [--n N] [--threads P] [--seed S] [--trace-out F] [--metrics-out F]";
+  mp check  --kernel KERNEL|all [--n N] [--threads P] [--seed S] [--schedules K]
+  mp trace  --kernel KERNEL
+            [--n N] [--threads P] [--seed S] [--trace-out F] [--metrics-out F]
+where KERNEL is parallel|segmented|batch|inplace|kway|hierarchical|\
+sort-parallel|sort-kway|sort-cache-aware";
 
 /// Sorting algorithm selector for `mp sort`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -235,12 +250,25 @@ pub enum Command {
         /// Numeric comparison.
         numeric: bool,
     },
-    /// `mp check`.
+    /// `mp check FILE`.
     Check {
         /// Input path.
         file: String,
         /// Numeric comparison.
         numeric: bool,
+    },
+    /// `mp check --kernel` — the deterministic schedule-exploration check.
+    CheckSchedules {
+        /// Kernel under check; `None` means all nine.
+        kernel: Option<TraceKernel>,
+        /// Total output size `N`.
+        n: usize,
+        /// Logical worker count `p`.
+        threads: usize,
+        /// Base seed for input synthesis and schedule permutations.
+        seed: u64,
+        /// Number of permuted virtual schedules per kernel.
+        schedules: usize,
     },
     /// `mp trace`.
     Trace {
@@ -269,8 +297,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut numeric = false;
     let mut algo = SortAlgo::default();
     let mut rank: Option<usize> = None;
-    let mut kernel: Option<TraceKernel> = None;
-    let mut n = 1_000_000usize;
+    let mut kernel: Option<&str> = None;
+    let mut n: Option<usize> = None;
+    let mut schedules = 8usize;
     let mut seed = 42u64;
     let mut trace_out = String::from("mp-trace.json");
     let mut metrics_out = String::from("mp-metrics.jsonl");
@@ -314,20 +343,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 );
             }
             "--kernel" => {
-                let k = it
-                    .next()
-                    .ok_or_else(|| CliError::Usage("--kernel needs a name".into()))?;
-                kernel = Some(TraceKernel::parse(k)?);
+                kernel = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--kernel needs a name".into()))?,
+                );
             }
             "--n" => {
                 let v = it
                     .next()
                     .ok_or_else(|| CliError::Usage("--n needs a count".into()))?;
-                n = v
+                n = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&v| v > 0)
+                        .ok_or_else(|| CliError::Usage(format!("bad element count {v:?}")))?,
+                );
+            }
+            "--schedules" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--schedules needs a count".into()))?;
+                schedules = s
                     .parse::<usize>()
                     .ok()
-                    .filter(|&v| v > 0)
-                    .ok_or_else(|| CliError::Usage(format!("bad element count {v:?}")))?;
+                    .filter(|&s| s > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad schedule count {s:?}")))?;
             }
             "--seed" => {
                 let s = it
@@ -380,9 +420,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             file: file.to_string(),
             numeric,
         }),
+        ("check", []) => {
+            let kernel = match kernel
+                .ok_or_else(|| CliError::Usage("check needs a FILE or --kernel".into()))?
+            {
+                "all" => None,
+                name => Some(TraceKernel::parse(name)?),
+            };
+            Ok(Command::CheckSchedules {
+                kernel,
+                n: n.unwrap_or(4096),
+                threads,
+                seed,
+                schedules,
+            })
+        }
         ("trace", []) => Ok(Command::Trace {
-            kernel: kernel.ok_or_else(|| CliError::Usage("trace needs --kernel".into()))?,
-            n,
+            kernel: TraceKernel::parse(
+                kernel.ok_or_else(|| CliError::Usage("trace needs --kernel".into()))?,
+            )?,
+            n: n.unwrap_or(1_000_000),
             threads,
             seed,
             trace_out,
@@ -527,6 +584,32 @@ where
                 Ok(()) => Ok(format!("{file}: sorted ({} lines)\n", records.len())),
                 Err(e) => Err(e),
             }
+        }
+        Command::CheckSchedules {
+            kernel,
+            n,
+            threads,
+            seed,
+            schedules,
+        } => {
+            let cfg = mergepath_check::CheckConfig {
+                threads: *threads,
+                schedules: *schedules,
+                seed: *seed,
+                ..mergepath_check::CheckConfig::default()
+            };
+            let kernels: Vec<mergepath_check::Kernel> = match kernel {
+                Some(k) => vec![mergepath_check::Kernel::parse(k.name())
+                    .expect("TraceKernel and check Kernel share names")],
+                None => mergepath_check::Kernel::ALL.to_vec(),
+            };
+            let mut out = String::new();
+            for k in kernels {
+                let report = mergepath_check::check_kernel(k, *n, &cfg)
+                    .map_err(|e| CliError::CheckFailed(e.to_string()))?;
+                let _ = writeln!(out, "{report}");
+            }
+            Ok(out)
         }
         Command::Trace {
             kernel,
@@ -1007,6 +1090,74 @@ mod tests {
             );
             mergepath::telemetry::json::parse(&run.chrome_json).unwrap();
         }
+    }
+
+    #[test]
+    fn parse_check_schedules_command() {
+        let cmd = parse_args(&argv(
+            "check --kernel segmented --n 600 --threads 3 --seed 5 --schedules 4",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::CheckSchedules {
+                kernel: Some(TraceKernel::Segmented),
+                n: 600,
+                threads: 3,
+                seed: 5,
+                schedules: 4,
+            }
+        );
+        // `all` selects every kernel; defaults fill the rest.
+        let cmd = parse_args(&argv("check --kernel all --threads 2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::CheckSchedules {
+                kernel: None,
+                n: 4096,
+                threads: 2,
+                seed: 42,
+                schedules: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn check_schedules_parse_errors() {
+        // A bare `check` has neither FILE nor --kernel.
+        assert!(matches!(
+            parse_args(&argv("check")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("check --kernel bogus")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("check --kernel all --schedules 0")),
+            Err(CliError::Usage(_))
+        ));
+        // `all` is only meaningful to `check`, not `trace`.
+        assert!(matches!(
+            parse_args(&argv("trace --kernel all")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn check_schedules_reports_one_line_per_kernel() {
+        let cmd = parse_args(&argv(
+            "check --kernel all --n 500 --threads 3 --schedules 3",
+        ))
+        .unwrap();
+        let out = execute(&cmd, memfs(&[])).unwrap();
+        assert_eq!(out.lines().count(), 9);
+        for line in out.lines() {
+            assert!(line.contains(": ok"), "{line}");
+        }
+        let one = parse_args(&argv("check --kernel kway --n 400 --threads 2")).unwrap();
+        let out = execute(&one, memfs(&[])).unwrap();
+        assert!(out.starts_with("kway: ok"), "{out}");
     }
 
     #[test]

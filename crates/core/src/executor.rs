@@ -53,9 +53,23 @@
 //! `NoRecorder` (`ACTIVE == false`) the instrumented twins delegate
 //! directly to the untraced entry points, so the hot path is unchanged
 //! unless a real recorder is supplied.
+//!
+//! # Virtual execution (schedule checking)
+//!
+//! A [`ShareObserver`] installed on the current thread
+//! ([`install_observer`]) turns every fork-join entry point on every pool
+//! into a deterministic *virtual executor*: shares run inline,
+//! single-threaded, in the permutation order the observer chooses, and the
+//! recording accessors ([`SendPtr::slice_mut`], [`SendPtr::write`],
+//! [`note_write_range`], [`note_read_range`]) report each share's output
+//! writes and input reads to it. `mergepath-check` builds the CREW
+//! access-set checker (paper, Thms 9 and 14) on these hooks. With no
+//! observer installed — the default — each hook site costs one
+//! thread-local read and the pool behaves exactly as documented above.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Barrier, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
@@ -145,6 +159,123 @@ impl Drop for RoundMark {
     }
 }
 
+/// Hooks for deterministic virtual execution of pool rounds (see the
+/// module-level *Virtual execution* section).
+///
+/// While an observer is installed on a thread, every fork-join entry point
+/// called from that thread runs its shares inline in the order
+/// [`ShareObserver::round_begin`] returns, bracketing each with
+/// `share_begin` / `share_end`, and the recording accessors report every
+/// output write and input read range. All callbacks take `&self` because
+/// virtual rounds are single-threaded by construction; implementations
+/// are free to use `Cell`/`RefCell` internally.
+pub trait ShareObserver {
+    /// A fork-join round with `shares` logical shares is starting.
+    /// Returns the order in which to execute them — any permutation of
+    /// `0..shares`.
+    fn round_begin(&self, shares: usize) -> Vec<usize>;
+    /// The round finished. Also called while unwinding from a panicking
+    /// share, so observer state stays consistent for the panic-safety
+    /// tests.
+    fn round_end(&self);
+    /// Share `share` is about to execute on this thread.
+    fn share_begin(&self, share: usize);
+    /// Share `share` finished (also called during unwinding).
+    fn share_end(&self, share: usize);
+    /// `elems` elements covering `bytes` bytes at address `addr` are
+    /// being written by the currently executing share (or by the
+    /// orchestrating kernel itself, between rounds).
+    fn write_range(&self, addr: usize, bytes: usize, elems: usize);
+    /// `elems` elements covering `bytes` bytes at address `addr` are
+    /// being read by the currently executing share.
+    fn read_range(&self, addr: usize, bytes: usize, elems: usize);
+}
+
+thread_local! {
+    /// The observer driving virtual execution on this thread, if any.
+    static OBSERVER: RefCell<Option<Rc<dyn ShareObserver>>> = const { RefCell::new(None) };
+}
+
+/// Uninstalls the observer installed by [`install_observer`] when dropped,
+/// restoring whatever was installed before (usually nothing).
+pub struct ObserverGuard {
+    prev: Option<Rc<dyn ShareObserver>>,
+}
+
+impl Drop for ObserverGuard {
+    fn drop(&mut self) {
+        OBSERVER.with(|o| *o.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `obs` as the calling thread's executor observer for the
+/// lifetime of the returned guard. Every pool entry point reached from
+/// this thread while the guard lives executes virtually (see the
+/// module-level *Virtual execution* section).
+pub fn install_observer(obs: Rc<dyn ShareObserver>) -> ObserverGuard {
+    let prev = OBSERVER.with(|o| o.borrow_mut().replace(obs));
+    ObserverGuard { prev }
+}
+
+/// The calling thread's current observer, if one is installed.
+fn current_observer() -> Option<Rc<dyn ShareObserver>> {
+    OBSERVER.with(|o| o.borrow().clone())
+}
+
+/// Reports a write of all of `dst`'s elements to the current thread's
+/// observer, if any. Kernels call this at orchestrator-level write sites
+/// that do not go through [`SendPtr`] — sequential small-input fallbacks
+/// and final copy-backs — so the checker's coverage accounting sees every
+/// output byte. Without an observer this is a single thread-local read.
+pub fn note_write_range<T>(dst: &[T]) {
+    if let Some(obs) = current_observer() {
+        obs.write_range(dst.as_ptr() as usize, std::mem::size_of_val(dst), dst.len());
+    }
+}
+
+/// Reports a read of all of `src`'s elements to the current thread's
+/// observer, if any. Kernels call this with each input range a share
+/// consumes, letting the checker verify reads never race another share's
+/// writes within a round (the CREW discipline).
+pub fn note_read_range<T>(src: &[T]) {
+    if let Some(obs) = current_observer() {
+        obs.read_range(src.as_ptr() as usize, std::mem::size_of_val(src), src.len());
+    }
+}
+
+/// Executes one round of `shares` inline on the calling thread, in the
+/// observer-chosen permutation order. Drop guards fire `share_end` /
+/// `round_end` even when a share panics, so the observer's log stays
+/// consistent across unwinding.
+fn run_virtual(obs: &dyn ShareObserver, shares: usize, job: &(dyn Fn(usize) + Sync)) {
+    struct RoundGuard<'a>(&'a dyn ShareObserver);
+    impl Drop for RoundGuard<'_> {
+        fn drop(&mut self) {
+            self.0.round_end();
+        }
+    }
+    struct ShareGuard<'a>(&'a dyn ShareObserver, usize);
+    impl Drop for ShareGuard<'_> {
+        fn drop(&mut self) {
+            self.0.share_end(self.1);
+        }
+    }
+
+    let order = obs.round_begin(shares);
+    assert_eq!(
+        order.len(),
+        shares,
+        "observer schedule must cover every share exactly once"
+    );
+    let _round = RoundGuard(obs);
+    for &share in &order {
+        assert!(share < shares, "observer schedule share out of range");
+        obs.share_begin(share);
+        let _share = ShareGuard(obs, share);
+        job(share);
+    }
+}
+
 /// The process-wide pool shared by every parallel kernel in this crate.
 ///
 /// Created lazily on first use with [`default_threads`] participants and
@@ -170,14 +301,22 @@ pub fn default_threads() -> usize {
     *CACHED.get_or_init(|| threads_from_env(std::env::var("MERGEPATH_THREADS").ok().as_deref()))
 }
 
+/// Upper bound accepted from a `MERGEPATH_THREADS` override. A pool is a
+/// team of real OS threads, so an absurd request (say, `10000000`) is a
+/// configuration error: rather than attempting — and likely failing — to
+/// spawn that many threads, overrides are clamped here.
+pub const MAX_THREADS: usize = 1024;
+
 /// Parses a `MERGEPATH_THREADS`-style override. `None`, empty, zero, or
-/// unparsable values fall back to the machine's available parallelism.
-/// Factored out of [`default_threads`] so the policy is testable without
-/// mutating the process environment.
+/// unparsable values (non-numeric, negative, overflowing) fall back to the
+/// machine's available parallelism; values above [`MAX_THREADS`] are
+/// clamped to it. Factored out of [`default_threads`] so the policy is
+/// testable without mutating the process environment.
 pub fn threads_from_env(value: Option<&str>) -> usize {
     value
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
+        .map(|n| n.min(MAX_THREADS))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -237,6 +376,10 @@ impl Pool {
     /// after all participants have finished the round (the pool itself
     /// stays usable).
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        if let Some(obs) = current_observer() {
+            run_virtual(&*obs, self.threads, job);
+            return;
+        }
         if IN_POOL_ROUND.with(|f| f.get()) {
             // Nested call from inside a share: run every tid inline. The
             // flag is already set, so deeper nesting also stays inline.
@@ -306,6 +449,10 @@ impl Pool {
     ///
     /// Panic propagation and nested-call behaviour match [`Pool::run`].
     pub fn run_indexed(&self, shares: usize, job: &(dyn Fn(usize) + Sync)) {
+        if let Some(obs) = current_observer() {
+            run_virtual(&*obs, shares, job);
+            return;
+        }
         match shares {
             0 => {}
             1 => {
@@ -335,6 +482,12 @@ impl Pool {
             self.run(job);
             return;
         }
+        if let Some(obs) = current_observer() {
+            // Virtual execution takes precedence over telemetry: the
+            // checker audits semantics, not timing.
+            run_virtual(&*obs, self.threads, job);
+            return;
+        }
         let wrapped = |tid: usize| {
             let start = now_ns();
             job(tid);
@@ -357,6 +510,10 @@ impl Pool {
     ) {
         if !R::ACTIVE {
             self.run_indexed(shares, job);
+            return;
+        }
+        if let Some(obs) = current_observer() {
+            run_virtual(&*obs, shares, job);
             return;
         }
         match shares {
@@ -436,6 +593,7 @@ impl Pool {
         );
         let p = self.threads;
         if p == 1 || n <= p {
+            note_write_range(out);
             merge_into_by(a, b, out, cmp);
             return;
         }
@@ -445,13 +603,15 @@ impl Pool {
             let d_hi = segment_boundary(n, p, tid + 1);
             let i_lo = co_rank_by(d_lo, a, b, cmp);
             let i_hi = co_rank_by(d_hi, a, b, cmp);
+            let (sa, sb) = (&a[i_lo..i_hi], &b[d_lo - i_lo..d_hi - i_hi]);
+            note_read_range(sa);
+            note_read_range(sb);
             // SAFETY: `d_lo..d_hi` ranges are disjoint across tids and lie
             // within `out` (d_hi <= n == out.len()); the pool's end barrier
             // orders all writes before `merge_into_by` returns to the
             // caller, which still holds the unique borrow of `out`.
-            let chunk =
-                unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
-            merge_into_by(&a[i_lo..i_hi], &b[d_lo - i_lo..d_hi - i_hi], chunk, cmp);
+            let chunk = unsafe { base.slice_mut(d_lo, d_hi - d_lo) };
+            merge_into_by(sa, sb, chunk, cmp);
         });
     }
 
@@ -519,6 +679,48 @@ impl<T> SendPtr<T> {
     /// The wrapped pointer.
     pub fn get(&self) -> *mut T {
         self.0
+    }
+
+    /// Reconstructs the share-exclusive sub-slice
+    /// `offset..offset + len`, reporting the write range to the thread's
+    /// executor observer (if any). This is the accessor the parallel
+    /// kernels use to claim their output chunk — routing it here is what
+    /// lets `mergepath-check` audit every kernel's write-sets without
+    /// touching kernel logic.
+    ///
+    /// # Safety
+    /// Same contract as [`std::slice::from_raw_parts_mut`] on
+    /// `self.get().add(offset)`: the range must lie within one live
+    /// allocation, no other reference may touch it for the produced
+    /// lifetime, and the caller chooses `'a` no longer than the owning
+    /// borrow (in pool kernels, until the round's end barrier).
+    pub unsafe fn slice_mut<'a>(&self, offset: usize, len: usize) -> &'a mut [T] {
+        // SAFETY: `offset` is in bounds per this function's contract.
+        let ptr = unsafe { self.0.add(offset) };
+        if let Some(obs) = current_observer() {
+            obs.write_range(ptr as usize, len * std::mem::size_of::<T>(), len);
+        }
+        // SAFETY: forwarded contract — see this function's docs.
+        unsafe { std::slice::from_raw_parts_mut(ptr, len) }
+    }
+
+    /// Overwrites the element at `offset` with `value` (without dropping
+    /// the previous value, like [`std::ptr::write`]), reporting a
+    /// one-element write range to the thread's executor observer (if
+    /// any). Used for share-exclusive scalar slots such as per-share
+    /// statistics cells.
+    ///
+    /// # Safety
+    /// `self.get().add(offset)` must be in bounds, valid for writes,
+    /// properly aligned, and exclusive to this share for the round.
+    pub unsafe fn write(&self, offset: usize, value: T) {
+        // SAFETY: `offset` is in bounds per this function's contract.
+        let ptr = unsafe { self.0.add(offset) };
+        if let Some(obs) = current_observer() {
+            obs.write_range(ptr as usize, std::mem::size_of::<T>(), 1);
+        }
+        // SAFETY: valid for writes per this function's contract.
+        unsafe { ptr.write(value) };
     }
 }
 
@@ -792,6 +994,115 @@ mod tests {
         assert_eq!(threads_from_env(Some("")), fallback);
         assert_eq!(threads_from_env(Some("lots")), fallback);
         assert_eq!(threads_from_env(Some("-2")), fallback);
+        assert_eq!(threads_from_env(Some("3.5")), fallback);
+        // Absurdly large values are clamped, not attempted; values that
+        // overflow usize fail to parse and fall back.
+        assert_eq!(threads_from_env(Some("1024")), MAX_THREADS);
+        assert_eq!(threads_from_env(Some("1025")), MAX_THREADS);
+        assert_eq!(threads_from_env(Some("10000000")), MAX_THREADS);
+        assert_eq!(
+            threads_from_env(Some("340282366920938463463374607431768211456")),
+            fallback
+        );
+    }
+
+    /// A minimal observer for the virtual-execution unit tests: runs
+    /// shares in reverse order and logs every callback.
+    struct ReverseObserver {
+        events: RefCell<Vec<String>>,
+    }
+
+    impl ShareObserver for ReverseObserver {
+        fn round_begin(&self, shares: usize) -> Vec<usize> {
+            self.events.borrow_mut().push(format!("round({shares})"));
+            (0..shares).rev().collect()
+        }
+        fn round_end(&self) {
+            self.events.borrow_mut().push("end".into());
+        }
+        fn share_begin(&self, share: usize) {
+            self.events.borrow_mut().push(format!("+{share}"));
+        }
+        fn share_end(&self, share: usize) {
+            self.events.borrow_mut().push(format!("-{share}"));
+        }
+        fn write_range(&self, _addr: usize, bytes: usize, elems: usize) {
+            self.events.borrow_mut().push(format!("w{bytes}b{elems}e"));
+        }
+        fn read_range(&self, _addr: usize, _bytes: usize, _elems: usize) {}
+    }
+
+    #[test]
+    fn observer_runs_shares_inline_in_its_order() {
+        let obs = Rc::new(ReverseObserver {
+            events: RefCell::new(Vec::new()),
+        });
+        let order = Mutex::new(Vec::new());
+        {
+            let _guard = install_observer(obs.clone());
+            let caller = std::thread::current().id();
+            global().run_indexed(3, &|i| {
+                assert_eq!(std::thread::current().id(), caller, "must run inline");
+                order.lock().expect("test mutex").push(i);
+            });
+        }
+        assert_eq!(*order.lock().expect("test mutex"), vec![2, 1, 0]);
+        assert_eq!(
+            *obs.events.borrow(),
+            vec!["round(3)", "+2", "-2", "+1", "-1", "+0", "-0", "end"]
+        );
+        // Guard dropped: the pool is back to real execution.
+        let count = AtomicUsize::new(0);
+        global().run_indexed(3, &|_| {
+            count.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 3);
+    }
+
+    #[test]
+    fn observer_sees_sendptr_writes() {
+        let obs = Rc::new(ReverseObserver {
+            events: RefCell::new(Vec::new()),
+        });
+        let mut out = [0u64; 8];
+        {
+            let _guard = install_observer(obs.clone());
+            let base = SendPtr::new(out.as_mut_ptr());
+            global().run_indexed(2, &|i| {
+                // SAFETY: shares touch disjoint halves of `out`, which
+                // outlives the (inline, virtual) round.
+                let half = unsafe { base.slice_mut(i * 4, 4) };
+                half.fill(i as u64 + 1);
+            });
+        }
+        assert_eq!(out, [1, 1, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(
+            *obs.events.borrow(),
+            vec!["round(2)", "+1", "w32b4e", "-1", "+0", "w32b4e", "-0", "end"]
+        );
+    }
+
+    #[test]
+    fn observer_panic_unwinds_through_guards() {
+        let obs = Rc::new(ReverseObserver {
+            events: RefCell::new(Vec::new()),
+        });
+        let guard = install_observer(obs.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            global().run_indexed(2, &|i| {
+                if i == 0 {
+                    panic!("faulting share");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the share's panic must propagate");
+        // Reverse order ran share 1 first; share 0 panicked, but the drop
+        // guards still closed the share and the round.
+        assert_eq!(
+            *obs.events.borrow(),
+            vec!["round(2)", "+1", "-1", "+0", "-0", "end"]
+        );
+        drop(guard);
     }
 
     #[test]

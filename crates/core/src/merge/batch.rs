@@ -90,6 +90,7 @@ pub fn batch_merge_into_recorded<T, F, R>(
     }
     let p = threads.min(total);
     if p == 1 {
+        executor::note_write_range(out);
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {
@@ -117,7 +118,7 @@ pub fn batch_merge_into_recorded<T, F, R>(
         // SAFETY: `g_lo..g_hi` ranges are disjoint across shares and tile
         // `out` exactly (`g_hi <= total == out.len()`); the pool's end
         // barrier orders the writes before this frame resumes.
-        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(g_lo), g_hi - g_lo) };
+        let chunk = unsafe { base.slice_mut(g_lo, g_hi - g_lo) };
         // Pairs overlapping [g_lo, g_hi): binary search the first.
         let mut pi = offsets.partition_point(|&off| off <= g_lo) - 1;
         let mut chunk_pos = 0usize;
@@ -144,25 +145,23 @@ pub fn batch_merge_into_recorded<T, F, R>(
                 (co_rank_by(lo, a, b, cmp), co_rank_by(hi, a, b, cmp))
             };
             let len = hi - lo;
+            let (sa, sb) = (&a[i_lo..i_hi], &b[lo - i_lo..hi - i_hi]);
+            executor::note_read_range(sa);
+            executor::note_read_range(sb);
             if R::ACTIVE {
                 let hits = Cell::new(0u64);
                 {
                     let _merge = span(rec, k, SpanKind::SegmentMerge);
                     merge_into_by(
-                        &a[i_lo..i_hi],
-                        &b[lo - i_lo..hi - i_hi],
+                        sa,
+                        sb,
                         &mut chunk[chunk_pos..chunk_pos + len],
                         &counted_cmp(cmp, &hits),
                     );
                 }
                 rec.counter_add(k, CounterKind::Comparisons, hits.get());
             } else {
-                merge_into_by(
-                    &a[i_lo..i_hi],
-                    &b[lo - i_lo..hi - i_hi],
-                    &mut chunk[chunk_pos..chunk_pos + len],
-                    cmp,
-                );
+                merge_into_by(sa, sb, &mut chunk[chunk_pos..chunk_pos + len], cmp);
             }
             chunk_pos += len;
             pi += 1;

@@ -164,11 +164,16 @@ pub fn hierarchical_merge_into_recorded<T, F, R>(
         let (i_hi, j_hi) = points[blk + 1];
         // Block blk's output range starts at its path offset i_lo + j_lo.
         let (d_lo, len) = (i_lo + j_lo, (i_hi - i_lo) + (j_hi - j_lo));
+        let (sa, sb) = (&a[i_lo..i_hi], &b[j_lo..j_hi]);
+        executor::note_read_range(sa);
+        executor::note_read_range(sb);
         // SAFETY: partition points are monotone, so the `d_lo..d_lo+len`
         // ranges are disjoint across blocks and tile `out` exactly; the
         // pool's end barrier orders the writes before this frame resumes.
-        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), len) };
-        merge_block_tiled(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, config, cmp, blk, rec);
+        // Lane-level writes happen through safe sub-slices of this chunk,
+        // so the block-level record covers the block's whole write-set.
+        let chunk = unsafe { base.slice_mut(d_lo, len) };
+        merge_block_tiled(sa, sb, chunk, config, cmp, blk, rec);
         if R::ACTIVE {
             rec.worker_items(blk, len as u64);
         }

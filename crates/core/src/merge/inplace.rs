@@ -151,6 +151,7 @@ where
         return;
     }
     if threads <= 1 || n <= INPLACE_CUTOFF {
+        executor::note_write_range(v);
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {
@@ -202,8 +203,7 @@ where
                 // SAFETY: frontier sub-ranges are pairwise disjoint within
                 // `v` (each level partitions its parent's range), so share
                 // `idx` holds the only live reference to this sub-slice.
-                let s =
-                    unsafe { std::slice::from_raw_parts_mut(base.get().add(sub.start), sub.len) };
+                let s = unsafe { base.slice_mut(sub.start, sub.len) };
                 let (i, _j, new_mid) = if R::ACTIVE {
                     let probes = Cell::new(0u64);
                     let split = {
@@ -233,8 +233,8 @@ where
             // SAFETY: child slots 2·idx and 2·idx+1 belong to this share
             // alone; the pool's end barrier publishes them to this frame.
             unsafe {
-                *child_base.get().add(2 * idx) = c0;
-                *child_base.get().add(2 * idx + 1) = c1;
+                child_base.write(2 * idx, c0);
+                child_base.write(2 * idx + 1, c1);
             }
         });
         frontier = children;
@@ -249,7 +249,7 @@ where
             return;
         }
         // SAFETY: leaf sub-ranges are pairwise disjoint within `v`.
-        let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(sub.start), sub.len) };
+        let s = unsafe { base.slice_mut(sub.start, sub.len) };
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {

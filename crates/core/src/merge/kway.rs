@@ -340,6 +340,7 @@ pub fn parallel_kway_merge_recorded<T, F, R>(
     );
     assert!(threads > 0, "thread count must be at least 1");
     if threads == 1 || total <= threads {
+        executor::note_write_range(out);
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {
@@ -385,12 +386,15 @@ pub fn parallel_kway_merge_recorded<T, F, R>(
         // SAFETY: `d_lo..d_hi` ranges are disjoint across shares and tile
         // `out` exactly (`d_hi <= total == out.len()`); the pool's end
         // barrier orders the writes before this frame resumes.
-        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
+        let chunk = unsafe { base.slice_mut(d_lo, d_hi - d_lo) };
         let sub: Vec<&[T]> = lists
             .iter()
             .enumerate()
             .map(|(i, l)| &l[lo[i]..hi[i]])
             .collect();
+        for s in &sub {
+            executor::note_read_range(s);
+        }
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {

@@ -100,6 +100,7 @@ pub fn parallel_merge_into_recorded<T, F, R>(
 
     // Small inputs or a single worker: sequential merge, no fork overhead.
     if threads == 1 || n <= threads {
+        executor::note_write_range(out);
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {
@@ -117,7 +118,22 @@ pub fn parallel_merge_into_recorded<T, F, R>(
     let base = SendPtr::new(out.as_mut_ptr());
     executor::global().run_indexed_recorded(threads, rec, &|k| {
         let d_lo = segment_boundary(n, threads, k);
+        #[cfg(not(mergepath_mutate))]
         let d_hi = segment_boundary(n, threads, k + 1);
+        // Injected partition-boundary fault for the mutation self-test
+        // (`cargo xtask verify-schedules` builds with
+        // `--cfg mergepath_mutate`): share 0's upper cut is off by one, so
+        // its write range overlaps share 1's first element — exactly the
+        // bug class Thm 9 rules out, which the CREW checker must report.
+        #[cfg(mergepath_mutate)]
+        let d_hi = {
+            let d = segment_boundary(n, threads, k + 1);
+            if k == 0 && d < n {
+                d + 1
+            } else {
+                d
+            }
+        };
         // Step 2 of Algorithm 1: each worker finds its own intersections,
         // independently of every other worker.
         let (i_lo, i_hi) = if R::ACTIVE {
@@ -138,28 +154,26 @@ pub fn parallel_merge_into_recorded<T, F, R>(
             (co_rank_by(d_lo, a, b, cmp), co_rank_by(d_hi, a, b, cmp))
         };
         let (j_lo, j_hi) = (d_lo - i_lo, d_hi - i_hi);
+        let (sa, sb) = (&a[i_lo..i_hi], &b[j_lo..j_hi]);
+        executor::note_read_range(sa);
+        executor::note_read_range(sb);
         // SAFETY: segment boundaries are monotone, so `d_lo..d_hi` ranges
         // are pairwise disjoint across shares and lie within `out`
         // (`d_hi <= n == out.len()`); the pool's end barrier orders all
         // writes before `run_indexed` returns to this frame, which still
         // holds the unique borrow of `out`.
-        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
+        let chunk = unsafe { base.slice_mut(d_lo, d_hi - d_lo) };
         // Step 3: a plain sequential merge of the private segment.
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {
                 let _merge = span(rec, k, SpanKind::SegmentMerge);
-                merge_into_by(
-                    &a[i_lo..i_hi],
-                    &b[j_lo..j_hi],
-                    chunk,
-                    &counted_cmp(cmp, &hits),
-                );
+                merge_into_by(sa, sb, chunk, &counted_cmp(cmp, &hits));
             }
             rec.counter_add(k, CounterKind::Comparisons, hits.get());
             rec.worker_items(k, (d_hi - d_lo) as u64);
         } else {
-            merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
+            merge_into_by(sa, sb, chunk, cmp);
         }
     });
 }
@@ -239,9 +253,9 @@ where
         // pool's end barrier orders all writes before this frame reads
         // the vectors again.
         unsafe {
-            *comp_base.get().add(k) = c1 + c2;
-            *elem_base.get().add(k) = d_hi - d_lo;
-            let chunk = std::slice::from_raw_parts_mut(out_base.get().add(d_lo), d_hi - d_lo);
+            comp_base.write(k, c1 + c2);
+            elem_base.write(k, d_hi - d_lo);
+            let chunk = out_base.slice_mut(d_lo, d_hi - d_lo);
             merge_into_by(&a[i_lo..i_hi], &b[j_lo..j_hi], chunk, cmp);
         }
     });

@@ -340,6 +340,7 @@ fn segment_merge_parallel<T, F, R>(
     let step = out.len();
     let p = config.threads.min(step.max(1));
     if p <= 1 {
+        executor::note_write_range(out);
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {
@@ -374,25 +375,23 @@ fn segment_merge_parallel<T, F, R>(
         } else {
             (co_rank_by(d_lo, sa, sb, cmp), co_rank_by(d_hi, sa, sb, cmp))
         };
+        let (fa, fb) = (&sa[i_lo..i_hi], &sb[d_lo - i_lo..d_hi - i_hi]);
+        executor::note_read_range(fa);
+        executor::note_read_range(fb);
         // SAFETY: `d_lo..d_hi` ranges are disjoint across shares and lie
         // within `out` (`d_hi <= step == out.len()`); the pool's end
         // barrier orders the writes before this frame resumes.
-        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), d_hi - d_lo) };
+        let chunk = unsafe { base.slice_mut(d_lo, d_hi - d_lo) };
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {
                 let _merge = span(rec, k, SpanKind::SegmentMerge);
-                merge_into_by(
-                    &sa[i_lo..i_hi],
-                    &sb[d_lo - i_lo..d_hi - i_hi],
-                    chunk,
-                    &counted_cmp(cmp, &hits),
-                );
+                merge_into_by(fa, fb, chunk, &counted_cmp(cmp, &hits));
             }
             rec.counter_add(k, CounterKind::Comparisons, hits.get());
             rec.worker_items(k, (d_hi - d_lo) as u64);
         } else {
-            merge_into_by(&sa[i_lo..i_hi], &sb[d_lo - i_lo..d_hi - i_hi], chunk, cmp);
+            merge_into_by(fa, fb, chunk, cmp);
         }
     });
 }
@@ -415,6 +414,7 @@ fn segment_merge_views_parallel<T, A, B, F, R>(
     let step = out.len();
     let p = config.threads.min(step.max(1));
     if p <= 1 {
+        executor::note_write_range(out);
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {
@@ -441,7 +441,9 @@ fn segment_merge_views_parallel<T, A, B, F, R>(
         // SAFETY: partition points are monotone, so the `d_lo..d_lo+len`
         // ranges are disjoint across shares and tile `out` exactly; the
         // pool's end barrier orders the writes before this frame resumes.
-        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(d_lo), len) };
+        // (Ring-view reads have no contiguous address range to report, so
+        // only the write side is recorded here.)
+        let chunk = unsafe { base.slice_mut(d_lo, len) };
         if R::ACTIVE {
             let hits = Cell::new(0u64);
             {

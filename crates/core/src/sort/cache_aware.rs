@@ -17,6 +17,7 @@ use core::cmp::Ordering;
 
 use mergepath_telemetry::{span, NoRecorder, Recorder, SpanKind};
 
+use crate::executor;
 use crate::merge::segmented::{segmented_parallel_merge_into_recorded, SpmConfig, Staging};
 use crate::sort::parallel::parallel_merge_sort_recorded;
 
@@ -155,6 +156,7 @@ pub fn cache_aware_parallel_sort_recorded<T, F, R>(
             }
             if pair + 2 == runs.len() {
                 let (lo, hi) = (runs[pair], runs[pair + 1]);
+                executor::note_write_range(&dst[lo..hi]);
                 dst[lo..hi].clone_from_slice(&src[lo..hi]);
             }
         }
@@ -162,6 +164,7 @@ pub fn cache_aware_parallel_sort_recorded<T, F, R>(
         runs = super::parallel::halve_runs(&runs);
     }
     if !in_v {
+        executor::note_write_range(v);
         v.clone_from_slice(&scratch);
     }
 }

@@ -65,6 +65,7 @@ where
         return;
     }
     if threads == 1 || n <= 2 * threads {
+        executor::note_write_range(v);
         let mut scratch = vec![T::default(); n];
         if R::ACTIVE {
             let hits = Cell::new(0u64);
@@ -91,9 +92,7 @@ where
             // SAFETY: chunk ranges `bounds[k]..bounds[k+1]` are disjoint
             // across shares and tile `v` exactly; the pool's end barrier
             // orders the writes before this frame resumes.
-            let chunk = unsafe {
-                std::slice::from_raw_parts_mut(base.get().add(bounds[k]), bounds[k + 1] - bounds[k])
-            };
+            let chunk = unsafe { base.slice_mut(bounds[k], bounds[k + 1] - bounds[k]) };
             let mut scratch = vec![T::default(); chunk.len()];
             if R::ACTIVE {
                 let hits = Cell::new(0u64);
@@ -117,6 +116,7 @@ where
         let _round = span(rec, 0, SpanKind::SortRound);
         parallel_kway_merge_recorded(&runs, &mut out, threads, cmp, rec);
     }
+    executor::note_write_range(v);
     v.clone_from_slice(&out);
 }
 

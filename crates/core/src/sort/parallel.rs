@@ -65,6 +65,7 @@ where
         return;
     }
     if threads == 1 || n <= 2 * threads {
+        executor::note_write_range(v);
         let mut scratch = vec![T::default(); n];
         if R::ACTIVE {
             let hits = Cell::new(0u64);
@@ -92,9 +93,7 @@ where
             // SAFETY: chunk ranges `bounds[k]..bounds[k+1]` are disjoint
             // across shares and tile `v` exactly; the pool's end barrier
             // orders the writes before this frame resumes.
-            let chunk = unsafe {
-                std::slice::from_raw_parts_mut(base.get().add(bounds[k]), bounds[k + 1] - bounds[k])
-            };
+            let chunk = unsafe { base.slice_mut(bounds[k], bounds[k + 1] - bounds[k]) };
             let mut scratch = vec![T::default(); chunk.len()];
             if R::ACTIVE {
                 let hits = Cell::new(0u64);
@@ -128,6 +127,7 @@ where
         runs = halve_runs(&runs);
     }
     if !in_v {
+        executor::note_write_range(v);
         v.clone_from_slice(&scratch);
     }
 }
@@ -161,6 +161,7 @@ fn merge_round_parallel<T, F, R>(
     if pair + 2 == runs.len() {
         // Lone trailing run: copy through.
         let (lo, hi) = (runs[pair], runs[pair + 1]);
+        executor::note_write_range(&dst[lo..hi]);
         dst[lo..hi].clone_from_slice(&src[lo..hi]);
     }
 }

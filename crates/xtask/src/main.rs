@@ -19,14 +19,31 @@ fn usage() -> ExitCode {
     eprintln!("  verify-telemetry run `mp trace` on a small input and schema-check the");
     eprintln!("                   Chrome trace and JSONL metrics it emits (Thm 14");
     eprintln!("                   per-worker bounds included)");
+    eprintln!("  verify-schedules run `mp check --kernel all` (CREW exclusivity, exact");
+    eprintln!("                   coverage and Thm 14 across permuted virtual schedules");
+    eprintln!("                   for every kernel), then rebuild with the injected");
+    eprintln!("                   partition fault (--cfg mergepath_mutate) and prove the");
+    eprintln!("                   checker reports the overlap");
     ExitCode::FAILURE
 }
 
 /// Runs `cargo <args>` against the workspace root, echoing the command.
 fn cargo(args: &[&str]) -> bool {
+    cargo_env(args, &[])
+}
+
+/// [`cargo`] with extra environment variables (echoed alongside the
+/// command).
+fn cargo_env(args: &[&str], envs: &[(&str, &str)]) -> bool {
     let cargo = env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
-    println!("$ cargo {}", args.join(" "));
-    match Command::new(cargo).args(args).status() {
+    let prefix: String = envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+    println!("$ {prefix}cargo {}", args.join(" "));
+    let mut cmd = Command::new(cargo);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    match cmd.status() {
         Ok(status) => status.success(),
         Err(e) => {
             eprintln!("failed to spawn cargo: {e}");
@@ -160,11 +177,74 @@ fn verify_telemetry() -> ExitCode {
     }
 }
 
+/// The schedule-exploration gate, in two halves:
+///
+/// 1. **Soundness of the kernels**: `mp check --kernel all` must accept
+///    every kernel — CREW-exclusive, exactly covering, Thm 14-bounded and
+///    oracle-identical under permuted virtual schedules.
+/// 2. **Sensitivity of the checker**: the workspace is rebuilt with
+///    `--cfg mergepath_mutate` (a deliberate off-by-one in the Algorithm 1
+///    partition that makes two shares write the same boundary slot with the
+///    same value — invisible to output diffing) and the mutation self-test
+///    must observe the checker reporting `WriteOverlap`. A separate target
+///    directory keeps the mutated artifacts from poisoning the normal
+///    build cache.
+fn verify_schedules() -> ExitCode {
+    let check = [
+        "run",
+        "--offline",
+        "--release",
+        "-q",
+        "-p",
+        "mergepath-cli",
+        "--bin",
+        "mp",
+        "--",
+        "check",
+        "--kernel",
+        "all",
+        "--n",
+        "4096",
+        "--threads",
+        "4",
+        "--schedules",
+        "8",
+    ];
+    if !cargo(&check) {
+        eprintln!("verify-schedules: FAILED: `mp check --kernel all` found a violation");
+        return ExitCode::FAILURE;
+    }
+    let mutate = [
+        "test",
+        "--offline",
+        "-q",
+        "-p",
+        "mergepath-check",
+        "--test",
+        "mutation",
+        "mutation_overlap_is_detected",
+    ];
+    let envs = [
+        ("RUSTFLAGS", "--cfg mergepath_mutate"),
+        ("CARGO_TARGET_DIR", "target/mutate"),
+    ];
+    if !cargo_env(&mutate, &envs) {
+        eprintln!("verify-schedules: FAILED: the checker did not detect the injected fault");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "verify-schedules: OK (all kernels CREW-exclusive under permuted schedules; \
+         injected partition fault detected)"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let task = env::args().nth(1);
     match task.as_deref() {
         Some("verify-offline") => verify_offline(),
         Some("verify-telemetry") => verify_telemetry(),
+        Some("verify-schedules") => verify_schedules(),
         _ => usage(),
     }
 }

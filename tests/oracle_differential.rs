@@ -146,6 +146,33 @@ fn every_variant_matches_the_sequential_oracle() {
 }
 
 #[test]
+fn every_kernel_survives_permuted_schedules_on_adversarial_inputs() {
+    // The schedule dimension: each adversarial family runs under 8
+    // seed-permuted virtual schedules per kernel (mergepath-check's
+    // deterministic executor). The checker demands byte-identical agreement
+    // with its sequential oracle on every schedule *and* verifies CREW
+    // disjointness, exact coverage and the Thm 14 bound on the recorded
+    // access sets — turning each differential case into a scheduling proof.
+    use mergepath_check::{check_kernel_on, CheckConfig, Kernel};
+    for (name, ka, kb) in adversarial_inputs() {
+        let (a, b) = tag(&ka, &kb);
+        for threads in [2usize, 4] {
+            let cfg = CheckConfig {
+                threads,
+                schedules: 8,
+                seed: 0xD1FF ^ threads as u64,
+                pram_limit: 0, // machine cross-validation covered in mergepath-check
+            };
+            for &kernel in &Kernel::ALL {
+                if let Err(e) = check_kernel_on(kernel, &a, &b, &cfg) {
+                    panic!("{name}: {} threads={threads}: {e}", kernel.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn batch_variant_matches_oracle_on_ragged_batches() {
     // The batch kernel's own adversary: many pairs of wildly different
     // sizes, including empty pairs, merged under one worker budget.
