@@ -4,115 +4,30 @@
 //! observation), plus the derived load-balance report (Thm 14 predicted
 //! `⌈N/p⌉` vs observed per-worker counts, busy-time spread, round waits).
 //!
-//! Writes `BENCH_telemetry.json` at the workspace root (next to the other
-//! `BENCH_*`/`results/` artifacts) and prints a table.
+//! Writes `BENCH_telemetry.json` at the workspace root through the shared
+//! artifact envelope ([`mergepath::telemetry::artifact`]); the payload
+//! comes from the same builder `mp bench` uses
+//! ([`mergepath_cli::bench::telemetry_payload`]), so this bin and the CLI
+//! harness can never emit divergent schemas or environment fingerprints.
+//! Also prints a table and saves `results/telemetry.csv`.
 //!
 //! Run: `cargo run --release -p mergepath-bench --bin bench_telemetry [--full|--smoke]`
 
-use std::fmt::Write as _;
+use mergepath::telemetry::artifact::{render_artifact, EnvFingerprint};
+use mergepath::telemetry::json::{self, Value};
+use mergepath_bench::{Scale, Table};
+use mergepath_cli::bench::telemetry_payload;
 
-use mergepath::merge::batch::batch_merge_into_recorded;
-use mergepath::merge::hierarchical::{hierarchical_merge_into_recorded, HierarchicalConfig};
-use mergepath::merge::inplace::parallel_inplace_merge_recorded;
-use mergepath::merge::kway::parallel_kway_merge_recorded;
-use mergepath::merge::parallel::parallel_merge_into_recorded;
-use mergepath::merge::segmented::{segmented_parallel_merge_into_recorded, SpmConfig};
-use mergepath::sort::cache_aware::{cache_aware_parallel_sort_recorded, CacheAwareConfig};
-use mergepath::sort::kway::kway_merge_sort_recorded;
-use mergepath::sort::parallel::parallel_merge_sort_recorded;
-use mergepath::telemetry::{NoRecorder, Recorder, Telemetry, TimelineRecorder};
-use mergepath_bench::{time_best, Scale, Table};
-use mergepath_workloads::{
-    merge_pair_sized, sorted_keys, unsorted_keys, MergeWorkload, SortWorkload,
-};
-
-const SEED: u64 = 0x7e1e;
-
-/// Runs one kernel under `rec`; the generic lets the same closure body
-/// drive both the `NoRecorder` timing loop and the traced run.
-fn run_kernel<R: Recorder>(kernel: &str, n: usize, threads: usize, rec: &R) {
-    let cmp = |x: &u32, y: &u32| x.cmp(y);
-    match kernel {
-        "parallel" => {
-            let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, SEED);
-            let mut out = vec![0u32; n];
-            parallel_merge_into_recorded(&a, &b, &mut out, threads, &cmp, rec);
-        }
-        "segmented" => {
-            let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, SEED);
-            let mut out = vec![0u32; n];
-            let spm = SpmConfig::new(64 * 1024, threads);
-            segmented_parallel_merge_into_recorded(&a, &b, &mut out, &spm, &cmp, rec);
-        }
-        "batch" => {
-            let pair_count = threads.max(2);
-            let data: Vec<(Vec<u32>, Vec<u32>)> = (0..pair_count)
-                .map(|i| {
-                    let lo = i * n / pair_count;
-                    let hi = (i + 1) * n / pair_count;
-                    let total = hi - lo;
-                    merge_pair_sized(
-                        MergeWorkload::Uniform,
-                        total / 2,
-                        total - total / 2,
-                        SEED.wrapping_add(i as u64),
-                    )
-                })
-                .collect();
-            let pairs: Vec<(&[u32], &[u32])> = data
-                .iter()
-                .map(|(a, b)| (a.as_slice(), b.as_slice()))
-                .collect();
-            let mut out = vec![0u32; n];
-            batch_merge_into_recorded(&pairs, &mut out, threads, &cmp, rec);
-        }
-        "inplace" => {
-            let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, SEED);
-            let mid = a.len();
-            let mut v = a;
-            v.extend(b);
-            parallel_inplace_merge_recorded(&mut v, mid, threads, &cmp, rec);
-        }
-        "kway" => {
-            let k = 8usize;
-            let lists: Vec<Vec<u32>> = (0..k)
-                .map(|i| {
-                    let lo = i * n / k;
-                    let hi = (i + 1) * n / k;
-                    sorted_keys(hi - lo, SEED.wrapping_add(i as u64))
-                })
-                .collect();
-            let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
-            let mut out = vec![0u32; n];
-            parallel_kway_merge_recorded(&refs, &mut out, threads, &cmp, rec);
-        }
-        "hierarchical" => {
-            let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, SEED);
-            let mut out = vec![0u32; n];
-            let cfg = HierarchicalConfig::new(threads);
-            hierarchical_merge_into_recorded(&a, &b, &mut out, &cfg, &cmp, rec);
-        }
-        "sort-parallel" => {
-            let mut v = unsorted_keys(SortWorkload::Uniform, n, SEED);
-            parallel_merge_sort_recorded(&mut v, threads, &cmp, rec);
-        }
-        "sort-kway" => {
-            let mut v = unsorted_keys(SortWorkload::Uniform, n, SEED);
-            kway_merge_sort_recorded(&mut v, threads, &cmp, rec);
-        }
-        "sort-cache-aware" => {
-            let mut v = unsorted_keys(SortWorkload::Uniform, n, SEED);
-            let cfg = CacheAwareConfig::new(64 * 1024, threads);
-            cache_aware_parallel_sort_recorded(&mut v, &cfg, &cmp, rec);
-        }
-        other => unreachable!("unknown kernel {other}"),
-    }
+fn field(kernel: &Value, key: &str) -> f64 {
+    kernel.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
 }
 
-fn trace_once(kernel: &str, n: usize, threads: usize) -> Telemetry {
-    let rec = TimelineRecorder::new();
-    run_kernel(kernel, n, threads, &rec);
-    rec.finish()
+fn balance_field(kernel: &Value, key: &str) -> f64 {
+    kernel
+        .get("load_balance")
+        .and_then(|b| b.get(key))
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN)
 }
 
 fn main() {
@@ -124,19 +39,18 @@ fn main() {
     };
     let threads = mergepath::executor::default_threads();
     let reps = scale.reps().max(3);
-    let kernels = [
-        "parallel",
-        "segmented",
-        "batch",
-        "inplace",
-        "kway",
-        "hierarchical",
-        "sort-parallel",
-        "sort-kway",
-        "sort-cache-aware",
-    ];
 
     println!("=== telemetry: traced vs untraced, load balance (n={n}, p={threads}) ===\n");
+    let payload = telemetry_payload(n, threads, 0x7e1e, reps);
+    let doc = render_artifact("bench_telemetry", &EnvFingerprint::capture(), &payload)
+        .expect("BENCH_telemetry.json must pass the artifact schema check");
+
+    // Render the table from the payload itself — one source of truth.
+    let parsed = json::parse(&payload).expect("payload parses");
+    let kernels = parsed
+        .get("kernels")
+        .and_then(Value::as_array)
+        .expect("kernels array");
     let mut t = Table::new(&[
         "kernel",
         "untraced (s)",
@@ -147,49 +61,30 @@ fn main() {
         "imbalance",
         "wait (ns)",
     ]);
-    let mut json = String::from("{\"type\":\"bench_telemetry\",");
-    let _ = write!(
-        json,
-        "\"n\":{n},\"threads\":{threads},\"reps\":{reps},\"kernels\":["
-    );
-    for (i, kernel) in kernels.iter().enumerate() {
-        let untraced = time_best(reps, || run_kernel(kernel, n, threads, &NoRecorder));
-        let traced = time_best(reps, || {
-            let rec = TimelineRecorder::new();
-            run_kernel(kernel, n, threads, &rec);
-            drop(rec.finish());
-        });
-        let telemetry = trace_once(kernel, n, threads);
-        let report = telemetry.load_balance(n as u64, threads);
-        let overhead = traced / untraced - 1.0;
+    for k in kernels {
         t.row(&[
-            kernel.to_string(),
-            format!("{untraced:.4}"),
-            format!("{traced:.4}"),
-            format!("{:+.1}%", overhead * 100.0),
-            format!("{}/{}", report.max_items, report.min_items),
-            report.thm14_exact.to_string(),
-            format!("{:.3}", report.busy.imbalance),
-            report.total_wait_ns.to_string(),
+            k.get("kernel").and_then(Value::as_str).unwrap().to_string(),
+            format!("{:.4}", field(k, "untraced_s")),
+            format!("{:.4}", field(k, "traced_s")),
+            format!("{:+.1}%", field(k, "overhead") * 100.0),
+            format!(
+                "{}/{}",
+                balance_field(k, "max_items") as u64,
+                balance_field(k, "min_items") as u64
+            ),
+            matches!(
+                k.get("load_balance").and_then(|b| b.get("thm14_exact")),
+                Some(Value::Bool(true))
+            )
+            .to_string(),
+            format!("{:.3}", balance_field(k, "imbalance")),
+            (balance_field(k, "total_wait_ns") as u64).to_string(),
         ]);
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "{{\"kernel\":\"{kernel}\",\"untraced_s\":{untraced},\"traced_s\":{traced},\
-             \"overhead\":{overhead},\"spans\":{},\"load_balance\":{}}}",
-            telemetry.spans.len(),
-            report.to_json(),
-        );
     }
-    json.push_str("]}");
     println!("{}", t.render());
     t.save_csv("telemetry");
 
-    // Self-check: the emitted document must parse with the in-repo parser.
-    mergepath::telemetry::json::parse(&json).expect("BENCH_telemetry.json must be valid JSON");
-    match std::fs::write("BENCH_telemetry.json", &json) {
+    match std::fs::write("BENCH_telemetry.json", &doc) {
         Ok(()) => println!("(json written to BENCH_telemetry.json)"),
         Err(e) => eprintln!("warning: cannot write BENCH_telemetry.json: {e}"),
     }

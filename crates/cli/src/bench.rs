@@ -1,0 +1,446 @@
+//! `mp bench` — the reproducible perf harness behind the committed
+//! `BENCH_*.json` artifacts.
+//!
+//! Three artifacts come out of one run, all through the shared envelope
+//! writer ([`mergepath::telemetry::artifact`]) so they can never disagree
+//! on schema version or environment fingerprint:
+//!
+//! * `BENCH_merge.json` — the parallel merge across four workload
+//!   families (uniform, duplicate-heavy, run-structured, adversarial-tie),
+//!   each measured under the adaptive per-segment dispatch **and** under a
+//!   pinned classic kernel, with median ns/element, comparison counts,
+//!   per-kernel segment counters, and the Thm 14 load-balance skew.
+//! * `BENCH_sort.json` — the §III parallel merge sort across four sort
+//!   families, same columns.
+//! * `BENCH_telemetry.json` — traced vs untraced wall-clock and the
+//!   load-balance report for every parallel kernel (the observation-cost
+//!   table previously produced by the standalone `bench_telemetry` bin,
+//!   refreshed here so it shares the other artifacts' fingerprint).
+//!
+//! Everything is seeded and pure-computation; the only I/O happens in
+//! `main.rs`, so the whole harness is unit-testable at smoke scale.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mergepath::merge::adaptive::{with_dispatch_policy, DispatchPolicy, SegmentKernel};
+use mergepath::merge::parallel::{parallel_merge_into_by, parallel_merge_into_recorded};
+use mergepath::sort::parallel::{parallel_merge_sort_by, parallel_merge_sort_recorded};
+use mergepath::telemetry::artifact::{render_artifact, EnvFingerprint};
+use mergepath::telemetry::{NoRecorder, Telemetry, TimelineRecorder};
+use mergepath_workloads::{merge_pair_sized, unsorted_keys, MergeWorkload, SortWorkload};
+
+use crate::{run_kernel_recorded, TraceKernel};
+
+/// Scale and reproducibility knobs for one `mp bench` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Total output elements per measured merge / sorted elements per sort.
+    pub n: usize,
+    /// Worker count.
+    pub threads: usize,
+    /// Workload PRNG seed.
+    pub seed: u64,
+    /// Timing repetitions per data point (the median is reported).
+    pub reps: usize,
+}
+
+impl BenchConfig {
+    /// The full configuration behind the committed artifacts.
+    pub fn full(threads: usize, seed: u64) -> Self {
+        BenchConfig {
+            n: 1 << 20,
+            threads,
+            seed,
+            reps: 5,
+        }
+    }
+
+    /// A fast configuration for CI's `verify-bench` gate and tests.
+    pub fn smoke(threads: usize, seed: u64) -> Self {
+        BenchConfig {
+            n: 1 << 16,
+            threads,
+            seed,
+            reps: 3,
+        }
+    }
+}
+
+/// The rendered artifacts of one `mp bench` run, ready to write to disk.
+#[derive(Debug, Clone)]
+pub struct BenchArtifacts {
+    /// Human-readable summary for stdout.
+    pub summary: String,
+    /// `BENCH_merge.json` contents.
+    pub merge_json: String,
+    /// `BENCH_sort.json` contents.
+    pub sort_json: String,
+    /// `BENCH_telemetry.json` contents.
+    pub telemetry_json: String,
+}
+
+/// The merge workload families the harness sweeps. `adversarial-tie` is
+/// built inline (every element equal — the tie-handling worst case) rather
+/// than as a tenth [`MergeWorkload`] variant, which exhaustive kernel
+/// sweeps elsewhere size against.
+pub const MERGE_FAMILIES: [&str; 4] = ["uniform", "duplicate-heavy", "runs", "adversarial-tie"];
+
+/// The sort workload families the harness sweeps.
+pub const SORT_FAMILIES: [SortWorkload; 4] = [
+    SortWorkload::Uniform,
+    SortWorkload::DuplicateHeavy,
+    SortWorkload::Sorted,
+    SortWorkload::OrganPipe,
+];
+
+fn merge_inputs(family: &str, n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let (na, nb) = (n / 2, n - n / 2);
+    match family {
+        "uniform" => merge_pair_sized(MergeWorkload::Uniform, na, nb, seed),
+        "duplicate-heavy" => merge_pair_sized(MergeWorkload::DuplicateHeavy, na, nb, seed),
+        "runs" => merge_pair_sized(MergeWorkload::Runs, na, nb, seed),
+        "adversarial-tie" => (vec![7u32; na], vec![7u32; nb]),
+        other => unreachable!("unknown merge family {other}"),
+    }
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<u128> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64
+}
+
+/// One family's measurements under both dispatch policies.
+#[derive(Debug, Clone)]
+struct FamilyRow {
+    family: String,
+    adaptive_ns_per_elem: f64,
+    classic_ns_per_elem: f64,
+    comparisons: u64,
+    segments: [u64; 3],
+    max_items: u64,
+    predicted_max: u64,
+    imbalance: f64,
+}
+
+fn counter_total(t: &Telemetry, name: &str) -> u64 {
+    t.counters
+        .iter()
+        .filter(|c| c.kind.name() == name)
+        .map(|c| c.total)
+        .sum()
+}
+
+fn family_row(
+    family: &str,
+    n: usize,
+    cfg: &BenchConfig,
+    mut timed: impl FnMut(),
+    traced: impl FnOnce(&TimelineRecorder),
+) -> FamilyRow {
+    let adaptive_ns =
+        with_dispatch_policy(DispatchPolicy::Adaptive, || median_ns(cfg.reps, &mut timed));
+    let classic_ns = with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::Classic), || {
+        median_ns(cfg.reps, &mut timed)
+    });
+    let telemetry = with_dispatch_policy(DispatchPolicy::Adaptive, || {
+        let rec = TimelineRecorder::new();
+        traced(&rec);
+        rec.finish()
+    });
+    let report = telemetry.load_balance(n as u64, cfg.threads);
+    FamilyRow {
+        family: family.to_string(),
+        adaptive_ns_per_elem: adaptive_ns / n as f64,
+        classic_ns_per_elem: classic_ns / n as f64,
+        comparisons: counter_total(&telemetry, "comparisons"),
+        segments: [
+            counter_total(&telemetry, "segments_classic"),
+            counter_total(&telemetry, "segments_branch_lean"),
+            counter_total(&telemetry, "segments_galloping"),
+        ],
+        max_items: report.max_items,
+        predicted_max: report.predicted_max,
+        imbalance: report.busy.imbalance,
+    }
+}
+
+fn rows_payload(cfg: &BenchConfig, rows: &[FamilyRow]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"n\":{},\"threads\":{},\"seed\":{},\"reps\":{},\"families\":[",
+        cfg.n, cfg.threads, cfg.seed, cfg.reps
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"family\":\"{}\",\"adaptive_ns_per_elem\":{},\"classic_ns_per_elem\":{},\
+             \"speedup_vs_classic\":{},\"comparisons\":{},\"segments_classic\":{},\
+             \"segments_branch_lean\":{},\"segments_galloping\":{},\"max_items\":{},\
+             \"predicted_max\":{},\"imbalance\":{}}}",
+            r.family,
+            r.adaptive_ns_per_elem,
+            r.classic_ns_per_elem,
+            r.classic_ns_per_elem / r.adaptive_ns_per_elem.max(f64::MIN_POSITIVE),
+            r.comparisons,
+            r.segments[0],
+            r.segments[1],
+            r.segments[2],
+            r.max_items,
+            r.predicted_max,
+            r.imbalance,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn summarize(title: &str, rows: &[FamilyRow], out: &mut String) {
+    let _ = writeln!(
+        out,
+        "{title}: family, adaptive ns/elem, classic ns/elem, speedup, segments (c/bl/g)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8.3} {:>8.3} {:>6.3}x  {}/{}/{}",
+            r.family,
+            r.adaptive_ns_per_elem,
+            r.classic_ns_per_elem,
+            r.classic_ns_per_elem / r.adaptive_ns_per_elem.max(f64::MIN_POSITIVE),
+            r.segments[0],
+            r.segments[1],
+            r.segments[2],
+        );
+    }
+}
+
+/// The telemetry artifact's payload: traced vs untraced wall-clock plus
+/// the load-balance report for every parallel kernel. Shared by `mp bench`
+/// and the standalone `bench_telemetry` bin so both refresh
+/// `BENCH_telemetry.json` with the same schema.
+pub fn telemetry_payload(n: usize, threads: usize, seed: u64, reps: usize) -> String {
+    let mut payload = String::new();
+    let _ = write!(
+        payload,
+        "{{\"n\":{n},\"threads\":{threads},\"reps\":{reps},\"kernels\":["
+    );
+    let kernels = [
+        TraceKernel::Parallel,
+        TraceKernel::Segmented,
+        TraceKernel::Batch,
+        TraceKernel::Inplace,
+        TraceKernel::Kway,
+        TraceKernel::Hierarchical,
+        TraceKernel::SortParallel,
+        TraceKernel::SortKway,
+        TraceKernel::SortCacheAware,
+    ];
+    for (i, kernel) in kernels.into_iter().enumerate() {
+        let untraced_ns = median_ns(reps, || {
+            run_kernel_recorded(kernel, n, threads, seed, &NoRecorder)
+        });
+        let traced_ns = median_ns(reps, || {
+            let rec = TimelineRecorder::new();
+            run_kernel_recorded(kernel, n, threads, seed, &rec);
+            drop(rec.finish());
+        });
+        let rec = TimelineRecorder::new();
+        run_kernel_recorded(kernel, n, threads, seed, &rec);
+        let telemetry = rec.finish();
+        let report = telemetry.load_balance(n as u64, threads);
+        if i > 0 {
+            payload.push(',');
+        }
+        let _ = write!(
+            payload,
+            "{{\"kernel\":\"{}\",\"untraced_s\":{},\"traced_s\":{},\"overhead\":{},\
+             \"spans\":{},\"load_balance\":{}}}",
+            kernel.name(),
+            untraced_ns / 1e9,
+            traced_ns / 1e9,
+            traced_ns / untraced_ns.max(f64::MIN_POSITIVE) - 1.0,
+            telemetry.spans.len(),
+            report.to_json(),
+        );
+    }
+    payload.push_str("]}");
+    payload
+}
+
+/// Runs the full harness and renders all three artifacts.
+///
+/// # Panics
+/// Panics if an assembled artifact fails the envelope self-check — a bug
+/// in this module, not an input condition.
+pub fn run_bench(cfg: &BenchConfig) -> BenchArtifacts {
+    let env = EnvFingerprint::capture();
+    let cmp = |x: &u32, y: &u32| x.cmp(y);
+    let mut summary = format!(
+        "mp bench: n={} threads={} seed={} reps={}\n",
+        cfg.n, cfg.threads, cfg.seed, cfg.reps
+    );
+
+    // --- merge sweep ---
+    let merge_rows: Vec<FamilyRow> = MERGE_FAMILIES
+        .iter()
+        .map(|family| {
+            let (a, b) = merge_inputs(family, cfg.n, cfg.seed);
+            let mut out = vec![0u32; cfg.n];
+            family_row(
+                family,
+                cfg.n,
+                cfg,
+                || parallel_merge_into_by(&a, &b, &mut out, cfg.threads, &cmp),
+                |rec| {
+                    let mut traced_out = vec![0u32; cfg.n];
+                    parallel_merge_into_recorded(&a, &b, &mut traced_out, cfg.threads, &cmp, rec);
+                },
+            )
+        })
+        .collect();
+    summarize("merge", &merge_rows, &mut summary);
+
+    // --- sort sweep ---
+    let sort_rows: Vec<FamilyRow> = SORT_FAMILIES
+        .iter()
+        .map(|family| {
+            let v = unsorted_keys(*family, cfg.n, cfg.seed);
+            family_row(
+                family.name(),
+                cfg.n,
+                cfg,
+                || {
+                    let mut w = v.clone();
+                    parallel_merge_sort_by(&mut w, cfg.threads, &cmp);
+                },
+                |rec| {
+                    let mut w = v.clone();
+                    parallel_merge_sort_recorded(&mut w, cfg.threads, &cmp, rec);
+                },
+            )
+        })
+        .collect();
+    summarize("sort", &sort_rows, &mut summary);
+
+    // --- telemetry refresh (same writer, same fingerprint) ---
+    let telemetry = telemetry_payload(cfg.n, cfg.threads, cfg.seed, cfg.reps);
+
+    let merge_json = render_artifact("bench_merge", &env, &rows_payload(cfg, &merge_rows))
+        .expect("merge artifact must pass its own schema check");
+    let sort_json = render_artifact("bench_sort", &env, &rows_payload(cfg, &sort_rows))
+        .expect("sort artifact must pass its own schema check");
+    let telemetry_json = render_artifact("bench_telemetry", &env, &telemetry)
+        .expect("telemetry artifact must pass its own schema check");
+    BenchArtifacts {
+        summary,
+        merge_json,
+        sort_json,
+        telemetry_json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergepath::telemetry::artifact::{check_artifact, same_env};
+    use mergepath::telemetry::json::{self, Value};
+
+    fn family_names(doc: &Value) -> Vec<String> {
+        doc.get("payload")
+            .and_then(|p| p.get("families"))
+            .and_then(Value::as_array)
+            .expect("families array")
+            .iter()
+            .map(|f| f.get("family").and_then(Value::as_str).unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn smoke_bench_produces_three_consistent_artifacts() {
+        let cfg = BenchConfig {
+            n: 1 << 12,
+            threads: 4,
+            seed: 7,
+            reps: 1,
+        };
+        let run = run_bench(&cfg);
+        let merge = check_artifact(&run.merge_json, "bench_merge").expect("merge envelope");
+        let sort = check_artifact(&run.sort_json, "bench_sort").expect("sort envelope");
+        let telemetry =
+            check_artifact(&run.telemetry_json, "bench_telemetry").expect("telemetry envelope");
+        assert!(same_env(&merge, &sort) && same_env(&sort, &telemetry));
+        assert_eq!(family_names(&merge), MERGE_FAMILIES);
+        assert_eq!(
+            family_names(&sort),
+            ["uniform", "duplicate-heavy", "sorted", "organ-pipe"]
+        );
+        let kernels = telemetry
+            .get("payload")
+            .and_then(|p| p.get("kernels"))
+            .and_then(Value::as_array)
+            .expect("kernels array");
+        assert_eq!(kernels.len(), 9);
+        assert!(run.summary.contains("merge:"));
+        assert!(run.summary.contains("sort:"));
+    }
+
+    #[test]
+    fn duplicate_heavy_merge_routes_to_galloping_segments() {
+        // PROBE_MIN_LEN-sized shares of a duplicate-heavy input must be
+        // recognized by the probe; the committed artifact's speedup claim
+        // rests on this routing actually happening.
+        let cfg = BenchConfig {
+            n: 1 << 14,
+            threads: 2,
+            seed: 3,
+            reps: 1,
+        };
+        let run = run_bench(&cfg);
+        let doc = json::parse(&run.merge_json).unwrap();
+        let families = doc
+            .get("payload")
+            .and_then(|p| p.get("families"))
+            .and_then(Value::as_array)
+            .unwrap();
+        for f in families {
+            let family = f.get("family").and_then(Value::as_str).unwrap();
+            let galloping = f.get("segments_galloping").and_then(Value::as_f64).unwrap();
+            let classic = f.get("segments_classic").and_then(Value::as_f64).unwrap();
+            match family {
+                "duplicate-heavy" => {
+                    assert!(galloping > 0.0, "{family}: no galloping segments")
+                }
+                // Ties all go to A, so the merge path is an L: every share
+                // is one-sided (a pure copy) and the probe rightly stays
+                // on the classic kernel.
+                "adversarial-tie" => {
+                    assert!(classic > 0.0 && galloping == 0.0, "{family}: not one-sided")
+                }
+                "uniform" => assert_eq!(galloping, 0.0, "uniform must not gallop"),
+                _ => {}
+            }
+            assert!(classic >= 0.0);
+        }
+    }
+
+    #[test]
+    fn median_ns_is_order_insensitive() {
+        let mut calls = 0u32;
+        let ns = median_ns(3, || calls += 1);
+        assert_eq!(calls, 3);
+        assert!(ns >= 0.0);
+    }
+}

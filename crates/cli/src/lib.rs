@@ -11,6 +11,8 @@
 //!           [--schedules K]                          # schedule-exploration check
 //! mp trace  --kernel K [--n N] [--threads P] [--seed S]
 //!           [--trace-out F] [--metrics-out F]       # run + record telemetry
+//! mp bench  [--n N] [--threads P] [--seed S] [--reps R]
+//!           [--out-dir D] [--smoke]                 # BENCH_*.json artifacts
 //! ```
 //!
 //! `mp check --kernel …` drives the deterministic schedule checker
@@ -41,6 +43,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod bench;
 
 use std::fmt::Write as _;
 
@@ -124,6 +128,7 @@ pub const USAGE: &str = "usage:
   mp check  --kernel KERNEL|all [--n N] [--threads P] [--seed S] [--schedules K]
   mp trace  --kernel KERNEL
             [--n N] [--threads P] [--seed S] [--trace-out F] [--metrics-out F]
+  mp bench  [--n N] [--threads P] [--seed S] [--reps R] [--out-dir D] [--smoke]
 where KERNEL is parallel|segmented|batch|inplace|kway|hierarchical|\
 sort-parallel|sort-kway|sort-cache-aware";
 
@@ -285,6 +290,19 @@ pub enum Command {
         /// JSONL metrics output path (default `mp-metrics.jsonl`).
         metrics_out: String,
     },
+    /// `mp bench` — the reproducible perf harness (see [`bench`]).
+    Bench {
+        /// Elements per measured merge/sort.
+        n: usize,
+        /// Logical worker count `p`.
+        threads: usize,
+        /// Workload PRNG seed.
+        seed: u64,
+        /// Timing repetitions per data point.
+        reps: usize,
+        /// Directory receiving the three `BENCH_*.json` artifacts.
+        out_dir: String,
+    },
 }
 
 /// Parses an argument vector (without the program name).
@@ -303,6 +321,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut seed = 42u64;
     let mut trace_out = String::from("mp-trace.json");
     let mut metrics_out = String::from("mp-metrics.jsonl");
+    let mut reps: Option<usize> = None;
+    let mut out_dir = String::from(".");
+    let mut smoke = false;
     let mut it = args.iter();
     let sub = it
         .next()
@@ -389,6 +410,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::Usage("--metrics-out needs a path".into()))?
                     .clone();
             }
+            "--reps" => {
+                let r = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--reps needs a count".into()))?;
+                reps = Some(
+                    r.parse::<usize>()
+                        .ok()
+                        .filter(|&r| r > 0)
+                        .ok_or_else(|| CliError::Usage(format!("bad rep count {r:?}")))?,
+                );
+            }
+            "--out-dir" => {
+                out_dir = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--out-dir needs a path".into()))?
+                    .clone();
+            }
+            "--smoke" => smoke = true,
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {other:?}")));
             }
@@ -445,6 +484,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             trace_out,
             metrics_out,
         }),
+        ("bench", []) => {
+            // --smoke sets CI-friendly defaults; explicit --n/--reps win.
+            let defaults = if smoke {
+                bench::BenchConfig::smoke(threads, seed)
+            } else {
+                bench::BenchConfig::full(threads, seed)
+            };
+            Ok(Command::Bench {
+                n: n.unwrap_or(defaults.n),
+                threads,
+                seed,
+                reps: reps.unwrap_or(defaults.reps),
+                out_dir,
+            })
+        }
         (sub, pos) => Err(CliError::Usage(format!(
             "bad arguments for {sub:?} (got {} positional argument(s))",
             pos.len()
@@ -618,6 +672,21 @@ where
             seed,
             ..
         } => Ok(run_trace(*kernel, *n, *threads, *seed).summary),
+        Command::Bench {
+            n,
+            threads,
+            seed,
+            reps,
+            ..
+        } => {
+            let cfg = bench::BenchConfig {
+                n: *n,
+                threads: *threads,
+                seed: *seed,
+                reps: *reps,
+            };
+            Ok(bench::run_bench(&cfg).summary)
+        }
     }
 }
 
@@ -635,23 +704,29 @@ pub struct TraceRun {
     pub report: LoadBalanceReport,
 }
 
-/// Runs `kernel` on a deterministic synthetic workload of `n` total output
-/// elements with the [`TimelineRecorder`] attached, and renders both
-/// exporters plus the load-balance report.
-pub fn run_trace(kernel: TraceKernel, n: usize, threads: usize, seed: u64) -> TraceRun {
-    let rec = TimelineRecorder::new();
+/// Runs `kernel` once on a deterministic synthetic workload of `n` total
+/// output elements, reporting into `rec`. Generic over the recorder so the
+/// same body drives both the untraced timing loops (`NoRecorder`) of
+/// `mp bench` and the traced runs of `mp trace`.
+pub fn run_kernel_recorded<R: mergepath::telemetry::Recorder>(
+    kernel: TraceKernel,
+    n: usize,
+    threads: usize,
+    seed: u64,
+    rec: &R,
+) {
     let cmp = |x: &u32, y: &u32| x.cmp(y);
     match kernel {
         TraceKernel::Parallel => {
             let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
             let mut out = vec![0u32; n];
-            parallel_merge_into_recorded(&a, &b, &mut out, threads, &cmp, &rec);
+            parallel_merge_into_recorded(&a, &b, &mut out, threads, &cmp, rec);
         }
         TraceKernel::Segmented => {
             let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
             let mut out = vec![0u32; n];
             let spm = SpmConfig::new(64 * 1024, threads);
-            segmented_parallel_merge_into_recorded(&a, &b, &mut out, &spm, &cmp, &rec);
+            segmented_parallel_merge_into_recorded(&a, &b, &mut out, &spm, &cmp, rec);
         }
         TraceKernel::Batch => {
             // A ragged batch: one pair per worker, sizes differing by design.
@@ -674,14 +749,14 @@ pub fn run_trace(kernel: TraceKernel, n: usize, threads: usize, seed: u64) -> Tr
                 .map(|(a, b)| (a.as_slice(), b.as_slice()))
                 .collect();
             let mut out = vec![0u32; n];
-            batch_merge_into_recorded(&pairs, &mut out, threads, &cmp, &rec);
+            batch_merge_into_recorded(&pairs, &mut out, threads, &cmp, rec);
         }
         TraceKernel::Inplace => {
             let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
             let mid = a.len();
             let mut v = a;
             v.extend(b);
-            parallel_inplace_merge_recorded(&mut v, mid, threads, &cmp, &rec);
+            parallel_inplace_merge_recorded(&mut v, mid, threads, &cmp, rec);
         }
         TraceKernel::Kway => {
             let k = 8usize.min(n.max(1));
@@ -694,28 +769,36 @@ pub fn run_trace(kernel: TraceKernel, n: usize, threads: usize, seed: u64) -> Tr
                 .collect();
             let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
             let mut out = vec![0u32; n];
-            parallel_kway_merge_recorded(&refs, &mut out, threads, &cmp, &rec);
+            parallel_kway_merge_recorded(&refs, &mut out, threads, &cmp, rec);
         }
         TraceKernel::Hierarchical => {
             let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
             let mut out = vec![0u32; n];
             let cfg = HierarchicalConfig::new(threads);
-            hierarchical_merge_into_recorded(&a, &b, &mut out, &cfg, &cmp, &rec);
+            hierarchical_merge_into_recorded(&a, &b, &mut out, &cfg, &cmp, rec);
         }
         TraceKernel::SortParallel => {
             let mut v = unsorted_keys(SortWorkload::Uniform, n, seed);
-            parallel_merge_sort_recorded(&mut v, threads, &cmp, &rec);
+            parallel_merge_sort_recorded(&mut v, threads, &cmp, rec);
         }
         TraceKernel::SortKway => {
             let mut v = unsorted_keys(SortWorkload::Uniform, n, seed);
-            kway_merge_sort_recorded(&mut v, threads, &cmp, &rec);
+            kway_merge_sort_recorded(&mut v, threads, &cmp, rec);
         }
         TraceKernel::SortCacheAware => {
             let mut v = unsorted_keys(SortWorkload::Uniform, n, seed);
             let cfg = CacheAwareConfig::new(64 * 1024, threads);
-            cache_aware_parallel_sort_recorded(&mut v, &cfg, &cmp, &rec);
+            cache_aware_parallel_sort_recorded(&mut v, &cfg, &cmp, rec);
         }
     }
+}
+
+/// Runs `kernel` on a deterministic synthetic workload of `n` total output
+/// elements with the [`TimelineRecorder`] attached, and renders both
+/// exporters plus the load-balance report.
+pub fn run_trace(kernel: TraceKernel, n: usize, threads: usize, seed: u64) -> TraceRun {
+    let rec = TimelineRecorder::new();
+    run_kernel_recorded(kernel, n, threads, seed, &rec);
     let telemetry = rec.finish();
     let report = telemetry.load_balance(n as u64, threads);
     let chrome_json = telemetry.to_chrome_trace();

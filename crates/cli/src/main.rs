@@ -1,6 +1,6 @@
 //! Thin I/O shim over [`mergepath_cli`]: parse, execute, print.
 
-use mergepath_cli::{execute, fs_loader, parse_args, run_trace, Command};
+use mergepath_cli::{bench, execute, fs_loader, parse_args, run_trace, Command};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +32,41 @@ fn main() {
         }
         print!("{}", run.summary);
         println!("  trace: {trace_out}\n  metrics: {metrics_out}");
+        return;
+    }
+    if let Command::Bench {
+        n,
+        threads,
+        seed,
+        reps,
+        out_dir,
+    } = &cmd
+    {
+        let cfg = bench::BenchConfig {
+            n: *n,
+            threads: *threads,
+            seed: *seed,
+            reps: *reps,
+        };
+        let run = bench::run_bench(&cfg);
+        let dir = std::path::Path::new(out_dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("mp: cannot create {out_dir}: {e}");
+            std::process::exit(1);
+        }
+        for (name, body) in [
+            ("BENCH_merge.json", &run.merge_json),
+            ("BENCH_sort.json", &run.sort_json),
+            ("BENCH_telemetry.json", &run.telemetry_json),
+        ] {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("mp: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        print!("{}", run.summary);
+        println!("  artifacts: {out_dir}/BENCH_{{merge,sort,telemetry}}.json");
         return;
     }
     match execute(&cmd, fs_loader) {

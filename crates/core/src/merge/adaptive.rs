@@ -1,0 +1,418 @@
+//! Adaptive per-segment kernel dispatch.
+//!
+//! Algorithm 1 (paper §III) makes every output segment a fully independent
+//! sequential merge, which licenses choosing a *different* sequential
+//! kernel per segment. This module picks between the three kernels of
+//! [`super::sequential`] — classic two-pointer, branch-lean, galloping —
+//! with a cheap run-structure probe sampled at the segment's diagonal
+//! endpoints (plus a handful of interior path points for large segments):
+//!
+//! * disjoint key ranges at the endpoints ⇒ the merge path hugs one axis
+//!   and [`galloping_merge_into_by`] degenerates to two block copies;
+//! * long within-side tie runs (provable with one comparison per sample,
+//!   because the inputs are sorted) ⇒ galloping collapses each tie class
+//!   into `O(log run)` comparisons;
+//! * the path hugging an axis for ≥ [`RUN_LEN`] steps at sampled interior
+//!   diagonals ⇒ coarse interleaving, again galloping territory;
+//! * otherwise fine, tie-free interleaving ⇒
+//!   [`branch_lean_merge_into_by`] dodges the per-element branch
+//!   misprediction that the classic loop pays on unpredictable inputs.
+//!
+//! Every kernel produces byte-identical output (the oracle differential
+//! suite pins this down), so the choice is *purely* a performance decision
+//! — which is also why the process-wide [`DispatchPolicy`] override can be
+//! a relaxed atomic: a racing policy change can alter speed, never results.
+
+use core::cmp::Ordering;
+use core::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+use mergepath_telemetry::{CounterKind, Recorder};
+
+use super::sequential::{branch_lean_merge_into_by, galloping_merge_into_by, merge_into_by};
+use crate::diagonal::co_rank_by;
+
+/// Segments shorter than this skip the probe entirely and run the classic
+/// kernel: at this size neither alternative amortizes its setup.
+pub const PROBE_MIN_LEN: usize = 256;
+
+/// Run length the probes test for. One comparison per sample is conclusive
+/// at this distance because the inputs are sorted (`a[i] == a[i+RUN_LEN]`
+/// proves the whole stretch is one tie class; `a[i+RUN_LEN] <= b[j]` proves
+/// the path emits at least `RUN_LEN` consecutive elements from `a`).
+pub const RUN_LEN: usize = 16;
+
+/// Sample points per side for the within-side duplicate-run probe.
+const DUP_SAMPLES: usize = 8;
+
+/// Interior diagonals co-ranked by the path-hug probe.
+const DIAG_SAMPLES: usize = 4;
+
+/// Minimum segment length before the path-hug probe pays for its
+/// `DIAG_SAMPLES` binary searches.
+const RUN_PROBE_MIN: usize = 4096;
+
+/// Which sequential kernel merges a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SegmentKernel {
+    /// Classic two-pointer merge ([`merge_into_by`]).
+    Classic,
+    /// Branchless-select merge ([`branch_lean_merge_into_by`]).
+    BranchLean,
+    /// Exponential-search run merge ([`galloping_merge_into_by`]).
+    Galloping,
+}
+
+impl SegmentKernel {
+    /// All kernels, in dispatch-byte order.
+    pub const ALL: [SegmentKernel; 3] = [
+        SegmentKernel::Classic,
+        SegmentKernel::BranchLean,
+        SegmentKernel::Galloping,
+    ];
+
+    /// Stable lowercase name (telemetry and bench artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentKernel::Classic => "classic",
+            SegmentKernel::BranchLean => "branch_lean",
+            SegmentKernel::Galloping => "galloping",
+        }
+    }
+
+    /// The per-share "this kernel won" telemetry counter.
+    pub fn counter(self) -> CounterKind {
+        match self {
+            SegmentKernel::Classic => CounterKind::SegmentsClassic,
+            SegmentKernel::BranchLean => CounterKind::SegmentsBranchLean,
+            SegmentKernel::Galloping => CounterKind::SegmentsGalloping,
+        }
+    }
+}
+
+/// Process-wide dispatch policy: probe per segment (the default) or force
+/// one fixed kernel everywhere (benchmark baselines, test sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Probe each segment and pick the best kernel (default).
+    Adaptive,
+    /// Route every segment through one fixed kernel.
+    Fixed(SegmentKernel),
+}
+
+const POLICY_ADAPTIVE: u8 = 0;
+const POLICY_CLASSIC: u8 = 1;
+const POLICY_BRANCH_LEAN: u8 = 2;
+const POLICY_GALLOPING: u8 = 3;
+
+static POLICY: AtomicU8 = AtomicU8::new(POLICY_ADAPTIVE);
+
+fn encode(policy: DispatchPolicy) -> u8 {
+    match policy {
+        DispatchPolicy::Adaptive => POLICY_ADAPTIVE,
+        DispatchPolicy::Fixed(SegmentKernel::Classic) => POLICY_CLASSIC,
+        DispatchPolicy::Fixed(SegmentKernel::BranchLean) => POLICY_BRANCH_LEAN,
+        DispatchPolicy::Fixed(SegmentKernel::Galloping) => POLICY_GALLOPING,
+    }
+}
+
+fn decode(bits: u8) -> DispatchPolicy {
+    match bits {
+        POLICY_CLASSIC => DispatchPolicy::Fixed(SegmentKernel::Classic),
+        POLICY_BRANCH_LEAN => DispatchPolicy::Fixed(SegmentKernel::BranchLean),
+        POLICY_GALLOPING => DispatchPolicy::Fixed(SegmentKernel::Galloping),
+        _ => DispatchPolicy::Adaptive,
+    }
+}
+
+/// Reads the current process-wide dispatch policy.
+pub fn dispatch_policy() -> DispatchPolicy {
+    decode(POLICY.load(AtomicOrdering::Relaxed))
+}
+
+/// Sets the process-wide dispatch policy. Prefer the scoped
+/// [`with_dispatch_policy`] in tests and benches so concurrent sweeps
+/// serialize and the previous policy is always restored.
+pub fn set_dispatch_policy(policy: DispatchPolicy) {
+    POLICY.store(encode(policy), AtomicOrdering::Relaxed);
+}
+
+/// Runs `f` with the dispatch policy forced to `policy`, restoring the
+/// previous policy afterwards (also on panic). Callers are serialized by a
+/// global mutex, so concurrent test threads sweeping different policies do
+/// not interleave their overrides.
+pub fn with_dispatch_policy<R>(policy: DispatchPolicy, f: impl FnOnce() -> R) -> R {
+    static SWEEP: Mutex<()> = Mutex::new(());
+    let _serialize = SWEEP.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            POLICY.store(self.0, AtomicOrdering::Relaxed);
+        }
+    }
+    let _restore = Restore(POLICY.swap(encode(policy), AtomicOrdering::Relaxed));
+    f()
+}
+
+/// The pure run-structure probe: inspects `a` and `b` (one partitioned
+/// segment's inputs) and names the kernel expected to merge them fastest.
+/// Spends `O(log)` comparisons, independent of the policy override.
+pub fn probe_segment<T, F>(a: &[T], b: &[T], cmp: &F) -> SegmentKernel
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let (na, nb) = (a.len(), b.len());
+    // Tail-copy and short segments: the classic loop is already optimal
+    // and a probe would not amortize.
+    if na == 0 || nb == 0 || na + nb < PROBE_MIN_LEN {
+        return SegmentKernel::Classic;
+    }
+    // Diagonal endpoints: barely-overlapping key ranges mean the path hugs
+    // one axis end to end and galloping degenerates to two block copies.
+    if cmp(&a[na - 1], &b[0]) != Ordering::Greater || cmp(&b[nb - 1], &a[0]) == Ordering::Less {
+        return SegmentKernel::Galloping;
+    }
+    // Within-side duplicate runs (tie classes of length >= RUN_LEN).
+    let mut dup_a = 0usize;
+    let mut dup_b = 0usize;
+    for q in 0..DUP_SAMPLES {
+        let i = (2 * q + 1) * na / (2 * DUP_SAMPLES);
+        let j = (2 * q + 1) * nb / (2 * DUP_SAMPLES);
+        if i + RUN_LEN < na && cmp(&a[i], &a[i + RUN_LEN]) == Ordering::Equal {
+            dup_a += 1;
+        }
+        if j + RUN_LEN < nb && cmp(&b[j], &b[j + RUN_LEN]) == Ordering::Equal {
+            dup_b += 1;
+        }
+    }
+    if dup_a >= DUP_SAMPLES / 2 || dup_b >= DUP_SAMPLES / 2 {
+        return SegmentKernel::Galloping;
+    }
+    // Path-hug probe: co-rank a few interior diagonals (true path points)
+    // and ask whether the path stays on one axis for >= RUN_LEN steps.
+    if na + nb >= RUN_PROBE_MIN {
+        let n = na + nb;
+        let mut hugging = 0usize;
+        for q in 1..=DIAG_SAMPLES {
+            let d = q * n / (DIAG_SAMPLES + 1);
+            let i = co_rank_by(d, a, b, cmp);
+            let j = d - i;
+            if i >= na || j >= nb {
+                // One input exhausted mid-path: the remainder is a single
+                // run from the other side.
+                hugging += 1;
+                continue;
+            }
+            let run_a = i + RUN_LEN < na && cmp(&a[i + RUN_LEN], &b[j]) != Ordering::Greater;
+            let run_b = j + RUN_LEN < nb && cmp(&b[j + RUN_LEN], &a[i]) == Ordering::Less;
+            if run_a || run_b {
+                hugging += 1;
+            }
+        }
+        if hugging >= DIAG_SAMPLES.div_ceil(2) {
+            return SegmentKernel::Galloping;
+        }
+    }
+    // Fine-grained, tie-free interleaving: spend a couple of ALU ops per
+    // element to dodge the data-dependent select branch.
+    SegmentKernel::BranchLean
+}
+
+/// Applies the process-wide [`DispatchPolicy`]: a fixed policy wins, the
+/// adaptive default defers to [`probe_segment`].
+pub fn choose_kernel<T, F>(a: &[T], b: &[T], cmp: &F) -> SegmentKernel
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    match dispatch_policy() {
+        DispatchPolicy::Fixed(kernel) => kernel,
+        DispatchPolicy::Adaptive => probe_segment(a, b, cmp),
+    }
+}
+
+/// Stable merge of one segment through the kernel chosen by
+/// [`choose_kernel`]; returns the choice so instrumented callers can
+/// attribute it ([`record_choice`]).
+///
+/// Output is byte-identical to [`merge_into_by`] for every choice.
+///
+/// # Panics
+/// Panics if `out.len() != a.len() + b.len()`.
+pub fn adaptive_merge_into_by<T: Clone, F>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    cmp: &F,
+) -> SegmentKernel
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let kernel = choose_kernel(a, b, cmp);
+    match kernel {
+        SegmentKernel::Classic => merge_into_by(a, b, out, cmp),
+        SegmentKernel::BranchLean => branch_lean_merge_into_by(a, b, out, cmp),
+        SegmentKernel::Galloping => galloping_merge_into_by(a, b, out, cmp),
+    }
+    kernel
+}
+
+/// Bumps `kernel`'s "segments won" counter for `worker` on `rec`; a no-op
+/// (compiled away) under [`NoRecorder`](mergepath_telemetry::NoRecorder).
+#[inline(always)]
+pub fn record_choice<R: Recorder>(rec: &R, worker: usize, kernel: SegmentKernel) {
+    if R::ACTIVE {
+        rec.counter_add(worker, kernel.counter(), 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(x: &i64, y: &i64) -> Ordering {
+        x.cmp(y)
+    }
+
+    /// Tiny deterministic generator (SplitMix64) for probe-distribution
+    /// tests; the core crate cannot depend on `mergepath-workloads`.
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn random_sorted(len: usize, space: u64, seed: u64) -> Vec<i64> {
+        let mut rng = Mix(seed);
+        let mut v: Vec<i64> = (0..len).map(|_| (rng.next() % space) as i64).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn probe_prefers_classic_for_short_or_one_sided_segments() {
+        let a: Vec<i64> = (0..100).collect();
+        let b: Vec<i64> = (0..100).map(|x| x * 2 + 1).collect();
+        assert_eq!(probe_segment(&a, &b, &cmp), SegmentKernel::Classic);
+        let long: Vec<i64> = (0..10_000).collect();
+        let empty: Vec<i64> = vec![];
+        assert_eq!(probe_segment(&long, &empty, &cmp), SegmentKernel::Classic);
+        assert_eq!(probe_segment(&empty, &long, &cmp), SegmentKernel::Classic);
+    }
+
+    #[test]
+    fn probe_detects_disjoint_and_all_equal_endpoints() {
+        let lo: Vec<i64> = (0..500).collect();
+        let hi: Vec<i64> = (10_000..10_500).collect();
+        assert_eq!(probe_segment(&lo, &hi, &cmp), SegmentKernel::Galloping);
+        assert_eq!(probe_segment(&hi, &lo, &cmp), SegmentKernel::Galloping);
+        let ties = vec![7i64; 400];
+        assert_eq!(probe_segment(&ties, &ties, &cmp), SegmentKernel::Galloping);
+    }
+
+    #[test]
+    fn probe_detects_duplicate_heavy_sides() {
+        // ~64-element tie classes on both sides, overlapping ranges (so the
+        // endpoint shortcut does not fire).
+        let a = random_sorted(4_000, 60, 1);
+        let b = random_sorted(4_000, 60, 2);
+        assert_eq!(probe_segment(&a, &b, &cmp), SegmentKernel::Galloping);
+    }
+
+    #[test]
+    fn probe_detects_coarse_runs_via_interior_diagonals() {
+        // Alternating 1024-element runs: distinct keys (no tie classes),
+        // overlapping ranges, but the path hugs an axis for ~1024 steps.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut next = 0i64;
+        for r in 0..16 {
+            let dst = if r % 2 == 0 { &mut a } else { &mut b };
+            for _ in 0..1024 {
+                dst.push(next);
+                next += 1;
+            }
+        }
+        assert_eq!(probe_segment(&a, &b, &cmp), SegmentKernel::Galloping);
+    }
+
+    #[test]
+    fn probe_prefers_branch_lean_on_fine_uniform_interleaving() {
+        let a = random_sorted(50_000, u64::MAX / 2, 3);
+        let b = random_sorted(50_000, u64::MAX / 2, 4);
+        assert_eq!(probe_segment(&a, &b, &cmp), SegmentKernel::BranchLean);
+    }
+
+    #[test]
+    fn every_choice_is_byte_identical_to_the_classic_oracle() {
+        let inputs: Vec<(Vec<i64>, Vec<i64>)> = vec![
+            (random_sorted(700, 9, 5), random_sorted(900, 9, 6)),
+            (
+                random_sorted(700, u64::MAX, 7),
+                random_sorted(900, u64::MAX, 8),
+            ),
+            ((0..600).collect(), (300..1200).collect()),
+            (vec![], (0..900).collect()),
+        ];
+        for (a, b) in &inputs {
+            let mut oracle = vec![0i64; a.len() + b.len()];
+            merge_into_by(a, b, &mut oracle, &cmp);
+            for policy in [
+                DispatchPolicy::Adaptive,
+                DispatchPolicy::Fixed(SegmentKernel::Classic),
+                DispatchPolicy::Fixed(SegmentKernel::BranchLean),
+                DispatchPolicy::Fixed(SegmentKernel::Galloping),
+            ] {
+                let mut out = vec![0i64; oracle.len()];
+                let chosen =
+                    with_dispatch_policy(policy, || adaptive_merge_into_by(a, b, &mut out, &cmp));
+                assert_eq!(out, oracle, "policy {policy:?} chose {chosen:?}");
+                if let DispatchPolicy::Fixed(kernel) = policy {
+                    assert_eq!(chosen, kernel, "fixed policy must be obeyed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_policy_override_is_visible_and_swaps_cleanly() {
+        // All assertions run while the serialization mutex is held, so no
+        // concurrent test sweep can interleave its own override.
+        with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::Classic), || {
+            assert_eq!(
+                dispatch_policy(),
+                DispatchPolicy::Fixed(SegmentKernel::Classic)
+            );
+            let entry = POLICY.swap(POLICY_GALLOPING, AtomicOrdering::Relaxed);
+            assert_eq!(entry, POLICY_CLASSIC);
+            assert_eq!(
+                dispatch_policy(),
+                DispatchPolicy::Fixed(SegmentKernel::Galloping)
+            );
+            POLICY.store(entry, AtomicOrdering::Relaxed);
+            assert_eq!(
+                dispatch_policy(),
+                DispatchPolicy::Fixed(SegmentKernel::Classic)
+            );
+        });
+    }
+
+    #[test]
+    fn kernel_names_and_counters_are_stable() {
+        assert_eq!(SegmentKernel::Classic.name(), "classic");
+        assert_eq!(SegmentKernel::BranchLean.name(), "branch_lean");
+        assert_eq!(SegmentKernel::Galloping.name(), "galloping");
+        for kernel in SegmentKernel::ALL {
+            assert_eq!(decode(encode(DispatchPolicy::Fixed(kernel))), {
+                DispatchPolicy::Fixed(kernel)
+            });
+        }
+        assert_eq!(decode(encode(DispatchPolicy::Adaptive)), {
+            DispatchPolicy::Adaptive
+        });
+    }
+}

@@ -19,7 +19,7 @@ use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, 
 
 use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::executor::{self, SendPtr};
-use crate::merge::sequential::merge_into_by;
+use crate::merge::adaptive::{self, adaptive_merge_into_by};
 use crate::partition::segment_boundary;
 
 /// Stable merges of each `(a, b)` pair into consecutive regions of `out`
@@ -97,14 +97,15 @@ pub fn batch_merge_into_recorded<T, F, R>(
                 let _merge = span(rec, 0, SpanKind::SegmentMerge);
                 let counting = counted_cmp(cmp, &hits);
                 for ((a, b), w) in pairs.iter().zip(offsets.windows(2)) {
-                    merge_into_by(a, b, &mut out[w[0]..w[1]], &counting);
+                    let kernel = adaptive_merge_into_by(a, b, &mut out[w[0]..w[1]], &counting);
+                    adaptive::record_choice(rec, 0, kernel);
                 }
             }
             rec.counter_add(0, CounterKind::Comparisons, hits.get());
             rec.worker_items(0, total as u64);
         } else {
             for ((a, b), w) in pairs.iter().zip(offsets.windows(2)) {
-                merge_into_by(a, b, &mut out[w[0]..w[1]], cmp);
+                adaptive_merge_into_by(a, b, &mut out[w[0]..w[1]], cmp);
             }
         }
         return;
@@ -150,18 +151,19 @@ pub fn batch_merge_into_recorded<T, F, R>(
             executor::note_read_range(sb);
             if R::ACTIVE {
                 let hits = Cell::new(0u64);
-                {
+                let kernel = {
                     let _merge = span(rec, k, SpanKind::SegmentMerge);
-                    merge_into_by(
+                    adaptive_merge_into_by(
                         sa,
                         sb,
                         &mut chunk[chunk_pos..chunk_pos + len],
                         &counted_cmp(cmp, &hits),
-                    );
-                }
+                    )
+                };
+                adaptive::record_choice(rec, k, kernel);
                 rec.counter_add(k, CounterKind::Comparisons, hits.get());
             } else {
-                merge_into_by(sa, sb, &mut chunk[chunk_pos..chunk_pos + len], cmp);
+                adaptive_merge_into_by(sa, sb, &mut chunk[chunk_pos..chunk_pos + len], cmp);
             }
             chunk_pos += len;
             pi += 1;
@@ -176,6 +178,7 @@ pub fn batch_merge_into_recorded<T, F, R>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::merge::sequential::merge_into_by;
     use proptest::prelude::*;
 
     fn oracle(pairs: &[(&[i64], &[i64])]) -> Vec<i64> {

@@ -32,7 +32,7 @@ use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, 
 use crate::diagonal::co_rank_by;
 use crate::error::MergeError;
 use crate::executor::{self, SendPtr};
-use crate::merge::sequential::merge_into_by;
+use crate::merge::adaptive::{self, adaptive_merge_into_by};
 use crate::partition::{partition_points_by, segment_boundary};
 
 /// Shape of the two-level decomposition.
@@ -255,20 +255,25 @@ fn merge_block_tiled<T, F, R>(
                 rec.counter_add(blk, CounterKind::DiagonalProbeSteps, probes.get());
                 rec.counter_add(blk, CounterKind::Comparisons, probes.get());
                 let hits = Cell::new(0u64);
-                {
+                // Lane pieces are tile-sized at most, so the run-structure
+                // probe usually settles on the classic kernel; the dispatch
+                // still goes through it so fixed-policy sweeps cover this
+                // path too.
+                let kernel = {
                     let _merge = span(rec, blk, SpanKind::SegmentMerge);
-                    merge_into_by(
+                    adaptive_merge_into_by(
                         &sa[l_lo..l_hi],
                         &sb[d_lo - l_lo..d_hi - l_hi],
                         &mut out[oi + d_lo..oi + d_hi],
                         &counted_cmp(cmp, &hits),
-                    );
-                }
+                    )
+                };
+                adaptive::record_choice(rec, blk, kernel);
                 rec.counter_add(blk, CounterKind::Comparisons, hits.get());
             } else {
                 let l_lo = co_rank_by(d_lo, sa, sb, cmp);
                 let l_hi = co_rank_by(d_hi, sa, sb, cmp);
-                merge_into_by(
+                adaptive_merge_into_by(
                     &sa[l_lo..l_hi],
                     &sb[d_lo - l_lo..d_hi - l_hi],
                     &mut out[oi + d_lo..oi + d_hi],

@@ -6,6 +6,7 @@
 //! first — and every parallel variant produces output bitwise identical to
 //! [`sequential::merge_into_by`].
 
+pub mod adaptive;
 pub mod batch;
 pub mod hierarchical;
 pub mod inplace;

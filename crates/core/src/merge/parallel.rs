@@ -32,6 +32,7 @@ use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, 
 use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::error::MergeError;
 use crate::executor::{self, SendPtr};
+use crate::merge::adaptive::{self, adaptive_merge_into_by};
 use crate::merge::sequential::merge_into_by;
 use crate::partition::segment_boundary;
 use crate::stats::MergeStats;
@@ -103,14 +104,15 @@ pub fn parallel_merge_into_recorded<T, F, R>(
         executor::note_write_range(out);
         if R::ACTIVE {
             let hits = Cell::new(0u64);
-            {
+            let kernel = {
                 let _span = span(rec, 0, SpanKind::SegmentMerge);
-                merge_into_by(a, b, out, &counted_cmp(cmp, &hits));
-            }
+                adaptive_merge_into_by(a, b, out, &counted_cmp(cmp, &hits))
+            };
+            adaptive::record_choice(rec, 0, kernel);
             rec.counter_add(0, CounterKind::Comparisons, hits.get());
             rec.worker_items(0, n as u64);
         } else {
-            merge_into_by(a, b, out, cmp);
+            adaptive_merge_into_by(a, b, out, cmp);
         }
         return;
     }
@@ -163,17 +165,19 @@ pub fn parallel_merge_into_recorded<T, F, R>(
         // writes before `run_indexed` returns to this frame, which still
         // holds the unique borrow of `out`.
         let chunk = unsafe { base.slice_mut(d_lo, d_hi - d_lo) };
-        // Step 3: a plain sequential merge of the private segment.
+        // Step 3: a sequential merge of the private segment, routed to the
+        // kernel the run-structure probe picks for this segment.
         if R::ACTIVE {
             let hits = Cell::new(0u64);
-            {
+            let kernel = {
                 let _merge = span(rec, k, SpanKind::SegmentMerge);
-                merge_into_by(sa, sb, chunk, &counted_cmp(cmp, &hits));
-            }
+                adaptive_merge_into_by(sa, sb, chunk, &counted_cmp(cmp, &hits))
+            };
+            adaptive::record_choice(rec, k, kernel);
             rec.counter_add(k, CounterKind::Comparisons, hits.get());
             rec.worker_items(k, (d_hi - d_lo) as u64);
         } else {
-            merge_into_by(sa, sb, chunk, cmp);
+            adaptive_merge_into_by(sa, sb, chunk, cmp);
         }
     });
 }

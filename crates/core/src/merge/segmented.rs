@@ -41,7 +41,8 @@ use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, 
 use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::error::MergeError;
 use crate::executor::{self, SendPtr};
-use crate::merge::sequential::{merge_into_by, merge_views_into_by};
+use crate::merge::adaptive::{self, adaptive_merge_into_by};
+use crate::merge::sequential::merge_views_into_by;
 use crate::partition::{partition_points_by, segment_boundary};
 use crate::view::{RingBuffer, SortedView};
 
@@ -343,14 +344,15 @@ fn segment_merge_parallel<T, F, R>(
         executor::note_write_range(out);
         if R::ACTIVE {
             let hits = Cell::new(0u64);
-            {
+            let kernel = {
                 let _merge = span(rec, 0, SpanKind::SegmentMerge);
-                merge_into_by(sa, sb, out, &counted_cmp(cmp, &hits));
-            }
+                adaptive_merge_into_by(sa, sb, out, &counted_cmp(cmp, &hits))
+            };
+            adaptive::record_choice(rec, 0, kernel);
             rec.counter_add(0, CounterKind::Comparisons, hits.get());
             rec.worker_items(0, step as u64);
         } else {
-            merge_into_by(sa, sb, out, cmp);
+            adaptive_merge_into_by(sa, sb, out, cmp);
         }
         return;
     }
@@ -384,19 +386,24 @@ fn segment_merge_parallel<T, F, R>(
         let chunk = unsafe { base.slice_mut(d_lo, d_hi - d_lo) };
         if R::ACTIVE {
             let hits = Cell::new(0u64);
-            {
+            let kernel = {
                 let _merge = span(rec, k, SpanKind::SegmentMerge);
-                merge_into_by(fa, fb, chunk, &counted_cmp(cmp, &hits));
-            }
+                adaptive_merge_into_by(fa, fb, chunk, &counted_cmp(cmp, &hits))
+            };
+            adaptive::record_choice(rec, k, kernel);
             rec.counter_add(k, CounterKind::Comparisons, hits.get());
             rec.worker_items(k, (d_hi - d_lo) as u64);
         } else {
-            merge_into_by(fa, fb, chunk, cmp);
+            adaptive_merge_into_by(fa, fb, chunk, cmp);
         }
     });
 }
 
 /// Parallel merge of one segment staged in ring-buffer views.
+///
+/// This path stays on the classic view merge: the branch-lean and
+/// galloping kernels require contiguous slices (block copies, exponential
+/// probes), which the cyclic staging views cannot provide.
 fn segment_merge_views_parallel<T, A, B, F, R>(
     sa: A,
     sb: B,
@@ -548,6 +555,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::merge::sequential::merge_into_by;
     use proptest::prelude::*;
 
     fn sorted(mut v: Vec<i64>) -> Vec<i64> {

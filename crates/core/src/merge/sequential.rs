@@ -218,6 +218,34 @@ pub fn branch_lean_merge_into<T: Copy + Ord>(a: &[T], b: &[T], out: &mut [T]) {
     }
 }
 
+/// [`branch_lean_merge_into`] generalized over `Clone` elements and a
+/// caller-supplied comparator, so the adaptive dispatcher
+/// ([`super::adaptive`]) can route arbitrary-key segments through it.
+///
+/// Ties (`Ordering::Equal`) take from `a` first — the same stable order as
+/// [`merge_into_by`]; the select consumes the comparison as an index
+/// increment rather than a data-dependent branch.
+pub fn branch_lean_merge_into_by<T: Clone, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    assert_out_len(a.len(), b.len(), out.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut k = 0usize;
+    while i < a.len() && j < b.len() {
+        let take_a = cmp(&a[i], &b[j]) != Ordering::Greater;
+        out[k] = if take_a { a[i].clone() } else { b[j].clone() };
+        i += take_a as usize;
+        j += !take_a as usize;
+        k += 1;
+    }
+    if i < a.len() {
+        out[k..].clone_from_slice(&a[i..]);
+    } else {
+        out[k..].clone_from_slice(&b[j..]);
+    }
+}
+
 /// Stable merge using exponential (galloping) search over runs.
 ///
 /// When the merge path hugs one axis — long runs of consecutive elements
@@ -255,15 +283,20 @@ where
 
 /// Length of the maximal prefix of `v` with elements `<= key` (first index
 /// whose element is `> key`), found by exponential search then binary
-/// search. `v` must be non-empty with `v[0] <= key`.
+/// search. Total over all inputs: an empty `v` or one whose first element
+/// is already `> key` returns 0.
 fn gallop_upper<T, F>(v: &[T], key: &T, cmp: &F) -> usize
 where
     F: Fn(&T, &T) -> Ordering,
 {
-    debug_assert!(!v.is_empty() && cmp(&v[0], key) != Ordering::Greater);
+    if v.is_empty() || cmp(&v[0], key) == Ordering::Greater {
+        return 0;
+    }
     let mut hi = 1usize;
     while hi < v.len() && cmp(&v[hi], key) != Ordering::Greater {
-        hi = (hi * 2).min(v.len());
+        // Saturating: the doubling offset must not wrap for prefixes within
+        // a factor of two of `usize::MAX` (the run may consume all of `v`).
+        hi = hi.saturating_mul(2).min(v.len());
         if hi == v.len() {
             break;
         }
@@ -286,15 +319,18 @@ where
 }
 
 /// Length of the maximal prefix of `v` with elements strictly `< key`.
-/// `v` must be non-empty with `v[0] < key`.
+/// Total over all inputs: an empty `v` or one whose first element is
+/// already `>= key` returns 0.
 fn gallop_lower<T, F>(v: &[T], key: &T, cmp: &F) -> usize
 where
     F: Fn(&T, &T) -> Ordering,
 {
-    debug_assert!(!v.is_empty() && cmp(&v[0], key) == Ordering::Less);
+    if v.is_empty() || cmp(&v[0], key) != Ordering::Less {
+        return 0;
+    }
     let mut hi = 1usize;
     while hi < v.len() && cmp(&v[hi], key) == Ordering::Less {
-        hi = (hi * 2).min(v.len());
+        hi = hi.saturating_mul(2).min(v.len());
         if hi == v.len() {
             break;
         }
@@ -477,6 +513,71 @@ mod tests {
     }
 
     #[test]
+    fn branch_lean_by_matches_classic_and_is_stable() {
+        let a = [(1, 'a'), (2, 'a'), (2, 'b'), (9, 'a')];
+        let b = [(2, 'x'), (2, 'y'), (3, 'x')];
+        let mut classic = [(0, '_'); 7];
+        let mut lean = [(0, '_'); 7];
+        let cmp = |x: &(i32, char), y: &(i32, char)| x.0.cmp(&y.0);
+        merge_into_by(&a, &b, &mut classic, &cmp);
+        branch_lean_merge_into_by(&a, &b, &mut lean, &cmp);
+        assert_eq!(classic, lean);
+        assert_eq!(lean[1..5], [(2, 'a'), (2, 'b'), (2, 'x'), (2, 'y')]);
+    }
+
+    #[test]
+    fn gallop_boundaries_empty_slice() {
+        let cmp = |x: &i64, y: &i64| x.cmp(y);
+        let empty: [i64; 0] = [];
+        assert_eq!(gallop_upper(&empty, &5, &cmp), 0);
+        assert_eq!(gallop_lower(&empty, &5, &cmp), 0);
+    }
+
+    #[test]
+    fn gallop_boundaries_first_element_disqualified() {
+        // Totality guards: no prefix qualifies, so both searches return 0
+        // instead of tripping the old non-empty/first-element precondition.
+        let cmp = |x: &i64, y: &i64| x.cmp(y);
+        assert_eq!(gallop_upper(&[9i64, 10, 11], &5, &cmp), 0);
+        assert_eq!(gallop_lower(&[5i64, 10, 11], &5, &cmp), 0);
+    }
+
+    #[test]
+    fn gallop_single_run_consumes_everything() {
+        // The "run consumes the whole slice" boundary the galloping merge
+        // hits on disjoint inputs, across lengths around every power of two
+        // the doubling step lands on.
+        let cmp = |x: &i64, y: &i64| x.cmp(y);
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 1000] {
+            let v: Vec<i64> = (0..len as i64).collect();
+            let above = len as i64; // strictly greater than every element
+            assert_eq!(gallop_upper(&v, &above, &cmp), len, "upper len={len}");
+            assert_eq!(gallop_lower(&v, &above, &cmp), len, "lower len={len}");
+            // Key equal to the last element: upper keeps the tie, lower
+            // stops just before it.
+            let last = len as i64 - 1;
+            assert_eq!(gallop_upper(&v, &last, &cmp), len, "upper tie len={len}");
+            assert_eq!(
+                gallop_lower(&v, &last, &cmp),
+                len - 1,
+                "lower tie len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn gallop_interior_boundaries_match_linear_scan() {
+        let cmp = |x: &i64, y: &i64| x.cmp(y);
+        let v: Vec<i64> = vec![0, 0, 1, 1, 1, 2, 4, 4, 8, 8, 8, 8, 9];
+        for key in -1..=10 {
+            let upper = v.iter().take_while(|&&x| x <= key).count();
+            let lower = v.iter().take_while(|&&x| x < key).count();
+            assert_eq!(gallop_upper(&v, &key, &cmp), upper, "upper key={key}");
+            assert_eq!(gallop_lower(&v, &key, &cmp), lower, "lower key={key}");
+        }
+    }
+
+    #[test]
     fn probed_merge_access_counts_are_linear() {
         let a: Vec<i64> = (0..100).map(|x| 2 * x).collect();
         let b: Vec<i64> = (0..100).map(|x| 2 * x + 1).collect();
@@ -537,6 +638,10 @@ mod tests {
             let mut out2 = vec![0i64; n];
             branch_lean_merge_into(&a, &b, &mut out2);
             prop_assert_eq!(&out2, &expect);
+
+            let mut out2b = vec![0i64; n];
+            branch_lean_merge_into_by(&a, &b, &mut out2b, &cmp);
+            prop_assert_eq!(&out2b, &expect);
 
             let mut out3 = vec![0i64; n];
             galloping_merge_into_by(&a, &b, &mut out3, &cmp);

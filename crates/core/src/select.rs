@@ -106,8 +106,17 @@ pub fn quantile_of_union<'a, T: Ord>(a: &'a [T], b: &'a [T], q: usize, quantiles
         quantiles > 0 && q < quantiles,
         "quantile index out of range"
     );
-    let pos = ((q + 1) * n / quantiles).saturating_sub(1).min(n - 1);
+    let pos = quantile_position(n, q, quantiles);
     kth_of_union(a, b, pos)
+}
+
+/// Selection index of the `(q+1)/quantiles` boundary in a union of `n`
+/// elements. Widened to `u128` so `(q + 1) * n` cannot overflow `usize`
+/// at paper-scale inputs (the same discipline as
+/// `partition::segment_boundary`).
+fn quantile_position(n: usize, q: usize, quantiles: usize) -> usize {
+    let scaled = ((q as u128 + 1) * n as u128 / quantiles as u128) as usize;
+    scaled.saturating_sub(1).min(n - 1)
 }
 
 #[cfg(test)]
@@ -177,6 +186,29 @@ mod tests {
         assert_eq!(*quantile_of_union(&a, &b, 0, 4), 24);
         assert_eq!(*quantile_of_union(&a, &b, 1, 4), 49);
         assert_eq!(*quantile_of_union(&a, &b, 2, 4), 74);
+    }
+
+    #[test]
+    fn quantile_position_no_overflow_at_paper_scale() {
+        // (q + 1) * n used to be computed in usize; with n near usize::MAX
+        // and many quantiles the product wraps and the boundary collapses
+        // to a tiny index. The u128 widening keeps it exact.
+        let n = usize::MAX - 7;
+        let quantiles = 1024;
+        for q in [0usize, 1, 511, 1022, 1023] {
+            let expect = (((q as u128 + 1) * n as u128) / quantiles as u128) as usize;
+            let expect = expect.saturating_sub(1).min(n - 1);
+            assert_eq!(quantile_position(n, q, quantiles), expect, "q={q}");
+        }
+        // Last boundary is always the maximum element.
+        assert_eq!(quantile_position(n, quantiles - 1, quantiles), n - 1);
+        // Monotone across q even at the overflow scale.
+        let mut prev = 0;
+        for q in 0..quantiles {
+            let pos = quantile_position(n, q, quantiles);
+            assert!(pos >= prev, "q={q}: {pos} < {prev}");
+            prev = pos;
+        }
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! Total time `O(N/p · log N + N/C · log p · log C)` — slightly more work
 //! than the basic parallel sort (the numerous partitioning stages), which
 //! the paper argues is justified whenever a cache miss is expensive.
+//!
+//! The merge rounds inherit adaptive per-segment kernel dispatch
+//! ([`crate::merge::adaptive`]) through the segmented merge's contiguous
+//! slice path; the cyclic staging views stay on the classic view merge
+//! (see [`crate::merge::segmented`]).
 
 use core::cmp::Ordering;
 

@@ -10,6 +10,12 @@
 //! rounds).
 //!
 //! Total time `O(N/p · log N + log p · log N)`.
+//!
+//! Every per-worker segment of every merge round goes through
+//! [`crate::merge::adaptive`]: the run-structure probe picks the classic,
+//! branch-lean, or galloping sequential kernel per segment, so sorted or
+//! duplicate-heavy inputs speed up in the late rounds without any change
+//! to the output (all kernels are byte-identical).
 
 use core::cell::Cell;
 use core::cmp::Ordering;

@@ -1,0 +1,220 @@
+//! Shared writer for the committed `BENCH_*.json` artifacts.
+//!
+//! Every benchmark artifact the repo commits (`BENCH_merge.json`,
+//! `BENCH_sort.json`, `BENCH_telemetry.json`) goes through this module so
+//! the three files can never disagree on envelope schema or environment
+//! fingerprint. The envelope is:
+//!
+//! ```json
+//! {
+//!   "type": "<artifact kind>",
+//!   "schema_version": 1,
+//!   "env": { "os": ..., "arch": ..., ... },
+//!   "payload": { ...artifact-specific fields... }
+//! }
+//! ```
+//!
+//! [`render_artifact`] self-checks the document with the in-repo
+//! [`crate::json`] parser before returning it, and [`check_artifact`] is
+//! the validation the `cargo xtask verify-bench` gate runs against both
+//! freshly produced and committed artifacts.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+
+/// Version of the artifact envelope. Bump when envelope keys change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The machine/build facts stamped into every artifact, so a regression
+/// comparison between two artifacts can first prove they came from
+/// comparable environments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// `std::env::consts::OS` (e.g. `linux`).
+    pub os: String,
+    /// `std::env::consts::ARCH` (e.g. `x86_64`).
+    pub arch: String,
+    /// `std::env::consts::FAMILY` (e.g. `unix`).
+    pub family: String,
+    /// Pointer width in bits.
+    pub pointer_width: u32,
+    /// `std::thread::available_parallelism()` at capture time (0 if
+    /// unavailable).
+    pub parallelism: u32,
+    /// Whether the producing binary was compiled with debug assertions —
+    /// numbers from such a build are not comparable to release numbers.
+    pub debug_assertions: bool,
+}
+
+impl EnvFingerprint {
+    /// Captures the fingerprint of the running process.
+    pub fn capture() -> Self {
+        EnvFingerprint {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            family: std::env::consts::FAMILY.to_string(),
+            pointer_width: usize::BITS,
+            parallelism: std::thread::available_parallelism()
+                .map(|p| p.get() as u32)
+                .unwrap_or(0),
+            debug_assertions: cfg!(debug_assertions),
+        }
+    }
+
+    /// Renders the fingerprint as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"os\":");
+        json::write_str(&mut out, &self.os);
+        out.push_str(",\"arch\":");
+        json::write_str(&mut out, &self.arch);
+        out.push_str(",\"family\":");
+        json::write_str(&mut out, &self.family);
+        let _ = write!(
+            out,
+            ",\"pointer_width\":{},\"parallelism\":{},\"debug_assertions\":{}}}",
+            self.pointer_width, self.parallelism, self.debug_assertions
+        );
+        out
+    }
+}
+
+/// Builds the full artifact document for `payload` (which must be a JSON
+/// object) and self-checks it with the in-repo parser.
+///
+/// # Errors
+/// Returns a message if `payload` is not a parseable JSON object or the
+/// assembled envelope fails the self-check.
+pub fn render_artifact(
+    doc_type: &str,
+    env: &EnvFingerprint,
+    payload: &str,
+) -> Result<String, String> {
+    let mut out = String::from("{\"type\":");
+    json::write_str(&mut out, doc_type);
+    let _ = write!(out, ",\"schema_version\":{SCHEMA_VERSION},\"env\":");
+    out.push_str(&env.to_json());
+    out.push_str(",\"payload\":");
+    out.push_str(payload);
+    out.push('}');
+    check_artifact(&out, doc_type)?;
+    Ok(out)
+}
+
+/// Renders and writes an artifact to `path`.
+///
+/// # Errors
+/// Propagates [`render_artifact`] failures and I/O errors as messages.
+pub fn write_artifact(
+    path: &std::path::Path,
+    doc_type: &str,
+    env: &EnvFingerprint,
+    payload: &str,
+) -> Result<(), String> {
+    let doc = render_artifact(doc_type, env, payload)?;
+    std::fs::write(path, doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Parses `doc` and validates the artifact envelope: the `type` matches,
+/// `schema_version` equals [`SCHEMA_VERSION`], `env` carries every
+/// fingerprint key, and `payload` is an object. Returns the parsed
+/// document for artifact-specific checks.
+///
+/// # Errors
+/// Returns a message naming the first envelope violation.
+pub fn check_artifact(doc: &str, expected_type: &str) -> Result<Value, String> {
+    let v = json::parse(doc)?;
+    let t = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("artifact without string `type`")?;
+    if t != expected_type {
+        return Err(format!("artifact type `{t}`, expected `{expected_type}`"));
+    }
+    let version = v
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .ok_or("artifact without numeric `schema_version`")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version}, expected {SCHEMA_VERSION}"
+        ));
+    }
+    let env = v.get("env").ok_or("artifact without `env`")?;
+    for key in ["os", "arch", "family"] {
+        if env.get(key).and_then(Value::as_str).is_none() {
+            return Err(format!("env without string `{key}`"));
+        }
+    }
+    for key in ["pointer_width", "parallelism"] {
+        if env.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("env without numeric `{key}`"));
+        }
+    }
+    if !matches!(env.get("debug_assertions"), Some(Value::Bool(_))) {
+        return Err("env without boolean `debug_assertions`".to_string());
+    }
+    if v.get("payload").and_then(Value::as_object).is_none() {
+        return Err("artifact without object `payload`".to_string());
+    }
+    Ok(v)
+}
+
+/// Whether two parsed artifacts carry the same environment fingerprint
+/// (the precondition for comparing their numbers).
+pub fn same_env(a: &Value, b: &Value) -> bool {
+    a.get("env") == b.get("env")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrips_and_validates() {
+        let env = EnvFingerprint::capture();
+        let doc =
+            render_artifact("bench_merge", &env, r#"{"n":1024,"families":[]}"#).expect("render");
+        let parsed = check_artifact(&doc, "bench_merge").expect("check");
+        assert_eq!(
+            parsed
+                .get("payload")
+                .and_then(|p| p.get("n"))
+                .and_then(Value::as_f64),
+            Some(1024.0)
+        );
+        assert_eq!(
+            parsed
+                .get("env")
+                .and_then(|e| e.get("os"))
+                .and_then(Value::as_str),
+            Some(std::env::consts::OS)
+        );
+    }
+
+    #[test]
+    fn wrong_type_and_bad_payload_are_rejected() {
+        let env = EnvFingerprint::capture();
+        let doc = render_artifact("bench_sort", &env, "{}").expect("render");
+        assert!(check_artifact(&doc, "bench_merge").is_err());
+        assert!(render_artifact("bench_sort", &env, "[1,2]").is_err());
+        assert!(render_artifact("bench_sort", &env, "{not json").is_err());
+    }
+
+    #[test]
+    fn same_env_detects_fingerprint_drift() {
+        let env = EnvFingerprint::capture();
+        let a = render_artifact("x", &env, "{}").expect("render");
+        let b = render_artifact("y", &env, r#"{"k":1}"#).expect("render");
+        let mut other = env.clone();
+        other.parallelism += 1;
+        let c = render_artifact("x", &other, "{}").expect("render");
+        let (a, b, c) = (
+            json::parse(&a).unwrap(),
+            json::parse(&b).unwrap(),
+            json::parse(&c).unwrap(),
+        );
+        assert!(same_env(&a, &b));
+        assert!(!same_env(&a, &c));
+    }
+}

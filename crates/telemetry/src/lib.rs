@@ -28,10 +28,14 @@
 //!   stream ([`Telemetry::to_jsonl`]).
 //! - [`json`]: a minimal hand-rolled JSON writer/parser used by the
 //!   exporters and by `cargo xtask verify-telemetry`'s schema check.
+//! - [`artifact`]: the shared envelope writer (environment fingerprint +
+//!   schema self-check) every committed `BENCH_*.json` goes through, so
+//!   the artifacts can never disagree on schema or fingerprint.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod json;
 mod record;
 mod timeline;

@@ -80,6 +80,13 @@ pub enum CounterKind {
     DiagonalProbeSteps,
     /// Staging-buffer refills (SPM ring buffers, hierarchical tiles).
     StagingFills,
+    /// Segments the adaptive dispatcher routed to the classic two-pointer
+    /// kernel.
+    SegmentsClassic,
+    /// Segments routed to the branch-lean kernel.
+    SegmentsBranchLean,
+    /// Segments routed to the galloping kernel.
+    SegmentsGalloping,
 }
 
 impl CounterKind {
@@ -89,6 +96,9 @@ impl CounterKind {
             CounterKind::Comparisons => "comparisons",
             CounterKind::DiagonalProbeSteps => "diagonal_probe_steps",
             CounterKind::StagingFills => "staging_fills",
+            CounterKind::SegmentsClassic => "segments_classic",
+            CounterKind::SegmentsBranchLean => "segments_branch_lean",
+            CounterKind::SegmentsGalloping => "segments_galloping",
         }
     }
 }
@@ -273,5 +283,11 @@ mod tests {
             "diagonal_probe_steps"
         );
         assert_eq!(CounterKind::StagingFills.name(), "staging_fills");
+        assert_eq!(CounterKind::SegmentsClassic.name(), "segments_classic");
+        assert_eq!(
+            CounterKind::SegmentsBranchLean.name(),
+            "segments_branch_lean"
+        );
+        assert_eq!(CounterKind::SegmentsGalloping.name(), "segments_galloping");
     }
 }

@@ -24,6 +24,13 @@ fn usage() -> ExitCode {
     eprintln!("                   for every kernel), then rebuild with the injected");
     eprintln!("                   partition fault (--cfg mergepath_mutate) and prove the");
     eprintln!("                   checker reports the overlap");
+    eprintln!("  bench            run `mp bench` at full scale, refreshing the committed");
+    eprintln!("                   BENCH_merge.json / BENCH_sort.json / BENCH_telemetry.json");
+    eprintln!("                   at the workspace root");
+    eprintln!("  verify-bench     run `mp bench --smoke` into target/xtask/bench, schema-");
+    eprintln!("                   check the three artifacts (shared envelope + fingerprint),");
+    eprintln!("                   and WARN (not fail) when a fresh median ns/element");
+    eprintln!("                   regresses >10% against a committed artifact");
     ExitCode::FAILURE
 }
 
@@ -239,12 +246,148 @@ fn verify_schedules() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs `mp bench` with the given extra arguments.
+fn run_mp_bench(extra: &[&str]) -> bool {
+    let mut args = vec![
+        "run",
+        "--offline",
+        "--release",
+        "-q",
+        "-p",
+        "mergepath-cli",
+        "--bin",
+        "mp",
+        "--",
+        "bench",
+    ];
+    args.extend_from_slice(extra);
+    cargo(&args)
+}
+
+fn bench() -> ExitCode {
+    if !run_mp_bench(&["--out-dir", "."]) {
+        eprintln!("bench: FAILED running `mp bench`");
+        return ExitCode::FAILURE;
+    }
+    println!("bench: OK (BENCH_merge.json / BENCH_sort.json / BENCH_telemetry.json refreshed)");
+    ExitCode::SUCCESS
+}
+
+/// Reads and envelope-checks one artifact, returning the parsed document.
+fn load_artifact(
+    path: &std::path::Path,
+    doc_type: &str,
+) -> Result<mergepath_telemetry::json::Value, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    mergepath_telemetry::artifact::check_artifact(&doc, doc_type)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Per-family `adaptive_ns_per_elem` medians from a bench_merge/bench_sort
+/// artifact.
+fn family_medians(doc: &mergepath_telemetry::json::Value) -> Vec<(String, f64)> {
+    use mergepath_telemetry::json::Value;
+    doc.get("payload")
+        .and_then(|p| p.get("families"))
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|f| {
+            Some((
+                f.get("family")?.as_str()?.to_string(),
+                f.get("adaptive_ns_per_elem")?.as_f64()?,
+            ))
+        })
+        .collect()
+}
+
+/// Compares a fresh artifact against the committed one (if present) and
+/// prints non-gating warnings for >10% median ns/element regressions.
+fn warn_on_regression(name: &str, doc_type: &str, fresh: &mergepath_telemetry::json::Value) {
+    let committed_path = std::path::Path::new(name);
+    if !committed_path.exists() {
+        println!("verify-bench: no committed {name}; skipping regression comparison");
+        return;
+    }
+    let committed = match load_artifact(committed_path, doc_type) {
+        Ok(doc) => doc,
+        Err(e) => {
+            println!("verify-bench: WARNING: committed {name} fails the schema check ({e})");
+            return;
+        }
+    };
+    if !mergepath_telemetry::artifact::same_env(fresh, &committed) {
+        println!(
+            "verify-bench: WARNING: {name} was produced on a different environment; \
+             ns/element numbers are not directly comparable"
+        );
+    }
+    let fresh_rows = family_medians(fresh);
+    let committed_rows = family_medians(&committed);
+    for (family, fresh_ns) in &fresh_rows {
+        let Some((_, committed_ns)) = committed_rows.iter().find(|(f, _)| f == family) else {
+            continue;
+        };
+        if *fresh_ns > committed_ns * 1.10 {
+            println!(
+                "verify-bench: WARNING: {name} {family}: fresh {fresh_ns:.3} ns/elem vs \
+                 committed {committed_ns:.3} (+{:.1}%, threshold 10%)",
+                (fresh_ns / committed_ns - 1.0) * 100.0
+            );
+        }
+    }
+}
+
+fn verify_bench() -> ExitCode {
+    let dir = std::path::Path::new("target").join("xtask").join("bench");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("verify-bench: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let out_dir = dir.display().to_string();
+    if !run_mp_bench(&["--smoke", "--out-dir", &out_dir]) {
+        eprintln!("verify-bench: FAILED running `mp bench --smoke`");
+        return ExitCode::FAILURE;
+    }
+    let specs = [
+        ("BENCH_merge.json", "bench_merge"),
+        ("BENCH_sort.json", "bench_sort"),
+        ("BENCH_telemetry.json", "bench_telemetry"),
+    ];
+    let mut fresh = Vec::new();
+    for (name, doc_type) in specs {
+        match load_artifact(&dir.join(name), doc_type) {
+            Ok(doc) => fresh.push(doc),
+            Err(e) => {
+                eprintln!("verify-bench: FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // The three artifacts of one run must carry the same fingerprint.
+    for pair in fresh.windows(2) {
+        if !mergepath_telemetry::artifact::same_env(&pair[0], &pair[1]) {
+            eprintln!("verify-bench: FAILED: artifacts disagree on the environment fingerprint");
+            return ExitCode::FAILURE;
+        }
+    }
+    warn_on_regression("BENCH_merge.json", "bench_merge", &fresh[0]);
+    warn_on_regression("BENCH_sort.json", "bench_sort", &fresh[1]);
+    println!(
+        "verify-bench: OK (three artifacts schema-checked, shared fingerprint; \
+         regressions are warnings only)"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let task = env::args().nth(1);
     match task.as_deref() {
         Some("verify-offline") => verify_offline(),
         Some("verify-telemetry") => verify_telemetry(),
         Some("verify-schedules") => verify_schedules(),
+        Some("bench") => bench(),
+        Some("verify-bench") => verify_bench(),
         _ => usage(),
     }
 }

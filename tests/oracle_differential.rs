@@ -146,6 +146,80 @@ fn every_variant_matches_the_sequential_oracle() {
 }
 
 #[test]
+fn every_dispatch_policy_matches_the_oracle_on_every_family() {
+    // The adaptive layer's contract: whatever kernel the run-structure
+    // probe picks — and whatever kernel a fixed policy pins — the output
+    // is byte-identical to the sequential oracle on all nine adversarial
+    // families. The sweep covers Adaptive plus each kernel forced, so a
+    // probe misroute can only ever cost speed, never correctness; the
+    // scoped override serializes concurrent sweeps.
+    use mergepath_suite::mergepath::merge::adaptive::{
+        with_dispatch_policy, DispatchPolicy, SegmentKernel,
+    };
+    let policies = [
+        DispatchPolicy::Adaptive,
+        DispatchPolicy::Fixed(SegmentKernel::Classic),
+        DispatchPolicy::Fixed(SegmentKernel::BranchLean),
+        DispatchPolicy::Fixed(SegmentKernel::Galloping),
+    ];
+    for (name, ka, kb) in adversarial_inputs() {
+        let (a, b) = tag(&ka, &kb);
+        let n = a.len() + b.len();
+        let mut oracle = vec![(0, 0); n];
+        merge_into_by(&a, &b, &mut oracle, &cmp);
+        for policy in policies {
+            with_dispatch_policy(policy, || {
+                for threads in [1usize, 3, 8] {
+                    let mut out = vec![(0, 0); n];
+                    parallel_merge_into_by(&a, &b, &mut out, threads, &cmp);
+                    assert_eq!(out, oracle, "{name}: {policy:?}, threads={threads}");
+
+                    let pairs: Vec<(&[Kv], &[Kv])> = vec![(&a, &b)];
+                    out.fill((0, 0));
+                    batch_merge_into_by(&pairs, &mut out, threads, &cmp);
+                    assert_eq!(out, oracle, "batch {name}: {policy:?}, threads={threads}");
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn adaptive_dispatch_survives_permuted_schedules_under_forced_kernels() {
+    // The schedule dimension crossed with the dispatch dimension: every
+    // kernel of the schedule checker runs under permuted virtual schedules
+    // while the segment dispatch is pinned to each sequential kernel in
+    // turn. CREW exclusivity and coverage must hold regardless of which
+    // inner kernel writes the segments.
+    use mergepath_check::{check_kernel_on, CheckConfig, Kernel};
+    use mergepath_suite::mergepath::merge::adaptive::{
+        with_dispatch_policy, DispatchPolicy, SegmentKernel,
+    };
+    let (name, ka, kb) = &adversarial_inputs()[3]; // duplicate_heavy
+    let (a, b) = tag(ka, kb);
+    let cfg = CheckConfig {
+        threads: 4,
+        schedules: 4,
+        seed: 0xD1FF,
+        pram_limit: 0,
+    };
+    for policy in [
+        DispatchPolicy::Adaptive,
+        DispatchPolicy::Fixed(SegmentKernel::Classic),
+        DispatchPolicy::Fixed(SegmentKernel::BranchLean),
+        DispatchPolicy::Fixed(SegmentKernel::Galloping),
+    ] {
+        with_dispatch_policy(policy, || {
+            for &kernel in &Kernel::ALL {
+                if let Err(e) = check_kernel_on(kernel, &a, &b, &cfg) {
+                    panic!("{name}: {} under {policy:?}: {e}", kernel.name());
+                }
+            }
+        });
+    }
+}
+
+#[test]
 fn every_kernel_survives_permuted_schedules_on_adversarial_inputs() {
     // The schedule dimension: each adversarial family runs under 8
     // seed-permuted virtual schedules per kernel (mergepath-check's
