@@ -627,13 +627,37 @@ pub fn default_input(n: usize, seed: u64) -> (Vec<Kv>, Vec<Kv>) {
     (generate(na, 0), generate(n - na, 1_000_000))
 }
 
+/// Builds a fine-interleaved pair of sorted primitive `u32` keys of
+/// combined length `n` — the input [`check_kernel_keys`] uses to drive the
+/// *vectorized* segment kernel under schedule exploration. Keys are drawn
+/// from a wide space so duplicate runs are rare and the adaptive probe's
+/// SIMD arm actually fires; with bare keys stability is vacuous (equal keys
+/// are bit-identical), which is exactly the property that licenses the SIMD
+/// kernel — the [`Kv`] checks remain the stability referee.
+pub fn default_key_input(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = Prng::seed_from_u64(seed ^ 0x51D0_5EED);
+    let na = n / 2;
+    let mut generate = |len: usize| -> Vec<u32> {
+        let mut keys: Vec<u32> = (0..len)
+            .map(|_| rng.below(u32::MAX as u64) as u32)
+            .collect();
+        keys.sort_unstable();
+        keys
+    };
+    (generate(na), generate(n - na))
+}
+
 /// Independent two-pointer stable merge — the oracle deliberately shares no
 /// code with the kernels under check.
-fn oracle_merge(a: &[Kv], b: &[Kv]) -> Vec<Kv> {
+fn oracle_merge<T, F>(a: &[T], b: &[T], cmp: &F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(&T, &T) -> Ordering,
+{
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        if b[j].0 < a[i].0 {
+        if cmp(&b[j], &a[i]) == Ordering::Less {
             out.push(b[j]);
             j += 1;
         } else {
@@ -648,54 +672,58 @@ fn oracle_merge(a: &[Kv], b: &[Kv]) -> Vec<Kv> {
 
 /// The batch harness splits each input in (deliberately ragged) halves and
 /// merges `(a₀,b₀)` then `(a₁,b₁)` into consecutive output regions.
-fn batch_split(a: &[Kv], b: &[Kv]) -> (usize, usize) {
+fn batch_split<T>(a: &[T], b: &[T]) -> (usize, usize) {
     (a.len() / 2, b.len() / 3)
 }
 
 /// The k-way harness merges four runs: `a` split in half, then `b` split in
 /// half (run order matches ascending provenance, so a left fold of the
 /// stable two-way oracle reproduces the k-way tie-break).
-fn kway_split(a: &[Kv], b: &[Kv]) -> (usize, usize) {
+fn kway_split<T>(a: &[T], b: &[T]) -> (usize, usize) {
     (a.len() / 2, b.len() / 2)
 }
 
 /// The sorts' input: the concatenation `a ++ b`, deterministically
 /// shuffled. The shuffle seed depends only on the base config seed, so
 /// every schedule sorts the *same* array.
-fn sort_input(a: &[Kv], b: &[Kv], cfg: &CheckConfig) -> Vec<Kv> {
-    let mut v: Vec<Kv> = a.iter().chain(b.iter()).copied().collect();
+fn sort_input<T: Copy>(a: &[T], b: &[T], cfg: &CheckConfig) -> Vec<T> {
+    let mut v: Vec<T> = a.iter().chain(b.iter()).copied().collect();
     Prng::seed_from_u64(cfg.seed ^ 0x5075_FF1E).shuffle(&mut v);
     v
 }
 
-fn expected(kernel: Kernel, a: &[Kv], b: &[Kv], cfg: &CheckConfig) -> Vec<Kv> {
+fn expected<T, F>(kernel: Kernel, a: &[T], b: &[T], cfg: &CheckConfig, cmp: &F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(&T, &T) -> Ordering,
+{
     match kernel {
         Kernel::Parallel | Kernel::Segmented | Kernel::Inplace | Kernel::Hierarchical => {
-            oracle_merge(a, b)
+            oracle_merge(a, b, cmp)
         }
         Kernel::Batch => {
             let (ha, hb) = batch_split(a, b);
-            let mut out = oracle_merge(&a[..ha], &b[..hb]);
-            out.extend(oracle_merge(&a[ha..], &b[hb..]));
+            let mut out = oracle_merge(&a[..ha], &b[..hb], cmp);
+            out.extend(oracle_merge(&a[ha..], &b[hb..], cmp));
             out
         }
         Kernel::Kway => {
             let (ha, hb) = kway_split(a, b);
-            let mut acc: Vec<Kv> = Vec::new();
+            let mut acc: Vec<T> = Vec::new();
             for run in [&a[..ha], &a[ha..], &b[..hb], &b[hb..]] {
-                acc = oracle_merge(&acc, run);
+                acc = oracle_merge(&acc, run, cmp);
             }
             acc
         }
         Kernel::SortParallel | Kernel::SortKway | Kernel::SortCacheAware => {
             let mut v = sort_input(a, b, cfg);
-            v.sort_by(by_key); // std's stable sort, keyed only on `.0`
+            v.sort_by(|x, y| cmp(x, y)); // std's stable sort, same key order
             v
         }
     }
 }
 
-fn span_of(v: &[Kv]) -> AccessSpan {
+fn span_of<T>(v: &[T]) -> AccessSpan {
     AccessSpan {
         addr: v.as_ptr() as usize,
         bytes: std::mem::size_of_val(v),
@@ -705,68 +733,78 @@ fn span_of(v: &[Kv]) -> AccessSpan {
 
 /// Runs `kernel` once (virtually, if an observer is installed) and returns
 /// its output buffer plus the buffer's address span.
-fn run_kernel(kernel: Kernel, a: &[Kv], b: &[Kv], cfg: &CheckConfig) -> (Vec<Kv>, AccessSpan) {
+fn run_kernel<T, F>(
+    kernel: Kernel,
+    a: &[T],
+    b: &[T],
+    cfg: &CheckConfig,
+    cmp: &F,
+) -> (Vec<T>, AccessSpan)
+where
+    T: Copy + Default + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
     let n = a.len() + b.len();
     let threads = cfg.threads;
     match kernel {
         Kernel::Parallel => {
-            let mut out = vec![(0, 0); n];
+            let mut out = vec![T::default(); n];
             let span = span_of(&out);
-            parallel_merge_into_by(a, b, &mut out, threads, &by_key);
+            parallel_merge_into_by(a, b, &mut out, threads, cmp);
             (out, span)
         }
         Kernel::Segmented => {
-            let mut out = vec![(0, 0); n];
+            let mut out = vec![T::default(); n];
             let span = span_of(&out);
             // Small segments (~30 elements) force many segment rounds even
             // on checker-sized inputs.
             let spm = SpmConfig::new(91, threads);
-            segmented_parallel_merge_into_by(a, b, &mut out, &spm, &by_key);
+            segmented_parallel_merge_into_by(a, b, &mut out, &spm, cmp);
             (out, span)
         }
         Kernel::Batch => {
             let (ha, hb) = batch_split(a, b);
-            let pairs: Vec<(&[Kv], &[Kv])> = vec![(&a[..ha], &b[..hb]), (&a[ha..], &b[hb..])];
-            let mut out = vec![(0, 0); n];
+            let pairs: Vec<(&[T], &[T])> = vec![(&a[..ha], &b[..hb]), (&a[ha..], &b[hb..])];
+            let mut out = vec![T::default(); n];
             let span = span_of(&out);
-            batch_merge_into_by(&pairs, &mut out, threads, &by_key);
+            batch_merge_into_by(&pairs, &mut out, threads, cmp);
             (out, span)
         }
         Kernel::Inplace => {
-            let mut v: Vec<Kv> = a.iter().chain(b.iter()).copied().collect();
+            let mut v: Vec<T> = a.iter().chain(b.iter()).copied().collect();
             let span = span_of(&v);
-            parallel_inplace_merge_by(&mut v, a.len(), threads, &by_key);
+            parallel_inplace_merge_by(&mut v, a.len(), threads, cmp);
             (v, span)
         }
         Kernel::Kway => {
             let (ha, hb) = kway_split(a, b);
-            let runs: Vec<&[Kv]> = vec![&a[..ha], &a[ha..], &b[..hb], &b[hb..]];
-            let mut out = vec![(0, 0); n];
+            let runs: Vec<&[T]> = vec![&a[..ha], &a[ha..], &b[..hb], &b[hb..]];
+            let mut out = vec![T::default(); n];
             let span = span_of(&out);
-            parallel_kway_merge_by(&runs, &mut out, threads, &by_key);
+            parallel_kway_merge_by(&runs, &mut out, threads, cmp);
             (out, span)
         }
         Kernel::Hierarchical => {
-            let mut out = vec![(0, 0); n];
+            let mut out = vec![T::default(); n];
             let span = span_of(&out);
             let cfg_h = HierarchicalConfig {
                 blocks: threads,
                 threads_per_block: 4,
                 tile: 64,
             };
-            hierarchical_merge_into_by(a, b, &mut out, &cfg_h, &by_key);
+            hierarchical_merge_into_by(a, b, &mut out, &cfg_h, cmp);
             (out, span)
         }
         Kernel::SortParallel => {
             let mut v = sort_input(a, b, cfg);
             let span = span_of(&v);
-            parallel_merge_sort_by(&mut v, threads, &by_key);
+            parallel_merge_sort_by(&mut v, threads, cmp);
             (v, span)
         }
         Kernel::SortKway => {
             let mut v = sort_input(a, b, cfg);
             let span = span_of(&v);
-            kway_merge_sort_by(&mut v, threads, &by_key);
+            kway_merge_sort_by(&mut v, threads, cmp);
             (v, span)
         }
         Kernel::SortCacheAware => {
@@ -775,7 +813,7 @@ fn run_kernel(kernel: Kernel, a: &[Kv], b: &[Kv], cfg: &CheckConfig) -> (Vec<Kv>
             // A ~100-element cache forces multiple phase-1 blocks and
             // several segmented merge rounds.
             let cfg_c = CacheAwareConfig::new(200, threads);
-            cache_aware_parallel_sort_by(&mut v, &cfg_c, &by_key);
+            cache_aware_parallel_sort_by(&mut v, &cfg_c, cmp);
             (v, span)
         }
     }
@@ -933,7 +971,7 @@ fn verify_recording(
 /// `mergepath-pram` CREW machine, whose independent exclusive-write
 /// detector must accept every one of them. Returns how many rounds it
 /// validated.
-fn pram_replay(
+fn pram_replay<T>(
     kernel: Kernel,
     rec: &Recording,
     span: AccessSpan,
@@ -943,7 +981,7 @@ fn pram_replay(
     if cfg.pram_limit == 0 || span.elems == 0 {
         return Ok(0);
     }
-    let esize = std::mem::size_of::<Kv>();
+    let esize = std::mem::size_of::<T>();
     let mut validated = 0;
     for (ri, round) in rec.rounds.iter().enumerate() {
         if round.orchestrator || round.shares.len() < 2 {
@@ -1000,23 +1038,40 @@ fn pram_replay(
 // Public entry points
 // ---------------------------------------------------------------------------
 
-/// Checks `kernel` on the given sorted, tagged inputs: runs it under
-/// `cfg.schedules` seed-permuted virtual schedules, verifies CREW
-/// exclusivity, coverage, Thm 14 and byte-identical agreement with the
-/// sequential oracle on each, and cross-validates small rounds on the PRAM
-/// machine.
-pub fn check_kernel_on(
+/// Checks `kernel` on the given sorted inputs under a caller-supplied
+/// element type and comparator: runs it under `cfg.schedules` seed-permuted
+/// virtual schedules, verifies CREW exclusivity, coverage, Thm 14 and
+/// byte-identical agreement with the sequential oracle on each, and
+/// cross-validates small rounds on the PRAM machine.
+///
+/// Pass [`mergepath::merge::simd::natural_cmp`] with primitive keys to let
+/// the adaptive probe (or a forced [`DispatchPolicy::Fixed`] override) route
+/// segments through the vectorized kernel while the recording layer watches.
+///
+/// [`DispatchPolicy::Fixed`]: mergepath::merge::adaptive::DispatchPolicy
+pub fn check_kernel_on_by<T, F>(
     kernel: Kernel,
-    a: &[Kv],
-    b: &[Kv],
+    a: &[T],
+    b: &[T],
     cfg: &CheckConfig,
-) -> Result<CheckReport, CheckError> {
+    cmp: &F,
+) -> Result<CheckReport, CheckError>
+where
+    T: Copy + Default + PartialEq + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
     assert!(cfg.threads > 0, "thread count must be at least 1");
     assert!(cfg.schedules > 0, "need at least one schedule");
-    debug_assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "input a not sorted");
-    debug_assert!(b.windows(2).all(|w| w[0].0 <= w[1].0), "input b not sorted");
+    debug_assert!(
+        a.windows(2).all(|w| cmp(&w[0], &w[1]) != Ordering::Greater),
+        "input a not sorted"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| cmp(&w[0], &w[1]) != Ordering::Greater),
+        "input b not sorted"
+    );
 
-    let oracle = expected(kernel, a, b, cfg);
+    let oracle = expected(kernel, a, b, cfg, cmp);
     let mut report = CheckReport {
         kernel: kernel.name(),
         n: a.len() + b.len(),
@@ -1027,7 +1082,7 @@ pub fn check_kernel_on(
         let seed = cfg
             .seed
             .wrapping_add((schedule as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let ((out, span), recording) = record(seed, || run_kernel(kernel, a, b, cfg));
+        let ((out, span), recording) = record(seed, || run_kernel(kernel, a, b, cfg, cmp));
         if let Some(index) = (0..oracle.len().max(out.len())).find(|&i| out.get(i) != oracle.get(i))
         {
             return Err(CheckError::OutputMismatch {
@@ -1041,7 +1096,7 @@ pub fn check_kernel_on(
         report.multi_rounds += stats.multi_rounds;
         report.max_shares = report.max_shares.max(stats.max_shares);
         report.writes += stats.writes;
-        report.pram_rounds += pram_replay(kernel, &recording, span, cfg, schedule)?;
+        report.pram_rounds += pram_replay::<T>(kernel, &recording, span, cfg, schedule)?;
     }
     // Anti-vacuity: with p ≥ 2 workers and an input comfortably above every
     // kernel's sequential cutoff, at least one round must truly fan out.
@@ -1058,6 +1113,18 @@ pub fn check_kernel_on(
     Ok(report)
 }
 
+/// [`check_kernel_on_by`] specialized to the checker's canonical
+/// `(key, tag)` element type and key-only comparator — the configuration
+/// every stability assertion rides on.
+pub fn check_kernel_on(
+    kernel: Kernel,
+    a: &[Kv],
+    b: &[Kv],
+    cfg: &CheckConfig,
+) -> Result<CheckReport, CheckError> {
+    check_kernel_on_by(kernel, a, b, cfg, &by_key)
+}
+
 /// [`check_kernel_on`] with a synthesized duplicate-heavy input of combined
 /// length `n`.
 pub fn check_kernel(
@@ -1067,6 +1134,22 @@ pub fn check_kernel(
 ) -> Result<CheckReport, CheckError> {
     let (a, b) = default_input(n, cfg.seed);
     check_kernel_on(kernel, &a, &b, cfg)
+}
+
+/// [`check_kernel_on_by`] with synthesized wide-key-space primitive `u32`
+/// inputs of combined length `n` and the canonical
+/// [`natural_cmp`](mergepath::merge::simd::natural_cmp) comparator — the
+/// only comparator the SIMD eligibility gate accepts, so this is the entry
+/// point that puts the *vectorized* segment kernel under schedule
+/// exploration (adaptively, or forced via
+/// [`with_dispatch_policy`](mergepath::merge::adaptive::with_dispatch_policy)).
+pub fn check_kernel_keys(
+    kernel: Kernel,
+    n: usize,
+    cfg: &CheckConfig,
+) -> Result<CheckReport, CheckError> {
+    let (a, b) = default_key_input(n, cfg.seed);
+    check_kernel_on_by(kernel, &a, &b, cfg, &mergepath::merge::simd::natural_cmp)
 }
 
 /// Runs [`check_kernel`] over all nine kernels, failing on the first
@@ -1246,7 +1329,7 @@ mod tests {
                 writes(&[(1032, 32, 4)]),
             ])],
         };
-        let err = pram_replay(Kernel::Parallel, &rec, SPAN, &cfg, 0).unwrap_err();
+        let err = pram_replay::<Kv>(Kernel::Parallel, &rec, SPAN, &cfg, 0).unwrap_err();
         assert!(
             matches!(err, CheckError::PramConflict { ref detail, .. }
                 if detail.contains("ExclusiveWriteConflict")),
@@ -1260,7 +1343,7 @@ mod tests {
             ])],
         };
         assert_eq!(
-            pram_replay(Kernel::Parallel, &ok, SPAN, &cfg, 0).unwrap(),
+            pram_replay::<Kv>(Kernel::Parallel, &ok, SPAN, &cfg, 0).unwrap(),
             1
         );
     }
@@ -1270,7 +1353,7 @@ mod tests {
         let (a, b) = default_input(400, 7);
         let cfg = CheckConfig::default();
         let run = |seed: u64| {
-            let (_, rec) = record(seed, || run_kernel(Kernel::Parallel, &a, &b, &cfg));
+            let (_, rec) = record(seed, || run_kernel(Kernel::Parallel, &a, &b, &cfg, &by_key));
             rec.rounds
                 .iter()
                 .map(|r| r.order.clone())
@@ -1328,6 +1411,35 @@ mod tests {
             check_kernel_on(kernel, &empty, &a, &cfg).unwrap();
             check_kernel_on(kernel, &empty, &empty, &cfg).unwrap();
         }
+    }
+
+    #[test]
+    fn primitive_key_checks_pass_for_every_kernel() {
+        let cfg = CheckConfig {
+            schedules: 3,
+            ..CheckConfig::default()
+        };
+        for &kernel in &Kernel::ALL {
+            let report = check_kernel_keys(kernel, 700, &cfg).unwrap();
+            assert!(report.multi_rounds > 0, "{report}");
+        }
+    }
+
+    #[test]
+    fn primitive_key_checks_pass_with_the_simd_kernel_forced() {
+        use mergepath::merge::adaptive::{with_dispatch_policy, DispatchPolicy, SegmentKernel};
+        let cfg = CheckConfig {
+            schedules: 3,
+            ..CheckConfig::default()
+        };
+        // Forcing Simd is total even without the `simd` feature: ineligible
+        // or sub-lane segments fall back to scalar inside the entry point,
+        // so this test is meaningful in both build configurations.
+        with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::Simd), || {
+            for kernel in [Kernel::Parallel, Kernel::Segmented, Kernel::Hierarchical] {
+                check_kernel_keys(kernel, 700, &cfg).unwrap();
+            }
+        });
     }
 
     #[test]

@@ -9,8 +9,14 @@
 //! disjointness check can. This test asserts exactly that: under mutation
 //! the checker must report `WriteOverlap`; in a clean build it must pass.
 //!
-//! `cargo xtask verify-schedules` runs the mutated configuration with this
-//! test as the filter.
+//! A second fault lives in the SIMD segment kernel: under the same cfg the
+//! in-register bitonic network swaps two output lanes after cleaning, which
+//! corrupts merged *values*. Forcing the Simd kernel over primitive keys
+//! must therefore surface as an `OutputMismatch` (the checker compares
+//! against the oracle before it audits the recording).
+//!
+//! `cargo xtask verify-schedules` runs the mutated configuration with these
+//! tests.
 
 use mergepath_check::{check_kernel, CheckConfig, CheckError, Kernel};
 
@@ -27,6 +33,39 @@ fn mutation_overlap_is_detected() {
         }
     } else {
         let report = result.expect("clean build must pass the schedule check");
+        assert!(report.multi_rounds > 0, "{report}");
+    }
+}
+
+/// The lane-swap fault only executes when the vector loop actually runs, so
+/// this test is gated on the `simd` feature: it forces every segment through
+/// the Simd kernel on primitive keys and demands the checker convict the
+/// mutated network by *output*, deterministically on the very first
+/// schedule, before any access-set auditing happens.
+#[cfg(feature = "simd")]
+#[test]
+fn simd_lane_swap_mutation_is_detected_as_an_output_mismatch() {
+    use mergepath::merge::adaptive::{with_dispatch_policy, DispatchPolicy, SegmentKernel};
+    use mergepath_check::check_kernel_keys;
+
+    let cfg = CheckConfig::default();
+    let result = with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::Simd), || {
+        check_kernel_keys(Kernel::Parallel, 1024, &cfg)
+    });
+    if cfg!(mergepath_mutate) {
+        match result {
+            Err(CheckError::OutputMismatch {
+                kernel, schedule, ..
+            }) => {
+                assert_eq!(kernel, "parallel");
+                assert_eq!(schedule, 0, "the fault is schedule-independent");
+            }
+            other => {
+                panic!("mutated simd lanes must be caught as an output mismatch, got {other:?}")
+            }
+        }
+    } else {
+        let report = result.expect("clean build must pass the forced-simd schedule check");
         assert!(report.multi_rounds > 0, "{report}");
     }
 }

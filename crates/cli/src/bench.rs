@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use mergepath::merge::adaptive::{with_dispatch_policy, DispatchPolicy, SegmentKernel};
 use mergepath::merge::parallel::{parallel_merge_into_by, parallel_merge_into_recorded};
+use mergepath::merge::simd::{natural_cmp, simd_enabled};
 use mergepath::sort::parallel::{parallel_merge_sort_by, parallel_merge_sort_recorded};
 use mergepath::telemetry::artifact::{render_artifact, EnvFingerprint};
 use mergepath::telemetry::{NoRecorder, Telemetry, TimelineRecorder};
@@ -118,14 +119,19 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2] as f64
 }
 
-/// One family's measurements under both dispatch policies.
+/// One family's measurements: the adaptive dispatch plus every pinned
+/// segment kernel (classic, branch-lean, SIMD). Without the `simd` feature
+/// the pinned-SIMD column degenerates to branch-lean numbers, since the
+/// entry point falls back; `simd_enabled` in the payload says which.
 #[derive(Debug, Clone)]
 struct FamilyRow {
     family: String,
     adaptive_ns_per_elem: f64,
     classic_ns_per_elem: f64,
+    branch_lean_ns_per_elem: f64,
+    simd_ns_per_elem: f64,
     comparisons: u64,
-    segments: [u64; 3],
+    segments: [u64; 4],
     max_items: u64,
     predicted_max: u64,
     imbalance: f64,
@@ -151,6 +157,13 @@ fn family_row(
     let classic_ns = with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::Classic), || {
         median_ns(cfg.reps, &mut timed)
     });
+    let branch_lean_ns =
+        with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::BranchLean), || {
+            median_ns(cfg.reps, &mut timed)
+        });
+    let simd_ns = with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::Simd), || {
+        median_ns(cfg.reps, &mut timed)
+    });
     let telemetry = with_dispatch_policy(DispatchPolicy::Adaptive, || {
         let rec = TimelineRecorder::new();
         traced(&rec);
@@ -161,11 +174,14 @@ fn family_row(
         family: family.to_string(),
         adaptive_ns_per_elem: adaptive_ns / n as f64,
         classic_ns_per_elem: classic_ns / n as f64,
+        branch_lean_ns_per_elem: branch_lean_ns / n as f64,
+        simd_ns_per_elem: simd_ns / n as f64,
         comparisons: counter_total(&telemetry, "comparisons"),
         segments: [
             counter_total(&telemetry, "segments_classic"),
             counter_total(&telemetry, "segments_branch_lean"),
             counter_total(&telemetry, "segments_galloping"),
+            counter_total(&telemetry, "segments_simd"),
         ],
         max_items: report.max_items,
         predicted_max: report.predicted_max,
@@ -177,8 +193,12 @@ fn rows_payload(cfg: &BenchConfig, rows: &[FamilyRow]) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"n\":{},\"threads\":{},\"seed\":{},\"reps\":{},\"families\":[",
-        cfg.n, cfg.threads, cfg.seed, cfg.reps
+        "{{\"n\":{},\"threads\":{},\"seed\":{},\"reps\":{},\"simd_enabled\":{},\"families\":[",
+        cfg.n,
+        cfg.threads,
+        cfg.seed,
+        cfg.reps,
+        simd_enabled()
     );
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -187,17 +207,24 @@ fn rows_payload(cfg: &BenchConfig, rows: &[FamilyRow]) -> String {
         let _ = write!(
             out,
             "{{\"family\":\"{}\",\"adaptive_ns_per_elem\":{},\"classic_ns_per_elem\":{},\
-             \"speedup_vs_classic\":{},\"comparisons\":{},\"segments_classic\":{},\
-             \"segments_branch_lean\":{},\"segments_galloping\":{},\"max_items\":{},\
-             \"predicted_max\":{},\"imbalance\":{}}}",
+             \"branch_lean_ns_per_elem\":{},\"simd_ns_per_elem\":{},\
+             \"speedup_vs_classic\":{},\"speedup_simd_vs_classic\":{},\
+             \"speedup_simd_vs_branch_lean\":{},\"comparisons\":{},\"segments_classic\":{},\
+             \"segments_branch_lean\":{},\"segments_galloping\":{},\"segments_simd\":{},\
+             \"max_items\":{},\"predicted_max\":{},\"imbalance\":{}}}",
             r.family,
             r.adaptive_ns_per_elem,
             r.classic_ns_per_elem,
+            r.branch_lean_ns_per_elem,
+            r.simd_ns_per_elem,
             r.classic_ns_per_elem / r.adaptive_ns_per_elem.max(f64::MIN_POSITIVE),
+            r.classic_ns_per_elem / r.simd_ns_per_elem.max(f64::MIN_POSITIVE),
+            r.branch_lean_ns_per_elem / r.simd_ns_per_elem.max(f64::MIN_POSITIVE),
             r.comparisons,
             r.segments[0],
             r.segments[1],
             r.segments[2],
+            r.segments[3],
             r.max_items,
             r.predicted_max,
             r.imbalance,
@@ -210,19 +237,23 @@ fn rows_payload(cfg: &BenchConfig, rows: &[FamilyRow]) -> String {
 fn summarize(title: &str, rows: &[FamilyRow], out: &mut String) {
     let _ = writeln!(
         out,
-        "{title}: family, adaptive ns/elem, classic ns/elem, speedup, segments (c/bl/g)"
+        "{title}: family, adaptive/classic/branch-lean/simd ns/elem, adaptive speedup, \
+         segments (c/bl/g/s)"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "  {:<16} {:>8.3} {:>8.3} {:>6.3}x  {}/{}/{}",
+            "  {:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6.3}x  {}/{}/{}/{}",
             r.family,
             r.adaptive_ns_per_elem,
             r.classic_ns_per_elem,
+            r.branch_lean_ns_per_elem,
+            r.simd_ns_per_elem,
             r.classic_ns_per_elem / r.adaptive_ns_per_elem.max(f64::MIN_POSITIVE),
             r.segments[0],
             r.segments[1],
             r.segments[2],
+            r.segments[3],
         );
     }
 }
@@ -287,10 +318,17 @@ pub fn telemetry_payload(n: usize, threads: usize, seed: u64, reps: usize) -> St
 /// in this module, not an input condition.
 pub fn run_bench(cfg: &BenchConfig) -> BenchArtifacts {
     let env = EnvFingerprint::capture();
-    let cmp = |x: &u32, y: &u32| x.cmp(y);
+    // The canonical comparator keeps the sweep eligible for the probe's
+    // SIMD arm — the same dispatch callers of the plain `_by` entry points
+    // get on primitive keys.
+    let cmp = natural_cmp::<u32>;
     let mut summary = format!(
-        "mp bench: n={} threads={} seed={} reps={}\n",
-        cfg.n, cfg.threads, cfg.seed, cfg.reps
+        "mp bench: n={} threads={} seed={} reps={} simd_enabled={}\n",
+        cfg.n,
+        cfg.threads,
+        cfg.seed,
+        cfg.reps,
+        simd_enabled()
     );
 
     // --- merge sweep ---
@@ -395,6 +433,32 @@ mod tests {
         assert_eq!(kernels.len(), 9);
         assert!(run.summary.contains("merge:"));
         assert!(run.summary.contains("sort:"));
+        // The payload says which build configuration produced the numbers,
+        // and every family carries the pinned-kernel columns.
+        assert_eq!(
+            merge.get("payload").and_then(|p| p.get("simd_enabled")),
+            Some(&Value::Bool(simd_enabled()))
+        );
+        for doc in [&merge, &sort] {
+            for f in doc
+                .get("payload")
+                .and_then(|p| p.get("families"))
+                .and_then(Value::as_array)
+                .unwrap()
+            {
+                for col in [
+                    "branch_lean_ns_per_elem",
+                    "simd_ns_per_elem",
+                    "speedup_simd_vs_branch_lean",
+                    "segments_simd",
+                ] {
+                    assert!(
+                        f.get(col).and_then(Value::as_f64).is_some(),
+                        "missing {col}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -419,6 +483,7 @@ mod tests {
             let family = f.get("family").and_then(Value::as_str).unwrap();
             let galloping = f.get("segments_galloping").and_then(Value::as_f64).unwrap();
             let classic = f.get("segments_classic").and_then(Value::as_f64).unwrap();
+            let simd = f.get("segments_simd").and_then(Value::as_f64).unwrap();
             match family {
                 "duplicate-heavy" => {
                     assert!(galloping > 0.0, "{family}: no galloping segments")
@@ -429,7 +494,18 @@ mod tests {
                 "adversarial-tie" => {
                     assert!(classic > 0.0 && galloping == 0.0, "{family}: not one-sided")
                 }
-                "uniform" => assert_eq!(galloping, 0.0, "uniform must not gallop"),
+                // Fine interleaving of primitive keys under the canonical
+                // comparator: the probe's last arm picks the SIMD kernel
+                // exactly when the feature compiled it in, branch-lean
+                // otherwise — never galloping.
+                "uniform" => {
+                    assert_eq!(galloping, 0.0, "uniform must not gallop");
+                    if simd_enabled() {
+                        assert!(simd > 0.0, "uniform must vectorize with the feature on");
+                    } else {
+                        assert_eq!(simd, 0.0, "simd segments impossible without the feature");
+                    }
+                }
                 _ => {}
             }
             assert!(classic >= 0.0);

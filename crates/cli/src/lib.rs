@@ -126,6 +126,7 @@ pub const USAGE: &str = "usage:
   mp select A B --rank K [--numeric]
   mp check  FILE [--numeric]
   mp check  --kernel KERNEL|all [--n N] [--threads P] [--seed S] [--schedules K]
+            [--dispatch adaptive|classic|branch-lean|galloping|simd]
   mp trace  --kernel KERNEL
             [--n N] [--threads P] [--seed S] [--trace-out F] [--metrics-out F]
   mp bench  [--n N] [--threads P] [--seed S] [--reps R] [--out-dir D] [--smoke]
@@ -215,6 +216,54 @@ impl TraceKernel {
     }
 }
 
+/// Per-segment dispatch override for `mp check --kernel`.
+///
+/// `adaptive` (the default) checks the probe's real choices; the fixed
+/// variants pin every segment to one scalar kernel; `simd` pins the
+/// vectorized kernel and switches the checker to primitive-key inputs with
+/// the canonical comparator, since that is the only configuration the SIMD
+/// eligibility gate lets through (on scalar `(key, tag)` inputs a forced
+/// `simd` run would silently fall back and check nothing new).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckDispatch {
+    /// Probe each segment (default).
+    #[default]
+    Adaptive,
+    /// Force the classic two-pointer segment kernel.
+    Classic,
+    /// Force the branch-lean segment kernel.
+    BranchLean,
+    /// Force the galloping segment kernel.
+    Galloping,
+    /// Force the SIMD segment kernel on primitive-key inputs.
+    Simd,
+}
+
+impl CheckDispatch {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "adaptive" => Ok(CheckDispatch::Adaptive),
+            "classic" => Ok(CheckDispatch::Classic),
+            "branch-lean" => Ok(CheckDispatch::BranchLean),
+            "galloping" => Ok(CheckDispatch::Galloping),
+            "simd" => Ok(CheckDispatch::Simd),
+            other => Err(CliError::Usage(format!("unknown --dispatch {other:?}"))),
+        }
+    }
+
+    /// The core dispatch policy this selector forces.
+    pub fn policy(self) -> mergepath::merge::adaptive::DispatchPolicy {
+        use mergepath::merge::adaptive::{DispatchPolicy, SegmentKernel};
+        match self {
+            CheckDispatch::Adaptive => DispatchPolicy::Adaptive,
+            CheckDispatch::Classic => DispatchPolicy::Fixed(SegmentKernel::Classic),
+            CheckDispatch::BranchLean => DispatchPolicy::Fixed(SegmentKernel::BranchLean),
+            CheckDispatch::Galloping => DispatchPolicy::Fixed(SegmentKernel::Galloping),
+            CheckDispatch::Simd => DispatchPolicy::Fixed(SegmentKernel::Simd),
+        }
+    }
+}
+
 /// A parsed command.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Command {
@@ -274,6 +323,8 @@ pub enum Command {
         seed: u64,
         /// Number of permuted virtual schedules per kernel.
         schedules: usize,
+        /// Per-segment dispatch override active during the check.
+        dispatch: CheckDispatch,
     },
     /// `mp trace`.
     Trace {
@@ -324,6 +375,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut reps: Option<usize> = None;
     let mut out_dir = String::from(".");
     let mut smoke = false;
+    let mut dispatch = CheckDispatch::default();
     let mut it = args.iter();
     let sub = it
         .next()
@@ -428,6 +480,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .clone();
             }
             "--smoke" => smoke = true,
+            "--dispatch" => {
+                let d = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--dispatch needs a name".into()))?;
+                dispatch = CheckDispatch::parse(d)?;
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {other:?}")));
             }
@@ -472,6 +530,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 seed,
                 schedules,
+                dispatch,
             })
         }
         ("trace", []) => Ok(Command::Trace {
@@ -645,6 +704,7 @@ where
             threads,
             seed,
             schedules,
+            dispatch,
         } => {
             let cfg = mergepath_check::CheckConfig {
                 threads: *threads,
@@ -657,13 +717,24 @@ where
                     .expect("TraceKernel and check Kernel share names")],
                 None => mergepath_check::Kernel::ALL.to_vec(),
             };
-            let mut out = String::new();
-            for k in kernels {
-                let report = mergepath_check::check_kernel(k, *n, &cfg)
+            // Forcing the SIMD kernel switches to primitive-key inputs:
+            // the (key, tag) checker comparator is deliberately ineligible
+            // for vectorization, so the scalar check set would fall back
+            // and prove nothing about the vector path.
+            let keyed = *dispatch == CheckDispatch::Simd;
+            mergepath::merge::adaptive::with_dispatch_policy(dispatch.policy(), || {
+                let mut out = String::new();
+                for k in kernels {
+                    let report = if keyed {
+                        mergepath_check::check_kernel_keys(k, *n, &cfg)
+                    } else {
+                        mergepath_check::check_kernel(k, *n, &cfg)
+                    }
                     .map_err(|e| CliError::CheckFailed(e.to_string()))?;
-                let _ = writeln!(out, "{report}");
-            }
-            Ok(out)
+                    let _ = writeln!(out, "{report}");
+                }
+                Ok(out)
+            })
         }
         Command::Trace {
             kernel,
@@ -715,7 +786,9 @@ pub fn run_kernel_recorded<R: mergepath::telemetry::Recorder>(
     seed: u64,
     rec: &R,
 ) {
-    let cmp = |x: &u32, y: &u32| x.cmp(y);
+    // The canonical comparator keeps traced/benched runs eligible for the
+    // adaptive probe's SIMD arm, exactly like the public entry points.
+    let cmp = mergepath::merge::simd::natural_cmp::<u32>;
     match kernel {
         TraceKernel::Parallel => {
             let (a, b) = merge_pair_sized(MergeWorkload::Uniform, n / 2, n - n / 2, seed);
@@ -1189,6 +1262,7 @@ mod tests {
                 threads: 3,
                 seed: 5,
                 schedules: 4,
+                dispatch: CheckDispatch::Adaptive,
             }
         );
         // `all` selects every kernel; defaults fill the rest.
@@ -1201,8 +1275,18 @@ mod tests {
                 threads: 2,
                 seed: 42,
                 schedules: 8,
+                dispatch: CheckDispatch::Adaptive,
             }
         );
+        // --dispatch pins a per-segment kernel for the whole run.
+        let cmd = parse_args(&argv("check --kernel all --dispatch simd")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::CheckSchedules {
+                dispatch: CheckDispatch::Simd,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1225,6 +1309,10 @@ mod tests {
             parse_args(&argv("trace --kernel all")),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            parse_args(&argv("check --kernel all --dispatch bogus")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -1241,6 +1329,22 @@ mod tests {
         let one = parse_args(&argv("check --kernel kway --n 400 --threads 2")).unwrap();
         let out = execute(&one, memfs(&[])).unwrap();
         assert!(out.starts_with("kway: ok"), "{out}");
+    }
+
+    #[test]
+    fn check_schedules_runs_under_every_dispatch_override() {
+        // Each override must pass the full check sweep; `simd` additionally
+        // swaps in the primitive-key inputs (meaningful in both build
+        // configurations — without the feature the entry point falls back
+        // to scalar and the run degenerates to a plain correctness check).
+        for dispatch in ["adaptive", "classic", "branch-lean", "galloping", "simd"] {
+            let cmd = parse_args(&argv(&format!(
+                "check --kernel parallel --n 600 --threads 3 --schedules 2 --dispatch {dispatch}"
+            )))
+            .unwrap();
+            let out = execute(&cmd, memfs(&[])).unwrap();
+            assert!(out.starts_with("parallel: ok"), "{dispatch}: {out}");
+        }
     }
 
     #[test]

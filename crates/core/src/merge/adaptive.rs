@@ -23,13 +23,15 @@
 //! — which is also why the process-wide [`DispatchPolicy`] override can be
 //! a relaxed atomic: a racing policy change can alter speed, never results.
 
+use core::cell::Cell;
 use core::cmp::Ordering;
 use core::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 
-use mergepath_telemetry::{CounterKind, Recorder};
+use mergepath_telemetry::{counted_cmp, CounterKind, Recorder};
 
 use super::sequential::{branch_lean_merge_into_by, galloping_merge_into_by, merge_into_by};
+use super::simd::{simd_eligible, simd_merge_into_by, LANES};
 use crate::diagonal::co_rank_by;
 
 /// Segments shorter than this skip the probe entirely and run the classic
@@ -61,14 +63,22 @@ pub enum SegmentKernel {
     BranchLean,
     /// Exponential-search run merge ([`galloping_merge_into_by`]).
     Galloping,
+    /// Vectorized lane merge ([`simd_merge_into_by`]): an in-register
+    /// bitonic network for primitive [`SimdKey`](super::simd::SimdKey)
+    /// types. Execution is total — ineligible types or scalar-length
+    /// segments silently take a byte-identical scalar fallback — but the
+    /// adaptive probe only *names* this kernel when the vector path would
+    /// really run.
+    Simd,
 }
 
 impl SegmentKernel {
     /// All kernels, in dispatch-byte order.
-    pub const ALL: [SegmentKernel; 3] = [
+    pub const ALL: [SegmentKernel; 4] = [
         SegmentKernel::Classic,
         SegmentKernel::BranchLean,
         SegmentKernel::Galloping,
+        SegmentKernel::Simd,
     ];
 
     /// Stable lowercase name (telemetry and bench artifacts).
@@ -77,6 +87,7 @@ impl SegmentKernel {
             SegmentKernel::Classic => "classic",
             SegmentKernel::BranchLean => "branch_lean",
             SegmentKernel::Galloping => "galloping",
+            SegmentKernel::Simd => "simd",
         }
     }
 
@@ -86,6 +97,7 @@ impl SegmentKernel {
             SegmentKernel::Classic => CounterKind::SegmentsClassic,
             SegmentKernel::BranchLean => CounterKind::SegmentsBranchLean,
             SegmentKernel::Galloping => CounterKind::SegmentsGalloping,
+            SegmentKernel::Simd => CounterKind::SegmentsSimd,
         }
     }
 }
@@ -104,6 +116,7 @@ const POLICY_ADAPTIVE: u8 = 0;
 const POLICY_CLASSIC: u8 = 1;
 const POLICY_BRANCH_LEAN: u8 = 2;
 const POLICY_GALLOPING: u8 = 3;
+const POLICY_SIMD: u8 = 4;
 
 static POLICY: AtomicU8 = AtomicU8::new(POLICY_ADAPTIVE);
 
@@ -113,6 +126,7 @@ fn encode(policy: DispatchPolicy) -> u8 {
         DispatchPolicy::Fixed(SegmentKernel::Classic) => POLICY_CLASSIC,
         DispatchPolicy::Fixed(SegmentKernel::BranchLean) => POLICY_BRANCH_LEAN,
         DispatchPolicy::Fixed(SegmentKernel::Galloping) => POLICY_GALLOPING,
+        DispatchPolicy::Fixed(SegmentKernel::Simd) => POLICY_SIMD,
     }
 }
 
@@ -121,6 +135,7 @@ fn decode(bits: u8) -> DispatchPolicy {
         POLICY_CLASSIC => DispatchPolicy::Fixed(SegmentKernel::Classic),
         POLICY_BRANCH_LEAN => DispatchPolicy::Fixed(SegmentKernel::BranchLean),
         POLICY_GALLOPING => DispatchPolicy::Fixed(SegmentKernel::Galloping),
+        POLICY_SIMD => DispatchPolicy::Fixed(SegmentKernel::Simd),
         _ => DispatchPolicy::Adaptive,
     }
 }
@@ -213,8 +228,16 @@ where
             return SegmentKernel::Galloping;
         }
     }
-    // Fine-grained, tie-free interleaving: spend a couple of ALU ops per
-    // element to dodge the data-dependent select branch.
+    // Fine-grained, tie-free interleaving: the vector kernel's territory —
+    // but only when the element type and comparator are provably the
+    // primitive natural order, and only when *both* sides can fill at
+    // least one SIMD lane (a shorter side means the vector loop never
+    // iterates and the kernel is pure overhead, so short-circuit to a
+    // scalar kernel). Otherwise spend a couple of ALU ops per element to
+    // dodge the data-dependent select branch.
+    if na >= LANES && nb >= LANES && simd_eligible::<T, F>(cmp) {
+        return SegmentKernel::Simd;
+    }
     SegmentKernel::BranchLean
 }
 
@@ -252,6 +275,42 @@ where
         SegmentKernel::Classic => merge_into_by(a, b, out, cmp),
         SegmentKernel::BranchLean => branch_lean_merge_into_by(a, b, out, cmp),
         SegmentKernel::Galloping => galloping_merge_into_by(a, b, out, cmp),
+        SegmentKernel::Simd => simd_merge_into_by(a, b, out, cmp),
+    }
+    kernel
+}
+
+/// [`adaptive_merge_into_by`] for *traced* call sites: chooses the kernel
+/// on the raw comparator, then counts comparisons into `hits` via
+/// [`counted_cmp`] only on the scalar kernels.
+///
+/// Wrapping `cmp` before dispatch would destroy the comparator's type
+/// identity and the SIMD kernel could never be selected under telemetry.
+/// The vector path makes zero comparator calls by construction, so it has
+/// nothing to count — SIMD segments legitimately report `cmp_segment = 0`
+/// and their work shows up in the `segments_simd` counter instead.
+///
+/// # Panics
+/// Panics if `out.len() != a.len() + b.len()`.
+pub fn adaptive_merge_into_counted<T: Clone, F>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    cmp: &F,
+    hits: &Cell<u64>,
+) -> SegmentKernel
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let kernel = choose_kernel(a, b, cmp);
+    match kernel {
+        SegmentKernel::Classic => merge_into_by(a, b, out, &counted_cmp(cmp, hits)),
+        SegmentKernel::BranchLean => branch_lean_merge_into_by(a, b, out, &counted_cmp(cmp, hits)),
+        SegmentKernel::Galloping => galloping_merge_into_by(a, b, out, &counted_cmp(cmp, hits)),
+        // A forced-but-ineligible Simd merge falls back to a scalar loop on
+        // the raw comparator; those comparisons go uncounted, which only
+        // affects telemetry of an explicitly mis-pinned policy.
+        SegmentKernel::Simd => simd_merge_into_by(a, b, out, cmp),
     }
     kernel
 }
@@ -366,6 +425,9 @@ mod tests {
                 DispatchPolicy::Fixed(SegmentKernel::Classic),
                 DispatchPolicy::Fixed(SegmentKernel::BranchLean),
                 DispatchPolicy::Fixed(SegmentKernel::Galloping),
+                // `cmp` is a local fn, not `natural_cmp`, so forcing Simd
+                // exercises the byte-identical scalar fallback.
+                DispatchPolicy::Fixed(SegmentKernel::Simd),
             ] {
                 let mut out = vec![0i64; oracle.len()];
                 let chosen =
@@ -402,10 +464,59 @@ mod tests {
     }
 
     #[test]
+    fn probe_routes_fine_interleaving_to_simd_only_for_natural_primitives() {
+        use crate::merge::simd::{natural_cmp, simd_enabled};
+        let mut rng = Mix(9);
+        let mut a: Vec<u32> = (0..50_000).map(|_| rng.next() as u32).collect();
+        let mut b: Vec<u32> = (0..50_000).map(|_| rng.next() as u32).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let expect = if simd_enabled() {
+            SegmentKernel::Simd
+        } else {
+            SegmentKernel::BranchLean
+        };
+        assert_eq!(probe_segment(&a, &b, &natural_cmp), expect);
+        // A semantically identical ad-hoc closure must stay scalar: the
+        // vector kernel is licensed by comparator type identity alone.
+        let closure = |x: &u32, y: &u32| x.cmp(y);
+        assert_eq!(probe_segment(&a, &b, &closure), SegmentKernel::BranchLean);
+    }
+
+    #[test]
+    fn probe_short_circuits_segments_with_a_side_shorter_than_one_lane() {
+        use crate::merge::simd::{natural_cmp, simd_enabled};
+        // Overlapping ranges, distinct keys, total >= PROBE_MIN_LEN: every
+        // earlier probe arm declines, so the final arm decides.
+        let wide: Vec<u32> = (0..500u32).map(|i| i * 13 + 1).collect();
+        let lane_minus_one: Vec<u32> = (0..(LANES as u32 - 1)).map(|i| i * 700 + 350).collect();
+        assert_eq!(lane_minus_one.len(), LANES - 1);
+        // A side one short of a lane can never fill the vector loop: the
+        // probe must short-circuit to a scalar kernel on either side.
+        assert_eq!(
+            probe_segment(&lane_minus_one, &wide, &natural_cmp),
+            SegmentKernel::BranchLean
+        );
+        assert_eq!(
+            probe_segment(&wide, &lane_minus_one, &natural_cmp),
+            SegmentKernel::BranchLean
+        );
+        // One more element and the segment is lane-viable again.
+        let lane_exact: Vec<u32> = (0..LANES as u32).map(|i| i * 700 + 350).collect();
+        let expect = if simd_enabled() {
+            SegmentKernel::Simd
+        } else {
+            SegmentKernel::BranchLean
+        };
+        assert_eq!(probe_segment(&lane_exact, &wide, &natural_cmp), expect);
+    }
+
+    #[test]
     fn kernel_names_and_counters_are_stable() {
         assert_eq!(SegmentKernel::Classic.name(), "classic");
         assert_eq!(SegmentKernel::BranchLean.name(), "branch_lean");
         assert_eq!(SegmentKernel::Galloping.name(), "galloping");
+        assert_eq!(SegmentKernel::Simd.name(), "simd");
         for kernel in SegmentKernel::ALL {
             assert_eq!(decode(encode(DispatchPolicy::Fixed(kernel))), {
                 DispatchPolicy::Fixed(kernel)

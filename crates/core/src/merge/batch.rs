@@ -15,11 +15,12 @@
 use core::cell::Cell;
 use core::cmp::Ordering;
 
-use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
+use mergepath_telemetry::{span, CounterKind, NoRecorder, Recorder, SpanKind};
 
 use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::executor::{self, SendPtr};
-use crate::merge::adaptive::{self, adaptive_merge_into_by};
+use crate::merge::adaptive::{self, adaptive_merge_into_by, adaptive_merge_into_counted};
+use crate::merge::simd::natural_cmp;
 use crate::partition::segment_boundary;
 
 /// Stable merges of each `(a, b)` pair into consecutive regions of `out`
@@ -46,7 +47,7 @@ pub fn batch_merge_into<T>(pairs: &[(&[T], &[T])], out: &mut [T], threads: usize
 where
     T: Ord + Clone + Send + Sync,
 {
-    batch_merge_into_by(pairs, out, threads, &|x: &T, y: &T| x.cmp(y));
+    batch_merge_into_by(pairs, out, threads, &natural_cmp);
 }
 
 /// [`batch_merge_into`] with a caller-supplied comparator.
@@ -95,9 +96,9 @@ pub fn batch_merge_into_recorded<T, F, R>(
             let hits = Cell::new(0u64);
             {
                 let _merge = span(rec, 0, SpanKind::SegmentMerge);
-                let counting = counted_cmp(cmp, &hits);
                 for ((a, b), w) in pairs.iter().zip(offsets.windows(2)) {
-                    let kernel = adaptive_merge_into_by(a, b, &mut out[w[0]..w[1]], &counting);
+                    let kernel =
+                        adaptive_merge_into_counted(a, b, &mut out[w[0]..w[1]], cmp, &hits);
                     adaptive::record_choice(rec, 0, kernel);
                 }
             }
@@ -153,11 +154,12 @@ pub fn batch_merge_into_recorded<T, F, R>(
                 let hits = Cell::new(0u64);
                 let kernel = {
                     let _merge = span(rec, k, SpanKind::SegmentMerge);
-                    adaptive_merge_into_by(
+                    adaptive_merge_into_counted(
                         sa,
                         sb,
                         &mut chunk[chunk_pos..chunk_pos + len],
-                        &counted_cmp(cmp, &hits),
+                        cmp,
+                        &hits,
                     )
                 };
                 adaptive::record_choice(rec, k, kernel);

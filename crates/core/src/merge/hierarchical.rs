@@ -32,7 +32,8 @@ use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, 
 use crate::diagonal::co_rank_by;
 use crate::error::MergeError;
 use crate::executor::{self, SendPtr};
-use crate::merge::adaptive::{self, adaptive_merge_into_by};
+use crate::merge::adaptive::{self, adaptive_merge_into_by, adaptive_merge_into_counted};
+use crate::merge::simd::natural_cmp;
 use crate::partition::{partition_points_by, segment_boundary};
 
 /// Shape of the two-level decomposition.
@@ -101,7 +102,7 @@ pub fn hierarchical_merge_into<T>(a: &[T], b: &[T], out: &mut [T], config: &Hier
 where
     T: Ord + Clone + Default + Send + Sync,
 {
-    hierarchical_merge_into_by(a, b, out, config, &|x: &T, y: &T| x.cmp(y));
+    hierarchical_merge_into_by(a, b, out, config, &natural_cmp);
 }
 
 /// [`hierarchical_merge_into`] with a caller-supplied comparator.
@@ -261,11 +262,12 @@ fn merge_block_tiled<T, F, R>(
                 // path too.
                 let kernel = {
                     let _merge = span(rec, blk, SpanKind::SegmentMerge);
-                    adaptive_merge_into_by(
+                    adaptive_merge_into_counted(
                         &sa[l_lo..l_hi],
                         &sb[d_lo - l_lo..d_hi - l_hi],
                         &mut out[oi + d_lo..oi + d_hi],
-                        &counted_cmp(cmp, &hits),
+                        cmp,
+                        &hits,
                     )
                 };
                 adaptive::record_choice(rec, blk, kernel);

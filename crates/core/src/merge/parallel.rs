@@ -27,13 +27,14 @@
 use core::cell::Cell;
 use core::cmp::Ordering;
 
-use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, SpanKind};
+use mergepath_telemetry::{span, CounterKind, NoRecorder, Recorder, SpanKind};
 
 use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::error::MergeError;
 use crate::executor::{self, SendPtr};
-use crate::merge::adaptive::{self, adaptive_merge_into_by};
+use crate::merge::adaptive::{self, adaptive_merge_into_by, adaptive_merge_into_counted};
 use crate::merge::sequential::merge_into_by;
+use crate::merge::simd::natural_cmp;
 use crate::partition::segment_boundary;
 use crate::stats::MergeStats;
 
@@ -59,7 +60,7 @@ pub fn parallel_merge_into<T>(a: &[T], b: &[T], out: &mut [T], threads: usize)
 where
     T: Ord + Clone + Send + Sync,
 {
-    parallel_merge_into_by(a, b, out, threads, &|x: &T, y: &T| x.cmp(y));
+    parallel_merge_into_by(a, b, out, threads, &natural_cmp);
 }
 
 /// [`parallel_merge_into`] with a caller-supplied comparator.
@@ -106,7 +107,7 @@ pub fn parallel_merge_into_recorded<T, F, R>(
             let hits = Cell::new(0u64);
             let kernel = {
                 let _span = span(rec, 0, SpanKind::SegmentMerge);
-                adaptive_merge_into_by(a, b, out, &counted_cmp(cmp, &hits))
+                adaptive_merge_into_counted(a, b, out, cmp, &hits)
             };
             adaptive::record_choice(rec, 0, kernel);
             rec.counter_add(0, CounterKind::Comparisons, hits.get());
@@ -171,7 +172,7 @@ pub fn parallel_merge_into_recorded<T, F, R>(
             let hits = Cell::new(0u64);
             let kernel = {
                 let _merge = span(rec, k, SpanKind::SegmentMerge);
-                adaptive_merge_into_by(sa, sb, chunk, &counted_cmp(cmp, &hits))
+                adaptive_merge_into_counted(sa, sb, chunk, cmp, &hits)
             };
             adaptive::record_choice(rec, k, kernel);
             rec.counter_add(k, CounterKind::Comparisons, hits.get());

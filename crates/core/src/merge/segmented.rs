@@ -41,8 +41,9 @@ use mergepath_telemetry::{counted_cmp, span, CounterKind, NoRecorder, Recorder, 
 use crate::diagonal::{co_rank_by, co_rank_counted};
 use crate::error::MergeError;
 use crate::executor::{self, SendPtr};
-use crate::merge::adaptive::{self, adaptive_merge_into_by};
+use crate::merge::adaptive::{self, adaptive_merge_into_by, adaptive_merge_into_counted};
 use crate::merge::sequential::merge_views_into_by;
+use crate::merge::simd::natural_cmp;
 use crate::partition::{partition_points_by, segment_boundary};
 use crate::view::{RingBuffer, SortedView};
 
@@ -148,7 +149,7 @@ pub fn segmented_parallel_merge_into<T>(a: &[T], b: &[T], out: &mut [T], config:
 where
     T: Ord + Clone + Default + Send + Sync,
 {
-    segmented_parallel_merge_into_by(a, b, out, config, &|x: &T, y: &T| x.cmp(y));
+    segmented_parallel_merge_into_by(a, b, out, config, &natural_cmp);
 }
 
 /// [`segmented_parallel_merge_into`] with a caller-supplied comparator.
@@ -346,7 +347,7 @@ fn segment_merge_parallel<T, F, R>(
             let hits = Cell::new(0u64);
             let kernel = {
                 let _merge = span(rec, 0, SpanKind::SegmentMerge);
-                adaptive_merge_into_by(sa, sb, out, &counted_cmp(cmp, &hits))
+                adaptive_merge_into_counted(sa, sb, out, cmp, &hits)
             };
             adaptive::record_choice(rec, 0, kernel);
             rec.counter_add(0, CounterKind::Comparisons, hits.get());
@@ -388,7 +389,7 @@ fn segment_merge_parallel<T, F, R>(
             let hits = Cell::new(0u64);
             let kernel = {
                 let _merge = span(rec, k, SpanKind::SegmentMerge);
-                adaptive_merge_into_by(fa, fb, chunk, &counted_cmp(cmp, &hits))
+                adaptive_merge_into_counted(fa, fb, chunk, cmp, &hits)
             };
             adaptive::record_choice(rec, k, kernel);
             rec.counter_add(k, CounterKind::Comparisons, hits.get());

@@ -362,7 +362,7 @@ where
 }
 
 #[inline]
-fn assert_out_len(na: usize, nb: usize, nout: usize) {
+pub(crate) fn assert_out_len(na: usize, nb: usize, nout: usize) {
     assert!(
         nout == na + nb,
         "output buffer length mismatch: expected {}, got {}",

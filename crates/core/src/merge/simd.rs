@@ -1,0 +1,588 @@
+//! SIMD-friendly chunked merge kernel for primitive keys.
+//!
+//! The paper's two-level structure — merge-path partitioning across workers,
+//! an arbitrary *sequential* kernel within each segment — licenses a
+//! vectorized inner loop: each worker's segment merge is free to consume its
+//! inputs eight lanes at a time as long as the emitted bytes are identical
+//! to the classic two-pointer oracle. This module implements the classic
+//! register-level scheme (Inoue's AA-sort, Chhugani et al.):
+//!
+//! ```text
+//!           v (carry, sorted)        w (next lane from the side
+//!        ┌──┬──┬──┬──┬──┬──┬──┬──┐       with the smaller head)
+//!        │v0│v1│v2│v3│v4│v5│v6│v7│   ┌──┬──┬──┬──┬──┬──┬──┬──┐
+//!        └─┬┴─┬┴─┬┴─┬┴─┬┴─┬┴─┬┴─┬┘   │w0│w1│w2│w3│w4│w5│w6│w7│
+//!          │  │  │  │  │  │  │  └────reverse────┘  │  │  │  │
+//!       min/max exchange (lane i ↔ reversed lane 7−i)
+//!          │                                       │
+//!        lo = elementwise min                    hi = elementwise max
+//!          └── bitonic clean: stride 4, 2, 1 ──────┘
+//!        lo: 8 smallest of v ∪ w → emitted        hi: new carry v
+//! ```
+//!
+//! `v ∥ reverse(w)` is a bitonic sequence, so one min/max exchange followed
+//! by a stride-4/2/1 clean on each half is exactly the 16-element bitonic
+//! merger: `lo` receives the eight smallest elements of `v ∪ w` in sorted
+//! order and `hi` the eight largest. Everything is written as fixed-size
+//! array arithmetic with branch-free selects so the compiler can
+//! autovectorize (`u32x8`-style) on any target — there is no `unsafe` SIMD
+//! and no target-feature detection.
+//!
+//! Loading from the side with the smaller head keeps the emitted prefix
+//! correct: after loading lane `w` from (say) `a`, the new heads are
+//! `a[i+LANES]` and `b[j]`, and at least eight elements of `v ∪ w` are
+//! `≤ min(a[i+LANES], b[j])` — all of `w` when `a[i+LANES]` is the minimum
+//! (`a` is sorted), and all of `v` when `b[j]` is (each carry element
+//! originates below the current head of its source side). Hence the low
+//! half never emits an element that should have come later.
+//!
+//! ## Eligibility and stability
+//!
+//! The vector path runs only for the sealed [`SimdKey`] primitives
+//! (`u32`/`i32`/`u64`/`i64`, plus `f32` via the [`F32Bits`] total-order
+//! transform) *and* only when the caller compares with the canonical
+//! [`natural_cmp`] — detected by comparator type identity, so a
+//! semantically identical closure still takes the scalar path. This is what
+//! preserves the crate-wide stability guarantee by vacuity: a `SimdKey` is
+//! its own key (no satellite payload), so equal keys are bit-identical and
+//! *any* correct merge of them is byte-identical to the stable classic
+//! oracle. Types that carry payload (e.g. `(key, id)` pairs) can never be
+//! `SimdKey`s and always fall back to the scalar kernels, whose stability
+//! is pinned by the oracle differential suite.
+//!
+//! Tails (fewer than [`LANES`] elements left on a side), short segments and
+//! ineligible types all take byte-identical scalar fallbacks. Without the
+//! `simd` cargo feature the module still compiles and tests, but
+//! [`simd_eligible`] is always `false`, so every call falls back — the
+//! feature toggles dispatch, never semantics.
+
+use core::any::TypeId;
+use core::cmp::Ordering;
+use core::marker::PhantomData;
+
+use super::sequential::{assert_out_len, branch_lean_merge_into_by, merge_into_by};
+
+/// Vector width, in elements, of the in-register merge network. Portable
+/// fixed-size-array code: eight 32-bit lanes fill one 256-bit register and
+/// eight 64-bit lanes split cleanly across two 256-bit registers.
+pub const LANES: usize = 8;
+
+/// The canonical natural-order comparator: `|x, y| x.cmp(y)` as a named
+/// function item.
+///
+/// Because every monomorphization of a function item has a unique
+/// zero-sized type, passing `&natural_cmp` (rather than an ad-hoc closure)
+/// lets the dispatch layer prove — by comparator *type identity*, see
+/// [`simd_eligible`] — that the ordering really is the primitive natural
+/// order, which is what licenses reinterpreting `&[T]` as `&[u32]` (etc.)
+/// inside the vector kernel. All natural-order entry points in this crate
+/// route through it.
+pub fn natural_cmp<T: Ord>(x: &T, y: &T) -> Ordering {
+    x.cmp(y)
+}
+
+/// `TypeId` of `T` ignoring lifetimes (so non-`'static` comparator types,
+/// e.g. closures capturing references, can still be *compared against* the
+/// `'static` function items of [`natural_cmp`]).
+fn non_static_type_id<T: ?Sized>() -> TypeId {
+    trait NonStaticAny {
+        fn get_type_id(&self) -> TypeId
+        where
+            Self: 'static;
+    }
+    impl<T: ?Sized> NonStaticAny for PhantomData<T> {
+        fn get_type_id(&self) -> TypeId
+        where
+            Self: 'static,
+        {
+            TypeId::of::<T>()
+        }
+    }
+    let phantom = PhantomData::<T>;
+    let erased: &dyn NonStaticAny = &phantom;
+    // SAFETY: `dyn NonStaticAny` and `dyn NonStaticAny + 'static` have the
+    // same layout and vtable; the `Self: 'static` bound on `get_type_id`
+    // exists only so `TypeId::of` is nameable and the method reads nothing
+    // from `self` (the receiver is a borrowed ZST). Widening the trait
+    // object's lifetime bound for the duration of this call therefore
+    // cannot let any reference dangle. (This is the well-known
+    // lifetime-erased `TypeId` idiom.)
+    let erased: &(dyn NonStaticAny + 'static) = unsafe { core::mem::transmute(erased) };
+    erased.get_type_id()
+}
+
+/// Lifetime-erased `TypeId` of a value — used to fingerprint the
+/// [`natural_cmp`] function items.
+fn type_id_of_val<T: ?Sized>(_val: &T) -> TypeId {
+    non_static_type_id::<T>()
+}
+
+/// An `f32` re-encoded so that derived integer ordering equals the IEEE 754
+/// `totalOrder` predicate: `-NaN < -∞ < … < -0.0 < +0.0 < … < +∞ < +NaN`.
+///
+/// `f32` itself is not `Ord`, so float workloads opt into the SIMD kernel
+/// by sorting/merging `F32Bits` keys (the transform is an order-preserving
+/// bijection on bit patterns and costs a couple of ALU ops each way).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct F32Bits(u32);
+
+impl F32Bits {
+    /// Encodes a float into its total-order key.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        F32Bits(if bits & 0x8000_0000 != 0 {
+            !bits
+        } else {
+            bits ^ 0x8000_0000
+        })
+    }
+
+    /// Decodes the key back into the original float (bit-exact, including
+    /// NaN payloads and signed zeros).
+    pub fn to_f32(self) -> f32 {
+        let key = self.0;
+        f32::from_bits(if key & 0x8000_0000 != 0 {
+            key ^ 0x8000_0000
+        } else {
+            !key
+        })
+    }
+
+    /// The raw total-order key.
+    pub fn key(self) -> u32 {
+        self.0
+    }
+}
+
+mod sealed {
+    /// Seals [`super::SimdKey`]: the vector kernel's stability argument
+    /// (equal keys are bit-identical) only holds for plain primitive keys,
+    /// so downstream crates must not be able to add payload-carrying types.
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for i32 {}
+    impl Sealed for u64 {}
+    impl Sealed for i64 {}
+    impl Sealed for super::F32Bits {}
+}
+
+/// Primitive key types the vector kernel may reinterpret and merge.
+///
+/// Sealed: a `SimdKey` *is* its entire element — two equal keys are
+/// bit-identical, which is what makes any correct merge of them
+/// byte-identical to the stable classic oracle (stability by vacuity).
+pub trait SimdKey: Copy + Ord + Default + sealed::Sealed + 'static {}
+
+impl SimdKey for u32 {}
+impl SimdKey for i32 {}
+impl SimdKey for u64 {}
+impl SimdKey for i64 {}
+impl SimdKey for F32Bits {}
+
+/// Whether this build carries the `simd` cargo feature. Bench artifacts
+/// record this so numbers from scalar-only builds are never mistaken for
+/// vector runs.
+pub fn simd_enabled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// Which `SimdKey` the element/comparator pair `(T, F)` resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimdClass {
+    U32,
+    I32,
+    U64,
+    I64,
+    F32,
+}
+
+/// Comparator-identity eligibility probe. `Some(class)` iff the `simd`
+/// feature is on *and* `F` is the [`natural_cmp`] function item of one of
+/// the [`SimdKey`] primitives — which forces `T` to be that primitive,
+/// because a function item type implements `Fn(&T, &T) -> Ordering` for
+/// exactly its own signature. (The function items carry no lifetime
+/// parameters, so the lifetime-erased `TypeId` comparison cannot collide.)
+fn simd_class<T, F>() -> Option<SimdClass>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    if !simd_enabled() {
+        return None;
+    }
+    let f = non_static_type_id::<F>();
+    if f == type_id_of_val(&natural_cmp::<u32>) {
+        Some(SimdClass::U32)
+    } else if f == type_id_of_val(&natural_cmp::<i32>) {
+        Some(SimdClass::I32)
+    } else if f == type_id_of_val(&natural_cmp::<u64>) {
+        Some(SimdClass::U64)
+    } else if f == type_id_of_val(&natural_cmp::<i64>) {
+        Some(SimdClass::I64)
+    } else if f == type_id_of_val(&natural_cmp::<F32Bits>) {
+        Some(SimdClass::F32)
+    } else {
+        None
+    }
+}
+
+/// Whether [`simd_merge_into_by`] would take the vector path for this
+/// element/comparator pair. `false` whenever the `simd` feature is off, the
+/// element type is not a [`SimdKey`], or `cmp` is not the canonical
+/// [`natural_cmp`] — the adaptive probe consults this before ever naming
+/// [`SegmentKernel::Simd`](super::adaptive::SegmentKernel::Simd).
+pub fn simd_eligible<T, F>(_cmp: &F) -> bool
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    simd_class::<T, F>().is_some()
+}
+
+/// Reinterprets `&[T]` as `&[K]`.
+///
+/// # Safety
+/// `T` and `K` must be the same type (the caller proves this via
+/// [`simd_class`]'s comparator-identity argument).
+unsafe fn cast_slice<T, K>(s: &[T]) -> &[K] {
+    debug_assert_eq!(core::mem::size_of::<T>(), core::mem::size_of::<K>());
+    debug_assert_eq!(core::mem::align_of::<T>(), core::mem::align_of::<K>());
+    // SAFETY: T == K per the caller's contract, so layout, validity and
+    // provenance are untouched by the cast.
+    unsafe { &*(s as *const [T] as *const [K]) }
+}
+
+/// Reinterprets `&mut [T]` as `&mut [K]`.
+///
+/// # Safety
+/// Same contract as [`cast_slice`]: `T` and `K` must be the same type.
+unsafe fn cast_slice_mut<T, K>(s: &mut [T]) -> &mut [K] {
+    debug_assert_eq!(core::mem::size_of::<T>(), core::mem::size_of::<K>());
+    // SAFETY: T == K per the caller's contract.
+    unsafe { &mut *(s as *mut [T] as *mut [K]) }
+}
+
+/// Stable merge through the SIMD kernel when `(T, F)` is eligible, through
+/// the byte-identical branch-lean scalar kernel otherwise. This is the
+/// execution arm of
+/// [`SegmentKernel::Simd`](super::adaptive::SegmentKernel::Simd): it is
+/// *total* — forcing the kernel on an ineligible type or a scalar-length
+/// segment silently degrades to a scalar merge with identical output.
+///
+/// The vector path performs **zero** comparator calls: the network compares
+/// keys with primitive `<`, which is exactly what [`natural_cmp`] computes.
+///
+/// # Panics
+/// Panics if `out.len() != a.len() + b.len()`.
+pub fn simd_merge_into_by<T: Clone, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    assert_out_len(a.len(), b.len(), out.len());
+    match simd_class::<T, F>() {
+        // SAFETY: in all five arms, `simd_class` matched `F` against the
+        // `natural_cmp` function item of the named primitive; `F: Fn(&T,
+        // &T) -> Ordering` then forces `T` to be that primitive, so the
+        // slice reinterpretations are identity casts.
+        Some(SimdClass::U32) => unsafe {
+            simd_merge::<u32>(cast_slice(a), cast_slice(b), cast_slice_mut(out));
+        },
+        // SAFETY: see the U32 arm.
+        Some(SimdClass::I32) => unsafe {
+            simd_merge::<i32>(cast_slice(a), cast_slice(b), cast_slice_mut(out));
+        },
+        // SAFETY: see the U32 arm.
+        Some(SimdClass::U64) => unsafe {
+            simd_merge::<u64>(cast_slice(a), cast_slice(b), cast_slice_mut(out));
+        },
+        // SAFETY: see the U32 arm.
+        Some(SimdClass::I64) => unsafe {
+            simd_merge::<i64>(cast_slice(a), cast_slice(b), cast_slice_mut(out));
+        },
+        // SAFETY: see the U32 arm.
+        Some(SimdClass::F32) => unsafe {
+            simd_merge::<F32Bits>(cast_slice(a), cast_slice(b), cast_slice_mut(out));
+        },
+        None => branch_lean_merge_into_by(a, b, out, cmp),
+    }
+}
+
+/// Loads one lane of `LANES` consecutive keys starting at `at`.
+#[inline(always)]
+fn load<K: SimdKey>(s: &[K], at: usize) -> [K; LANES] {
+    let mut lane = [K::default(); LANES];
+    lane.copy_from_slice(&s[at..at + LANES]);
+    lane
+}
+
+/// One compare-exchange between lanes `i` and `j < i` of `v`, written as a
+/// pair of branch-free selects (LLVM lowers them to vector min/max).
+#[inline(always)]
+fn exchange<K: SimdKey>(v: &mut [K; LANES], i: usize, j: usize) {
+    let (x, y) = (v[i], v[j]);
+    v[i] = if y < x { y } else { x };
+    v[j] = if y < x { x } else { y };
+}
+
+/// Sorts one bitonic half after the cross stage: the stride-4/2/1 tail of
+/// the 16-element bitonic merger.
+#[inline(always)]
+fn half_clean<K: SimdKey>(v: &mut [K; LANES]) {
+    exchange(v, 0, 4);
+    exchange(v, 1, 5);
+    exchange(v, 2, 6);
+    exchange(v, 3, 7);
+    exchange(v, 0, 2);
+    exchange(v, 1, 3);
+    exchange(v, 4, 6);
+    exchange(v, 5, 7);
+    exchange(v, 0, 1);
+    exchange(v, 2, 3);
+    exchange(v, 4, 5);
+    exchange(v, 6, 7);
+}
+
+/// In-register bitonic merge of two sorted lanes: returns the sorted eight
+/// smallest elements of `v ∪ w` and leaves the sorted eight largest in `v`
+/// (the carry).
+#[inline(always)]
+fn bitonic_merge<K: SimdKey>(v: &mut [K; LANES], w: [K; LANES]) -> [K; LANES] {
+    let mut lo = [K::default(); LANES];
+    let mut hi = [K::default(); LANES];
+    // Cross stage: v ∥ reverse(w) is bitonic, so lane-wise min/max against
+    // the reversed lane splits it into two bitonic halves with lo ≤ hi.
+    for idx in 0..LANES {
+        let x = v[idx];
+        let y = w[LANES - 1 - idx];
+        lo[idx] = if y < x { y } else { x };
+        hi[idx] = if y < x { x } else { y };
+    }
+    half_clean(&mut lo);
+    half_clean(&mut hi);
+    // Deliberate fault for the schedule-exploration checker's mutation
+    // self-test: swapping two emitted lanes breaks sortedness whenever the
+    // lanes hold distinct keys, which `crates/check` must flag as an
+    // output mismatch against the sequential oracle.
+    #[cfg(mergepath_mutate)]
+    lo.swap(2, 5);
+    *v = hi;
+    lo
+}
+
+/// The typed vector merge: carry loop over whole lanes, then a scalar drain
+/// of the carry plus both remainders.
+fn simd_merge<K: SimdKey>(a: &[K], b: &[K], out: &mut [K]) {
+    if a.len() < LANES || b.len() < LANES {
+        // A lane never fills from both sides: plain scalar merge
+        // (byte-identical — equal primitive keys are interchangeable).
+        merge_into_by(a, b, out, &natural_cmp);
+        return;
+    }
+    let mut v = load(a, 0);
+    let (mut i, mut j, mut o) = (LANES, 0usize, 0usize);
+    while i + LANES <= a.len() && j + LANES <= b.len() {
+        // Refill from the side with the smaller head; see the module docs
+        // for why the emitted low half is then final.
+        let w = if a[i] <= b[j] {
+            let w = load(a, i);
+            i += LANES;
+            w
+        } else {
+            let w = load(b, j);
+            j += LANES;
+            w
+        };
+        let lo = bitonic_merge(&mut v, w);
+        out[o..o + LANES].copy_from_slice(&lo);
+        o += LANES;
+    }
+    // Drain: merge the carry with the shorter remainder on the stack
+    // (< 2·LANES elements), then scalar-merge that with the longer one.
+    let ra = &a[i..];
+    let rb = &b[j..];
+    let (short, long) = if ra.len() <= rb.len() {
+        (ra, rb)
+    } else {
+        (rb, ra)
+    };
+    debug_assert!(short.len() < LANES);
+    let mut tmp = [K::default(); 2 * LANES - 1];
+    let tlen = LANES + short.len();
+    merge_into_by(&v, short, &mut tmp[..tlen], &natural_cmp);
+    merge_into_by(&tmp[..tlen], long, &mut out[o..], &natural_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergepath_telemetry::counted_cmp;
+
+    /// SplitMix64 — the core crate cannot depend on `mergepath-workloads`.
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn random_sorted_u32(len: usize, space: u64, seed: u64) -> Vec<u32> {
+        let mut rng = Mix(seed);
+        let mut v: Vec<u32> = (0..len).map(|_| (rng.next() % space) as u32).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn f32bits_is_an_order_preserving_roundtrip() {
+        let floats = [
+            f32::NEG_INFINITY,
+            -1.0e30,
+            -2.5,
+            -1.0,
+            -f32::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            1.0,
+            2.5,
+            1.0e30,
+            f32::INFINITY,
+        ];
+        for w in floats.windows(2) {
+            assert!(
+                F32Bits::from_f32(w[0]) < F32Bits::from_f32(w[1]),
+                "{} should order below {}",
+                w[0],
+                w[1]
+            );
+        }
+        for &x in &floats {
+            let back = F32Bits::from_f32(x).to_f32();
+            assert_eq!(back.to_bits(), x.to_bits(), "bit-exact roundtrip for {x}");
+        }
+        // NaNs land at the extremes and roundtrip with their payload.
+        let nan = f32::from_bits(0x7FC0_0123);
+        let neg_nan = f32::from_bits(0xFFC0_0123);
+        assert!(F32Bits::from_f32(nan) > F32Bits::from_f32(f32::INFINITY));
+        assert!(F32Bits::from_f32(neg_nan) < F32Bits::from_f32(f32::NEG_INFINITY));
+        assert_eq!(F32Bits::from_f32(nan).to_f32().to_bits(), nan.to_bits());
+        assert_eq!(
+            F32Bits::from_f32(neg_nan).to_f32().to_bits(),
+            neg_nan.to_bits()
+        );
+    }
+
+    #[test]
+    fn bitonic_merge_returns_low_half_and_carries_high_half() {
+        let mut rng = Mix(42);
+        for _ in 0..500 {
+            let mut v: [u32; LANES] = core::array::from_fn(|_| (rng.next() % 64) as u32);
+            let mut w: [u32; LANES] = core::array::from_fn(|_| (rng.next() % 64) as u32);
+            v.sort_unstable();
+            w.sort_unstable();
+            let mut all: Vec<u32> = v.iter().chain(w.iter()).copied().collect();
+            all.sort_unstable();
+            let mut carry = v;
+            let lo = bitonic_merge(&mut carry, w);
+            let mut got: Vec<u32> = lo.to_vec();
+            got.extend_from_slice(&carry);
+            assert_eq!(got, all, "v={v:?} w={w:?}");
+        }
+    }
+
+    #[test]
+    fn comparator_type_identity_gates_eligibility() {
+        // The canonical function item is eligible exactly when the feature
+        // is on; a semantically identical closure never is.
+        assert_eq!(simd_eligible::<u32, _>(&natural_cmp), simd_enabled());
+        assert_eq!(simd_eligible::<i64, _>(&natural_cmp), simd_enabled());
+        assert_eq!(simd_eligible::<F32Bits, _>(&natural_cmp), simd_enabled());
+        let closure = |x: &u32, y: &u32| x.cmp(y);
+        assert!(!simd_eligible::<u32, _>(&closure));
+        // Telemetry's counting wrapper destroys identity on purpose: a
+        // counted comparator must take the (countable) scalar path.
+        let hits = core::cell::Cell::new(0u64);
+        let counted = counted_cmp::<u32, _>(&natural_cmp, &hits);
+        assert!(!simd_eligible::<u32, _>(&counted));
+        // Non-SimdKey element types are never eligible, even with their
+        // own natural_cmp instantiation.
+        assert!(!simd_eligible::<(u32, u32), _>(&natural_cmp::<(u32, u32)>));
+        assert!(!simd_eligible::<String, _>(&natural_cmp::<String>));
+        assert!(!simd_eligible::<u8, _>(&natural_cmp::<u8>));
+    }
+
+    #[test]
+    fn simd_merge_matches_the_classic_oracle_across_lengths_and_densities() {
+        let lengths = [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 64, 65, 255, 1024];
+        let mut seed = 100;
+        for &na in &lengths {
+            for &nb in &lengths {
+                for space in [8u64, 1 << 16, u64::MAX] {
+                    seed += 1;
+                    let a = random_sorted_u32(na, space, seed);
+                    let b = random_sorted_u32(nb, space, seed ^ 0xFFFF);
+                    let mut oracle = vec![0u32; na + nb];
+                    merge_into_by(&a, &b, &mut oracle, &natural_cmp);
+                    let mut out = vec![0u32; na + nb];
+                    simd_merge(&a, &b, &mut out);
+                    assert_eq!(out, oracle, "na={na} nb={nb} space={space}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_merge_handles_every_signed_and_wide_key_type() {
+        let mut rng = Mix(7);
+        let mut a: Vec<i64> = (0..777).map(|_| rng.next() as i64).collect();
+        let mut b: Vec<i64> = (0..913).map(|_| rng.next() as i64).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut oracle = vec![0i64; a.len() + b.len()];
+        merge_into_by(&a, &b, &mut oracle, &natural_cmp);
+        let mut out = vec![0i64; a.len() + b.len()];
+        simd_merge(&a, &b, &mut out);
+        assert_eq!(out, oracle);
+
+        let mut fa: Vec<F32Bits> = (0..500)
+            .map(|_| F32Bits::from_f32(f32::from_bits((rng.next() as u32) & 0x7F7F_FFFF)))
+            .collect();
+        let mut fb: Vec<F32Bits> = (0..333)
+            .map(|_| F32Bits::from_f32(-f32::from_bits((rng.next() as u32) & 0x7F7F_FFFF)))
+            .collect();
+        fa.sort_unstable();
+        fb.sort_unstable();
+        let mut foracle = vec![F32Bits::default(); fa.len() + fb.len()];
+        merge_into_by(&fa, &fb, &mut foracle, &natural_cmp);
+        let mut fout = vec![F32Bits::default(); fa.len() + fb.len()];
+        simd_merge(&fa, &fb, &mut fout);
+        assert_eq!(fout, foracle);
+    }
+
+    #[test]
+    fn entry_point_is_total_and_byte_identical_for_ineligible_types() {
+        // (key, id) pairs: not a SimdKey, so the entry point must fall back
+        // to the scalar kernel and preserve stability (a-side first).
+        let a: Vec<(u32, u32)> = (0..600).map(|i| (i / 3, i)).collect();
+        let b: Vec<(u32, u32)> = (0..600).map(|i| (i / 3, 10_000 + i)).collect();
+        let by_key = |x: &(u32, u32), y: &(u32, u32)| x.0.cmp(&y.0);
+        let mut oracle = vec![(0u32, 0u32); a.len() + b.len()];
+        merge_into_by(&a, &b, &mut oracle, &by_key);
+        let mut out = vec![(0u32, 0u32); a.len() + b.len()];
+        simd_merge_into_by(&a, &b, &mut out, &by_key);
+        assert_eq!(out, oracle);
+    }
+
+    #[test]
+    fn entry_point_matches_oracle_when_eligible() {
+        let a = random_sorted_u32(4_096, 1 << 20, 21);
+        let b = random_sorted_u32(4_097, 1 << 20, 22);
+        let mut oracle = vec![0u32; a.len() + b.len()];
+        merge_into_by(&a, &b, &mut oracle, &natural_cmp);
+        let mut out = vec![0u32; a.len() + b.len()];
+        simd_merge_into_by(&a, &b, &mut out, &natural_cmp);
+        assert_eq!(out, oracle);
+    }
+}

@@ -88,7 +88,7 @@ where
     cache_aware_parallel_sort_by(
         v,
         &CacheAwareConfig::new(cache_elems, threads),
-        &|x: &T, y: &T| x.cmp(y),
+        &crate::merge::simd::natural_cmp,
     );
 }
 

@@ -95,6 +95,41 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Appends `v` to `out` as one compact JSON document (object keys emerge
+/// in `BTreeMap` order, so rendering is deterministic).
+pub fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Number(n) => write_f64(out, *n),
+        Value::String(s) => write_str(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, value)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(out, key);
+                out.push(':');
+                write_value(out, value);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parses one JSON document from `input` (surrounding whitespace allowed).
 ///
 /// # Errors
@@ -304,5 +339,18 @@ mod tests {
         s.push(' ');
         write_f64(&mut s, 1.25);
         assert_eq!(s, "0 1.25");
+    }
+
+    #[test]
+    fn write_value_roundtrips_through_the_parser() {
+        let doc = r#"{"a":[1,true,null,"x\n"],"b":{"c":-2.5},"d":"y"}"#;
+        let parsed = parse(doc).unwrap();
+        let mut rendered = String::new();
+        write_value(&mut rendered, &parsed);
+        assert_eq!(parse(&rendered).unwrap(), parsed);
+        // Deterministic: a second render is byte-identical.
+        let mut again = String::new();
+        write_value(&mut again, &parsed);
+        assert_eq!(rendered, again);
     }
 }

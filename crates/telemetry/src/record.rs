@@ -87,6 +87,10 @@ pub enum CounterKind {
     SegmentsBranchLean,
     /// Segments routed to the galloping kernel.
     SegmentsGalloping,
+    /// Segments routed to the vectorized (SIMD) kernel. The vector path
+    /// performs zero comparator calls, so these segments contribute
+    /// nothing to [`CounterKind::Comparisons`] by design.
+    SegmentsSimd,
 }
 
 impl CounterKind {
@@ -99,6 +103,7 @@ impl CounterKind {
             CounterKind::SegmentsClassic => "segments_classic",
             CounterKind::SegmentsBranchLean => "segments_branch_lean",
             CounterKind::SegmentsGalloping => "segments_galloping",
+            CounterKind::SegmentsSimd => "segments_simd",
         }
     }
 }
@@ -289,5 +294,6 @@ mod tests {
             "segments_branch_lean"
         );
         assert_eq!(CounterKind::SegmentsGalloping.name(), "segments_galloping");
+        assert_eq!(CounterKind::SegmentsSimd.name(), "segments_simd");
     }
 }

@@ -10,7 +10,7 @@ use std::env;
 use std::process::{Command, ExitCode};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask <task>");
+    eprintln!("usage: cargo xtask <task> [--simd]");
     eprintln!();
     eprintln!("tasks:");
     eprintln!("  verify-offline   build (release) and test the whole workspace with");
@@ -29,9 +29,44 @@ fn usage() -> ExitCode {
     eprintln!("                   at the workspace root");
     eprintln!("  verify-bench     run `mp bench --smoke` into target/xtask/bench, schema-");
     eprintln!("                   check the three artifacts (shared envelope + fingerprint),");
+    eprintln!("                   append per-family medians to results/bench_history.jsonl");
     eprintln!("                   and WARN (not fail) when a fresh median ns/element");
-    eprintln!("                   regresses >10% against a committed artifact");
+    eprintln!("                   regresses >10% against the rolling median of the last");
+    eprintln!(
+        "                   {HISTORY_WINDOW} same-environment history entries (falling back to the"
+    );
+    eprintln!("                   committed artifact when the history is empty)");
+    eprintln!();
+    eprintln!("flags:");
+    eprintln!("  --simd           build every cargo invocation with `--features simd` so the");
+    eprintln!("                   vectorized segment kernel is compiled in, and add the");
+    eprintln!("                   forced-SIMD leg to verify-schedules");
     ExitCode::FAILURE
+}
+
+/// How many trailing same-environment history entries feed the rolling
+/// median that fresh bench numbers are judged against.
+const HISTORY_WINDOW: usize = 5;
+
+/// Where `verify-bench` accumulates one JSONL line per run.
+const HISTORY_PATH: &str = "results/bench_history.jsonl";
+
+/// Feature flags handed to every cargo invocation of a task run.
+#[derive(Clone, Copy)]
+struct BuildOpts {
+    /// Compile with `--features simd`.
+    simd: bool,
+}
+
+impl BuildOpts {
+    /// The extra cargo arguments this configuration needs.
+    fn feature_args(&self) -> &'static [&'static str] {
+        if self.simd {
+            &["--features", "simd"]
+        } else {
+            &[]
+        }
+    }
 }
 
 /// Runs `cargo <args>` against the workspace root, echoing the command.
@@ -59,14 +94,16 @@ fn cargo_env(args: &[&str], envs: &[(&str, &str)]) -> bool {
     }
 }
 
-fn verify_offline() -> ExitCode {
+fn verify_offline(opts: BuildOpts) -> ExitCode {
     let steps: &[&[&str]] = &[
         &["build", "--offline", "--release", "--workspace"],
         &["test", "--offline", "-q", "--workspace"],
     ];
     for step in steps {
-        if !cargo(step) {
-            eprintln!("verify-offline: FAILED at `cargo {}`", step.join(" "));
+        let mut args = step.to_vec();
+        args.extend_from_slice(opts.feature_args());
+        if !cargo(&args) {
+            eprintln!("verify-offline: FAILED at `cargo {}`", args.join(" "));
             return ExitCode::FAILURE;
         }
     }
@@ -131,7 +168,7 @@ fn check_trace_outputs(trace_path: &str, metrics_path: &str, n: u64, p: u64) -> 
     Ok(())
 }
 
-fn verify_telemetry() -> ExitCode {
+fn verify_telemetry(opts: BuildOpts) -> ExitCode {
     let dir = std::path::Path::new("target").join("xtask");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("verify-telemetry: cannot create {}: {e}", dir.display());
@@ -144,13 +181,9 @@ fn verify_telemetry() -> ExitCode {
     let p_arg = p.to_string();
     let trace_arg = trace.display().to_string();
     let metrics_arg = metrics.display().to_string();
-    let args = [
-        "run",
-        "--offline",
-        "--release",
-        "-q",
-        "-p",
-        "mergepath-cli",
+    let mut args = vec!["run", "--offline", "--release", "-q", "-p", "mergepath-cli"];
+    args.extend_from_slice(opts.feature_args());
+    args.extend_from_slice(&[
         "--bin",
         "mp",
         "--",
@@ -165,7 +198,7 @@ fn verify_telemetry() -> ExitCode {
         &trace_arg,
         "--metrics-out",
         &metrics_arg,
-    ];
+    ]);
     if !cargo(&args) {
         eprintln!("verify-telemetry: FAILED running `mp trace`");
         return ExitCode::FAILURE;
@@ -192,18 +225,20 @@ fn verify_telemetry() -> ExitCode {
 /// 2. **Sensitivity of the checker**: the workspace is rebuilt with
 ///    `--cfg mergepath_mutate` (a deliberate off-by-one in the Algorithm 1
 ///    partition that makes two shares write the same boundary slot with the
-///    same value — invisible to output diffing) and the mutation self-test
-///    must observe the checker reporting `WriteOverlap`. A separate target
-///    directory keeps the mutated artifacts from poisoning the normal
-///    build cache.
-fn verify_schedules() -> ExitCode {
-    let check = [
-        "run",
-        "--offline",
-        "--release",
-        "-q",
-        "-p",
-        "mergepath-cli",
+///    same value — invisible to output diffing, plus a lane swap in the
+///    SIMD bitonic network that corrupts merged values) and every mutation
+///    self-test must observe the checker convicting its fault. A separate
+///    target directory keeps the mutated artifacts from poisoning the
+///    normal build cache.
+///
+/// With `--simd`, a third leg forces the vectorized segment kernel over
+/// primitive-key inputs (`mp check --kernel all --dispatch simd`), and the
+/// mutation leg compiles the lane-swap fault in.
+fn verify_schedules(opts: BuildOpts) -> ExitCode {
+    let mut runs: Vec<Vec<&str>> = Vec::new();
+    let mut base = vec!["run", "--offline", "--release", "-q", "-p", "mergepath-cli"];
+    base.extend_from_slice(opts.feature_args());
+    base.extend_from_slice(&[
         "--bin",
         "mp",
         "--",
@@ -216,56 +251,48 @@ fn verify_schedules() -> ExitCode {
         "4",
         "--schedules",
         "8",
-    ];
-    if !cargo(&check) {
-        eprintln!("verify-schedules: FAILED: `mp check --kernel all` found a violation");
-        return ExitCode::FAILURE;
+    ]);
+    runs.push(base.clone());
+    if opts.simd {
+        let mut forced = base;
+        forced.extend_from_slice(&["--dispatch", "simd"]);
+        runs.push(forced);
     }
-    let mutate = [
-        "test",
-        "--offline",
-        "-q",
-        "-p",
-        "mergepath-check",
-        "--test",
-        "mutation",
-        "mutation_overlap_is_detected",
-    ];
+    for check in &runs {
+        if !cargo(check) {
+            eprintln!("verify-schedules: FAILED: `mp check --kernel all` found a violation");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut mutate = vec!["test", "--offline", "-q", "-p", "mergepath-check"];
+    mutate.extend_from_slice(opts.feature_args());
+    mutate.extend_from_slice(&["--test", "mutation"]);
     let envs = [
         ("RUSTFLAGS", "--cfg mergepath_mutate"),
         ("CARGO_TARGET_DIR", "target/mutate"),
     ];
     if !cargo_env(&mutate, &envs) {
-        eprintln!("verify-schedules: FAILED: the checker did not detect the injected fault");
+        eprintln!("verify-schedules: FAILED: the checker did not detect an injected fault");
         return ExitCode::FAILURE;
     }
     println!(
         "verify-schedules: OK (all kernels CREW-exclusive under permuted schedules; \
-         injected partition fault detected)"
+         injected faults detected)"
     );
     ExitCode::SUCCESS
 }
 
 /// Runs `mp bench` with the given extra arguments.
-fn run_mp_bench(extra: &[&str]) -> bool {
-    let mut args = vec![
-        "run",
-        "--offline",
-        "--release",
-        "-q",
-        "-p",
-        "mergepath-cli",
-        "--bin",
-        "mp",
-        "--",
-        "bench",
-    ];
+fn run_mp_bench(opts: BuildOpts, extra: &[&str]) -> bool {
+    let mut args = vec!["run", "--offline", "--release", "-q", "-p", "mergepath-cli"];
+    args.extend_from_slice(opts.feature_args());
+    args.extend_from_slice(&["--bin", "mp", "--", "bench"]);
     args.extend_from_slice(extra);
     cargo(&args)
 }
 
-fn bench() -> ExitCode {
-    if !run_mp_bench(&["--out-dir", "."]) {
+fn bench(opts: BuildOpts) -> ExitCode {
+    if !run_mp_bench(opts, &["--out-dir", "."]) {
         eprintln!("bench: FAILED running `mp bench`");
         return ExitCode::FAILURE;
     }
@@ -299,6 +326,137 @@ fn family_medians(doc: &mergepath_telemetry::json::Value) -> Vec<(String, f64)> 
             ))
         })
         .collect()
+}
+
+/// Every `*_ns_per_elem` median of a bench artifact, per family: the rows
+/// that feed the regression history.
+fn family_metrics(doc: &mergepath_telemetry::json::Value) -> Vec<(String, Vec<(String, f64)>)> {
+    use mergepath_telemetry::json::Value;
+    doc.get("payload")
+        .and_then(|p| p.get("families"))
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|f| {
+            let family = f.get("family")?.as_str()?.to_string();
+            let metrics = f
+                .as_object()?
+                .iter()
+                .filter_map(|(key, v)| {
+                    Some((key.strip_suffix("_ns_per_elem")?.to_string(), v.as_f64()?))
+                })
+                .collect();
+            Some((family, metrics))
+        })
+        .collect()
+}
+
+/// Renders the JSONL history entry for one `verify-bench` run: the shared
+/// environment fingerprint plus every per-family ns/element median of the
+/// merge and sort artifacts.
+fn render_history_entry(
+    merge: &mergepath_telemetry::json::Value,
+    sort: &mergepath_telemetry::json::Value,
+) -> String {
+    use mergepath_telemetry::json::{write_f64, write_str, write_value, Value};
+    let mut out = String::from("{\"type\":\"bench_history\",\"env\":");
+    write_value(&mut out, merge.get("env").unwrap_or(&Value::Null));
+    for (kind, doc) in [("merge", merge), ("sort", sort)] {
+        out.push_str(",\"");
+        out.push_str(kind);
+        out.push_str("\":{");
+        for (fi, (family, metrics)) in family_metrics(doc).iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, family);
+            out.push_str(":{");
+            for (mi, (metric, ns)) in metrics.iter().enumerate() {
+                if mi > 0 {
+                    out.push(',');
+                }
+                write_str(&mut out, metric);
+                out.push(':');
+                write_f64(&mut out, *ns);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// Loads the history entries of `results/bench_history.jsonl` that carry
+/// the same environment fingerprint as the fresh run (numbers from other
+/// machines or build configurations are never comparable). Unparseable
+/// lines are skipped, so a corrupted history degrades to an empty one.
+fn load_history(
+    env: Option<&mergepath_telemetry::json::Value>,
+) -> Vec<mergepath_telemetry::json::Value> {
+    use mergepath_telemetry::json::Value;
+    let Ok(text) = std::fs::read_to_string(HISTORY_PATH) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| mergepath_telemetry::json::parse(line).ok())
+        .filter(|e| e.get("type").and_then(Value::as_str) == Some("bench_history"))
+        .filter(|e| e.get("env") == env)
+        .collect()
+}
+
+/// Judges the fresh artifact's per-family `adaptive` medians against the
+/// rolling median of the last [`HISTORY_WINDOW`] same-environment history
+/// entries, printing non-gating warnings for >10% regressions. Returns
+/// `false` when the history held nothing to judge against (the caller then
+/// falls back to the committed-artifact comparison).
+fn judge_against_history(
+    name: &str,
+    kind: &str,
+    fresh: &mergepath_telemetry::json::Value,
+    history: &[mergepath_telemetry::json::Value],
+) -> bool {
+    let window = &history[history.len().saturating_sub(HISTORY_WINDOW)..];
+    let mut judged = false;
+    for (family, metrics) in family_metrics(fresh) {
+        let Some(&(_, fresh_ns)) = metrics.iter().find(|(m, _)| m == "adaptive") else {
+            continue;
+        };
+        let mut past: Vec<f64> = window
+            .iter()
+            .filter_map(|e| e.get(kind)?.get(&family)?.get("adaptive")?.as_f64())
+            .collect();
+        if past.is_empty() {
+            continue;
+        }
+        judged = true;
+        past.sort_by(f64::total_cmp);
+        let median = past[past.len() / 2];
+        if fresh_ns > median * 1.10 {
+            println!(
+                "verify-bench: WARNING: {name} {family}: fresh {fresh_ns:.3} ns/elem vs \
+                 rolling median {median:.3} of the last {} run(s) (+{:.1}%, threshold 10%)",
+                past.len(),
+                (fresh_ns / median - 1.0) * 100.0
+            );
+        }
+    }
+    judged
+}
+
+/// Appends one rendered history line, creating `results/` on first use.
+fn append_history(entry: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let path = std::path::Path::new(HISTORY_PATH);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{HISTORY_PATH}: {e}"))?;
+    writeln!(file, "{entry}").map_err(|e| format!("{HISTORY_PATH}: {e}"))
 }
 
 /// Compares a fresh artifact against the committed one (if present) and
@@ -338,14 +496,14 @@ fn warn_on_regression(name: &str, doc_type: &str, fresh: &mergepath_telemetry::j
     }
 }
 
-fn verify_bench() -> ExitCode {
+fn verify_bench(opts: BuildOpts) -> ExitCode {
     let dir = std::path::Path::new("target").join("xtask").join("bench");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("verify-bench: cannot create {}: {e}", dir.display());
         return ExitCode::FAILURE;
     }
     let out_dir = dir.display().to_string();
-    if !run_mp_bench(&["--smoke", "--out-dir", &out_dir]) {
+    if !run_mp_bench(opts, &["--smoke", "--out-dir", &out_dir]) {
         eprintln!("verify-bench: FAILED running `mp bench --smoke`");
         return ExitCode::FAILURE;
     }
@@ -371,8 +529,22 @@ fn verify_bench() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    warn_on_regression("BENCH_merge.json", "bench_merge", &fresh[0]);
-    warn_on_regression("BENCH_sort.json", "bench_sort", &fresh[1]);
+    // Judge against the rolling history first; artifacts with no usable
+    // history fall back to the committed-baseline comparison.
+    let history = load_history(fresh[0].get("env"));
+    if !judge_against_history("BENCH_merge.json", "merge", &fresh[0], &history) {
+        warn_on_regression("BENCH_merge.json", "bench_merge", &fresh[0]);
+    }
+    if !judge_against_history("BENCH_sort.json", "sort", &fresh[1], &history) {
+        warn_on_regression("BENCH_sort.json", "bench_sort", &fresh[1]);
+    }
+    match append_history(&render_history_entry(&fresh[0], &fresh[1])) {
+        Ok(()) => println!(
+            "verify-bench: appended run #{} to {HISTORY_PATH}",
+            history.len() + 1
+        ),
+        Err(e) => println!("verify-bench: WARNING: could not append history ({e})"),
+    }
     println!(
         "verify-bench: OK (three artifacts schema-checked, shared fingerprint; \
          regressions are warnings only)"
@@ -381,13 +553,24 @@ fn verify_bench() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let task = env::args().nth(1);
+    let mut args = env::args().skip(1);
+    let task = args.next();
+    let mut opts = BuildOpts { simd: false };
+    for flag in args {
+        match flag.as_str() {
+            "--simd" => opts.simd = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
     match task.as_deref() {
-        Some("verify-offline") => verify_offline(),
-        Some("verify-telemetry") => verify_telemetry(),
-        Some("verify-schedules") => verify_schedules(),
-        Some("bench") => bench(),
-        Some("verify-bench") => verify_bench(),
+        Some("verify-offline") => verify_offline(opts),
+        Some("verify-telemetry") => verify_telemetry(opts),
+        Some("verify-schedules") => verify_schedules(opts),
+        Some("bench") => bench(opts),
+        Some("verify-bench") => verify_bench(opts),
         _ => usage(),
     }
 }

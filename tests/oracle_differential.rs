@@ -161,6 +161,10 @@ fn every_dispatch_policy_matches_the_oracle_on_every_family() {
         DispatchPolicy::Fixed(SegmentKernel::Classic),
         DispatchPolicy::Fixed(SegmentKernel::BranchLean),
         DispatchPolicy::Fixed(SegmentKernel::Galloping),
+        // Forced-Simd on (key, tag) pairs exercises the vector entry
+        // point's internal fallback: the comparator is not the canonical
+        // one, so every segment must take the scalar path byte-identically.
+        DispatchPolicy::Fixed(SegmentKernel::Simd),
     ];
     for (name, ka, kb) in adversarial_inputs() {
         let (a, b) = tag(&ka, &kb);
@@ -208,6 +212,7 @@ fn adaptive_dispatch_survives_permuted_schedules_under_forced_kernels() {
         DispatchPolicy::Fixed(SegmentKernel::Classic),
         DispatchPolicy::Fixed(SegmentKernel::BranchLean),
         DispatchPolicy::Fixed(SegmentKernel::Galloping),
+        DispatchPolicy::Fixed(SegmentKernel::Simd),
     ] {
         with_dispatch_policy(policy, || {
             for &kernel in &Kernel::ALL {
