@@ -12,7 +12,10 @@
 //! mp trace  --kernel K [--n N] [--threads P] [--seed S]
 //!           [--trace-out F] [--metrics-out F]       # run + record telemetry
 //! mp bench  [--n N] [--threads P] [--seed S] [--reps R]
-//!           [--out-dir D] [--smoke]                 # BENCH_*.json artifacts
+//!           [--out-dir D] [--smoke] [--serve]       # BENCH_*.json artifacts
+//! mp serve  [--requests N] [--concurrency C] [--queue-capacity Q]
+//!           [--deadline-ms D] [--pattern P] [--n LEN] [--threads B]
+//!           [--seed S]                              # live daemon session
 //! ```
 //!
 //! `mp check --kernel …` drives the deterministic schedule checker
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod serve_bench;
 
 use std::fmt::Write as _;
 
@@ -63,7 +67,7 @@ use mergepath::sort::natural::natural_merge_sort_by;
 use mergepath::sort::parallel::{parallel_merge_sort_by, parallel_merge_sort_recorded};
 use mergepath::telemetry::{LoadBalanceReport, TimelineRecorder};
 use mergepath_workloads::{
-    merge_pair_sized, sorted_keys, unsorted_keys, MergeWorkload, SortWorkload,
+    merge_pair_sized, sorted_keys, unsorted_keys, ArrivalPattern, MergeWorkload, SortWorkload,
 };
 
 /// Everything that can go wrong, with user-facing messages.
@@ -129,7 +133,9 @@ pub const USAGE: &str = "usage:
             [--dispatch adaptive|classic|branch-lean|galloping|simd]
   mp trace  --kernel KERNEL
             [--n N] [--threads P] [--seed S] [--trace-out F] [--metrics-out F]
-  mp bench  [--n N] [--threads P] [--seed S] [--reps R] [--out-dir D] [--smoke]
+  mp bench  [--n N] [--threads P] [--seed S] [--reps R] [--out-dir D] [--smoke] [--serve]
+  mp serve  [--requests N] [--concurrency C] [--queue-capacity Q] [--deadline-ms D]
+            [--pattern steady|bursty|heavy-tail] [--n LEN] [--threads B] [--seed S]
 where KERNEL is parallel|segmented|batch|inplace|kway|hierarchical|\
 sort-parallel|sort-kway|sort-cache-aware";
 
@@ -353,6 +359,29 @@ pub enum Command {
         reps: usize,
         /// Directory receiving the three `BENCH_*.json` artifacts.
         out_dir: String,
+        /// Also run the serving sweep and emit `BENCH_serve.json`.
+        serve: bool,
+        /// `--smoke` was given: size the serving sweep for CI.
+        smoke: bool,
+    },
+    /// `mp serve` — one live daemon session (see [`serve_bench`]).
+    Serve {
+        /// Requests in the arrival plan.
+        requests: usize,
+        /// Serving threads (maximum in-flight requests).
+        concurrency: usize,
+        /// Bounded admission-queue capacity.
+        queue_capacity: usize,
+        /// Relative per-request deadline, milliseconds (0 = none).
+        deadline_ms: u64,
+        /// Arrival process.
+        pattern: ArrivalPattern,
+        /// Mean per-side input length.
+        mean_len: usize,
+        /// Pool-thread budget shared by in-flight requests.
+        threads: usize,
+        /// Plan seed.
+        seed: u64,
     },
 }
 
@@ -376,6 +405,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut out_dir = String::from(".");
     let mut smoke = false;
     let mut dispatch = CheckDispatch::default();
+    let mut serve = false;
+    let mut requests = 256usize;
+    let mut concurrency = 64usize;
+    let mut queue_capacity = 256usize;
+    let mut deadline_ms = 50u64;
+    let mut pattern = ArrivalPattern::Steady;
     let mut it = args.iter();
     let sub = it
         .next()
@@ -480,6 +515,52 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .clone();
             }
             "--smoke" => smoke = true,
+            "--serve" => serve = true,
+            "--requests" => {
+                let r = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--requests needs a count".into()))?;
+                requests = r
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&r| r > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad request count {r:?}")))?;
+            }
+            "--concurrency" => {
+                let c = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--concurrency needs a count".into()))?;
+                concurrency = c
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&c| c > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad concurrency {c:?}")))?;
+            }
+            "--queue-capacity" => {
+                let q = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--queue-capacity needs a count".into()))?;
+                queue_capacity = q
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&q| q > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad queue capacity {q:?}")))?;
+            }
+            "--deadline-ms" => {
+                let d = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--deadline-ms needs a value".into()))?;
+                deadline_ms = d
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("bad deadline {d:?}")))?;
+            }
+            "--pattern" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--pattern needs a name".into()))?;
+                pattern = ArrivalPattern::parse(p)
+                    .ok_or_else(|| CliError::Usage(format!("unknown --pattern {p:?}")))?;
+            }
             "--dispatch" => {
                 let d = it
                     .next()
@@ -556,8 +637,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 reps: reps.unwrap_or(defaults.reps),
                 out_dir,
+                serve,
+                smoke,
             })
         }
+        ("serve", []) => Ok(Command::Serve {
+            requests,
+            concurrency,
+            queue_capacity,
+            deadline_ms,
+            pattern,
+            mean_len: n.unwrap_or(2048),
+            threads,
+            seed,
+        }),
         (sub, pos) => Err(CliError::Usage(format!(
             "bad arguments for {sub:?} (got {} positional argument(s))",
             pos.len()
@@ -748,6 +841,8 @@ where
             threads,
             seed,
             reps,
+            serve,
+            smoke,
             ..
         } => {
             let cfg = bench::BenchConfig {
@@ -756,8 +851,36 @@ where
                 seed: *seed,
                 reps: *reps,
             };
-            Ok(bench::run_bench(&cfg).summary)
+            let mut summary = bench::run_bench(&cfg).summary;
+            if *serve {
+                let serve_cfg = if *smoke {
+                    serve_bench::ServeBenchConfig::smoke(*threads, *seed)
+                } else {
+                    serve_bench::ServeBenchConfig::full(*threads, *seed)
+                };
+                summary.push_str(&serve_bench::run_serve_bench(&serve_cfg).summary);
+            }
+            Ok(summary)
         }
+        Command::Serve {
+            requests,
+            concurrency,
+            queue_capacity,
+            deadline_ms,
+            pattern,
+            mean_len,
+            threads,
+            seed,
+        } => Ok(serve_bench::run_serve(&serve_bench::ServeRunConfig {
+            requests: *requests,
+            concurrency: *concurrency,
+            queue_capacity: *queue_capacity,
+            deadline_ns: deadline_ms * 1_000_000,
+            pattern: *pattern,
+            mean_len: *mean_len,
+            worker_budget: *threads,
+            seed: *seed,
+        })),
     }
 }
 
@@ -1345,6 +1468,87 @@ mod tests {
             let out = execute(&cmd, memfs(&[])).unwrap();
             assert!(out.starts_with("parallel: ok"), "{dispatch}: {out}");
         }
+    }
+
+    #[test]
+    fn parse_serve_command() {
+        let cmd = parse_args(&argv(
+            "serve --requests 32 --concurrency 8 --queue-capacity 16 --deadline-ms 5 \
+             --pattern bursty --n 512 --threads 2 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                requests: 32,
+                concurrency: 8,
+                queue_capacity: 16,
+                deadline_ms: 5,
+                pattern: ArrivalPattern::Bursty,
+                mean_len: 512,
+                threads: 2,
+                seed: 7,
+            }
+        );
+        // Defaults: 64-way concurrency, steady arrivals, 50 ms deadline.
+        let cmd = parse_args(&argv("serve")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                requests: 256,
+                concurrency: 64,
+                queue_capacity: 256,
+                deadline_ms: 50,
+                pattern: ArrivalPattern::Steady,
+                mean_len: 2048,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn serve_parse_errors() {
+        for bad in [
+            "serve --pattern poisson",
+            "serve --requests 0",
+            "serve --concurrency 0",
+            "serve --queue-capacity 0",
+            "serve --deadline-ms x",
+            "serve extra-positional",
+        ] {
+            assert!(
+                matches!(parse_args(&argv(bad)), Err(CliError::Usage(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_bench_serve_flag() {
+        let cmd = parse_args(&argv("bench --smoke --serve --threads 2 --seed 5")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Bench {
+                serve: true,
+                smoke: true,
+                ..
+            }
+        ));
+        let cmd = parse_args(&argv("bench --smoke")).unwrap();
+        assert!(matches!(cmd, Command::Bench { serve: false, .. }));
+    }
+
+    #[test]
+    fn serve_through_execute_returns_summary() {
+        let cmd = parse_args(&argv(
+            "serve --requests 8 --concurrency 2 --queue-capacity 8 --deadline-ms 0 \
+             --n 256 --threads 2 --seed 11",
+        ))
+        .unwrap();
+        let out = execute(&cmd, memfs(&[])).unwrap();
+        assert!(out.contains("submitted=8"), "{out}");
+        assert!(out.contains("lost=0"), "{out}");
+        assert!(out.contains("serve_completed=8"), "{out}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Thin I/O shim over [`mergepath_cli`]: parse, execute, print.
 
-use mergepath_cli::{bench, execute, fs_loader, parse_args, run_trace, Command};
+use mergepath_cli::{bench, execute, fs_loader, parse_args, run_trace, serve_bench, Command};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +40,8 @@ fn main() {
         seed,
         reps,
         out_dir,
+        serve,
+        smoke,
     } = &cmd
     {
         let cfg = bench::BenchConfig {
@@ -54,19 +56,31 @@ fn main() {
             eprintln!("mp: cannot create {out_dir}: {e}");
             std::process::exit(1);
         }
-        for (name, body) in [
-            ("BENCH_merge.json", &run.merge_json),
-            ("BENCH_sort.json", &run.sort_json),
-            ("BENCH_telemetry.json", &run.telemetry_json),
-        ] {
+        let mut files = vec![
+            ("BENCH_merge.json", run.merge_json),
+            ("BENCH_sort.json", run.sort_json),
+            ("BENCH_telemetry.json", run.telemetry_json),
+        ];
+        print!("{}", run.summary);
+        if *serve {
+            let serve_cfg = if *smoke {
+                serve_bench::ServeBenchConfig::smoke(*threads, *seed)
+            } else {
+                serve_bench::ServeBenchConfig::full(*threads, *seed)
+            };
+            let serve_run = serve_bench::run_serve_bench(&serve_cfg);
+            print!("{}", serve_run.summary);
+            files.push(("BENCH_serve.json", serve_run.serve_json));
+        }
+        for (name, body) in &files {
             let path = dir.join(name);
             if let Err(e) = std::fs::write(&path, body) {
                 eprintln!("mp: cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
         }
-        print!("{}", run.summary);
-        println!("  artifacts: {out_dir}/BENCH_{{merge,sort,telemetry}}.json");
+        let names: Vec<&str> = files.iter().map(|(n, _)| *n).collect();
+        println!("  artifacts: {out_dir}/{{{}}}", names.join(","));
         return;
     }
     match execute(&cmd, fs_loader) {

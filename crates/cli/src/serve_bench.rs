@@ -1,0 +1,609 @@
+//! `mp serve` and `mp bench --serve` — the serving-layer harness behind
+//! `BENCH_serve.json`.
+//!
+//! Two entry points share one machinery:
+//!
+//! * [`run_serve`] drives a single live daemon run (`mp serve`) with a
+//!   [`TimelineRecorder`] attached, checks every completed response
+//!   against the sequential oracle, and summarizes stats plus the
+//!   `serve_*` telemetry counters.
+//! * [`run_serve_bench`] sweeps arrival pattern × concurrency level
+//!   (`mp bench --serve`) and renders the `bench_serve` artifact through
+//!   the shared envelope writer. Each cell pairs a **deterministic
+//!   replay** of the admission policy (reproducible outcome counts, pure
+//!   function of `(seed, config)`) with a **live run** (measured
+//!   throughput and p50/p99 latency) over the same arrival plan.
+//!
+//! The live half paces submissions along the plan's arrival timestamps
+//! with the real clock, so latency numbers are machine-dependent like the
+//! other `BENCH_*` timings; the replay half is the artifact's
+//! reproducible anchor (`tests/serve_determinism.rs` pins it).
+
+use std::fmt::Write as _;
+
+use mergepath::merge::sequential::merge_into_by;
+use mergepath::telemetry::artifact::{render_artifact, EnvFingerprint};
+use mergepath::telemetry::TimelineRecorder;
+use mergepath_serve::{
+    replay, NoRecorder, Outcome, ReplayConfig, ReplayOutcome, Request, ServeConfig, ServeStats,
+    Server, ServiceModel,
+};
+use mergepath_telemetry::now_ns;
+use mergepath_workloads::{
+    arrival_plan, merge_pair_sized, ArrivalPattern, PlanConfig, RequestSpec,
+};
+
+/// Knobs shared by `mp serve` and every cell of `mp bench --serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeBenchConfig {
+    /// Requests per arrival plan.
+    pub requests: usize,
+    /// Mean per-side input length (per-request lengths are drawn around
+    /// it by the plan).
+    pub mean_len: usize,
+    /// Target mean inter-arrival gap, nanoseconds.
+    pub mean_gap_ns: u64,
+    /// Relative deadline per request, nanoseconds (0 = none).
+    pub deadline_ns: u64,
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Pool-thread budget shared by in-flight requests.
+    pub worker_budget: usize,
+    /// Concurrency levels (serving threads) the bench sweeps.
+    pub levels: Vec<usize>,
+    /// Root seed for the arrival plans.
+    pub seed: u64,
+}
+
+impl ServeBenchConfig {
+    /// The full configuration behind the committed artifact.
+    pub fn full(worker_budget: usize, seed: u64) -> Self {
+        ServeBenchConfig {
+            requests: 512,
+            mean_len: 4096,
+            mean_gap_ns: 50_000,
+            deadline_ns: 5_000_000,
+            queue_capacity: 64,
+            worker_budget,
+            levels: vec![1, 4, 16, 64],
+            seed,
+        }
+    }
+
+    /// A fast configuration for CI's `verify-serve` gate and tests.
+    /// Still ≥ 4 concurrency levels — the artifact's schema contract.
+    pub fn smoke(worker_budget: usize, seed: u64) -> Self {
+        ServeBenchConfig {
+            requests: 96,
+            mean_len: 1024,
+            mean_gap_ns: 20_000,
+            deadline_ns: 5_000_000,
+            queue_capacity: 32,
+            worker_budget,
+            levels: vec![1, 2, 4, 8],
+            seed,
+        }
+    }
+
+    fn plan_config(&self, pattern: ArrivalPattern) -> PlanConfig {
+        PlanConfig {
+            pattern,
+            requests: self.requests,
+            mean_gap_ns: self.mean_gap_ns,
+            deadline_ns: self.deadline_ns,
+            mean_len: self.mean_len,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The deterministic service-time model the replay half charges per
+/// request: a fixed dispatch overhead plus linear per-element work (Thm 2
+/// — sequential merge is linear in the output length). Calibration is
+/// loose on purpose; the replay needs a *consistent* cost notion, not an
+/// accurate one, and changing it changes `BENCH_serve.json`'s replay
+/// counts everywhere at once.
+pub const REPLAY_SERVICE_MODEL: ServiceModel = ServiceModel {
+    base_ns: 20_000,
+    per_item_ns: 25,
+};
+
+/// One live run's inputs: the regenerated request arrays and the
+/// sequential oracle's answer for each.
+struct PreparedRequest {
+    spec: RequestSpec,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    expected: Vec<u32>,
+}
+
+/// Regenerates every planned request's inputs from
+/// `(workload, len_a, len_b, data_seed)` and computes the sequential
+/// oracle answer — all before any clock starts, so preparation cost never
+/// pollutes the measured run.
+fn prepare(plan: &[RequestSpec]) -> Vec<PreparedRequest> {
+    plan.iter()
+        .map(|spec| {
+            let (a, b) = merge_pair_sized(spec.workload, spec.len_a, spec.len_b, spec.data_seed);
+            let mut expected = vec![0u32; a.len() + b.len()];
+            merge_into_by(&a, &b, &mut expected, &|x: &u32, y: &u32| x.cmp(y));
+            PreparedRequest {
+                spec: *spec,
+                a,
+                b,
+                expected,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one live paced run.
+struct LiveRun {
+    stats: ServeStats,
+    wall_ns: u64,
+    correctness_failures: usize,
+}
+
+/// Plays `prepared` through a live daemon under `cfg`, pacing submissions
+/// along the plan's arrival timestamps. Every completed response is
+/// compared byte-for-byte against the sequential oracle.
+fn live_run<R>(prepared: &[PreparedRequest], cfg: ServeConfig, rec: R) -> LiveRun
+where
+    R: mergepath_serve::Recorder + Send + Sync + 'static,
+{
+    let server: Server<u32, R> = Server::start(cfg, rec);
+    let t0 = now_ns();
+    let mut handles = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        // Pace: wait out the plan's inter-arrival gap. Short waits spin
+        // (sleep granularity on most platforms is far coarser than the
+        // microsecond-scale gaps the plans use).
+        let due = t0.saturating_add(p.spec.arrival_ns);
+        loop {
+            let now = now_ns();
+            if now >= due {
+                break;
+            }
+            let remaining = due - now;
+            if remaining > 200_000 {
+                std::thread::sleep(std::time::Duration::from_nanos(remaining / 2));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let mut req = Request::merge(p.spec.id as u64, p.a.clone(), p.b.clone());
+        if p.spec.deadline_ns != 0 {
+            req = req.with_deadline_in(p.spec.deadline_ns);
+        }
+        if let Ok(h) = server.submit(req) {
+            handles.push(h);
+        }
+    }
+    let mut correctness_failures = 0usize;
+    for h in handles {
+        let id = h.id as usize;
+        match h.wait() {
+            Outcome::Completed { output, .. } => {
+                if output != prepared[id].expected {
+                    correctness_failures += 1;
+                }
+            }
+            Outcome::Rejected(_) => {}
+            Outcome::Failed => correctness_failures += 1,
+        }
+    }
+    let wall_ns = now_ns().saturating_sub(t0);
+    let stats = server.shutdown();
+    LiveRun {
+        stats,
+        wall_ns,
+        correctness_failures,
+    }
+}
+
+/// One pattern × concurrency cell of the bench table.
+#[derive(Debug, Clone)]
+struct ServeRow {
+    pattern: &'static str,
+    concurrency: usize,
+    stats: ServeStats,
+    wall_ns: u64,
+    correctness_failures: usize,
+    replay_completed: usize,
+    replay_rejected_queue_full: usize,
+    replay_rejected_deadline: usize,
+}
+
+impl ServeRow {
+    fn throughput_rps(&self) -> f64 {
+        self.stats.completed as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// The rendered artifacts of one `mp bench --serve` run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchArtifacts {
+    /// Human-readable summary for stdout.
+    pub summary: String,
+    /// `BENCH_serve.json` contents.
+    pub serve_json: String,
+}
+
+fn rows_payload(cfg: &ServeBenchConfig, rows: &[ServeRow]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"requests\":{},\"mean_len\":{},\"mean_gap_ns\":{},\"deadline_ns\":{},\
+         \"queue_capacity\":{},\"worker_budget\":{},\"seed\":{},\
+         \"replay_base_ns\":{},\"replay_per_item_ns\":{},\"levels\":[",
+        cfg.requests,
+        cfg.mean_len,
+        cfg.mean_gap_ns,
+        cfg.deadline_ns,
+        cfg.queue_capacity,
+        cfg.worker_budget,
+        cfg.seed,
+        REPLAY_SERVICE_MODEL.base_ns,
+        REPLAY_SERVICE_MODEL.per_item_ns,
+    );
+    for (i, l) in cfg.levels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{l}");
+    }
+    out.push_str("],\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"pattern\":\"{}\",\"concurrency\":{},\"submitted\":{},\"completed\":{},\
+             \"rejected_queue_full\":{},\"rejected_deadline\":{},\"failed\":{},\"lost\":{},\
+             \"correctness_failures\":{},\"queue_depth_peak\":{},\"inflight_peak\":{},\
+             \"wall_ns\":{},\"throughput_rps\":{},\"p50_ns\":{},\"p99_ns\":{},\
+             \"replay_completed\":{},\"replay_rejected_queue_full\":{},\
+             \"replay_rejected_deadline\":{},\"latency\":{}}}",
+            r.pattern,
+            r.concurrency,
+            r.stats.submitted,
+            r.stats.completed,
+            r.stats.rejected_queue_full,
+            r.stats.rejected_deadline,
+            r.stats.failed,
+            r.stats.lost(),
+            r.correctness_failures,
+            r.stats.queue_depth_peak,
+            r.stats.inflight_peak,
+            r.wall_ns,
+            r.throughput_rps(),
+            r.stats.latency.percentile(0.50),
+            r.stats.latency.percentile(0.99),
+            r.replay_completed,
+            r.replay_rejected_queue_full,
+            r.replay_rejected_deadline,
+            r.stats.latency.to_json(),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Runs the pattern × concurrency sweep and renders `BENCH_serve.json`.
+///
+/// # Panics
+/// Panics if the assembled artifact fails the envelope self-check, if a
+/// live run loses a request, or if any completed response differs from
+/// the sequential oracle — all bugs, not input conditions.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchArtifacts {
+    assert!(cfg.levels.len() >= 4, "the artifact sweeps ≥ 4 levels");
+    let env = EnvFingerprint::capture();
+    let mut summary = format!(
+        "mp bench --serve: requests={} mean_len={} gap={}ns deadline={}ns queue={} budget={} seed={}\n",
+        cfg.requests,
+        cfg.mean_len,
+        cfg.mean_gap_ns,
+        cfg.deadline_ns,
+        cfg.queue_capacity,
+        cfg.worker_budget,
+        cfg.seed,
+    );
+    let _ = writeln!(
+        summary,
+        "  pattern      conc   done  rej_q  rej_d   thr(req/s)     p50        p99"
+    );
+    let mut rows = Vec::new();
+    for pattern in ArrivalPattern::ALL {
+        let plan = arrival_plan(&cfg.plan_config(pattern));
+        let prepared = prepare(&plan);
+        for &level in &cfg.levels {
+            let log = replay(
+                &plan,
+                &ReplayConfig {
+                    queue_capacity: cfg.queue_capacity,
+                    max_inflight: level,
+                },
+                &REPLAY_SERVICE_MODEL,
+            );
+            let count = |o: ReplayOutcome| log.iter().filter(|e| e.outcome == o).count();
+            let live = live_run(
+                &prepared,
+                ServeConfig {
+                    queue_capacity: cfg.queue_capacity,
+                    max_inflight: level,
+                    worker_budget: cfg.worker_budget,
+                },
+                NoRecorder,
+            );
+            assert_eq!(
+                live.stats.lost(),
+                0,
+                "{} @ {level}: live run lost requests",
+                pattern.name()
+            );
+            assert_eq!(
+                live.correctness_failures,
+                0,
+                "{} @ {level}: completed response differed from the oracle",
+                pattern.name()
+            );
+            let row = ServeRow {
+                pattern: pattern.name(),
+                concurrency: level,
+                stats: live.stats,
+                wall_ns: live.wall_ns,
+                correctness_failures: live.correctness_failures,
+                replay_completed: count(ReplayOutcome::Completed),
+                replay_rejected_queue_full: count(ReplayOutcome::RejectedQueueFull),
+                replay_rejected_deadline: count(ReplayOutcome::RejectedDeadline),
+            };
+            let _ = writeln!(
+                summary,
+                "  {:<12} {:>4} {:>6} {:>6} {:>6} {:>12.0} {:>9}ns {:>9}ns",
+                row.pattern,
+                row.concurrency,
+                row.stats.completed,
+                row.stats.rejected_queue_full,
+                row.stats.rejected_deadline,
+                row.throughput_rps(),
+                row.stats.latency.percentile(0.50),
+                row.stats.latency.percentile(0.99),
+            );
+            rows.push(row);
+        }
+    }
+    let serve_json = render_artifact("bench_serve", &env, &rows_payload(cfg, &rows))
+        .expect("serve artifact must pass its own schema check");
+    ServeBenchArtifacts {
+        summary,
+        serve_json,
+    }
+}
+
+/// Configuration of one `mp serve` demonstration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRunConfig {
+    /// Requests in the arrival plan.
+    pub requests: usize,
+    /// Serving threads (maximum in-flight requests).
+    pub concurrency: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Relative deadline per request, nanoseconds (0 = none).
+    pub deadline_ns: u64,
+    /// Arrival process.
+    pub pattern: ArrivalPattern,
+    /// Mean per-side input length.
+    pub mean_len: usize,
+    /// Pool-thread budget shared by in-flight requests.
+    pub worker_budget: usize,
+    /// Plan seed.
+    pub seed: u64,
+}
+
+/// Runs one live daemon session (`mp serve`) with the
+/// [`TimelineRecorder`] attached and renders a stats + telemetry summary.
+///
+/// # Panics
+/// Panics if the run loses a request or a completed response differs from
+/// the sequential oracle.
+pub fn run_serve(cfg: &ServeRunConfig) -> String {
+    let plan = arrival_plan(&PlanConfig {
+        pattern: cfg.pattern,
+        requests: cfg.requests,
+        mean_gap_ns: 10_000,
+        deadline_ns: cfg.deadline_ns,
+        mean_len: cfg.mean_len,
+        seed: cfg.seed,
+    });
+    let prepared = prepare(&plan);
+    let rec = std::sync::Arc::new(TimelineRecorder::new());
+    let live = live_run(
+        &prepared,
+        ServeConfig {
+            queue_capacity: cfg.queue_capacity,
+            max_inflight: cfg.concurrency,
+            worker_budget: cfg.worker_budget,
+        },
+        std::sync::Arc::clone(&rec),
+    );
+    assert_eq!(live.stats.lost(), 0, "live run lost requests");
+    assert_eq!(
+        live.correctness_failures, 0,
+        "completed response differed from the oracle"
+    );
+    let telemetry = std::sync::Arc::try_unwrap(rec)
+        .ok()
+        .expect("server released its recorder handle at shutdown")
+        .finish();
+    let counter = |name: &str| -> u64 {
+        telemetry
+            .counters
+            .iter()
+            .filter(|c| c.kind.name() == name)
+            .map(|c| c.total)
+            .sum()
+    };
+    let s = &live.stats;
+    let mut out = format!(
+        "mp serve: pattern={} requests={} concurrency={} queue={} budget={} deadline={}ns seed={}\n",
+        cfg.pattern.name(),
+        cfg.requests,
+        cfg.concurrency,
+        cfg.queue_capacity,
+        cfg.worker_budget,
+        cfg.deadline_ns,
+        cfg.seed,
+    );
+    let _ = writeln!(
+        out,
+        "  submitted={} completed={} rejected_queue_full={} rejected_deadline={} failed={} lost={}",
+        s.submitted,
+        s.completed,
+        s.rejected_queue_full,
+        s.rejected_deadline,
+        s.failed,
+        s.lost(),
+    );
+    let _ = writeln!(
+        out,
+        "  peaks: inflight={} queue_depth={}  wall={:.3}ms  throughput={:.0} req/s",
+        s.inflight_peak,
+        s.queue_depth_peak,
+        live.wall_ns as f64 / 1e6,
+        s.completed as f64 / (live.wall_ns.max(1) as f64 / 1e9),
+    );
+    let _ = writeln!(
+        out,
+        "  latency: p50={}ns p90={}ns p99={}ns max={}ns (n={})",
+        s.latency.percentile(0.50),
+        s.latency.percentile(0.90),
+        s.latency.percentile(0.99),
+        s.latency.max(),
+        s.latency.count(),
+    );
+    let _ = writeln!(
+        out,
+        "  telemetry: serve_completed={} serve_rejected_queue_full={} serve_rejected_deadline={} \
+         kernel_spans={} comparisons={}",
+        counter("serve_completed"),
+        counter("serve_rejected_queue_full"),
+        counter("serve_rejected_deadline"),
+        telemetry.spans.len(),
+        counter("comparisons"),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergepath::telemetry::artifact::check_artifact;
+    use mergepath::telemetry::json::Value;
+
+    fn tiny() -> ServeBenchConfig {
+        ServeBenchConfig {
+            requests: 24,
+            mean_len: 256,
+            mean_gap_ns: 5_000,
+            deadline_ns: 5_000_000,
+            queue_capacity: 8,
+            worker_budget: 2,
+            levels: vec![1, 2, 3, 4],
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn smoke_serve_bench_produces_schema_valid_artifact() {
+        let run = run_serve_bench(&tiny());
+        let doc = check_artifact(&run.serve_json, "bench_serve").expect("serve envelope");
+        let rows = doc
+            .get("payload")
+            .and_then(|p| p.get("rows"))
+            .and_then(Value::as_array)
+            .expect("rows array");
+        // 3 patterns × 4 levels.
+        assert_eq!(rows.len(), 12);
+        for r in rows {
+            for col in [
+                "concurrency",
+                "submitted",
+                "completed",
+                "lost",
+                "correctness_failures",
+                "throughput_rps",
+                "p50_ns",
+                "p99_ns",
+                "replay_completed",
+                "replay_rejected_queue_full",
+                "replay_rejected_deadline",
+            ] {
+                assert!(
+                    r.get(col).and_then(Value::as_f64).is_some(),
+                    "missing {col}"
+                );
+            }
+            assert_eq!(r.get("lost").and_then(Value::as_f64), Some(0.0));
+            assert_eq!(
+                r.get("correctness_failures").and_then(Value::as_f64),
+                Some(0.0)
+            );
+            let pattern = r.get("pattern").and_then(Value::as_str).unwrap();
+            assert!(ArrivalPattern::parse(pattern).is_some(), "{pattern}");
+        }
+        assert!(run.summary.contains("steady"));
+        assert!(run.summary.contains("bursty"));
+        assert!(run.summary.contains("heavy-tail"));
+    }
+
+    #[test]
+    fn replay_counts_in_the_artifact_are_reproducible() {
+        let a = run_serve_bench(&tiny());
+        let b = run_serve_bench(&tiny());
+        let pick = |json: &str| -> Vec<(String, f64, f64, f64)> {
+            let doc = check_artifact(json, "bench_serve").unwrap();
+            doc.get("payload")
+                .and_then(|p| p.get("rows"))
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .map(|r| {
+                    (
+                        r.get("pattern")
+                            .and_then(Value::as_str)
+                            .unwrap()
+                            .to_string(),
+                        r.get("replay_completed").and_then(Value::as_f64).unwrap(),
+                        r.get("replay_rejected_queue_full")
+                            .and_then(Value::as_f64)
+                            .unwrap(),
+                        r.get("replay_rejected_deadline")
+                            .and_then(Value::as_f64)
+                            .unwrap(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(pick(&a.serve_json), pick(&b.serve_json));
+    }
+
+    #[test]
+    fn run_serve_summary_reports_stats_and_counters() {
+        let out = run_serve(&ServeRunConfig {
+            requests: 16,
+            concurrency: 4,
+            queue_capacity: 16,
+            deadline_ns: 0,
+            pattern: ArrivalPattern::Steady,
+            mean_len: 512,
+            worker_budget: 2,
+            seed: 3,
+        });
+        assert!(out.contains("submitted=16"));
+        assert!(out.contains("lost=0"));
+        assert!(out.contains("serve_completed=16"));
+        assert!(out.contains("latency: p50="));
+    }
+}

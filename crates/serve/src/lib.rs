@@ -1,0 +1,56 @@
+//! # mergepath-serve — an in-process merge/sort serving daemon
+//!
+//! The ROADMAP's north star is a production-scale system serving heavy
+//! concurrent traffic, not a one-shot kernel benchmark. This crate adds
+//! the admission and scheduling layer that turns the merge-path kernel
+//! library into that system:
+//!
+//! - [`Server`]: a long-lived daemon accepting many concurrent merge /
+//!   sort [`Request`]s through a **bounded FIFO queue**. Overload is
+//!   answered with explicit backpressure — a synchronous
+//!   [`RejectReason::QueueFull`] at submission, or a
+//!   [`RejectReason::DeadlineExpired`] at dequeue when a request's
+//!   deadline passed while it waited — never a panic, never a partially
+//!   written output buffer.
+//! - **Global worker budgeting**: all requests share the one persistent
+//!   [`executor::Pool`](mergepath::executor); each executing request gets
+//!   [`worker_share`]`(budget, inflight)` logical shares, the same
+//!   equal-split discipline `merge::batch` applies across pairs. At high
+//!   concurrency every request runs inline on its serving thread
+//!   (share = 1, no pool round), so throughput scales with serving
+//!   threads; at low concurrency a lone request fans out across the pool.
+//! - **Telemetry threading**: the generic [`Recorder`] flows through the
+//!   request path into the kernels (`parallel_merge_into_recorded`,
+//!   `parallel_merge_sort_recorded`), and the daemon counts completions
+//!   and rejections via the `serve_*` [`CounterKind`]s. Latency
+//!   percentiles come from the mergeable
+//!   [`LatencyHistogram`](mergepath_telemetry::LatencyHistogram).
+//! - [`replay`]: a deterministic discrete-event simulation of the exact
+//!   admission policy, so the outcome log of a planned run
+//!   ([`arrival_plan`](mergepath_workloads::arrival_plan)) is a pure
+//!   function of `(seed, config)` — the reproducibility contract
+//!   `tests/serve_determinism.rs` pins and `BENCH_serve.json` relies on.
+//!
+//! Correctness under concurrency follows the Träff stable-merge line
+//! (arXiv 1202.6575): every completed response is byte-identical to the
+//! sequential oracle's answer regardless of interleaving, proven by
+//! `tests/serve_invariants.rs` across all nine adversarial input
+//! families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod replay;
+mod server;
+
+pub use replay::{replay, ReplayConfig, ReplayEntry, ReplayOutcome, ServiceModel};
+pub use server::{
+    worker_share, Outcome, RejectReason, Request, RequestKind, ResponseHandle, ServeConfig,
+    ServeStats, Server,
+};
+
+// Re-exported so callers of the serving API need not name the telemetry
+// crate for the common cases.
+pub use mergepath_telemetry::{
+    CounterKind, LatencyHistogram, NoRecorder, Recorder, TimelineRecorder,
+};

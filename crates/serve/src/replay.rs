@@ -1,0 +1,366 @@
+//! Deterministic discrete-event replay of the daemon's admission policy.
+//!
+//! A live [`Server`](crate::Server) run resolves deadlines against the
+//! wall clock, so *which* requests get rejected depends on machine speed
+//! and scheduling noise — fine for latency measurement, useless for
+//! reproducibility. This module re-implements the exact same policy —
+//! FIFO bounded queue, queue-full checked at arrival, deadline checked
+//! when a serving slot frees — as a discrete-event simulation over a
+//! planned arrival schedule and a deterministic integer service-time
+//! model. The outcome log is then a **pure function of
+//! `(seed, config)`**: `tests/serve_determinism.rs` pins this property,
+//! and `BENCH_serve.json` embeds the replay counts as its reproducible
+//! half (live latencies are the measured half).
+//!
+//! The simulation is integer-only (no floats, no real clock), so two runs
+//! on any two machines agree bit-for-bit.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use mergepath_workloads::arrival::RequestSpec;
+
+/// The admission limits the replay shares with the live daemon
+/// (mirrors the corresponding [`ServeConfig`](crate::ServeConfig)
+/// fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Number of serving slots (maximum concurrently executing
+    /// requests).
+    pub max_inflight: usize,
+}
+
+/// Deterministic service-time model:
+/// `service_ns = base_ns + per_item_ns · (len_a + len_b)`.
+///
+/// A linear-work stand-in for the merge kernels (Thm 2: sequential merge
+/// is linear in the output length), calibrated loosely — the replay needs
+/// a *consistent* notion of service time, not an accurate one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Fixed per-request overhead, nanoseconds.
+    pub base_ns: u64,
+    /// Cost per merged element, nanoseconds.
+    pub per_item_ns: u64,
+}
+
+impl ServiceModel {
+    /// Service time for one planned request.
+    pub fn service_ns(&self, spec: &RequestSpec) -> u64 {
+        self.base_ns.saturating_add(
+            self.per_item_ns
+                .saturating_mul((spec.len_a + spec.len_b) as u64),
+        )
+    }
+}
+
+/// How the replay resolved one planned request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Bounced at arrival: queue at capacity and no free slot.
+    RejectedQueueFull,
+    /// Deadline had passed when a slot finally freed.
+    RejectedDeadline,
+}
+
+impl ReplayOutcome {
+    /// Stable name for logs and artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplayOutcome::Completed => "completed",
+            ReplayOutcome::RejectedQueueFull => "rejected_queue_full",
+            ReplayOutcome::RejectedDeadline => "rejected_deadline",
+        }
+    }
+}
+
+/// One line of the replay's outcome log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayEntry {
+    /// The planned request this entry resolves (plan order).
+    pub id: usize,
+    /// The terminal state.
+    pub outcome: ReplayOutcome,
+    /// When execution began (0 for rejections).
+    pub start_ns: u64,
+    /// When execution finished — or when the rejection was decided.
+    pub finish_ns: u64,
+}
+
+/// A request occupying a queue slot in the simulation.
+struct Waiting {
+    id: usize,
+    deadline_abs: u64, // 0 = none
+    service_ns: u64,
+}
+
+/// Replays `plan` through the admission policy under `cfg`, charging each
+/// request `model.service_ns` of slot time.
+///
+/// Deterministic and total: every plan entry appears in the returned log
+/// exactly once (sorted by id) — the simulated counterpart of the live
+/// daemon's zero-lost-requests invariant.
+pub fn replay(plan: &[RequestSpec], cfg: &ReplayConfig, model: &ServiceModel) -> Vec<ReplayEntry> {
+    assert!(cfg.queue_capacity > 0, "queue capacity must be at least 1");
+    assert!(cfg.max_inflight > 0, "max_inflight must be at least 1");
+    let mut log: Vec<ReplayEntry> = Vec::with_capacity(plan.len());
+    // Completion times of the requests currently holding serving slots.
+    let mut slots: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    let mut queue: VecDeque<Waiting> = VecDeque::new();
+
+    // Frees every slot whose completion is ≤ `now`, immediately refilling
+    // each from the FIFO queue (deadline judged at the instant the slot
+    // frees — the replay twin of the live dequeue-time check).
+    fn drain_until<F: FnMut(ReplayEntry)>(
+        now: u64,
+        slots: &mut BinaryHeap<Reverse<u64>>,
+        queue: &mut VecDeque<Waiting>,
+        emit: &mut F,
+    ) {
+        while let Some(&Reverse(t)) = slots.peek() {
+            if t > now {
+                break;
+            }
+            slots.pop();
+            // The slot freed at time t: hand it to the longest-waiting
+            // queued request whose deadline still stands.
+            while let Some(w) = queue.pop_front() {
+                if w.deadline_abs != 0 && t > w.deadline_abs {
+                    emit(ReplayEntry {
+                        id: w.id,
+                        outcome: ReplayOutcome::RejectedDeadline,
+                        start_ns: 0,
+                        finish_ns: t,
+                    });
+                    continue;
+                }
+                emit(ReplayEntry {
+                    id: w.id,
+                    outcome: ReplayOutcome::Completed,
+                    start_ns: t,
+                    finish_ns: t + w.service_ns,
+                });
+                slots.push(Reverse(t + w.service_ns));
+                break;
+            }
+        }
+    }
+
+    for spec in plan {
+        let now = spec.arrival_ns;
+        let mut emit = |e: ReplayEntry| log.push(e);
+        drain_until(now, &mut slots, &mut queue, &mut emit);
+        let deadline_abs = if spec.deadline_ns == 0 {
+            0
+        } else {
+            spec.arrival_ns.saturating_add(spec.deadline_ns)
+        };
+        let service_ns = model.service_ns(spec);
+        if slots.len() < cfg.max_inflight && queue.is_empty() {
+            // A free slot and nobody ahead: start immediately.
+            log.push(ReplayEntry {
+                id: spec.id,
+                outcome: ReplayOutcome::Completed,
+                start_ns: now,
+                finish_ns: now + service_ns,
+            });
+            slots.push(Reverse(now + service_ns));
+        } else if queue.len() < cfg.queue_capacity {
+            queue.push_back(Waiting {
+                id: spec.id,
+                deadline_abs,
+                service_ns,
+            });
+        } else {
+            log.push(ReplayEntry {
+                id: spec.id,
+                outcome: ReplayOutcome::RejectedQueueFull,
+                start_ns: 0,
+                finish_ns: now,
+            });
+        }
+    }
+
+    // End of arrivals: let the system run dry.
+    {
+        let mut emit = |e: ReplayEntry| log.push(e);
+        drain_until(u64::MAX, &mut slots, &mut queue, &mut emit);
+    }
+    debug_assert!(queue.is_empty(), "drain must empty the queue");
+    log.sort_unstable_by_key(|e| e.id);
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergepath_workloads::arrival::{arrival_plan, ArrivalPattern, PlanConfig};
+    use mergepath_workloads::MergeWorkload;
+
+    fn spec(id: usize, arrival_ns: u64, deadline_ns: u64, len: usize) -> RequestSpec {
+        RequestSpec {
+            id,
+            arrival_ns,
+            deadline_ns,
+            workload: MergeWorkload::Uniform,
+            len_a: len,
+            len_b: len,
+            data_seed: 0,
+        }
+    }
+
+    const UNIT: ServiceModel = ServiceModel {
+        base_ns: 0,
+        per_item_ns: 1,
+    }; // service = len_a + len_b
+
+    #[test]
+    fn single_server_tandem_hand_checked() {
+        // One slot, queue of one. Service time 100 each (len 50+50).
+        // t=0: r0 starts (finishes 100). t=10: r1 queues. t=20: r2 bounces
+        // (queue full). t=100: slot frees, r1 starts (finishes 200).
+        let plan = [spec(0, 0, 0, 50), spec(1, 10, 0, 50), spec(2, 20, 0, 50)];
+        let cfg = ReplayConfig {
+            queue_capacity: 1,
+            max_inflight: 1,
+        };
+        let log = replay(&plan, &cfg, &UNIT);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].outcome, ReplayOutcome::Completed);
+        assert_eq!((log[0].start_ns, log[0].finish_ns), (0, 100));
+        assert_eq!(log[1].outcome, ReplayOutcome::Completed);
+        assert_eq!((log[1].start_ns, log[1].finish_ns), (100, 200));
+        assert_eq!(log[2].outcome, ReplayOutcome::RejectedQueueFull);
+        assert_eq!(log[2].finish_ns, 20);
+    }
+
+    #[test]
+    fn deadline_judged_when_the_slot_frees() {
+        // r1's deadline (arrival 10 + 50 = 60) passes while r0 (service
+        // 100) holds the slot; at t=100 the slot frees and r1 is rejected,
+        // letting r2 (no deadline) run instead.
+        let plan = [spec(0, 0, 0, 50), spec(1, 10, 50, 50), spec(2, 20, 0, 50)];
+        let cfg = ReplayConfig {
+            queue_capacity: 4,
+            max_inflight: 1,
+        };
+        let log = replay(&plan, &cfg, &UNIT);
+        assert_eq!(log[1].outcome, ReplayOutcome::RejectedDeadline);
+        assert_eq!(log[1].finish_ns, 100, "rejected the moment the slot freed");
+        assert_eq!(log[2].outcome, ReplayOutcome::Completed);
+        assert_eq!((log[2].start_ns, log[2].finish_ns), (100, 200));
+    }
+
+    #[test]
+    fn deadline_met_when_service_is_fast() {
+        // Same shape but r0 is short: r1 starts at t=20, inside its
+        // deadline.
+        let plan = [spec(0, 0, 0, 10), spec(1, 10, 50, 10)];
+        let cfg = ReplayConfig {
+            queue_capacity: 4,
+            max_inflight: 1,
+        };
+        let log = replay(&plan, &cfg, &UNIT);
+        assert!(log.iter().all(|e| e.outcome == ReplayOutcome::Completed));
+        assert_eq!(log[1].start_ns, 20);
+    }
+
+    #[test]
+    fn two_slots_run_in_parallel() {
+        let plan = [spec(0, 0, 0, 50), spec(1, 10, 0, 50)];
+        let cfg = ReplayConfig {
+            queue_capacity: 1,
+            max_inflight: 2,
+        };
+        let log = replay(&plan, &cfg, &UNIT);
+        assert_eq!(log[0].start_ns, 0);
+        assert_eq!(log[1].start_ns, 10, "second slot admits immediately");
+    }
+
+    #[test]
+    fn replay_is_total_and_deterministic_over_generated_plans() {
+        for pattern in ArrivalPattern::ALL {
+            let plan = arrival_plan(&PlanConfig {
+                pattern,
+                requests: 2000,
+                mean_gap_ns: 10_000,
+                deadline_ns: 400_000,
+                mean_len: 2000,
+                seed: 99,
+            });
+            let cfg = ReplayConfig {
+                queue_capacity: 16,
+                max_inflight: 4,
+            };
+            let model = ServiceModel {
+                base_ns: 5_000,
+                per_item_ns: 10,
+            };
+            let a = replay(&plan, &cfg, &model);
+            let b = replay(&plan, &cfg, &model);
+            assert_eq!(a, b, "{}: replay must be deterministic", pattern.name());
+            // Total: every id exactly once, in order.
+            assert_eq!(a.len(), plan.len());
+            for (i, e) in a.iter().enumerate() {
+                assert_eq!(e.id, i, "{}: lost or duplicated request", pattern.name());
+            }
+            // Under this overload there must be visible backpressure of
+            // both kinds (the bench relies on rejections being exercised).
+            let qf = a
+                .iter()
+                .filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull)
+                .count();
+            let dl = a
+                .iter()
+                .filter(|e| e.outcome == ReplayOutcome::RejectedDeadline)
+                .count();
+            let done = a
+                .iter()
+                .filter(|e| e.outcome == ReplayOutcome::Completed)
+                .count();
+            assert!(done > 0, "{}: nothing completed", pattern.name());
+            assert!(
+                qf + dl > 0,
+                "{}: overload produced no rejections",
+                pattern.name()
+            );
+            // Completed requests never start before arrival and respect
+            // their deadline at start time.
+            for e in &a {
+                if e.outcome == ReplayOutcome::Completed {
+                    let s = &plan[e.id];
+                    assert!(e.start_ns >= s.arrival_ns);
+                    if s.deadline_ns != 0 {
+                        assert!(e.start_ns <= s.arrival_ns + s.deadline_ns);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ample_capacity_completes_everything() {
+        let plan = arrival_plan(&PlanConfig {
+            pattern: ArrivalPattern::Steady,
+            requests: 500,
+            mean_gap_ns: 1_000_000,
+            deadline_ns: 0,
+            mean_len: 100,
+            seed: 5,
+        });
+        let cfg = ReplayConfig {
+            queue_capacity: 500,
+            max_inflight: 8,
+        };
+        let model = ServiceModel {
+            base_ns: 100,
+            per_item_ns: 1,
+        };
+        let log = replay(&plan, &cfg, &model);
+        assert!(log.iter().all(|e| e.outcome == ReplayOutcome::Completed));
+    }
+}

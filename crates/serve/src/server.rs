@@ -1,0 +1,715 @@
+//! The daemon: bounded admission queue, serving threads, deadline checks,
+//! and worker-budget sharing over the persistent pool.
+
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mergepath::merge::parallel::parallel_merge_into_recorded;
+use mergepath::sort::parallel::parallel_merge_sort_recorded;
+use mergepath_telemetry::{now_ns, CounterKind, LatencyHistogram, OffsetRecorder, Recorder};
+
+/// The logical worker shares one executing request receives when
+/// `inflight` requests share a pool budget of `budget` threads: the equal
+/// split `⌊budget / inflight⌋`, floored at 1.
+///
+/// This is the same global-budget discipline `merge::batch` applies
+/// across pairs, lifted to concurrent requests: one lone request fans out
+/// across the whole pool; at or beyond `budget` concurrent requests each
+/// runs inline on its serving thread (share = 1 executes without
+/// entering a pool round), so the daemon's parallelism degrades
+/// gracefully from data-parallel to request-parallel.
+pub fn worker_share(budget: usize, inflight: usize) -> usize {
+    (budget / inflight.max(1)).max(1)
+}
+
+/// What a request asks the daemon to compute.
+#[derive(Debug, Clone)]
+pub enum RequestKind<T> {
+    /// Merge two sorted arrays (stable: ties take from `a` first).
+    Merge {
+        /// Left sorted input.
+        a: Vec<T>,
+        /// Right sorted input.
+        b: Vec<T>,
+    },
+    /// Sort an unsorted array (stable).
+    Sort {
+        /// The keys to sort.
+        keys: Vec<T>,
+    },
+}
+
+/// One unit of work submitted to the [`Server`].
+#[derive(Debug, Clone)]
+pub struct Request<T> {
+    /// Caller-assigned identifier, echoed in logs and summaries.
+    pub id: u64,
+    /// The computation.
+    pub kind: RequestKind<T>,
+    /// Absolute deadline on the [`now_ns`] process clock; `0` = none.
+    /// Checked when the request is *dequeued*: a request whose deadline
+    /// passed while queued is rejected without touching any output
+    /// buffer.
+    pub deadline_ns: u64,
+}
+
+impl<T> Request<T> {
+    /// A merge request with no deadline.
+    pub fn merge(id: u64, a: Vec<T>, b: Vec<T>) -> Self {
+        Request {
+            id,
+            kind: RequestKind::Merge { a, b },
+            deadline_ns: 0,
+        }
+    }
+
+    /// A sort request with no deadline.
+    pub fn sort(id: u64, keys: Vec<T>) -> Self {
+        Request {
+            id,
+            kind: RequestKind::Sort { keys },
+            deadline_ns: 0,
+        }
+    }
+
+    /// Sets an absolute deadline `rel_ns` nanoseconds from now.
+    pub fn with_deadline_in(mut self, rel_ns: u64) -> Self {
+        self.deadline_ns = now_ns().saturating_add(rel_ns);
+        self
+    }
+}
+
+/// Why the daemon refused a request. Backpressure is always explicit —
+/// the daemon never panics on overload and never drops silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue was at capacity (or the server was shutting
+    /// down) at submission time. Reported synchronously by
+    /// [`Server::submit`].
+    QueueFull,
+    /// The request's deadline expired while it waited in the queue.
+    /// Reported through the [`ResponseHandle`] at dequeue time.
+    DeadlineExpired,
+}
+
+impl RejectReason {
+    /// Stable name for logs and artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::DeadlineExpired => "deadline_expired",
+        }
+    }
+}
+
+/// The terminal state of an admitted request.
+#[derive(Debug)]
+pub enum Outcome<T> {
+    /// The kernel ran; `output` is byte-identical to the sequential
+    /// oracle's answer and `latency_ns` measures submit → completion.
+    Completed {
+        /// The merged / sorted result.
+        output: Vec<T>,
+        /// Submit-to-completion latency, nanoseconds.
+        latency_ns: u64,
+    },
+    /// Rejected after admission (deadline expiry at dequeue). No output
+    /// buffer was ever allocated or written.
+    Rejected(RejectReason),
+    /// The comparator (or kernel) panicked; the panic was contained and
+    /// the partially-built output dropped cleanly.
+    Failed,
+}
+
+/// Daemon sizing. All fields are explicit so a configuration is a value
+/// (the deterministic [`replay`](crate::replay) takes the same numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded queue capacity; submissions beyond it get
+    /// [`RejectReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Serving threads = maximum concurrently executing requests.
+    pub max_inflight: usize,
+    /// Total pool-thread budget divided among in-flight requests via
+    /// [`worker_share`].
+    pub worker_budget: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let budget = mergepath::executor::default_threads();
+        ServeConfig {
+            queue_capacity: 256,
+            max_inflight: budget.max(1),
+            worker_budget: budget,
+        }
+    }
+}
+
+/// A monotonic snapshot of the daemon's counters and latency histogram.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests offered to [`Server::submit`] (admitted or not).
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Synchronous queue-full rejections.
+    pub rejected_queue_full: u64,
+    /// Deadline expiries at dequeue.
+    pub rejected_deadline: u64,
+    /// Contained kernel panics.
+    pub failed: u64,
+    /// Deepest queue observed at any submission.
+    pub queue_depth_peak: usize,
+    /// Most requests ever executing simultaneously.
+    pub inflight_peak: usize,
+    /// Submit-to-completion latencies of completed requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// Requests unaccounted for: submitted minus (completed + rejected +
+    /// failed). Zero after [`Server::shutdown`] — the no-silent-drops
+    /// invariant (`cargo xtask verify-serve` asserts it on every run).
+    pub fn lost(&self) -> i64 {
+        self.submitted as i64
+            - (self.completed + self.rejected_queue_full + self.rejected_deadline + self.failed)
+                as i64
+    }
+}
+
+/// A single-use completion cell: the serving thread puts the outcome, the
+/// submitter blocks on [`ResponseHandle::wait`].
+struct OneShot<V> {
+    slot: Mutex<Option<V>>,
+    cv: Condvar,
+}
+
+impl<V> OneShot<V> {
+    fn new() -> Self {
+        OneShot {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn put(&self, v: V) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(v);
+        self.cv.notify_all();
+    }
+
+    fn take(&self) -> V {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// The submitter's side of an admitted request.
+pub struct ResponseHandle<T> {
+    /// The request id this handle resolves.
+    pub id: u64,
+    cell: Arc<OneShot<Outcome<T>>>,
+}
+
+impl<T> ResponseHandle<T> {
+    /// Blocks until the daemon resolves the request.
+    pub fn wait(self) -> Outcome<T> {
+        self.cell.take()
+    }
+}
+
+/// An admitted request waiting in the queue.
+struct Ticket<T> {
+    kind: RequestKind<T>,
+    deadline_ns: u64,
+    submit_ns: u64,
+    cell: Arc<OneShot<Outcome<T>>>,
+}
+
+struct QueueState<T> {
+    deque: VecDeque<Ticket<T>>,
+    open: bool,
+}
+
+struct Inner<T, R> {
+    queue: Mutex<QueueState<T>>,
+    cv: Condvar,
+    cfg: ServeConfig,
+    rec: R,
+    inflight: AtomicUsize,
+    inflight_peak: AtomicUsize,
+    queue_depth_peak: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline: AtomicU64,
+    failed: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+fn bump_peak(peak: &AtomicUsize, observed: usize) {
+    peak.fetch_max(observed, AtomicOrdering::Relaxed);
+}
+
+/// The serving daemon. See the [crate docs](crate) for the model.
+///
+/// `T` is the element type (`u32` for the CLI; tests use drop-tracked
+/// keys); `R` the telemetry recorder threaded into every kernel
+/// invocation.
+///
+/// # Examples
+/// ```
+/// use mergepath_serve::{Outcome, Request, ServeConfig, Server};
+/// use mergepath_telemetry::NoRecorder;
+/// let server = Server::start(ServeConfig::default(), NoRecorder);
+/// let handle = server
+///     .submit(Request::merge(0, vec![1u32, 3, 5], vec![2, 4, 6]))
+///     .expect("queue has room");
+/// match handle.wait() {
+///     Outcome::Completed { output, .. } => assert_eq!(output, vec![1, 2, 3, 4, 5, 6]),
+///     other => panic!("unexpected outcome: {other:?}"),
+/// }
+/// let stats = server.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// assert_eq!(stats.lost(), 0);
+/// ```
+pub struct Server<T, R = mergepath_telemetry::NoRecorder>
+where
+    T: Ord + Clone + Default + Send + Sync + 'static,
+    R: Recorder + Send + Sync + 'static,
+{
+    inner: Arc<Inner<T, R>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T, R> Server<T, R>
+where
+    T: Ord + Clone + Default + Send + Sync + 'static,
+    R: Recorder + Send + Sync + 'static,
+{
+    /// Spawns the serving threads and returns the running daemon.
+    pub fn start(cfg: ServeConfig, rec: R) -> Self {
+        assert!(cfg.queue_capacity > 0, "queue capacity must be at least 1");
+        assert!(cfg.max_inflight > 0, "max_inflight must be at least 1");
+        assert!(cfg.worker_budget > 0, "worker budget must be at least 1");
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(QueueState {
+                deque: VecDeque::with_capacity(cfg.queue_capacity),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            rec,
+            inflight: AtomicUsize::new(0),
+            inflight_peak: AtomicUsize::new(0),
+            queue_depth_peak: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latency: Mutex::new(LatencyHistogram::new()),
+        });
+        let workers = (0..cfg.max_inflight)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mp-serve-{w}"))
+                    .spawn(move || serve_loop(w, &inner))
+                    .expect("spawn serving thread")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// Offers `req` to the daemon.
+    ///
+    /// Admission is synchronous: `Ok` hands back a [`ResponseHandle`] the
+    /// caller can block on; `Err(QueueFull)` means the bounded queue was
+    /// at capacity (or the server is shutting down) and the request —
+    /// input buffers included — is dropped cleanly right here, nothing
+    /// queued, nothing written.
+    pub fn submit(&self, req: Request<T>) -> Result<ResponseHandle<T>, RejectReason> {
+        let inner = &self.inner;
+        inner.submitted.fetch_add(1, AtomicOrdering::Relaxed);
+        let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if !q.open || q.deque.len() >= inner.cfg.queue_capacity {
+            drop(q);
+            inner
+                .rejected_queue_full
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            if R::ACTIVE {
+                inner
+                    .rec
+                    .counter_add(0, CounterKind::ServeRejectedQueueFull, 1);
+            }
+            return Err(RejectReason::QueueFull);
+        }
+        let cell = Arc::new(OneShot::new());
+        let id = req.id;
+        q.deque.push_back(Ticket {
+            kind: req.kind,
+            deadline_ns: req.deadline_ns,
+            submit_ns: now_ns(),
+            cell: Arc::clone(&cell),
+        });
+        bump_peak(&inner.queue_depth_peak, q.deque.len());
+        drop(q);
+        inner.cv.notify_one();
+        Ok(ResponseHandle { id, cell })
+    }
+
+    /// Current counters (live; the histogram is a snapshot copy).
+    pub fn stats(&self) -> ServeStats {
+        let inner = &self.inner;
+        ServeStats {
+            submitted: inner.submitted.load(AtomicOrdering::Relaxed),
+            completed: inner.completed.load(AtomicOrdering::Relaxed),
+            rejected_queue_full: inner.rejected_queue_full.load(AtomicOrdering::Relaxed),
+            rejected_deadline: inner.rejected_deadline.load(AtomicOrdering::Relaxed),
+            failed: inner.failed.load(AtomicOrdering::Relaxed),
+            queue_depth_peak: inner.queue_depth_peak.load(AtomicOrdering::Relaxed),
+            inflight_peak: inner.inflight_peak.load(AtomicOrdering::Relaxed),
+            latency: inner
+                .latency
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+        }
+    }
+
+    /// Graceful shutdown: stops admitting, drains the queue (every
+    /// admitted request still resolves — completed, deadline-rejected,
+    /// or failed), joins the serving threads, and returns the final
+    /// stats. `stats().lost() == 0` afterwards.
+    pub fn shutdown(mut self) -> ServeStats {
+        {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.open = false;
+        }
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl<T, R> Drop for Server<T, R>
+where
+    T: Ord + Clone + Default + Send + Sync + 'static,
+    R: Recorder + Send + Sync + 'static,
+{
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // shutdown() already ran
+        }
+        {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.open = false;
+        }
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One serving thread: dequeue, deadline-check, execute under the shared
+/// worker budget, resolve. Returns when the queue is closed and drained.
+///
+/// `w` is this serving thread's index. Kernel telemetry is reported
+/// through an [`OffsetRecorder`] based at `1 + w * worker_budget`: serving
+/// threads execute requests concurrently, and the per-worker span stack
+/// discipline requires each thread's kernel events to land on a disjoint
+/// logical-worker range (a request's share never exceeds the budget, so
+/// the ranges cannot overlap). Worker 0 is reserved for the daemon's own
+/// `serve_*` counters.
+fn serve_loop<T, R>(w: usize, inner: &Inner<T, R>)
+where
+    T: Ord + Clone + Default + Send + Sync + 'static,
+    R: Recorder + Send + Sync + 'static,
+{
+    let rec = OffsetRecorder::new(1 + w * inner.cfg.worker_budget, &inner.rec);
+    loop {
+        let ticket = {
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.deque.pop_front() {
+                    break Some(t);
+                }
+                if !q.open {
+                    break None;
+                }
+                q = inner.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(ticket) = ticket else { return };
+
+        // Deadline is judged when execution could begin, not at
+        // submission: a request that waited past its deadline is rejected
+        // here, before any output buffer exists.
+        if ticket.deadline_ns != 0 && now_ns() > ticket.deadline_ns {
+            inner
+                .rejected_deadline
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            if R::ACTIVE {
+                inner
+                    .rec
+                    .counter_add(0, CounterKind::ServeRejectedDeadline, 1);
+            }
+            // Resolving drops `ticket.kind` — the input buffers — cleanly.
+            ticket
+                .cell
+                .put(Outcome::Rejected(RejectReason::DeadlineExpired));
+            continue;
+        }
+
+        let inflight = inner.inflight.fetch_add(1, AtomicOrdering::SeqCst) + 1;
+        bump_peak(&inner.inflight_peak, inflight);
+        let share = worker_share(inner.cfg.worker_budget, inflight);
+        let result = catch_unwind(AssertUnwindSafe(|| execute(ticket.kind, share, &rec)));
+        inner.inflight.fetch_sub(1, AtomicOrdering::SeqCst);
+
+        match result {
+            Ok(output) => {
+                let latency_ns = now_ns().saturating_sub(ticket.submit_ns);
+                inner
+                    .latency
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(latency_ns);
+                inner.completed.fetch_add(1, AtomicOrdering::Relaxed);
+                if R::ACTIVE {
+                    inner.rec.counter_add(0, CounterKind::ServeCompleted, 1);
+                }
+                ticket.cell.put(Outcome::Completed { output, latency_ns });
+            }
+            Err(_panic) => {
+                // The kernel (comparator) panicked; the unwind already
+                // dropped the partial output. Contain it — the daemon
+                // itself never panics on a bad request.
+                inner.failed.fetch_add(1, AtomicOrdering::Relaxed);
+                ticket.cell.put(Outcome::Failed);
+            }
+        }
+    }
+}
+
+/// Runs one request's kernel with `share` logical workers, threading the
+/// recorder through to the merge-path spans and counters.
+fn execute<T, R>(kind: RequestKind<T>, share: usize, rec: &R) -> Vec<T>
+where
+    T: Ord + Clone + Default + Send + Sync,
+    R: Recorder,
+{
+    let cmp = |x: &T, y: &T| -> Ordering { x.cmp(y) };
+    match kind {
+        RequestKind::Merge { a, b } => {
+            let mut out = vec![T::default(); a.len() + b.len()];
+            parallel_merge_into_recorded(&a, &b, &mut out, share, &cmp, rec);
+            out
+        }
+        RequestKind::Sort { mut keys } => {
+            parallel_merge_sort_recorded(&mut keys, share, &cmp, rec);
+            keys
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergepath_telemetry::NoRecorder;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 4,
+            max_inflight: 2,
+            worker_budget: 4,
+        }
+    }
+
+    #[test]
+    fn worker_share_splits_the_budget() {
+        assert_eq!(worker_share(8, 1), 8);
+        assert_eq!(worker_share(8, 2), 4);
+        assert_eq!(worker_share(8, 3), 2);
+        assert_eq!(worker_share(8, 8), 1);
+        assert_eq!(worker_share(8, 100), 1);
+        assert_eq!(worker_share(1, 1), 1);
+        assert_eq!(worker_share(4, 0), 4, "defensive: zero inflight");
+    }
+
+    #[test]
+    fn merge_and_sort_round_trip() {
+        let server: Server<u32> = Server::start(small_cfg(), NoRecorder);
+        let m = server
+            .submit(Request::merge(1, vec![1, 4, 7], vec![2, 3, 9]))
+            .expect("admitted");
+        let s = server
+            .submit(Request::sort(2, vec![5u32, 1, 4, 2, 3]))
+            .expect("admitted");
+        match m.wait() {
+            Outcome::Completed { output, .. } => assert_eq!(output, vec![1, 2, 3, 4, 7, 9]),
+            other => panic!("merge: {other:?}"),
+        }
+        match s.wait() {
+            Outcome::Completed { output, .. } => assert_eq!(output, vec![1, 2, 3, 4, 5]),
+            other => panic!("sort: {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.lost(), 0);
+        assert_eq!(stats.latency.count(), 2);
+    }
+
+    #[test]
+    fn queue_full_rejects_synchronously() {
+        // No serving threads can drain faster than we submit if we keep
+        // the workers busy with huge sorts first.
+        let server: Server<u32> = Server::start(
+            ServeConfig {
+                queue_capacity: 1,
+                max_inflight: 1,
+                worker_budget: 1,
+            },
+            NoRecorder,
+        );
+        // One long request occupies the single worker…
+        let busy: Vec<u32> = (0..200_000u32).rev().collect();
+        let h0 = server.submit(Request::sort(0, busy)).expect("admitted");
+        // …one more fills the queue; eventually a submit must bounce.
+        let mut bounced = false;
+        let mut handles = vec![h0];
+        for id in 1..50u64 {
+            match server.submit(Request::merge(id, vec![1u32, 3], vec![2, 4])) {
+                Ok(h) => handles.push(h),
+                Err(RejectReason::QueueFull) => {
+                    bounced = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected sync rejection {other:?}"),
+            }
+        }
+        assert!(bounced, "bounded queue never pushed back");
+        for h in handles {
+            match h.wait() {
+                Outcome::Completed { .. } => {}
+                other => panic!("admitted request must complete: {other:?}"),
+            }
+        }
+        let stats = server.shutdown();
+        assert!(stats.rejected_queue_full >= 1);
+        assert_eq!(stats.lost(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_dequeue() {
+        let server: Server<u32> = Server::start(
+            ServeConfig {
+                queue_capacity: 8,
+                max_inflight: 1,
+                worker_budget: 1,
+            },
+            NoRecorder,
+        );
+        // Occupy the worker so the deadline request has to wait…
+        let busy: Vec<u32> = (0..300_000u32).rev().collect();
+        let h0 = server.submit(Request::sort(0, busy)).expect("admitted");
+        // …with a deadline that will certainly have passed by then.
+        let doomed = Request::merge(1, vec![1u32, 3], vec![2, 4]).with_deadline_in(1);
+        let h1 = server.submit(doomed).expect("admitted");
+        assert!(matches!(h0.wait(), Outcome::Completed { .. }));
+        match h1.wait() {
+            Outcome::Rejected(RejectReason::DeadlineExpired) => {}
+            other => panic!("expected deadline rejection, got {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.lost(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let server: Server<u32> = Server::start(small_cfg(), NoRecorder);
+        let handles: Vec<_> = (0..4u64)
+            .map(|id| {
+                server
+                    .submit(Request::merge(id, vec![1, 3, 5], vec![2, 4, 6]))
+                    .expect("admitted")
+            })
+            .collect();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.lost(), 0);
+        for h in handles {
+            assert!(matches!(h.wait(), Outcome::Completed { .. }));
+        }
+    }
+
+    #[test]
+    fn concurrent_telemetry_is_well_formed() {
+        use mergepath_telemetry::TimelineRecorder;
+        use std::sync::Arc;
+        let rec = Arc::new(TimelineRecorder::new());
+        let server: Server<u32, _> = Server::start(
+            ServeConfig {
+                queue_capacity: 64,
+                max_inflight: 4,
+                worker_budget: 4,
+            },
+            Arc::clone(&rec),
+        );
+        let a: Vec<u32> = (0..4096).map(|x| 2 * x).collect();
+        let b: Vec<u32> = (0..4096).map(|x| 2 * x + 1).collect();
+        let handles: Vec<_> = (0..32u64)
+            .map(|id| {
+                server
+                    .submit(Request::merge(id, a.clone(), b.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        for h in handles {
+            assert!(matches!(h.wait(), Outcome::Completed { .. }));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 32);
+        let t = Arc::try_unwrap(rec)
+            .ok()
+            .expect("server released its recorder handle at shutdown")
+            .finish();
+        let completed: u64 = t
+            .counters
+            .iter()
+            .filter(|c| c.kind == CounterKind::ServeCompleted)
+            .map(|c| c.total)
+            .sum();
+        assert_eq!(completed, 32, "serve_completed counter observable");
+        // Every kernel span landed in a serving thread's offset range
+        // (worker 0 is reserved for daemon counters), and pairing held —
+        // each span closed with a positive-length window.
+        assert!(!t.spans.is_empty(), "kernel spans were recorded");
+        for s in &t.spans {
+            assert!(s.worker >= 1, "kernel span on reserved worker 0");
+            assert!(s.end_ns >= s.start_ns);
+        }
+    }
+
+    #[test]
+    fn reject_names_are_stable() {
+        assert_eq!(RejectReason::QueueFull.name(), "queue_full");
+        assert_eq!(RejectReason::DeadlineExpired.name(), "deadline_expired");
+    }
+}

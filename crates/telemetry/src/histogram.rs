@@ -1,0 +1,410 @@
+//! A hand-rolled HDR-style latency histogram.
+//!
+//! The serving layer (`mergepath-serve`, `mp serve`, `mp bench --serve`)
+//! needs per-request latency distributions — p50/p99 summaries over many
+//! thousands of requests — without any external dependency and without
+//! keeping every sample. This is the classic high-dynamic-range bucket
+//! scheme (log-linear: each power-of-two magnitude is split into
+//! `2^SUB_BITS` linear sub-buckets), which bounds the relative
+//! quantization error of every recorded value by `2^-SUB_BITS` (~3% at
+//! the 5 sub-bit precision used here) across the full `u64` nanosecond
+//! range, in a fixed ~15 KiB table.
+//!
+//! Two properties the serve artifact depends on are tested here against
+//! brute-force oracles:
+//!
+//! * **Percentile extraction**: [`LatencyHistogram::percentile`] returns
+//!   exactly the upper bound of the bucket holding the rank-`⌈q·count⌉`
+//!   smallest sample — the same bucket a sorted-vector oracle's sample
+//!   lands in.
+//! * **Merge associativity**: [`LatencyHistogram::merge_from`] is a plain
+//!   per-bucket sum, so merging per-worker histograms is associative and
+//!   commutative and loses nothing — the daemon can aggregate shards in
+//!   any order.
+
+use std::fmt::Write as _;
+
+/// Linear sub-buckets per power-of-two magnitude: `2^SUB_BITS` buckets,
+/// giving a worst-case relative quantization error of `2^-SUB_BITS`
+/// (~3.1%).
+pub const SUB_BITS: u32 = 5;
+
+const SUB_COUNT: usize = 1 << SUB_BITS;
+const SUB_MASK: u64 = (SUB_COUNT - 1) as u64;
+
+/// Bucket count covering every `u64` value: the linear region
+/// `0..2^SUB_BITS` contributes `SUB_COUNT` buckets, and each magnitude
+/// `SUB_BITS..=63` contributes `SUB_COUNT` more — `60 × 32 = 1920` total
+/// at the default precision (a fixed ~15 KiB table).
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_COUNT;
+
+/// Index of the bucket containing `v`.
+///
+/// Values below `2^SUB_BITS` map linearly (bucket = value); above, the
+/// top `SUB_BITS` bits after the leading one select the sub-bucket within
+/// the value's power-of-two magnitude. The mapping is monotone and
+/// continuous across the linear/logarithmic boundary.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        v as usize
+    } else {
+        let magnitude = 63 - v.leading_zeros();
+        let sub = ((v >> (magnitude - SUB_BITS)) & SUB_MASK) as usize;
+        ((magnitude - SUB_BITS + 1) as usize) * SUB_COUNT + sub
+    }
+}
+
+/// Largest value mapping to bucket `index` (the bucket's inclusive upper
+/// bound — the value percentiles report).
+fn bucket_bound(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        index as u64
+    } else {
+        let magnitude = (index / SUB_COUNT) as u32 + SUB_BITS - 1;
+        let sub = (index % SUB_COUNT) as u64;
+        let base = 1u64 << magnitude;
+        let width = 1u64 << (magnitude - SUB_BITS);
+        // `(base - 1) + (sub + 1) * width` peaks at exactly `u64::MAX`
+        // for the top bucket; the naive `base + (…) - 1` would overflow.
+        (base - 1) + (sub + 1) * width
+    }
+}
+
+/// A fixed-size log-linear histogram of `u64` samples (nanoseconds, by
+/// convention).
+///
+/// # Examples
+/// ```
+/// use mergepath_telemetry::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 10);
+/// assert_eq!(h.percentile(0.50), 50); // small values are exact
+/// assert_eq!(h.max(), 100);
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0u64; BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("BUCKETS-sized box"),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`): the upper bound of the bucket
+    /// containing the rank-`⌈q·count⌉` smallest sample (rank 1 for
+    /// `q = 0`). Returns 0 for an empty histogram. The reported value is
+    /// ≥ the exact sample and overshoots it by at most a factor
+    /// `2^-SUB_BITS` (~3%).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self` (per-bucket sum — exact,
+    /// associative, commutative).
+    pub fn merge_from(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Renders the summary quantiles as one JSON object (count, sum, min,
+    /// mean, p50/p90/p99/p999, max) — the shape embedded in
+    /// `BENCH_serve.json` and printed by `mp serve`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"mean_ns\":{},\
+             \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.percentile(0.999),
+            self.max,
+        );
+        out.push('}');
+        out
+    }
+}
+
+impl PartialEq for LatencyHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count && self.sum == other.sum && self.counts[..] == other.counts[..]
+    }
+}
+
+impl Eq for LatencyHistogram {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// Brute-force quantile oracle: the rank-`⌈q·n⌉` smallest sample of a
+    /// sorted vector.
+    fn oracle_sample(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_continuous() {
+        // The linear region maps identically.
+        for v in 0..SUB_COUNT as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bound(v as usize), v);
+        }
+        // Monotone across the linear/log boundary and beyond; every value
+        // is ≤ its bucket's upper bound, and the previous bucket's bound
+        // is < the value.
+        let probes: Vec<u64> = (0..2048)
+            .chain((0..54).flat_map(|m| {
+                let base = 1u64 << (m + 10);
+                [base - 1, base, base + 1, base + base / 3, base + base / 2]
+            }))
+            .chain([u64::MAX - 1, u64::MAX])
+            .collect();
+        let mut prev = None;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(v <= bucket_bound(i), "{v} above its bucket bound");
+            if i > 0 {
+                assert!(bucket_bound(i - 1) < v, "{v} below previous bucket bound");
+            }
+            if let Some((pv, pi)) = prev {
+                if v >= pv {
+                    assert!(i >= pi, "index not monotone at {v}");
+                }
+            }
+            prev = Some((v, i));
+        }
+        // Bucket bounds themselves round-trip: bound(i) is the largest
+        // value in bucket i.
+        for i in 0..BUCKETS {
+            let b = bucket_bound(i);
+            assert_eq!(bucket_index(b), i, "bound of bucket {i} maps elsewhere");
+            if b < u64::MAX {
+                assert_eq!(bucket_index(b + 1), i + 1, "bucket {i} not tight");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_match_sorted_vector_oracle() {
+        // Deterministic multi-scale sample set: exact small values, spread
+        // large ones.
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..5000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = match i % 4 {
+                0 => x % 100,                    // sub-microsecond latencies
+                1 => 1_000 + x % 100_000,        // microseconds
+                2 => 1_000_000 + x % 50_000_000, // milliseconds
+                _ => x % (1 << 40),              // heavy tail
+            };
+            samples.push(v);
+        }
+        let mut h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let exact = oracle_sample(&sorted, q);
+            let got = h.percentile(q);
+            // The histogram reports the upper bound of the oracle
+            // sample's bucket — never below the sample, never more than
+            // one sub-bucket width above it.
+            assert_eq!(
+                got,
+                bucket_bound(bucket_index(exact)),
+                "q={q}: got {got}, oracle sample {exact}"
+            );
+            assert!(got >= exact, "q={q}: reported below the exact sample");
+            let error = (got - exact) as f64 / exact.max(1) as f64;
+            assert!(
+                error <= 1.0 / (1 << SUB_BITS) as f64 + 1e-9 || exact < SUB_COUNT as u64,
+                "q={q}: quantization error {error} above 2^-{SUB_BITS}"
+            );
+        }
+        assert_eq!(h.count(), 5000);
+        assert_eq!(h.max(), *sorted.last().unwrap());
+        assert_eq!(h.min(), sorted[0]);
+    }
+
+    #[test]
+    fn merge_is_associative_and_exact() {
+        let mut parts: Vec<LatencyHistogram> = Vec::new();
+        for k in 0..3u64 {
+            let mut h = LatencyHistogram::new();
+            for i in 0..500u64 {
+                h.record((i * 7919 + k * 104729) % (1 << (10 + 4 * k)));
+            }
+            parts.push(h);
+        }
+        // (a ⊕ b) ⊕ c
+        let mut left = parts[0].clone();
+        left.merge_from(&parts[1]);
+        left.merge_from(&parts[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = parts[1].clone();
+        bc.merge_from(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge_from(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        // And identical to recording everything into one histogram.
+        let mut direct = LatencyHistogram::new();
+        for k in 0..3u64 {
+            for i in 0..500u64 {
+                direct.record((i * 7919 + k * 104729) % (1 << (10 + 4 * k)));
+            }
+        }
+        assert_eq!(left, direct, "merge must lose nothing");
+        for q in [0.5, 0.99] {
+            assert_eq!(left.percentile(q), direct.percentile(q));
+        }
+        // Commutative too: b ⊕ a == a ⊕ b.
+        let mut ab = parts[0].clone();
+        ab.merge_from(&parts[1]);
+        let mut ba = parts[1].clone();
+        ba.merge_from(&parts[0]);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn empty_and_degenerate_histograms() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut one = LatencyHistogram::new();
+        one.record(12345);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one.percentile(q), bucket_bound(bucket_index(12345)));
+        }
+        let mut zeros = LatencyHistogram::new();
+        for _ in 0..10 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.percentile(0.99), 0);
+        assert_eq!(zeros.mean(), 0.0);
+    }
+
+    #[test]
+    fn summary_json_parses_and_orders_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000);
+        }
+        let doc = json::parse(&h.to_json()).expect("summary must be valid JSON");
+        let field = |k: &str| doc.get(k).and_then(json::Value::as_f64).unwrap();
+        assert_eq!(field("count"), 1000.0);
+        assert!(field("p50_ns") <= field("p90_ns"));
+        assert!(field("p90_ns") <= field("p99_ns"));
+        assert!(field("p99_ns") <= field("p999_ns"));
+        assert!(field("p999_ns") <= field("max_ns"));
+        assert!(field("min_ns") <= field("p50_ns"));
+    }
+}

@@ -26,6 +26,9 @@
 //! - Exporters: Chrome `trace_event` JSON ([`Telemetry::to_chrome_trace`],
 //!   loadable in Perfetto / `chrome://tracing`) and a flat JSONL metrics
 //!   stream ([`Telemetry::to_jsonl`]).
+//! - [`LatencyHistogram`]: a fixed-size HDR-style log-linear histogram used
+//!   by the serving layer (`mergepath-serve`) for per-request p50/p99
+//!   latency summaries, mergeable across worker shards.
 //! - [`json`]: a minimal hand-rolled JSON writer/parser used by the
 //!   exporters and by `cargo xtask verify-telemetry`'s schema check.
 //! - [`artifact`]: the shared envelope writer (environment fingerprint +
@@ -36,12 +39,15 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod histogram;
 pub mod json;
 mod record;
 mod timeline;
 
+pub use histogram::LatencyHistogram;
 pub use record::{
-    counted_cmp, now_ns, span, thread_index, CounterKind, NoRecorder, Recorder, SpanGuard, SpanKind,
+    counted_cmp, now_ns, span, thread_index, CounterKind, NoRecorder, OffsetRecorder, Recorder,
+    SpanGuard, SpanKind,
 };
 pub use timeline::{
     BusyStats, CounterTotal, LoadBalanceReport, RoundRecord, ShareRecord, SpanRecord, Telemetry,

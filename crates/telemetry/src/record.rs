@@ -91,6 +91,15 @@ pub enum CounterKind {
     /// performs zero comparator calls, so these segments contribute
     /// nothing to [`CounterKind::Comparisons`] by design.
     SegmentsSimd,
+    /// Requests the serving daemon completed successfully (response handed
+    /// back byte-identical to the sequential oracle's answer).
+    ServeCompleted,
+    /// Requests the serving daemon rejected synchronously at submission
+    /// because the bounded queue was full (backpressure, never a panic).
+    ServeRejectedQueueFull,
+    /// Requests the serving daemon rejected at dequeue because their
+    /// deadline had already expired before execution could begin.
+    ServeRejectedDeadline,
 }
 
 impl CounterKind {
@@ -104,6 +113,9 @@ impl CounterKind {
             CounterKind::SegmentsBranchLean => "segments_branch_lean",
             CounterKind::SegmentsGalloping => "segments_galloping",
             CounterKind::SegmentsSimd => "segments_simd",
+            CounterKind::ServeCompleted => "serve_completed",
+            CounterKind::ServeRejectedQueueFull => "serve_rejected_queue_full",
+            CounterKind::ServeRejectedDeadline => "serve_rejected_deadline",
         }
     }
 }
@@ -197,6 +209,113 @@ impl Recorder for NoRecorder {
     fn share_window(&self, _tid: usize, _share: usize, _start_ns: u64, _end_ns: u64) {}
 }
 
+/// Shared ownership delegates: an `Arc<R>` records into the inner `R`.
+///
+/// Lets a caller hand a recorder to a long-lived consumer (the serving
+/// daemon owns its recorder for its whole lifetime) while keeping a handle
+/// to `finish()` it afterwards.
+impl<R: Recorder + Send + Sync> Recorder for std::sync::Arc<R> {
+    const ACTIVE: bool = R::ACTIVE;
+
+    #[inline(always)]
+    fn span_begin(&self, worker: usize, kind: SpanKind) {
+        R::span_begin(self, worker, kind);
+    }
+    #[inline(always)]
+    fn span_end(&self, worker: usize, kind: SpanKind) {
+        R::span_end(self, worker, kind);
+    }
+    #[inline(always)]
+    fn counter_add(&self, worker: usize, kind: CounterKind, delta: u64) {
+        R::counter_add(self, worker, kind, delta);
+    }
+    #[inline(always)]
+    fn worker_items(&self, worker: usize, items: u64) {
+        R::worker_items(self, worker, items);
+    }
+    #[inline(always)]
+    fn round_begin(&self, shares: usize) {
+        R::round_begin(self, shares);
+    }
+    #[inline(always)]
+    fn round_end(&self) {
+        R::round_end(self);
+    }
+    #[inline(always)]
+    fn round_wait_ns(&self, ns: u64) {
+        R::round_wait_ns(self, ns);
+    }
+    #[inline(always)]
+    fn share_window(&self, tid: usize, share: usize, start_ns: u64, end_ns: u64) {
+        R::share_window(self, tid, share, start_ns, end_ns);
+    }
+}
+
+/// A [`Recorder`] adapter that shifts every logical worker index by a
+/// fixed `base` before delegating.
+///
+/// The per-worker span stack discipline (see [`Recorder::span_begin`])
+/// assumes each logical worker index is driven by one thread at a time.
+/// When several independent kernel invocations run *concurrently* against
+/// one shared recorder — the serving daemon's request-parallel regime,
+/// where every in-flight request executes with share 1 and would
+/// otherwise report as worker 0 — their events must land on disjoint
+/// index ranges. Each concurrent caller wraps the shared recorder with a
+/// distinct `base` (spaced at least its maximum share apart) and the
+/// combined timeline stays well-formed.
+///
+/// Thread-keyed callbacks (`round_*`, `share_window`) pass through
+/// unchanged: they are already keyed by physical thread, not worker.
+#[derive(Debug, Clone, Copy)]
+pub struct OffsetRecorder<'r, R> {
+    base: usize,
+    inner: &'r R,
+}
+
+impl<'r, R: Recorder> OffsetRecorder<'r, R> {
+    /// Wraps `inner`, adding `base` to every worker index.
+    pub fn new(base: usize, inner: &'r R) -> Self {
+        OffsetRecorder { base, inner }
+    }
+}
+
+impl<R: Recorder> Recorder for OffsetRecorder<'_, R> {
+    const ACTIVE: bool = R::ACTIVE;
+
+    #[inline(always)]
+    fn span_begin(&self, worker: usize, kind: SpanKind) {
+        self.inner.span_begin(self.base + worker, kind);
+    }
+    #[inline(always)]
+    fn span_end(&self, worker: usize, kind: SpanKind) {
+        self.inner.span_end(self.base + worker, kind);
+    }
+    #[inline(always)]
+    fn counter_add(&self, worker: usize, kind: CounterKind, delta: u64) {
+        self.inner.counter_add(self.base + worker, kind, delta);
+    }
+    #[inline(always)]
+    fn worker_items(&self, worker: usize, items: u64) {
+        self.inner.worker_items(self.base + worker, items);
+    }
+    #[inline(always)]
+    fn round_begin(&self, shares: usize) {
+        self.inner.round_begin(shares);
+    }
+    #[inline(always)]
+    fn round_end(&self) {
+        self.inner.round_end();
+    }
+    #[inline(always)]
+    fn round_wait_ns(&self, ns: u64) {
+        self.inner.round_wait_ns(ns);
+    }
+    #[inline(always)]
+    fn share_window(&self, tid: usize, share: usize, start_ns: u64, end_ns: u64) {
+        self.inner.share_window(tid, share, start_ns, end_ns);
+    }
+}
+
 /// Opens a span on `rec`, closed when the returned guard drops (including
 /// during unwinding, so a panicking share leaves a well-formed timeline).
 ///
@@ -276,6 +395,36 @@ mod tests {
     }
 
     #[test]
+    fn offset_recorder_shifts_workers_and_passes_rounds_through() {
+        use crate::timeline::TimelineRecorder;
+        let rec = TimelineRecorder::new();
+        {
+            let shifted = OffsetRecorder::new(5, &rec);
+            let _g = span(&shifted, 0, SpanKind::SegmentMerge);
+            shifted.counter_add(1, CounterKind::Comparisons, 3);
+            shifted.worker_items(0, 7);
+            shifted.round_begin(2);
+            shifted.round_end();
+        }
+        let t = rec.finish();
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].worker, 5, "span index shifted by base");
+        assert_eq!(t.counters.len(), 1);
+        assert_eq!(t.counters[0].worker, 6, "counter index shifted by base");
+        assert_eq!(t.counters[0].total, 3);
+        assert_eq!(t.worker_items.len(), 1);
+        assert_eq!(t.worker_items[0].worker, 5);
+        assert_eq!(t.rounds.len(), 1, "rounds are thread-keyed, unshifted");
+    }
+
+    #[test]
+    fn offset_recorder_inherits_activity() {
+        use crate::timeline::TimelineRecorder;
+        const { assert!(!<OffsetRecorder<'static, NoRecorder> as Recorder>::ACTIVE) }
+        const { assert!(<OffsetRecorder<'static, TimelineRecorder> as Recorder>::ACTIVE) }
+    }
+
+    #[test]
     fn span_names_are_stable() {
         assert_eq!(SpanKind::Partition.name(), "partition");
         assert_eq!(SpanKind::DiagonalSearch.name(), "diagonal_search");
@@ -295,5 +444,14 @@ mod tests {
         );
         assert_eq!(CounterKind::SegmentsGalloping.name(), "segments_galloping");
         assert_eq!(CounterKind::SegmentsSimd.name(), "segments_simd");
+        assert_eq!(CounterKind::ServeCompleted.name(), "serve_completed");
+        assert_eq!(
+            CounterKind::ServeRejectedQueueFull.name(),
+            "serve_rejected_queue_full"
+        );
+        assert_eq!(
+            CounterKind::ServeRejectedDeadline.name(),
+            "serve_rejected_deadline"
+        );
     }
 }

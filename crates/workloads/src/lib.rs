@@ -10,10 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod gen;
 pub mod prng;
 pub mod validate;
 
+pub use arrival::{arrival_plan, ArrivalPattern, PlanConfig, RequestSpec};
 pub use gen::{
     merge_pair, merge_pair_sized, sorted_keys, unsorted_keys, MergeWorkload, SortWorkload,
 };

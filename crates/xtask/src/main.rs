@@ -36,6 +36,11 @@ fn usage() -> ExitCode {
         "                   {HISTORY_WINDOW} same-environment history entries (falling back to the"
     );
     eprintln!("                   committed artifact when the history is empty)");
+    eprintln!("  verify-serve     run `mp bench --smoke --serve` into target/xtask/serve,");
+    eprintln!("                   schema-check BENCH_serve.json (all three arrival patterns");
+    eprintln!("                   at >= 4 concurrency levels, zero lost requests, zero");
+    eprintln!("                   correctness failures) and append a serve_history line to");
+    eprintln!("                   results/bench_history.jsonl");
     eprintln!();
     eprintln!("flags:");
     eprintln!("  --simd           build every cargo invocation with `--features simd` so the");
@@ -552,6 +557,140 @@ fn verify_bench(opts: BuildOpts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Validates one fresh `bench_serve` payload: all three arrival patterns
+/// present, ≥ 4 concurrency levels, and on every row the zero-lost /
+/// zero-correctness-failure / zero-contained-panic invariants.
+fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), String> {
+    use mergepath_telemetry::json::Value;
+    let rows = doc
+        .get("payload")
+        .and_then(|p| p.get("rows"))
+        .and_then(Value::as_array)
+        .ok_or("payload.rows missing")?;
+    if rows.is_empty() {
+        return Err("payload.rows is empty".into());
+    }
+    let mut patterns = std::collections::BTreeSet::new();
+    let mut levels = std::collections::BTreeSet::new();
+    for (i, r) in rows.iter().enumerate() {
+        let pattern = r
+            .get("pattern")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("row {i}: pattern missing"))?;
+        patterns.insert(pattern.to_string());
+        let level = r
+            .get("concurrency")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("row {i}: concurrency missing"))? as u64;
+        levels.insert(level);
+        for col in ["throughput_rps", "p50_ns", "p99_ns", "completed"] {
+            if r.get(col).and_then(Value::as_f64).is_none() {
+                return Err(format!("row {i} ({pattern} @ {level}): {col} missing"));
+            }
+        }
+        for (col, want) in [
+            ("lost", 0.0),
+            ("correctness_failures", 0.0),
+            ("failed", 0.0),
+        ] {
+            let got = r
+                .get(col)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("row {i} ({pattern} @ {level}): {col} missing"))?;
+            if got != want {
+                return Err(format!(
+                    "row {i} ({pattern} @ {level}): {col} = {got}, want 0"
+                ));
+            }
+        }
+    }
+    for want in ["steady", "bursty", "heavy-tail"] {
+        if !patterns.contains(want) {
+            return Err(format!("pattern {want:?} missing from the sweep"));
+        }
+    }
+    if levels.len() < 4 {
+        return Err(format!(
+            "only {} distinct concurrency level(s); the sweep needs >= 4",
+            levels.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the JSONL history entry for one `verify-serve` run: the shared
+/// environment fingerprint plus per-(pattern, concurrency) throughput and
+/// latency percentiles.
+fn render_serve_history_entry(doc: &mergepath_telemetry::json::Value) -> String {
+    use mergepath_telemetry::json::{write_f64, write_str, write_value, Value};
+    let mut out = String::from("{\"type\":\"serve_history\",\"env\":");
+    write_value(&mut out, doc.get("env").unwrap_or(&Value::Null));
+    out.push_str(",\"rows\":[");
+    let rows = doc
+        .get("payload")
+        .and_then(|p| p.get("rows"))
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"pattern\":");
+        write_str(
+            &mut out,
+            r.get("pattern").and_then(Value::as_str).unwrap_or("?"),
+        );
+        for col in [
+            "concurrency",
+            "completed",
+            "throughput_rps",
+            "p50_ns",
+            "p99_ns",
+        ] {
+            out.push_str(",\"");
+            out.push_str(col);
+            out.push_str("\":");
+            write_f64(&mut out, r.get(col).and_then(Value::as_f64).unwrap_or(-1.0));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn verify_serve(opts: BuildOpts) -> ExitCode {
+    let dir = std::path::Path::new("target").join("xtask").join("serve");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("verify-serve: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let out_dir = dir.display().to_string();
+    if !run_mp_bench(opts, &["--smoke", "--serve", "--out-dir", &out_dir]) {
+        eprintln!("verify-serve: FAILED running `mp bench --smoke --serve`");
+        return ExitCode::FAILURE;
+    }
+    let fresh = match load_artifact(&dir.join("BENCH_serve.json"), "bench_serve") {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("verify-serve: FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = check_serve_payload(&fresh) {
+        eprintln!("verify-serve: FAILED: BENCH_serve.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    match append_history(&render_serve_history_entry(&fresh)) {
+        Ok(()) => println!("verify-serve: appended serve_history to {HISTORY_PATH}"),
+        Err(e) => println!("verify-serve: WARNING: could not append history ({e})"),
+    }
+    println!(
+        "verify-serve: OK (3 patterns x >=4 concurrency levels; zero lost requests, \
+         zero correctness failures)"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = env::args().skip(1);
     let task = args.next();
@@ -571,6 +710,7 @@ fn main() -> ExitCode {
         Some("verify-schedules") => verify_schedules(opts),
         Some("bench") => bench(opts),
         Some("verify-bench") => verify_bench(opts),
+        Some("verify-serve") => verify_serve(opts),
         _ => usage(),
     }
 }

@@ -4,4 +4,5 @@ pub use mergepath;
 pub use mergepath_baselines as baselines;
 pub use mergepath_cache_sim as cache_sim;
 pub use mergepath_pram as pram;
+pub use mergepath_serve as serve;
 pub use mergepath_workloads as workloads;

@@ -1,0 +1,224 @@
+//! The reproducibility contract behind `BENCH_serve.json`: the arrival
+//! plan and every admission decision derived from it are a **pure function
+//! of `(seed, config)`**. A live daemon run resolves deadlines against the
+//! wall clock, so its latencies vary machine to machine — but the planned
+//! schedule and the deterministic replay of the admission policy must be
+//! bit-for-bit identical everywhere. These properties pin that down over
+//! randomized configurations.
+
+use proptest::prelude::*;
+
+use mergepath_suite::serve::{replay, ReplayConfig, ReplayOutcome, ServiceModel};
+use mergepath_suite::workloads::arrival::{arrival_plan, ArrivalPattern, PlanConfig};
+use mergepath_suite::workloads::gen::merge_pair_sized;
+
+fn plan_cfg(
+    pattern: ArrivalPattern,
+    requests: usize,
+    mean_gap_ns: u64,
+    deadline_ns: u64,
+    seed: u64,
+) -> PlanConfig {
+    PlanConfig {
+        pattern,
+        requests,
+        mean_gap_ns,
+        deadline_ns,
+        mean_len: 512,
+        seed,
+    }
+}
+
+proptest! {
+    /// Same `(seed, config)` twice ⇒ identical plan, identical replay log
+    /// — and therefore identical admission counts in the artifact.
+    fn admission_decisions_are_a_pure_function_of_seed_and_config(
+        pat in 0usize..3,
+        requests in 50usize..300,
+        mean_gap_ns in 1_000u64..200_000,
+        deadline_ns in 0u64..2_000_000,
+        queue_capacity in 1usize..32,
+        max_inflight in 1usize..8,
+        base_ns in 0u64..50_000,
+        per_item_ns in 0u64..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let pattern = ArrivalPattern::ALL[pat];
+        let cfg = plan_cfg(pattern, requests, mean_gap_ns, deadline_ns, seed);
+        let plan_a = arrival_plan(&cfg);
+        let plan_b = arrival_plan(&cfg);
+        prop_assert_eq!(&plan_a, &plan_b, "arrival plan must be deterministic");
+
+        let rcfg = ReplayConfig { queue_capacity, max_inflight };
+        let model = ServiceModel { base_ns, per_item_ns };
+        let log_a = replay(&plan_a, &rcfg, &model);
+        let log_b = replay(&plan_b, &rcfg, &model);
+        prop_assert_eq!(&log_a, &log_b, "replay must be deterministic");
+
+        // Totality: every planned request resolves exactly once, in id
+        // order — the simulated twin of the daemon's zero-lost-requests
+        // invariant.
+        prop_assert_eq!(log_a.len(), plan_a.len());
+        for (i, e) in log_a.iter().enumerate() {
+            prop_assert_eq!(e.id, i, "request lost or duplicated");
+        }
+    }
+
+    /// The admission policy itself, over arbitrary configurations:
+    /// completions start in FIFO order, never before arrival, never after
+    /// an expired deadline, and rejections only occur for cause.
+    fn replay_respects_the_admission_policy(
+        pat in 0usize..3,
+        requests in 50usize..300,
+        mean_gap_ns in 1_000u64..100_000,
+        deadline_ns in 0u64..1_000_000,
+        queue_capacity in 1usize..16,
+        max_inflight in 1usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let pattern = ArrivalPattern::ALL[pat];
+        let cfg = plan_cfg(pattern, requests, mean_gap_ns, deadline_ns, seed);
+        let plan = arrival_plan(&cfg);
+        let rcfg = ReplayConfig { queue_capacity, max_inflight };
+        let model = ServiceModel { base_ns: 10_000, per_item_ns: 20 };
+        let log = replay(&plan, &rcfg, &model);
+
+        let mut prev_start = 0u64;
+        for e in &log {
+            let spec = &plan[e.id];
+            match e.outcome {
+                ReplayOutcome::Completed => {
+                    // FIFO: admitted requests begin execution in arrival
+                    // order (ids are arrival-ordered).
+                    prop_assert!(e.start_ns >= prev_start, "FIFO start order violated");
+                    prev_start = e.start_ns;
+                    prop_assert!(e.start_ns >= spec.arrival_ns);
+                    prop_assert_eq!(
+                        e.finish_ns,
+                        e.start_ns + model.service_ns(spec),
+                        "service time model must be charged exactly"
+                    );
+                    if spec.deadline_ns != 0 {
+                        prop_assert!(
+                            e.start_ns <= spec.arrival_ns + spec.deadline_ns,
+                            "started after its own deadline"
+                        );
+                    }
+                }
+                ReplayOutcome::RejectedDeadline => {
+                    // Only requests that carry a deadline can expire, and
+                    // only after it actually passed.
+                    prop_assert!(spec.deadline_ns != 0);
+                    prop_assert!(e.finish_ns > spec.arrival_ns + spec.deadline_ns);
+                }
+                ReplayOutcome::RejectedQueueFull => {
+                    // Judged at arrival: the decision instant is the
+                    // arrival instant.
+                    prop_assert_eq!(e.finish_ns, spec.arrival_ns);
+                }
+            }
+        }
+
+        // Conservation: the three outcome classes partition the plan.
+        let done = log.iter().filter(|e| e.outcome == ReplayOutcome::Completed).count();
+        let qf = log.iter().filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull).count();
+        let dl = log.iter().filter(|e| e.outcome == ReplayOutcome::RejectedDeadline).count();
+        prop_assert_eq!(done + qf + dl, plan.len());
+    }
+
+    /// Request payloads regenerate bit-for-bit from their spec: the plan
+    /// never stores input arrays, only `(workload, len_a, len_b,
+    /// data_seed)`, so the bench and any postmortem can rebuild the exact
+    /// inputs a request carried.
+    fn request_inputs_regenerate_from_the_spec(
+        pat in 0usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let pattern = ArrivalPattern::ALL[pat];
+        let cfg = plan_cfg(pattern, 40, 10_000, 0, seed);
+        let plan = arrival_plan(&cfg);
+        for spec in plan.iter().take(8) {
+            let (a1, b1) = merge_pair_sized(spec.workload, spec.len_a, spec.len_b, spec.data_seed);
+            let (a2, b2) = merge_pair_sized(spec.workload, spec.len_a, spec.len_b, spec.data_seed);
+            prop_assert_eq!(a1.len(), spec.len_a);
+            prop_assert_eq!(b1.len(), spec.len_b);
+            prop_assert_eq!(&a1, &a2);
+            prop_assert_eq!(&b1, &b2);
+        }
+    }
+}
+
+/// Ample capacity and no deadlines ⇒ the policy admits and completes
+/// everything, for every pattern. (Non-property pin: the replay's
+/// rejection machinery must never fire without cause.)
+#[test]
+fn ample_capacity_never_rejects() {
+    for pattern in ArrivalPattern::ALL {
+        for seed in [1u64, 99, 12345] {
+            let cfg = PlanConfig {
+                pattern,
+                requests: 400,
+                mean_gap_ns: 1_000_000,
+                deadline_ns: 0,
+                mean_len: 256,
+                seed,
+            };
+            let plan = arrival_plan(&cfg);
+            let log = replay(
+                &plan,
+                &ReplayConfig {
+                    queue_capacity: 400,
+                    max_inflight: 4,
+                },
+                &ServiceModel {
+                    base_ns: 1_000,
+                    per_item_ns: 10,
+                },
+            );
+            assert!(
+                log.iter().all(|e| e.outcome == ReplayOutcome::Completed),
+                "{} seed {seed}: spurious rejection",
+                pattern.name()
+            );
+        }
+    }
+}
+
+/// A congested single slot must reject for both reasons — queue pressure
+/// and deadline expiry — so the bench's backpressure columns are known to
+/// be exercised by the very policy the daemon runs.
+#[test]
+fn congestion_produces_both_rejection_kinds() {
+    for pattern in ArrivalPattern::ALL {
+        let cfg = PlanConfig {
+            pattern,
+            requests: 1000,
+            mean_gap_ns: 5_000,
+            deadline_ns: 200_000,
+            mean_len: 2048,
+            seed: 7,
+        };
+        let plan = arrival_plan(&cfg);
+        let log = replay(
+            &plan,
+            &ReplayConfig {
+                queue_capacity: 8,
+                max_inflight: 2,
+            },
+            &ServiceModel {
+                base_ns: 5_000,
+                per_item_ns: 25,
+            },
+        );
+        let qf = log
+            .iter()
+            .filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull)
+            .count();
+        let dl = log
+            .iter()
+            .filter(|e| e.outcome == ReplayOutcome::RejectedDeadline)
+            .count();
+        assert!(qf > 0, "{}: no queue-full rejections", pattern.name());
+        assert!(dl > 0, "{}: no deadline rejections", pattern.name());
+    }
+}
