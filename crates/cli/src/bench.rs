@@ -259,8 +259,10 @@ fn summarize(title: &str, rows: &[FamilyRow], out: &mut String) {
 }
 
 /// The telemetry artifact's payload: traced vs untraced wall-clock plus
-/// the load-balance report for every parallel kernel. Shared by `mp bench`
-/// and the standalone `bench_telemetry` bin so both refresh
+/// the load-balance report for every parallel kernel, and the serving
+/// layer's metrics-on vs metrics-off overhead (`serve_overhead` — the
+/// number `cargo xtask verify-metrics` gates at ≤ 3%). Shared by
+/// `mp bench` and the standalone `bench_telemetry` bin so both refresh
 /// `BENCH_telemetry.json` with the same schema.
 pub fn telemetry_payload(n: usize, threads: usize, seed: u64, reps: usize) -> String {
     let mut payload = String::new();
@@ -307,7 +309,19 @@ pub fn telemetry_payload(n: usize, threads: usize, seed: u64, reps: usize) -> St
             report.to_json(),
         );
     }
-    payload.push_str("]}");
+    // Serving-layer observability overhead at a bench point scaled from
+    // the kernel sweep's `n` (same requests-per-batch as the serve bench's
+    // queue capacity).
+    payload.push_str("],\"serve_overhead\":");
+    let overhead = crate::serve_bench::measure_serve_overhead(
+        1024,
+        (n / 32).clamp(2048, 8192),
+        reps,
+        threads,
+        seed,
+    );
+    payload.push_str(&overhead.to_json());
+    payload.push('}');
     payload
 }
 
@@ -431,6 +445,22 @@ mod tests {
             .and_then(Value::as_array)
             .expect("kernels array");
         assert_eq!(kernels.len(), 9);
+        let serve_overhead = telemetry
+            .get("payload")
+            .and_then(|p| p.get("serve_overhead"))
+            .expect("serve_overhead section");
+        for key in [
+            "wall_off_ns",
+            "wall_on_ns",
+            "p99_off_ns",
+            "p99_on_ns",
+            "overhead",
+        ] {
+            assert!(
+                serve_overhead.get(key).and_then(Value::as_f64).is_some(),
+                "serve_overhead missing {key}"
+            );
+        }
         assert!(run.summary.contains("merge:"));
         assert!(run.summary.contains("sort:"));
         // The payload says which build configuration produced the numbers,

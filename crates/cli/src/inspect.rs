@@ -1,0 +1,303 @@
+//! `mp inspect` — render observability artifacts human-readably.
+//!
+//! The serving daemon's live layer emits three machine formats (DESIGN.md
+//! §12): flight dumps (`flight-NNN-<trigger>.jsonl`), metrics-snapshot
+//! JSONL streams (`metrics.jsonl`), and the `METRICS_serve.json` envelope.
+//! This module detects which one a file is from its content and renders a
+//! post-mortem view: dump events grouped per request in lifecycle order
+//! with inter-event timing, snapshot counters/gauges/quantiles as a table,
+//! and the envelope's final snapshot plus its dump index.
+
+use std::fmt::Write as _;
+
+use crate::CliError;
+use mergepath::telemetry::artifact::check_artifact;
+use mergepath::telemetry::json::{self, Value};
+use mergepath_serve::FlightEventKind;
+
+/// Renders `contents` (read from `path`) according to its detected format.
+///
+/// # Errors
+/// Returns [`CliError::CheckFailed`] when the file is not one of the three
+/// observability formats or is malformed.
+pub fn render_inspect(path: &str, contents: &str) -> Result<String, CliError> {
+    let first = contents
+        .lines()
+        .next()
+        .ok_or_else(|| CliError::CheckFailed(format!("{path}: empty file")))?;
+    let head =
+        json::parse(first).map_err(|e| CliError::CheckFailed(format!("{path}: not JSON ({e})")))?;
+    match head.get("type").and_then(Value::as_str) {
+        Some("flight_dump") => render_flight_dump(path, &head, contents),
+        Some("metrics_snapshot") => render_snapshot_stream(path, contents),
+        Some("metrics_serve") => render_metrics_envelope(path, contents),
+        Some(other) => Err(CliError::CheckFailed(format!(
+            "{path}: unknown document type {other:?} (expected flight_dump, \
+             metrics_snapshot, or metrics_serve)"
+        ))),
+        None => Err(CliError::CheckFailed(format!(
+            "{path}: first line carries no string `type`"
+        ))),
+    }
+}
+
+fn f64_field(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// One parsed `flight_event` line.
+struct Event {
+    seq: u64,
+    t_ns: f64,
+    request_id: u64,
+    kind: String,
+    arg0: f64,
+    arg1: f64,
+}
+
+/// What an event's `arg0`/`arg1` mean, spelled out per kind (mirrors the
+/// [`FlightEventKind`] payload contract). `t_ns` is the event's own
+/// timestamp (Dequeue derives queue wait from it and the submit stamp).
+fn describe_args(kind: &str, t_ns: f64, arg0: f64, arg1: f64) -> String {
+    match FlightEventKind::parse(kind) {
+        Some(FlightEventKind::Submit) => {
+            if arg0 == 0.0 {
+                "no deadline".to_string()
+            } else {
+                format!("deadline@{}", fmt_ns(arg0))
+            }
+        }
+        Some(FlightEventKind::RejectQueueFull) => format!("capacity={arg0:.0}"),
+        Some(FlightEventKind::Dequeue) => {
+            format!("waited {} depth={arg1:.0}", fmt_ns((t_ns - arg0).max(0.0)))
+        }
+        Some(FlightEventKind::RejectDeadline) => {
+            format!("deadline@{} late by {}", fmt_ns(arg0), fmt_ns(arg1))
+        }
+        Some(FlightEventKind::Start) => format!("share={arg0:.0} inflight={arg1:.0}"),
+        Some(FlightEventKind::Complete) => {
+            format!("latency={} compute={}", fmt_ns(arg0), fmt_ns(arg1))
+        }
+        Some(FlightEventKind::Fail) => "kernel panicked (contained)".to_string(),
+        None => format!("arg0={arg0} arg1={arg1}"),
+    }
+}
+
+fn render_flight_dump(path: &str, head: &Value, contents: &str) -> Result<String, CliError> {
+    let mut out = format!(
+        "flight dump {path}\n  trigger={} seq={:.0} events={:.0} at t={}\n",
+        head.get("trigger").and_then(Value::as_str).unwrap_or("?"),
+        f64_field(head, "seq"),
+        f64_field(head, "events"),
+        fmt_ns(f64_field(head, "t_ns")),
+    );
+    if let Some(counters) = head.get("counters").and_then(Value::as_object) {
+        out.push_str("  counters at dump time:\n");
+        for (name, v) in counters {
+            let _ = writeln!(out, "    {name:<36} {:>10.0}", v.as_f64().unwrap_or(0.0));
+        }
+    }
+    let mut events = Vec::new();
+    for (i, line) in contents.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| CliError::CheckFailed(format!("{path}:{}: {e}", i + 1)))?;
+        if v.get("type").and_then(Value::as_str) != Some("flight_event") {
+            return Err(CliError::CheckFailed(format!(
+                "{path}:{}: expected a flight_event line",
+                i + 1
+            )));
+        }
+        events.push(Event {
+            seq: f64_field(&v, "seq") as u64,
+            t_ns: f64_field(&v, "t_ns"),
+            request_id: f64_field(&v, "request_id") as u64,
+            kind: v
+                .get("kind")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            arg0: f64_field(&v, "arg0"),
+            arg1: f64_field(&v, "arg1"),
+        });
+    }
+    // Group by request, each request's events in seq order; requests
+    // ordered by their first appearance in the ring (oldest first), so the
+    // anomaly the dump was triggered by reads bottom-up like a log tail.
+    events.sort_by_key(|e| e.seq);
+    let mut order: Vec<u64> = Vec::new();
+    for e in &events {
+        if !order.contains(&e.request_id) {
+            order.push(e.request_id);
+        }
+    }
+    let t0 = events.first().map(|e| e.t_ns).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "  {} event(s) across {} request(s), ring window {}:",
+        events.len(),
+        order.len(),
+        fmt_ns(events.last().map(|e| e.t_ns - t0).unwrap_or(0.0)),
+    );
+    for id in order {
+        let _ = writeln!(out, "  request {id}:");
+        let mut prev: Option<f64> = None;
+        for e in events.iter().filter(|e| e.request_id == id) {
+            let delta = prev.map(|p| e.t_ns - p).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "    +{:<10} {:<18} {}  [seq {}]",
+                fmt_ns(delta),
+                e.kind,
+                describe_args(&e.kind, e.t_ns, e.arg0, e.arg1),
+                e.seq,
+            );
+            prev = Some(e.t_ns);
+        }
+    }
+    Ok(out)
+}
+
+/// Renders one parsed `metrics_snapshot` object as an indented table.
+fn render_snapshot(out: &mut String, snap: &Value) {
+    let _ = writeln!(out, "  snapshot at t={}", fmt_ns(f64_field(snap, "t_ns")));
+    for (section, title) in [("counters", "counters"), ("gauges", "gauges")] {
+        if let Some(map) = snap.get(section).and_then(Value::as_object) {
+            let _ = writeln!(out, "  {title}:");
+            for (name, v) in map {
+                let _ = writeln!(out, "    {name:<36} {:>10.0}", v.as_f64().unwrap_or(0.0));
+            }
+        }
+    }
+    if let Some(hists) = snap.get("histograms").and_then(Value::as_object) {
+        let _ = writeln!(
+            out,
+            "  histograms:\n    {:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in hists {
+            let _ = writeln!(
+                out,
+                "    {name:<28} {:>8.0} {:>10} {:>10} {:>10} {:>10}",
+                f64_field(h, "count"),
+                fmt_ns(f64_field(h, "p50_ns")),
+                fmt_ns(f64_field(h, "p90_ns")),
+                fmt_ns(f64_field(h, "p99_ns")),
+                fmt_ns(f64_field(h, "max_ns")),
+            );
+        }
+    }
+}
+
+fn render_snapshot_stream(path: &str, contents: &str) -> Result<String, CliError> {
+    let mut last = None;
+    let mut count = 0usize;
+    for (i, line) in contents.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| CliError::CheckFailed(format!("{path}:{}: {e}", i + 1)))?;
+        if v.get("type").and_then(Value::as_str) != Some("metrics_snapshot") {
+            return Err(CliError::CheckFailed(format!(
+                "{path}:{}: expected a metrics_snapshot line",
+                i + 1
+            )));
+        }
+        count += 1;
+        last = Some(v);
+    }
+    let last = last.ok_or_else(|| CliError::CheckFailed(format!("{path}: no snapshots")))?;
+    let mut out = format!("metrics stream {path}: {count} snapshot(s); latest:\n");
+    render_snapshot(&mut out, &last);
+    Ok(out)
+}
+
+fn render_metrics_envelope(path: &str, contents: &str) -> Result<String, CliError> {
+    let doc = check_artifact(contents, "metrics_serve")
+        .map_err(|e| CliError::CheckFailed(format!("{path}: {e}")))?;
+    let payload = doc
+        .get("payload")
+        .ok_or_else(|| CliError::CheckFailed(format!("{path}: envelope without payload")))?;
+    let mut out = format!("metrics envelope {path} (schema-checked):\n");
+    if let Some(snap) = payload.get("snapshot") {
+        render_snapshot(&mut out, snap);
+    }
+    match payload.get("dumps").and_then(Value::as_array) {
+        Some(dumps) if !dumps.is_empty() => {
+            let _ = writeln!(out, "  flight dumps ({}):", dumps.len());
+            for d in dumps {
+                let _ = writeln!(out, "    {}", d.as_str().unwrap_or("?"));
+            }
+        }
+        _ => out.push_str("  flight dumps: none (no anomalies)\n"),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergepath_serve::observe::{remove_scratch_dir, test_scratch_dir};
+    use mergepath_workloads::ArrivalPattern;
+
+    /// End-to-end: a deadline-missing serve run's artifacts all render.
+    #[test]
+    fn inspect_renders_every_live_artifact_format() {
+        let dir = test_scratch_dir("inspect");
+        crate::serve_bench::run_serve(&crate::serve_bench::ServeRunConfig {
+            requests: 16,
+            concurrency: 2,
+            queue_capacity: 16,
+            deadline_ns: 1,
+            pattern: ArrivalPattern::Steady,
+            mean_len: 128,
+            worker_budget: 2,
+            seed: 8,
+            metrics_out: Some(dir.to_string_lossy().into_owned()),
+        });
+
+        let read = |name: &str| std::fs::read_to_string(dir.join(name)).expect(name);
+        let stream = render_inspect("metrics.jsonl", &read("metrics.jsonl")).expect("stream");
+        assert!(stream.contains("serve_submitted_total"));
+        assert!(stream.contains("histograms:"));
+
+        let envelope =
+            render_inspect("METRICS_serve.json", &read("METRICS_serve.json")).expect("envelope");
+        assert!(envelope.contains("schema-checked"));
+        assert!(envelope.contains("flight dumps (1)"));
+
+        let dump_name = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .find(|n| n.starts_with("flight-"))
+            .expect("a flight dump exists");
+        let dump = render_inspect(&dump_name, &read(&dump_name)).expect("dump");
+        assert!(dump.contains("trigger=deadline_miss"));
+        assert!(dump.contains("reject_deadline"));
+        assert!(dump.contains("request "));
+        remove_scratch_dir(&dir);
+    }
+
+    #[test]
+    fn inspect_rejects_unknown_and_empty_documents() {
+        assert!(render_inspect("x", "").is_err());
+        assert!(render_inspect("x", "not json").is_err());
+        assert!(render_inspect("x", "{\"type\":\"mystery\"}").is_err());
+    }
+}

@@ -15,7 +15,8 @@
 //!           [--out-dir D] [--smoke] [--serve]       # BENCH_*.json artifacts
 //! mp serve  [--requests N] [--concurrency C] [--queue-capacity Q]
 //!           [--deadline-ms D] [--pattern P] [--n LEN] [--threads B]
-//!           [--seed S]                              # live daemon session
+//!           [--seed S] [--metrics-out DIR]          # live daemon session
+//! mp inspect FILE                                   # render metrics / flight dumps
 //! ```
 //!
 //! `mp check --kernel …` drives the deterministic schedule checker
@@ -48,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod inspect;
 pub mod serve_bench;
 
 use std::fmt::Write as _;
@@ -118,7 +120,7 @@ impl core::fmt::Display for CliError {
             CliError::RankOutOfRange { rank, total } => {
                 write!(f, "rank {rank} out of range (merged length {total})")
             }
-            CliError::CheckFailed(msg) => write!(f, "schedule check failed: {msg}"),
+            CliError::CheckFailed(msg) => write!(f, "check failed: {msg}"),
         }
     }
 }
@@ -136,6 +138,8 @@ pub const USAGE: &str = "usage:
   mp bench  [--n N] [--threads P] [--seed S] [--reps R] [--out-dir D] [--smoke] [--serve]
   mp serve  [--requests N] [--concurrency C] [--queue-capacity Q] [--deadline-ms D]
             [--pattern steady|bursty|heavy-tail] [--n LEN] [--threads B] [--seed S]
+            [--metrics-out DIR]
+  mp inspect FILE
 where KERNEL is parallel|segmented|batch|inplace|kway|hierarchical|\
 sort-parallel|sort-kway|sort-cache-aware";
 
@@ -382,6 +386,14 @@ pub enum Command {
         threads: usize,
         /// Plan seed.
         seed: u64,
+        /// Live-metrics output directory (`--metrics-out`), if any.
+        metrics_out: Option<String>,
+    },
+    /// `mp inspect` — render a metrics snapshot, flight dump, or
+    /// `METRICS_serve.json` envelope human-readably (see [`inspect`]).
+    Inspect {
+        /// Path of the file to render.
+        file: String,
     },
 }
 
@@ -400,7 +412,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut schedules = 8usize;
     let mut seed = 42u64;
     let mut trace_out = String::from("mp-trace.json");
-    let mut metrics_out = String::from("mp-metrics.jsonl");
+    let mut metrics_out: Option<String> = None;
     let mut reps: Option<usize> = None;
     let mut out_dir = String::from(".");
     let mut smoke = false;
@@ -492,10 +504,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .clone();
             }
             "--metrics-out" => {
-                metrics_out = it
-                    .next()
-                    .ok_or_else(|| CliError::Usage("--metrics-out needs a path".into()))?
-                    .clone();
+                metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--metrics-out needs a path".into()))?
+                        .clone(),
+                );
             }
             "--reps" => {
                 let r = it
@@ -622,7 +635,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             threads,
             seed,
             trace_out,
-            metrics_out,
+            metrics_out: metrics_out.unwrap_or_else(|| "mp-metrics.jsonl".into()),
         }),
         ("bench", []) => {
             // --smoke sets CI-friendly defaults; explicit --n/--reps win.
@@ -650,6 +663,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             mean_len: n.unwrap_or(2048),
             threads,
             seed,
+            metrics_out,
+        }),
+        ("inspect", [file]) => Ok(Command::Inspect {
+            file: file.to_string(),
         }),
         (sub, pos) => Err(CliError::Usage(format!(
             "bad arguments for {sub:?} (got {} positional argument(s))",
@@ -871,6 +888,7 @@ where
             mean_len,
             threads,
             seed,
+            metrics_out,
         } => Ok(serve_bench::run_serve(&serve_bench::ServeRunConfig {
             requests: *requests,
             concurrency: *concurrency,
@@ -880,7 +898,9 @@ where
             mean_len: *mean_len,
             worker_budget: *threads,
             seed: *seed,
+            metrics_out: metrics_out.clone(),
         })),
+        Command::Inspect { file } => inspect::render_inspect(file, &load(file)?),
     }
 }
 
@@ -1488,8 +1508,19 @@ mod tests {
                 mean_len: 512,
                 threads: 2,
                 seed: 7,
+                metrics_out: None,
             }
         );
+        // --metrics-out turns on the live metrics directory.
+        let cmd = parse_args(&argv("serve --requests 32 --metrics-out out/metrics")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                requests: 32,
+                metrics_out: Some(ref dir),
+                ..
+            } if dir == "out/metrics"
+        ));
         // Defaults: 64-way concurrency, steady arrivals, 50 ms deadline.
         let cmd = parse_args(&argv("serve")).unwrap();
         assert!(matches!(
@@ -1521,6 +1552,39 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn parse_inspect_command() {
+        let cmd = parse_args(&argv("inspect dumps/flight-000-deadline_miss.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Inspect {
+                file: "dumps/flight-000-deadline_miss.jsonl".into(),
+            }
+        );
+        assert!(matches!(
+            parse_args(&argv("inspect")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("inspect a b")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn inspect_through_execute_renders_a_dump() {
+        use mergepath_serve::{AnomalyTrigger, ObserverConfig, ServeObserver, ServeProbe as _};
+        let obs = ServeObserver::new(ObserverConfig::default());
+        obs.on_submit(5, 100, 90);
+        obs.on_reject_deadline(5, 150, 90);
+        let body = obs.render_dump(AnomalyTrigger::DeadlineMiss, 0);
+        let cmd = parse_args(&argv("inspect dump.jsonl")).unwrap();
+        let out = execute(&cmd, memfs(&[("dump.jsonl", body.as_str())])).unwrap();
+        assert!(out.contains("trigger=deadline_miss"), "{out}");
+        assert!(out.contains("request 5:"), "{out}");
+        assert!(out.contains("reject_deadline"), "{out}");
     }
 
     #[test]

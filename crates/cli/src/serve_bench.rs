@@ -20,15 +20,19 @@
 //! reproducible anchor (`tests/serve_determinism.rs` pins it).
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 use mergepath::merge::sequential::merge_into_by;
 use mergepath::telemetry::artifact::{render_artifact, EnvFingerprint};
 use mergepath::telemetry::TimelineRecorder;
 use mergepath_serve::{
-    replay, NoRecorder, Outcome, ReplayConfig, ReplayOutcome, Request, ServeConfig, ServeStats,
-    Server, ServiceModel,
+    replay, NoProbe, NoRecorder, ObserverConfig, Outcome, ReplayConfig, ReplayOutcome, Request,
+    RoundGaugeRecorder, ServeConfig, ServeObserver, ServeProbe, ServeStats, Server, ServiceModel,
+    Waterfall,
 };
-use mergepath_telemetry::now_ns;
+use mergepath_telemetry::{now_ns, LatencyHistogram};
 use mergepath_workloads::{
     arrival_plan, merge_pair_sized, ArrivalPattern, PlanConfig, RequestSpec,
 };
@@ -147,11 +151,12 @@ struct LiveRun {
 /// Plays `prepared` through a live daemon under `cfg`, pacing submissions
 /// along the plan's arrival timestamps. Every completed response is
 /// compared byte-for-byte against the sequential oracle.
-fn live_run<R>(prepared: &[PreparedRequest], cfg: ServeConfig, rec: R) -> LiveRun
+fn live_run<R, P>(prepared: &[PreparedRequest], cfg: ServeConfig, rec: R, probe: P) -> LiveRun
 where
     R: mergepath_serve::Recorder + Send + Sync + 'static,
+    P: ServeProbe + Send + Sync + 'static,
 {
-    let server: Server<u32, R> = Server::start(cfg, rec);
+    let server: Server<u32, R, P> = Server::start_with_probe(cfg, rec, probe);
     let t0 = now_ns();
     let mut handles = Vec::with_capacity(prepared.len());
     for p in prepared {
@@ -335,6 +340,7 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchArtifacts {
                     worker_budget: cfg.worker_budget,
                 },
                 NoRecorder,
+                NoProbe,
             );
             assert_eq!(
                 live.stats.lost(),
@@ -400,14 +406,48 @@ pub struct ServeRunConfig {
     pub worker_budget: usize,
     /// Plan seed.
     pub seed: u64,
+    /// When set, the live metrics directory: periodic Prometheus-text +
+    /// JSONL snapshots, the `METRICS_serve.json` envelope, and anomaly
+    /// flight dumps are written under it.
+    pub metrics_out: Option<String>,
+}
+
+/// How often the live snapshot thread rewrites `metrics.prom` and appends
+/// to `metrics.jsonl` while the run is in flight.
+const SNAPSHOT_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// Writes one snapshot tick: `metrics.prom` is rewritten in place (the
+/// scrape-style file), `metrics.jsonl` gets one appended line (the
+/// history). Diagnostics never fail the run — errors are swallowed.
+fn write_snapshot_tick(dir: &std::path::Path, obs: &ServeObserver) {
+    let snap = obs.snapshot();
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join("metrics.prom"), snap.to_prometheus());
+    let mut line = snap.to_json();
+    line.push('\n');
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("metrics.jsonl"))
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
 }
 
 /// Runs one live daemon session (`mp serve`) with the
-/// [`TimelineRecorder`] attached and renders a stats + telemetry summary.
+/// [`TimelineRecorder`] attached and the live observability layer
+/// ([`ServeObserver`]) threaded through the request path, and renders a
+/// stats + waterfall-attribution + telemetry summary.
+///
+/// With `metrics_out` set, the observer also writes periodic snapshots
+/// and dump-on-anomaly flight recordings into that directory (see
+/// README §Live metrics).
 ///
 /// # Panics
-/// Panics if the run loses a request or a completed response differs from
-/// the sequential oracle.
+/// Panics if the run loses a request, a completed response differs from
+/// the sequential oracle, or the live metric counters fail to reconcile
+/// exactly with [`ServeStats`].
 pub fn run_serve(cfg: &ServeRunConfig) -> String {
     let plan = arrival_plan(&PlanConfig {
         pattern: cfg.pattern,
@@ -418,7 +458,29 @@ pub fn run_serve(cfg: &ServeRunConfig) -> String {
         seed: cfg.seed,
     });
     let prepared = prepare(&plan);
-    let rec = std::sync::Arc::new(TimelineRecorder::new());
+    let metrics_dir = cfg.metrics_out.as_ref().map(PathBuf::from);
+    let obs = Arc::new(ServeObserver::new(ObserverConfig {
+        dump_dir: metrics_dir.clone(),
+        ..ObserverConfig::default()
+    }));
+    let timeline = Arc::new(TimelineRecorder::new());
+    let rec = RoundGaugeRecorder::new(Arc::clone(&timeline), Arc::clone(&obs));
+
+    // Periodic exposition: a background thread snapshots the registry at
+    // a fixed cadence while the daemon serves. Snapshots never pause
+    // serving threads, so the cadence is a freshness knob, not a cost.
+    let stop = Arc::new(AtomicBool::new(false));
+    let snapshot_thread = metrics_dir.clone().map(|dir| {
+        let obs = Arc::clone(&obs);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(AtomicOrdering::Relaxed) {
+                write_snapshot_tick(&dir, &obs);
+                std::thread::sleep(SNAPSHOT_INTERVAL);
+            }
+        })
+    });
+
     let live = live_run(
         &prepared,
         ServeConfig {
@@ -426,14 +488,19 @@ pub fn run_serve(cfg: &ServeRunConfig) -> String {
             max_inflight: cfg.concurrency,
             worker_budget: cfg.worker_budget,
         },
-        std::sync::Arc::clone(&rec),
+        rec,
+        Arc::clone(&obs),
     );
+    stop.store(true, AtomicOrdering::Relaxed);
+    if let Some(t) = snapshot_thread {
+        let _ = t.join();
+    }
     assert_eq!(live.stats.lost(), 0, "live run lost requests");
     assert_eq!(
         live.correctness_failures, 0,
         "completed response differed from the oracle"
     );
-    let telemetry = std::sync::Arc::try_unwrap(rec)
+    let telemetry = Arc::try_unwrap(timeline)
         .ok()
         .expect("server released its recorder handle at shutdown")
         .finish();
@@ -493,7 +560,291 @@ pub fn run_serve(cfg: &ServeRunConfig) -> String {
         telemetry.spans.len(),
         counter("comparisons"),
     );
+
+    // Live counters must reconcile *exactly* with the daemon's own
+    // bookkeeping: both sides increment at the same points of the request
+    // path, so any drift is a bug in the observability layer.
+    let snap = obs.snapshot();
+    for (name, expected) in [
+        ("serve_submitted_total", s.submitted),
+        ("serve_completed_total", s.completed),
+        ("serve_rejected_queue_full_total", s.rejected_queue_full),
+        ("serve_rejected_deadline_total", s.rejected_deadline),
+        ("serve_failed_total", s.failed),
+    ] {
+        assert_eq!(
+            snap.counter(name),
+            Some(expected),
+            "{name} must reconcile exactly with ServeStats"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  metrics: counters reconcile exactly with stats  flight_events={} pool_rounds={}",
+        obs.flight().recorded(),
+        snap.counter("pool_rounds_total").unwrap_or(0),
+    );
+    out.push_str("  waterfall attribution (completed requests):\n");
+    for line in obs.attribution_table().lines() {
+        let _ = writeln!(out, "    {line}");
+    }
+
+    // Replay parity: the deterministic simulation of this exact plan and
+    // admission policy, printed beside the live counts. Replay numbers
+    // are a pure function of (seed, config); live ones are subject to
+    // real scheduling, so they bracket rather than equal the prediction.
+    let log = replay(
+        &plan,
+        &ReplayConfig {
+            queue_capacity: cfg.queue_capacity,
+            max_inflight: cfg.concurrency,
+        },
+        &REPLAY_SERVICE_MODEL,
+    );
+    let rcount = |o: ReplayOutcome| log.iter().filter(|e| e.outcome == o).count();
+    let _ = writeln!(
+        out,
+        "  replay parity: live completed={} rej_q={} rej_d={} | replay completed={} rej_q={} rej_d={} \
+         (model base={}ns per_item={}ns)",
+        s.completed,
+        s.rejected_queue_full,
+        s.rejected_deadline,
+        rcount(ReplayOutcome::Completed),
+        rcount(ReplayOutcome::RejectedQueueFull),
+        rcount(ReplayOutcome::RejectedDeadline),
+        REPLAY_SERVICE_MODEL.base_ns,
+        REPLAY_SERVICE_MODEL.per_item_ns,
+    );
+
+    let dumps = obs.dump_paths();
+    if !dumps.is_empty() {
+        let _ = writeln!(out, "  flight dumps ({}):", dumps.len());
+        for p in &dumps {
+            let _ = writeln!(out, "    {}", p.display());
+        }
+    }
+    if let Some(dir) = &metrics_dir {
+        write_snapshot_tick(dir, &obs);
+        let mut payload = String::from("{\"snapshot\":");
+        payload.push_str(&snap.to_json());
+        payload.push_str(",\"dumps\":[");
+        for (i, p) in dumps.iter().enumerate() {
+            if i > 0 {
+                payload.push(',');
+            }
+            mergepath::telemetry::json::write_str(&mut payload, &p.to_string_lossy());
+        }
+        payload.push_str("]}");
+        let env = EnvFingerprint::capture();
+        let doc = render_artifact("metrics_serve", &env, &payload)
+            .expect("metrics artifact must pass its own schema check");
+        let path = dir.join("METRICS_serve.json");
+        if std::fs::write(&path, doc).is_ok() {
+            let _ = writeln!(
+                out,
+                "  metrics written to {}: metrics.prom metrics.jsonl METRICS_serve.json",
+                dir.display()
+            );
+        }
+    }
     out
+}
+
+/// Observability overhead of one metrics-on vs metrics-off comparison
+/// (committed into `BENCH_telemetry.json` as the `serve_overhead`
+/// section; `cargo xtask verify-metrics` gates `overhead` at ≤ 3%).
+#[derive(Debug, Clone)]
+pub struct ServeOverhead {
+    /// Requests per repetition.
+    pub requests: usize,
+    /// Mean per-side input length.
+    pub mean_len: usize,
+    /// Interleaved repetitions per arm.
+    pub reps: usize,
+    /// Fastest wall time of the metrics-off arm, nanoseconds.
+    pub wall_off_ns: u64,
+    /// Fastest wall time of the metrics-on arm, nanoseconds.
+    pub wall_on_ns: u64,
+    /// p99 latency across all metrics-off repetitions, nanoseconds.
+    pub p99_off_ns: u64,
+    /// p99 latency across all metrics-on repetitions, nanoseconds.
+    pub p99_on_ns: u64,
+    /// Relative wall-time delta of the A/B arms (trimmed means,
+    /// `max(0, on/off − 1)`). Informational: on a shared machine this
+    /// carries several percent of scheduler noise either way.
+    pub wall_ratio: f64,
+    /// Deterministic cost of one completed request's full probe-hook
+    /// sequence (submit → enqueue → dequeue → start → complete),
+    /// nanoseconds, measured in a tight loop.
+    pub hook_ns_per_request: f64,
+    /// The gated overhead estimate: `hook_ns_per_request` divided by the
+    /// metrics-off per-request service time. Stable run-to-run, unlike
+    /// the wall ratio, so `cargo xtask verify-metrics` gates on this.
+    pub overhead: f64,
+}
+
+impl ServeOverhead {
+    /// Renders the JSON object embedded in `BENCH_telemetry.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"mean_len\":{},\"reps\":{},\"wall_off_ns\":{},\
+             \"wall_on_ns\":{},\"p99_off_ns\":{},\"p99_on_ns\":{},\
+             \"wall_ratio\":{},\"hook_ns_per_request\":{},\"overhead\":{}}}",
+            self.requests,
+            self.mean_len,
+            self.reps,
+            self.wall_off_ns,
+            self.wall_on_ns,
+            self.p99_off_ns,
+            self.p99_on_ns,
+            self.wall_ratio,
+            self.hook_ns_per_request,
+            self.overhead,
+        )
+    }
+}
+
+/// One unpaced batch run: submit everything at once, wait for everything,
+/// measure the wall. No pacing, no deadlines, capacity ≥ requests — the
+/// daemon is the only variable, so the off/on delta isolates probe cost.
+fn unpaced_run<P>(
+    prepared: &[PreparedRequest],
+    cfg: ServeConfig,
+    probe: P,
+) -> (u64, LatencyHistogram)
+where
+    P: ServeProbe + Send + Sync + 'static,
+{
+    let server: Server<u32, NoRecorder, P> = Server::start_with_probe(cfg, NoRecorder, probe);
+    let t0 = now_ns();
+    let mut handles = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        if let Ok(h) = server.submit(Request::merge(p.spec.id as u64, p.a.clone(), p.b.clone())) {
+            handles.push(h);
+        }
+    }
+    for h in handles {
+        let _ = h.wait();
+    }
+    let wall = now_ns().saturating_sub(t0);
+    (wall, server.shutdown().latency)
+}
+
+/// Measures the observability layer's cost two ways.
+///
+/// **A/B walls** (`wall_ratio`): interleaved metrics-off / metrics-on
+/// repetitions of the same unpaced batch, order-alternated so cache and
+/// frequency state never systematically favors one arm, compared by
+/// trimmed means (the [20%, 60%) band of each arm's sorted walls).
+/// Honest but noisy: on a shared machine the delta carries several
+/// percent of scheduler noise either way, so it is reported, not gated.
+///
+/// **Hook microbench** (`overhead`, the gated number): the full probe
+/// sequence of one completed request — submit, enqueue, dequeue, start,
+/// complete — timed over 100k tight-loop iterations and divided by the
+/// metrics-off per-request service time. Deterministic run-to-run, and
+/// it moves exactly when the hot path regresses (a new lock, an
+/// allocation, an extra histogram), which is what the 3% budget in
+/// `cargo xtask verify-metrics` is protecting.
+pub fn measure_serve_overhead(
+    requests: usize,
+    mean_len: usize,
+    reps: usize,
+    worker_budget: usize,
+    seed: u64,
+) -> ServeOverhead {
+    let plan = arrival_plan(&PlanConfig {
+        pattern: ArrivalPattern::Steady,
+        requests,
+        mean_gap_ns: 1,
+        deadline_ns: 0,
+        mean_len,
+        seed,
+    });
+    let prepared = prepare(&plan);
+    let cfg = ServeConfig {
+        queue_capacity: requests.max(1),
+        max_inflight: 4,
+        worker_budget,
+    };
+    let reps = reps.max(21);
+    // One observer shared across reps, and one untimed warm-up pair first:
+    // a fresh registry and flight ring are page-faulted on first touch, a
+    // one-time cost that would otherwise be billed to the first timed
+    // metrics-on window and read as per-request overhead.
+    let obs = Arc::new(ServeObserver::new(ObserverConfig::default()));
+    let _ = unpaced_run(&prepared, cfg, NoProbe);
+    let _ = unpaced_run(&prepared, cfg, Arc::clone(&obs));
+    let mut walls_off = Vec::with_capacity(reps);
+    let mut walls_on = Vec::with_capacity(reps);
+    let mut lat_off = LatencyHistogram::new();
+    let mut lat_on = LatencyHistogram::new();
+    for i in 0..reps {
+        // Alternate which arm runs first so cache and frequency state left
+        // by the previous run never systematically favors one arm.
+        let first_off = i % 2 == 0;
+        for leg in 0..2 {
+            if (leg == 0) == first_off {
+                let (w, h) = unpaced_run(&prepared, cfg, NoProbe);
+                walls_off.push(w);
+                lat_off.merge_from(&h);
+            } else {
+                let (w, h) = unpaced_run(&prepared, cfg, Arc::clone(&obs));
+                walls_on.push(w);
+                lat_on.merge_from(&h);
+            }
+        }
+    }
+    // Location estimate per arm: the mean of the [20%, 60%) band of its
+    // sorted walls. Scheduler bursts inflate the slow tail and cache
+    // luck produces stray fast outliers; trimming both ends — the same
+    // band on both arms — compares typical runs against typical runs.
+    let trimmed_mean = |v: &mut Vec<u64>| -> f64 {
+        v.sort_unstable();
+        let band = &v[v.len() / 5..(v.len() * 3 / 5).max(v.len() / 5 + 1)];
+        band.iter().sum::<u64>() as f64 / band.len() as f64
+    };
+    let mean_off = trimmed_mean(&mut walls_off);
+    let mean_on = trimmed_mean(&mut walls_on);
+    let wall_ratio = (mean_on / mean_off.max(1.0) - 1.0).max(0.0);
+    let wall_off_ns = walls_off[0];
+    let wall_on_ns = walls_on[0];
+
+    // The gated estimate: time the full hook sequence of one completed
+    // request in a tight loop (deterministic to a few percent of itself,
+    // where the A/B wall delta above carries a few percent of the whole
+    // wall in scheduler noise) and compare against the metrics-off
+    // per-request service time.
+    let wf = Waterfall {
+        queue_ns: 10_000,
+        dispatch_ns: 1_000,
+        compute_ns: 100_000,
+        emit_ns: 1_000,
+    };
+    const HOOK_REPS: u64 = 100_000;
+    let t0 = now_ns();
+    for i in 0..HOOK_REPS {
+        obs.on_submit(i, i, 0);
+        obs.on_enqueue(i, 1);
+        obs.on_dequeue(i, i + 1, i, 0);
+        obs.on_start(i, i + 2, 1, 1);
+        obs.on_complete(i, i + 3, 0, &wf);
+    }
+    let hook_ns_per_request = now_ns().saturating_sub(t0) as f64 / HOOK_REPS as f64;
+    let service_ns = mean_off / requests.max(1) as f64;
+    let overhead = hook_ns_per_request / service_ns.max(1.0);
+    ServeOverhead {
+        requests,
+        mean_len,
+        reps,
+        wall_off_ns,
+        wall_on_ns,
+        p99_off_ns: lat_off.percentile(0.99),
+        p99_on_ns: lat_on.percentile(0.99),
+        wall_ratio,
+        hook_ns_per_request,
+        overhead,
+    }
 }
 
 #[cfg(test)]
@@ -600,10 +951,91 @@ mod tests {
             mean_len: 512,
             worker_budget: 2,
             seed: 3,
+            metrics_out: None,
         });
         assert!(out.contains("submitted=16"));
         assert!(out.contains("lost=0"));
         assert!(out.contains("serve_completed=16"));
         assert!(out.contains("latency: p50="));
+        assert!(out.contains("counters reconcile exactly"));
+        assert!(out.contains("waterfall attribution"));
+        assert!(out.contains("compute"));
+        assert!(out.contains("replay parity:"));
+    }
+
+    #[test]
+    fn run_serve_with_metrics_out_writes_snapshots_and_anomaly_dump() {
+        let dir = mergepath_serve::observe::test_scratch_dir("run-serve");
+        // A 1ns relative deadline has always expired by dequeue time, so
+        // the first dequeue deterministically triggers the deadline-miss
+        // flight dump.
+        let out = run_serve(&ServeRunConfig {
+            requests: 24,
+            concurrency: 2,
+            queue_capacity: 24,
+            deadline_ns: 1,
+            pattern: ArrivalPattern::Bursty,
+            mean_len: 256,
+            worker_budget: 2,
+            seed: 5,
+            metrics_out: Some(dir.to_string_lossy().into_owned()),
+        });
+        assert!(out.contains("flight dumps"));
+        assert!(out.contains("deadline_miss"));
+        assert!(out.contains("metrics written to"));
+
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom");
+        assert!(prom.contains("serve_submitted_total 24"));
+        assert!(prom.contains("# TYPE serve_latency_ns summary"));
+
+        let jsonl = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("metrics.jsonl");
+        let last = jsonl.lines().last().expect("≥1 snapshot line");
+        let snap = mergepath::telemetry::json::parse(last).expect("snapshot parses");
+        assert_eq!(
+            snap.get("type").and_then(|v| v.as_str()),
+            Some("metrics_snapshot")
+        );
+
+        let envelope =
+            std::fs::read_to_string(dir.join("METRICS_serve.json")).expect("METRICS_serve.json");
+        let doc = check_artifact(&envelope, "metrics_serve").expect("metrics envelope");
+        let payload = doc.get("payload").expect("payload");
+        assert_eq!(
+            payload
+                .get("snapshot")
+                .and_then(|s| s.get("counters"))
+                .and_then(|c| c.get("serve_submitted_total"))
+                .and_then(Value::as_f64),
+            Some(24.0)
+        );
+        let dumps = payload
+            .get("dumps")
+            .and_then(Value::as_array)
+            .expect("dumps array");
+        assert!(!dumps.is_empty(), "deadline miss must have dumped");
+        let dump_path = dumps[0].as_str().expect("dump path string");
+        let dump = std::fs::read_to_string(dump_path).expect("dump readable");
+        let header = mergepath::telemetry::json::parse(dump.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("trigger").and_then(|v| v.as_str()),
+            Some("deadline_miss")
+        );
+        mergepath_serve::observe::remove_scratch_dir(&dir);
+    }
+
+    #[test]
+    fn overhead_measurement_produces_sane_numbers() {
+        let o = measure_serve_overhead(16, 256, 3, 2, 11);
+        assert_eq!(o.requests, 16);
+        assert_eq!(o.reps, 21, "rep count is floored for a stable trimmed mean");
+        assert!(o.wall_off_ns > 0 && o.wall_on_ns > 0);
+        assert!(o.p99_off_ns > 0 && o.p99_on_ns > 0);
+        assert!(o.hook_ns_per_request > 0.0, "the hook loop was timed");
+        assert!(o.wall_ratio >= 0.0);
+        assert!(o.overhead > 0.0, "hook cost over service time is never 0");
+        let parsed = mergepath::telemetry::json::parse(&o.to_json()).expect("overhead json");
+        for key in ["overhead", "wall_ratio", "hook_ns_per_request"] {
+            assert!(parsed.get(key).and_then(Value::as_f64).is_some(), "{key}");
+        }
     }
 }

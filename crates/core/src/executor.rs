@@ -548,6 +548,14 @@ impl Pool {
     /// [`Pool::run`]'s nested / single-thread / locked-round dispatch while
     /// reporting round begin/end and the round-mutex wait. `job` is
     /// expected to report its own share windows.
+    ///
+    /// These round-level callbacks are the executor's only contribution to
+    /// the live observability layer (DESIGN.md §12): when the serving
+    /// daemon wraps its recorder in a `RoundGaugeRecorder`
+    /// (`mergepath-serve::observe`), every `round_begin`/`round_end` pair
+    /// seen here is teed into the `pool_rounds_active` gauge and
+    /// `pool_rounds_total` counter of the live registry — the executor
+    /// itself stays metrics-agnostic.
     fn run_observed<R: Recorder>(&self, rec: &R, shares: usize, job: &(dyn Fn(usize) + Sync)) {
         if IN_POOL_ROUND.with(|f| f.get()) {
             rec.round_begin(shares);

@@ -40,9 +40,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod observe;
 pub mod replay;
 mod server;
 
+pub use observe::{
+    AnomalyTrigger, NoProbe, ObserverConfig, RoundGaugeRecorder, ServeObserver, ServeProbe,
+};
 pub use replay::{replay, ReplayConfig, ReplayEntry, ReplayOutcome, ServiceModel};
 pub use server::{
     worker_share, Outcome, RejectReason, Request, RequestKind, ResponseHandle, ServeConfig,
@@ -52,5 +56,6 @@ pub use server::{
 // Re-exported so callers of the serving API need not name the telemetry
 // crate for the common cases.
 pub use mergepath_telemetry::{
-    CounterKind, LatencyHistogram, NoRecorder, Recorder, TimelineRecorder,
+    CounterKind, FlightEvent, FlightEventKind, FlightRecorder, LatencyHistogram, MetricsRegistry,
+    MetricsSnapshot, NoRecorder, Recorder, TimelineRecorder, Waterfall,
 };

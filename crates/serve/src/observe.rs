@@ -1,0 +1,799 @@
+//! Live observability for the daemon: the [`ServeProbe`] hook trait, its
+//! zero-cost [`NoProbe`] default, and [`ServeObserver`] — the production
+//! implementation bundling a [`MetricsRegistry`], per-stage waterfall
+//! histograms, and a dump-on-anomaly [`FlightRecorder`].
+//!
+//! The probe mirrors the kernel-side [`Recorder`] contract exactly:
+//! `Server` is generic over `P: ServeProbe`, every hook call site (and
+//! every timestamp read feeding one) is guarded by `P::ACTIVE`, and the
+//! default [`NoProbe`] is a ZST with `ACTIVE == false`, so the
+//! metrics-disabled daemon monomorphizes to the pre-observability code —
+//! byte-identical kernel output, no extra clock reads
+//! (`tests/metrics_invariants.rs` holds the hot path to zero allocation).
+//!
+//! Anomaly triggers (DESIGN.md §12): the observer dumps the flight ring
+//! as JSONL on the **first deadline miss**, on a **`QueueFull` burst**
+//! (a configurable number of synchronous rejections inside a sliding
+//! window), and on the **first contained request panic** — plus on
+//! demand. Dumps are rate-limited by a cooldown so a pathological burst
+//! cannot turn the recorder itself into an I/O storm.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mergepath_telemetry::{
+    now_ns, FlightEvent, FlightEventKind, FlightRecorder, MetricsRegistry, MetricsSnapshot,
+    Recorder, Waterfall,
+};
+
+/// Counter names registered by [`ServeObserver`], in index order.
+pub const COUNTER_NAMES: &[&str] = &[
+    "serve_submitted_total",
+    "serve_completed_total",
+    "serve_rejected_queue_full_total",
+    "serve_rejected_deadline_total",
+    "serve_failed_total",
+    "serve_flight_dumps_total",
+    "pool_rounds_total",
+];
+const C_SUBMITTED: usize = 0;
+const C_COMPLETED: usize = 1;
+const C_REJECTED_QUEUE_FULL: usize = 2;
+const C_REJECTED_DEADLINE: usize = 3;
+const C_FAILED: usize = 4;
+const C_FLIGHT_DUMPS: usize = 5;
+const C_POOL_ROUNDS: usize = 6;
+
+/// Gauge names registered by [`ServeObserver`], in index order.
+pub const GAUGE_NAMES: &[&str] = &[
+    "serve_queue_depth",
+    "serve_inflight",
+    "serve_queue_depth_peak",
+    "serve_inflight_peak",
+    "pool_rounds_active",
+];
+const G_QUEUE_DEPTH: usize = 0;
+const G_INFLIGHT: usize = 1;
+const G_QUEUE_DEPTH_PEAK: usize = 2;
+const G_INFLIGHT_PEAK: usize = 3;
+const G_POOL_ROUNDS_ACTIVE: usize = 4;
+
+/// Histogram names registered by [`ServeObserver`]: the four waterfall
+/// stages plus end-to-end latency, in index order.
+pub const HISTOGRAM_NAMES: &[&str] = &[
+    "serve_stage_queue_ns",
+    "serve_stage_dispatch_ns",
+    "serve_stage_compute_ns",
+    "serve_stage_emit_ns",
+    "serve_latency_ns",
+];
+const H_QUEUE: usize = 0;
+const H_DISPATCH: usize = 1;
+const H_COMPUTE: usize = 2;
+const H_EMIT: usize = 3;
+const H_LATENCY: usize = 4;
+
+/// Lifecycle hooks the [`Server`](crate::Server) request path reports
+/// into. All methods take `&self` and are called concurrently from the
+/// submitter and every serving thread; implementations must be cheap —
+/// they sit on the serving hot path.
+///
+/// Timestamps are on the shared [`now_ns`] clock, the same clock that
+/// judges deadlines, so a probe's waterfall arithmetic is always
+/// consistent with the daemon's verdicts.
+pub trait ServeProbe: Sync {
+    /// Compile-time activity flag; `false` only for [`NoProbe`]. Call
+    /// sites (and their timestamp reads) are guarded by this constant.
+    const ACTIVE: bool = true;
+
+    /// A request was offered to `submit` (admitted or not).
+    fn on_submit(&self, id: u64, t_ns: u64, deadline_ns: u64) {
+        let _ = (id, t_ns, deadline_ns);
+    }
+
+    /// The request was admitted; the queue is now `depth` deep.
+    fn on_enqueue(&self, id: u64, depth: usize) {
+        let _ = (id, depth);
+    }
+
+    /// The request bounced synchronously off the full queue.
+    fn on_reject_queue_full(&self, id: u64, t_ns: u64, capacity: usize) {
+        let _ = (id, t_ns, capacity);
+    }
+
+    /// A serving thread popped the request; `depth` is the queue depth
+    /// after the pop.
+    fn on_dequeue(&self, id: u64, t_ns: u64, submit_ns: u64, depth: usize) {
+        let _ = (id, t_ns, submit_ns, depth);
+    }
+
+    /// The request's deadline had expired by dequeue time.
+    fn on_reject_deadline(&self, id: u64, t_ns: u64, deadline_ns: u64) {
+        let _ = (id, t_ns, deadline_ns);
+    }
+
+    /// Kernel execution began with `share` logical workers; `inflight`
+    /// counts this request.
+    fn on_start(&self, id: u64, t_ns: u64, share: usize, inflight: usize) {
+        let _ = (id, t_ns, share, inflight);
+    }
+
+    /// The request resolved successfully; `inflight` no longer counts it.
+    fn on_complete(&self, id: u64, t_ns: u64, inflight: usize, waterfall: &Waterfall) {
+        let _ = (id, t_ns, inflight, waterfall);
+    }
+
+    /// The request's kernel panicked (contained); `inflight` no longer
+    /// counts it.
+    fn on_fail(&self, id: u64, t_ns: u64, inflight: usize) {
+        let _ = (id, t_ns, inflight);
+    }
+}
+
+/// The zero-cost default probe: a ZST with `ACTIVE = false`. The
+/// `Server<T, R, NoProbe>` instantiation is the pre-observability daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl ServeProbe for NoProbe {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn on_submit(&self, _id: u64, _t_ns: u64, _deadline_ns: u64) {}
+    #[inline(always)]
+    fn on_enqueue(&self, _id: u64, _depth: usize) {}
+    #[inline(always)]
+    fn on_reject_queue_full(&self, _id: u64, _t_ns: u64, _capacity: usize) {}
+    #[inline(always)]
+    fn on_dequeue(&self, _id: u64, _t_ns: u64, _submit_ns: u64, _depth: usize) {}
+    #[inline(always)]
+    fn on_reject_deadline(&self, _id: u64, _t_ns: u64, _deadline_ns: u64) {}
+    #[inline(always)]
+    fn on_start(&self, _id: u64, _t_ns: u64, _share: usize, _inflight: usize) {}
+    #[inline(always)]
+    fn on_complete(&self, _id: u64, _t_ns: u64, _inflight: usize, _waterfall: &Waterfall) {}
+    #[inline(always)]
+    fn on_fail(&self, _id: u64, _t_ns: u64, _inflight: usize) {}
+}
+
+/// Shared ownership delegates, mirroring the `Recorder` blanket impl: the
+/// daemon holds an `Arc<ServeObserver>` while the caller keeps another
+/// handle to snapshot and dump from outside.
+impl<P: ServeProbe + Send + Sync> ServeProbe for Arc<P> {
+    const ACTIVE: bool = P::ACTIVE;
+
+    #[inline(always)]
+    fn on_submit(&self, id: u64, t_ns: u64, deadline_ns: u64) {
+        P::on_submit(self, id, t_ns, deadline_ns);
+    }
+    #[inline(always)]
+    fn on_enqueue(&self, id: u64, depth: usize) {
+        P::on_enqueue(self, id, depth);
+    }
+    #[inline(always)]
+    fn on_reject_queue_full(&self, id: u64, t_ns: u64, capacity: usize) {
+        P::on_reject_queue_full(self, id, t_ns, capacity);
+    }
+    #[inline(always)]
+    fn on_dequeue(&self, id: u64, t_ns: u64, submit_ns: u64, depth: usize) {
+        P::on_dequeue(self, id, t_ns, submit_ns, depth);
+    }
+    #[inline(always)]
+    fn on_reject_deadline(&self, id: u64, t_ns: u64, deadline_ns: u64) {
+        P::on_reject_deadline(self, id, t_ns, deadline_ns);
+    }
+    #[inline(always)]
+    fn on_start(&self, id: u64, t_ns: u64, share: usize, inflight: usize) {
+        P::on_start(self, id, t_ns, share, inflight);
+    }
+    #[inline(always)]
+    fn on_complete(&self, id: u64, t_ns: u64, inflight: usize, waterfall: &Waterfall) {
+        P::on_complete(self, id, t_ns, inflight, waterfall);
+    }
+    #[inline(always)]
+    fn on_fail(&self, id: u64, t_ns: u64, inflight: usize) {
+        P::on_fail(self, id, t_ns, inflight);
+    }
+}
+
+/// Why a flight dump was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyTrigger {
+    /// First request whose deadline expired while it waited.
+    DeadlineMiss,
+    /// [`ObserverConfig::queue_full_burst`] synchronous rejections inside
+    /// one [`ObserverConfig::queue_full_window_ns`] window.
+    QueueFullBurst,
+    /// First contained request panic.
+    Panic,
+    /// Explicit [`ServeObserver::dump_on_demand`] call.
+    OnDemand,
+}
+
+impl AnomalyTrigger {
+    /// Stable name, used in dump filenames and headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyTrigger::DeadlineMiss => "deadline_miss",
+            AnomalyTrigger::QueueFullBurst => "queue_full_burst",
+            AnomalyTrigger::Panic => "panic",
+            AnomalyTrigger::OnDemand => "on_demand",
+        }
+    }
+}
+
+/// Sizing and trigger thresholds for a [`ServeObserver`].
+#[derive(Debug, Clone)]
+pub struct ObserverConfig {
+    /// Flight-recorder ring capacity (events retained).
+    pub flight_capacity: usize,
+    /// Where anomaly dumps are written; `None` records anomalies in the
+    /// counters but writes nothing.
+    pub dump_dir: Option<PathBuf>,
+    /// `QueueFull` rejections within the window that constitute a burst.
+    pub queue_full_burst: u64,
+    /// The burst-detection window, nanoseconds.
+    pub queue_full_window_ns: u64,
+    /// Minimum spacing between burst-triggered dumps, nanoseconds
+    /// (first-deadline-miss and first-panic dumps fire exactly once and
+    /// ignore the cooldown).
+    pub dump_cooldown_ns: u64,
+}
+
+impl Default for ObserverConfig {
+    fn default() -> Self {
+        ObserverConfig {
+            flight_capacity: 1024,
+            dump_dir: None,
+            queue_full_burst: 8,
+            queue_full_window_ns: 1_000_000_000,
+            dump_cooldown_ns: 1_000_000_000,
+        }
+    }
+}
+
+/// The production [`ServeProbe`]: live counters/gauges, per-stage
+/// waterfall histograms, and the dump-on-anomaly flight recorder.
+///
+/// All hook paths are allocation-free (registry cells and flight slots
+/// are preallocated); only an actual anomaly dump touches the filesystem.
+/// The observer's counters reconcile **exactly** with
+/// [`ServeStats`](crate::ServeStats) after shutdown — both are
+/// incremented at the same points of the request path — which
+/// `mp serve` asserts on every run.
+pub struct ServeObserver {
+    cfg: ObserverConfig,
+    registry: MetricsRegistry,
+    flight: FlightRecorder,
+    dumped_deadline: AtomicBool,
+    dumped_panic: AtomicBool,
+    burst_window_start: AtomicU64,
+    burst_window_count: AtomicU64,
+    last_burst_dump_ns: AtomicU64,
+    dump_seq: AtomicU64,
+    dumps: Mutex<Vec<PathBuf>>,
+}
+
+impl ServeObserver {
+    /// Builds an observer; all metric and flight storage is allocated
+    /// here.
+    pub fn new(cfg: ObserverConfig) -> Self {
+        ServeObserver {
+            registry: MetricsRegistry::new(COUNTER_NAMES, GAUGE_NAMES, HISTOGRAM_NAMES),
+            flight: FlightRecorder::new(cfg.flight_capacity),
+            cfg,
+            dumped_deadline: AtomicBool::new(false),
+            dumped_panic: AtomicBool::new(false),
+            burst_window_start: AtomicU64::new(0),
+            burst_window_count: AtomicU64::new(0),
+            last_burst_dump_ns: AtomicU64::new(0),
+            dump_seq: AtomicU64::new(0),
+            dumps: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying registry (for direct reads in tests and tools).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The underlying flight ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Snapshots every metric at this instant without pausing writers.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot(now_ns())
+    }
+
+    /// Bumps the pool-round counters (wired from the executor's
+    /// round-level callbacks via [`RoundGaugeRecorder`]).
+    pub fn round_started(&self) {
+        self.registry.counter_add(C_POOL_ROUNDS, 1);
+        self.registry.gauge_add(G_POOL_ROUNDS_ACTIVE, 1);
+    }
+
+    /// Closes one pool round.
+    pub fn round_finished(&self) {
+        self.registry.gauge_sub(G_POOL_ROUNDS_ACTIVE, 1);
+    }
+
+    /// Renders the p99 waterfall attribution table from the stage
+    /// histograms accumulated so far.
+    pub fn attribution_table(&self) -> String {
+        let queue = self.registry.histogram_value(H_QUEUE);
+        let dispatch = self.registry.histogram_value(H_DISPATCH);
+        let compute = self.registry.histogram_value(H_COMPUTE);
+        let emit = self.registry.histogram_value(H_EMIT);
+        let total = self.registry.histogram_value(H_LATENCY);
+        mergepath_telemetry::waterfall::render_attribution(
+            &[
+                ("queue", &queue),
+                ("dispatch", &dispatch),
+                ("compute", &compute),
+                ("emit", &emit),
+            ],
+            &total,
+        )
+    }
+
+    /// Paths of every dump written so far, in write order.
+    pub fn dump_paths(&self) -> Vec<PathBuf> {
+        self.dumps.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Writes a flight dump right now, regardless of anomaly state.
+    pub fn dump_on_demand(&self) -> Option<PathBuf> {
+        self.write_dump(AnomalyTrigger::OnDemand)
+    }
+
+    /// Serializes the current ring (plus a header line) to
+    /// `<dump_dir>/flight-<seq>-<trigger>.jsonl`. Returns `None` when no
+    /// dump directory is configured or the write fails — the daemon never
+    /// fails a request over a diagnostics problem.
+    fn write_dump(&self, trigger: AnomalyTrigger) -> Option<PathBuf> {
+        let dir = self.cfg.dump_dir.as_ref()?;
+        let seq = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let body = self.render_dump(trigger, seq);
+        let path = dir.join(format!("flight-{seq:03}-{}.jsonl", trigger.name()));
+        std::fs::create_dir_all(dir).ok()?;
+        std::fs::write(&path, body).ok()?;
+        self.registry.counter_add(C_FLIGHT_DUMPS, 1);
+        self.dumps
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(path.clone());
+        Some(path)
+    }
+
+    /// The dump text: a `flight_dump` header line (trigger, time, counter
+    /// context) followed by one `flight_event` line per retained event,
+    /// oldest first.
+    pub fn render_dump(&self, trigger: AnomalyTrigger, seq: u64) -> String {
+        use mergepath_telemetry::json::{write_f64, write_str};
+        let events = self.flight.snapshot();
+        let mut out = String::from("{\"type\":\"flight_dump\",\"trigger\":");
+        write_str(&mut out, trigger.name());
+        out.push_str(",\"seq\":");
+        write_f64(&mut out, seq as f64);
+        out.push_str(",\"t_ns\":");
+        write_f64(&mut out, now_ns() as f64);
+        out.push_str(",\"events\":");
+        write_f64(&mut out, events.len() as f64);
+        out.push_str(",\"counters\":{");
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push(':');
+            write_f64(&mut out, self.registry.counter_value(i) as f64);
+        }
+        out.push_str("}}\n");
+        out.push_str(&FlightRecorder::to_jsonl(&events));
+        out
+    }
+
+    fn note_queue_full(&self, t_ns: u64) {
+        let start = self.burst_window_start.load(Ordering::Relaxed);
+        if t_ns.saturating_sub(start) > self.cfg.queue_full_window_ns {
+            // Window elapsed: whoever wins the race opens a fresh one.
+            if self
+                .burst_window_start
+                .compare_exchange(start, t_ns, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.burst_window_count.store(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let count = self.burst_window_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if count == self.cfg.queue_full_burst {
+            let last = self.last_burst_dump_ns.load(Ordering::Relaxed);
+            let cooled = last == 0 || t_ns.saturating_sub(last) >= self.cfg.dump_cooldown_ns;
+            if cooled
+                && self
+                    .last_burst_dump_ns
+                    .compare_exchange(last, t_ns.max(1), Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.write_dump(AnomalyTrigger::QueueFullBurst);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeObserver")
+            .field("flight", &self.flight)
+            .field("dumps", &self.dump_paths().len())
+            .finish()
+    }
+}
+
+impl ServeProbe for ServeObserver {
+    fn on_submit(&self, id: u64, t_ns: u64, deadline_ns: u64) {
+        self.registry.counter_add(C_SUBMITTED, 1);
+        self.flight.record(FlightEvent {
+            seq: 0,
+            t_ns,
+            request_id: id,
+            kind: FlightEventKind::Submit,
+            arg0: deadline_ns,
+            arg1: 0,
+        });
+    }
+
+    fn on_enqueue(&self, _id: u64, depth: usize) {
+        self.registry.gauge_set(G_QUEUE_DEPTH, depth as u64);
+        self.registry.gauge_max(G_QUEUE_DEPTH_PEAK, depth as u64);
+    }
+
+    fn on_reject_queue_full(&self, id: u64, t_ns: u64, capacity: usize) {
+        self.registry.counter_add(C_REJECTED_QUEUE_FULL, 1);
+        self.flight.record(FlightEvent {
+            seq: 0,
+            t_ns,
+            request_id: id,
+            kind: FlightEventKind::RejectQueueFull,
+            arg0: capacity as u64,
+            arg1: 0,
+        });
+        self.note_queue_full(t_ns);
+    }
+
+    fn on_dequeue(&self, id: u64, t_ns: u64, submit_ns: u64, depth: usize) {
+        self.registry.gauge_set(G_QUEUE_DEPTH, depth as u64);
+        self.flight.record(FlightEvent {
+            seq: 0,
+            t_ns,
+            request_id: id,
+            kind: FlightEventKind::Dequeue,
+            arg0: submit_ns,
+            arg1: depth as u64,
+        });
+    }
+
+    fn on_reject_deadline(&self, id: u64, t_ns: u64, deadline_ns: u64) {
+        self.registry.counter_add(C_REJECTED_DEADLINE, 1);
+        self.flight.record(FlightEvent {
+            seq: 0,
+            t_ns,
+            request_id: id,
+            kind: FlightEventKind::RejectDeadline,
+            arg0: deadline_ns,
+            arg1: t_ns.saturating_sub(deadline_ns),
+        });
+        if !self.dumped_deadline.swap(true, Ordering::Relaxed) {
+            self.write_dump(AnomalyTrigger::DeadlineMiss);
+        }
+    }
+
+    fn on_start(&self, id: u64, t_ns: u64, share: usize, inflight: usize) {
+        self.registry.gauge_set(G_INFLIGHT, inflight as u64);
+        self.registry.gauge_max(G_INFLIGHT_PEAK, inflight as u64);
+        self.flight.record(FlightEvent {
+            seq: 0,
+            t_ns,
+            request_id: id,
+            kind: FlightEventKind::Start,
+            arg0: share as u64,
+            arg1: inflight as u64,
+        });
+    }
+
+    fn on_complete(&self, id: u64, t_ns: u64, inflight: usize, waterfall: &Waterfall) {
+        self.registry.counter_add(C_COMPLETED, 1);
+        self.registry.gauge_set(G_INFLIGHT, inflight as u64);
+        // One lock round-trip for all five series (shard-major layout).
+        self.registry.histogram_record_many(&[
+            (H_QUEUE, waterfall.queue_ns),
+            (H_DISPATCH, waterfall.dispatch_ns),
+            (H_COMPUTE, waterfall.compute_ns),
+            (H_EMIT, waterfall.emit_ns),
+            (H_LATENCY, waterfall.total_ns()),
+        ]);
+        self.flight.record(FlightEvent {
+            seq: 0,
+            t_ns,
+            request_id: id,
+            kind: FlightEventKind::Complete,
+            arg0: waterfall.total_ns(),
+            arg1: waterfall.compute_ns,
+        });
+    }
+
+    fn on_fail(&self, id: u64, t_ns: u64, inflight: usize) {
+        self.registry.counter_add(C_FAILED, 1);
+        self.registry.gauge_set(G_INFLIGHT, inflight as u64);
+        self.flight.record(FlightEvent {
+            seq: 0,
+            t_ns,
+            request_id: id,
+            kind: FlightEventKind::Fail,
+            arg0: 0,
+            arg1: 0,
+        });
+        if !self.dumped_panic.swap(true, Ordering::Relaxed) {
+            self.write_dump(AnomalyTrigger::Panic);
+        }
+    }
+}
+
+/// A [`Recorder`] adapter that forwards everything to `inner` and
+/// additionally feeds the executor's **round-level** callbacks into the
+/// observer's pool gauges (`pool_rounds_total`, `pool_rounds_active`), so
+/// the live snapshot shows whether the daemon is currently data-parallel
+/// (pool rounds active at low concurrency) or request-parallel (share = 1,
+/// no rounds at saturation).
+pub struct RoundGaugeRecorder<R> {
+    inner: R,
+    observer: Arc<ServeObserver>,
+}
+
+impl<R: Recorder + Send + Sync> RoundGaugeRecorder<R> {
+    /// Wraps `inner`, teeing round events into `observer`'s gauges.
+    pub fn new(inner: R, observer: Arc<ServeObserver>) -> Self {
+        RoundGaugeRecorder { inner, observer }
+    }
+
+    /// Unwraps the inner recorder (to `finish()` a timeline afterwards).
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Recorder + Send + Sync> Recorder for RoundGaugeRecorder<R> {
+    // Round hooks must fire even when the inner recorder is inactive;
+    // kernel-span call sites still reach the inner `R` through delegation
+    // (a `NoRecorder` inner simply ignores them).
+    const ACTIVE: bool = true;
+
+    #[inline(always)]
+    fn span_begin(&self, worker: usize, kind: mergepath_telemetry::SpanKind) {
+        self.inner.span_begin(worker, kind);
+    }
+    #[inline(always)]
+    fn span_end(&self, worker: usize, kind: mergepath_telemetry::SpanKind) {
+        self.inner.span_end(worker, kind);
+    }
+    #[inline(always)]
+    fn counter_add(&self, worker: usize, kind: mergepath_telemetry::CounterKind, delta: u64) {
+        self.inner.counter_add(worker, kind, delta);
+    }
+    #[inline(always)]
+    fn worker_items(&self, worker: usize, items: u64) {
+        self.inner.worker_items(worker, items);
+    }
+    #[inline(always)]
+    fn round_begin(&self, shares: usize) {
+        self.observer.round_started();
+        self.inner.round_begin(shares);
+    }
+    #[inline(always)]
+    fn round_end(&self) {
+        self.inner.round_end();
+        self.observer.round_finished();
+    }
+    #[inline(always)]
+    fn round_wait_ns(&self, ns: u64) {
+        self.inner.round_wait_ns(ns);
+    }
+    #[inline(always)]
+    fn share_window(&self, tid: usize, share: usize, start_ns: u64, end_ns: u64) {
+        self.inner.share_window(tid, share, start_ns, end_ns);
+    }
+}
+
+/// Creates a uniquely named scratch directory for tests.
+#[doc(hidden)]
+pub fn test_scratch_dir(tag: &str) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let n = NONCE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "mp-observe-{tag}-{}-{n}-{}",
+        std::process::id(),
+        now_ns()
+    ))
+}
+
+#[doc(hidden)]
+pub fn remove_scratch_dir(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_probe_is_zero_sized_and_inactive() {
+        assert_eq!(core::mem::size_of::<NoProbe>(), 0);
+        const { assert!(!NoProbe::ACTIVE) }
+        const { assert!(<Arc<ServeObserver> as ServeProbe>::ACTIVE) }
+    }
+
+    #[test]
+    fn hooks_drive_counters_gauges_and_histograms() {
+        let obs = ServeObserver::new(ObserverConfig::default());
+        obs.on_submit(1, 100, 0);
+        obs.on_enqueue(1, 3);
+        obs.on_dequeue(1, 200, 100, 2);
+        obs.on_start(1, 210, 4, 2);
+        let wf = Waterfall {
+            queue_ns: 100,
+            dispatch_ns: 10,
+            compute_ns: 500,
+            emit_ns: 5,
+        };
+        obs.on_complete(1, 815, 1, &wf);
+        obs.on_submit(2, 900, 0);
+        obs.on_reject_queue_full(2, 900, 64);
+        obs.on_fail(3, 1000, 0);
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("serve_submitted_total"), Some(2));
+        assert_eq!(snap.counter("serve_completed_total"), Some(1));
+        assert_eq!(snap.counter("serve_rejected_queue_full_total"), Some(1));
+        assert_eq!(snap.counter("serve_failed_total"), Some(1));
+        assert_eq!(snap.gauge("serve_queue_depth_peak"), Some(3));
+        assert_eq!(snap.gauge("serve_inflight_peak"), Some(2));
+        let lat = snap.histogram("serve_latency_ns").unwrap();
+        assert_eq!(lat.count(), 1);
+        assert_eq!(lat.sum(), wf.total_ns());
+        assert_eq!(
+            snap.histogram("serve_stage_compute_ns").map(|h| h.sum()),
+            Some(500)
+        );
+
+        let table = obs.attribution_table();
+        assert!(table.contains("compute"), "table: {table}");
+        // Flight ring saw every lifecycle event.
+        assert_eq!(obs.flight().recorded(), 7);
+    }
+
+    #[test]
+    fn first_deadline_miss_dumps_exactly_once() {
+        let dir = test_scratch_dir("deadline");
+        let obs = ServeObserver::new(ObserverConfig {
+            dump_dir: Some(dir.clone()),
+            ..ObserverConfig::default()
+        });
+        obs.on_submit(7, 50, 40);
+        obs.on_reject_deadline(7, 100, 40);
+        obs.on_reject_deadline(8, 200, 40);
+        let dumps = obs.dump_paths();
+        assert_eq!(dumps.len(), 1, "first miss dumps, second does not");
+        let name = dumps[0].file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("flight-000-deadline_miss"),
+            "dump name: {name}"
+        );
+        let text = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+        let mut lines = text.lines();
+        let header =
+            mergepath_telemetry::json::parse(lines.next().unwrap()).expect("header parses");
+        assert_eq!(
+            header.get("type").and_then(|v| v.as_str()),
+            Some("flight_dump")
+        );
+        assert_eq!(
+            header.get("trigger").and_then(|v| v.as_str()),
+            Some("deadline_miss")
+        );
+        // Body holds the submit and the offending rejection.
+        let kinds: Vec<String> = lines
+            .map(|l| {
+                mergepath_telemetry::json::parse(l)
+                    .unwrap()
+                    .get("kind")
+                    .and_then(|v| v.as_str())
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert!(kinds.contains(&"submit".to_string()));
+        assert!(kinds.contains(&"reject_deadline".to_string()));
+        assert_eq!(obs.snapshot().counter("serve_flight_dumps_total"), Some(1));
+        remove_scratch_dir(&dir);
+    }
+
+    #[test]
+    fn queue_full_burst_dump_respects_threshold_and_cooldown() {
+        let dir = test_scratch_dir("burst");
+        let obs = ServeObserver::new(ObserverConfig {
+            dump_dir: Some(dir.clone()),
+            queue_full_burst: 4,
+            queue_full_window_ns: 1_000,
+            dump_cooldown_ns: u64::MAX,
+            ..ObserverConfig::default()
+        });
+        // Three rejections inside the window: below threshold, no dump.
+        for (id, t) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            obs.on_reject_queue_full(id, t, 8);
+        }
+        assert!(obs.dump_paths().is_empty());
+        // Fourth inside the same window crosses the threshold.
+        obs.on_reject_queue_full(4, 40, 8);
+        assert_eq!(obs.dump_paths().len(), 1);
+        assert!(obs.dump_paths()[0]
+            .to_string_lossy()
+            .contains("queue_full_burst"));
+        // Another burst during the (infinite) cooldown stays silent.
+        for (id, t) in [(5u64, 50u64), (6, 60), (7, 70), (8, 80)] {
+            obs.on_reject_queue_full(id, t, 8);
+        }
+        assert_eq!(obs.dump_paths().len(), 1, "cooldown suppressed the dump");
+        remove_scratch_dir(&dir);
+    }
+
+    #[test]
+    fn panic_and_on_demand_dumps() {
+        let dir = test_scratch_dir("panic");
+        let obs = ServeObserver::new(ObserverConfig {
+            dump_dir: Some(dir.clone()),
+            ..ObserverConfig::default()
+        });
+        obs.on_fail(1, 10, 0);
+        obs.on_fail(2, 20, 0);
+        let on_demand = obs.dump_on_demand().expect("dump dir configured");
+        let dumps = obs.dump_paths();
+        assert_eq!(dumps.len(), 2, "one panic dump + one on-demand dump");
+        assert!(dumps[0].to_string_lossy().contains("panic"));
+        assert!(on_demand.to_string_lossy().contains("on_demand"));
+        remove_scratch_dir(&dir);
+    }
+
+    #[test]
+    fn no_dump_dir_means_no_io_but_counters_advance() {
+        let obs = ServeObserver::new(ObserverConfig::default());
+        obs.on_reject_deadline(1, 100, 50);
+        assert!(obs.dump_paths().is_empty());
+        assert_eq!(
+            obs.snapshot().counter("serve_rejected_deadline_total"),
+            Some(1)
+        );
+        assert_eq!(obs.snapshot().counter("serve_flight_dumps_total"), Some(0));
+    }
+
+    #[test]
+    fn round_gauge_recorder_tees_rounds_and_delegates() {
+        use mergepath_telemetry::TimelineRecorder;
+        let obs = Arc::new(ServeObserver::new(ObserverConfig::default()));
+        let rec = RoundGaugeRecorder::new(TimelineRecorder::new(), Arc::clone(&obs));
+        rec.round_begin(4);
+        assert_eq!(obs.snapshot().gauge("pool_rounds_active"), Some(1));
+        rec.span_begin(0, mergepath_telemetry::SpanKind::SegmentMerge);
+        rec.span_end(0, mergepath_telemetry::SpanKind::SegmentMerge);
+        rec.round_end();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("pool_rounds_total"), Some(1));
+        assert_eq!(snap.gauge("pool_rounds_active"), Some(0));
+        let t = rec.into_inner().finish();
+        assert_eq!(t.spans.len(), 1, "inner recorder still saw the span");
+        assert_eq!(t.rounds.len(), 1);
+    }
+}

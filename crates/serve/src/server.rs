@@ -10,7 +10,11 @@ use std::thread::JoinHandle;
 
 use mergepath::merge::parallel::parallel_merge_into_recorded;
 use mergepath::sort::parallel::parallel_merge_sort_recorded;
-use mergepath_telemetry::{now_ns, CounterKind, LatencyHistogram, OffsetRecorder, Recorder};
+use mergepath_telemetry::{
+    now_ns, CounterKind, LatencyHistogram, OffsetRecorder, Recorder, Waterfall,
+};
+
+use crate::observe::{NoProbe, ServeProbe};
 
 /// The logical worker shares one executing request receives when
 /// `inflight` requests share a pool budget of `budget` threads: the equal
@@ -116,6 +120,12 @@ pub enum Outcome<T> {
         output: Vec<T>,
         /// Submit-to-completion latency, nanoseconds.
         latency_ns: u64,
+        /// Per-stage latency attribution, measured on the same clock as
+        /// `latency_ns` when the server's [`ServeProbe`] is active
+        /// (all-zero under [`NoProbe`] — stage timestamps are never read
+        /// on the disabled path). When active, the stages partition the
+        /// wall time exactly: their sum equals `latency_ns`.
+        waterfall: Waterfall,
     },
     /// Rejected after admission (deadline expiry at dequeue). No output
     /// buffer was ever allocated or written.
@@ -230,6 +240,7 @@ impl<T> ResponseHandle<T> {
 
 /// An admitted request waiting in the queue.
 struct Ticket<T> {
+    id: u64,
     kind: RequestKind<T>,
     deadline_ns: u64,
     submit_ns: u64,
@@ -241,11 +252,12 @@ struct QueueState<T> {
     open: bool,
 }
 
-struct Inner<T, R> {
+struct Inner<T, R, P> {
     queue: Mutex<QueueState<T>>,
     cv: Condvar,
     cfg: ServeConfig,
     rec: R,
+    probe: P,
     inflight: AtomicUsize,
     inflight_peak: AtomicUsize,
     queue_depth_peak: AtomicUsize,
@@ -265,7 +277,9 @@ fn bump_peak(peak: &AtomicUsize, observed: usize) {
 ///
 /// `T` is the element type (`u32` for the CLI; tests use drop-tracked
 /// keys); `R` the telemetry recorder threaded into every kernel
-/// invocation.
+/// invocation; `P` the [`ServeProbe`] observing the request lifecycle
+/// (queue wait, dispatch, compute, emit). Both default to their zero-cost
+/// ZSTs, so `Server<T>` is the uninstrumented daemon.
 ///
 /// # Examples
 /// ```
@@ -283,22 +297,38 @@ fn bump_peak(peak: &AtomicUsize, observed: usize) {
 /// assert_eq!(stats.completed, 1);
 /// assert_eq!(stats.lost(), 0);
 /// ```
-pub struct Server<T, R = mergepath_telemetry::NoRecorder>
+pub struct Server<T, R = mergepath_telemetry::NoRecorder, P = NoProbe>
 where
     T: Ord + Clone + Default + Send + Sync + 'static,
     R: Recorder + Send + Sync + 'static,
+    P: ServeProbe + Send + Sync + 'static,
 {
-    inner: Arc<Inner<T, R>>,
+    inner: Arc<Inner<T, R, P>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl<T, R> Server<T, R>
+impl<T, R> Server<T, R, NoProbe>
 where
     T: Ord + Clone + Default + Send + Sync + 'static,
     R: Recorder + Send + Sync + 'static,
 {
-    /// Spawns the serving threads and returns the running daemon.
+    /// Spawns the serving threads and returns the running daemon with
+    /// live observability disabled (the zero-cost [`NoProbe`] path).
     pub fn start(cfg: ServeConfig, rec: R) -> Self {
+        Self::start_with_probe(cfg, rec, NoProbe)
+    }
+}
+
+impl<T, R, P> Server<T, R, P>
+where
+    T: Ord + Clone + Default + Send + Sync + 'static,
+    R: Recorder + Send + Sync + 'static,
+    P: ServeProbe + Send + Sync + 'static,
+{
+    /// Spawns the serving threads with `probe` observing every request's
+    /// lifecycle (typically an `Arc<ServeObserver>`, so the caller keeps
+    /// a handle to snapshot and dump while the daemon runs).
+    pub fn start_with_probe(cfg: ServeConfig, rec: R, probe: P) -> Self {
         assert!(cfg.queue_capacity > 0, "queue capacity must be at least 1");
         assert!(cfg.max_inflight > 0, "max_inflight must be at least 1");
         assert!(cfg.worker_budget > 0, "worker budget must be at least 1");
@@ -310,6 +340,7 @@ where
             cv: Condvar::new(),
             cfg,
             rec,
+            probe,
             inflight: AtomicUsize::new(0),
             inflight_peak: AtomicUsize::new(0),
             queue_depth_peak: AtomicUsize::new(0),
@@ -342,6 +373,10 @@ where
     pub fn submit(&self, req: Request<T>) -> Result<ResponseHandle<T>, RejectReason> {
         let inner = &self.inner;
         inner.submitted.fetch_add(1, AtomicOrdering::Relaxed);
+        let submit_ns = now_ns();
+        if P::ACTIVE {
+            inner.probe.on_submit(req.id, submit_ns, req.deadline_ns);
+        }
         let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
         if !q.open || q.deque.len() >= inner.cfg.queue_capacity {
             drop(q);
@@ -353,18 +388,28 @@ where
                     .rec
                     .counter_add(0, CounterKind::ServeRejectedQueueFull, 1);
             }
+            if P::ACTIVE {
+                inner
+                    .probe
+                    .on_reject_queue_full(req.id, now_ns(), inner.cfg.queue_capacity);
+            }
             return Err(RejectReason::QueueFull);
         }
         let cell = Arc::new(OneShot::new());
         let id = req.id;
         q.deque.push_back(Ticket {
+            id,
             kind: req.kind,
             deadline_ns: req.deadline_ns,
-            submit_ns: now_ns(),
+            submit_ns,
             cell: Arc::clone(&cell),
         });
-        bump_peak(&inner.queue_depth_peak, q.deque.len());
+        let depth = q.deque.len();
+        bump_peak(&inner.queue_depth_peak, depth);
         drop(q);
+        if P::ACTIVE {
+            inner.probe.on_enqueue(id, depth);
+        }
         inner.cv.notify_one();
         Ok(ResponseHandle { id, cell })
     }
@@ -405,10 +450,11 @@ where
     }
 }
 
-impl<T, R> Drop for Server<T, R>
+impl<T, R, P> Drop for Server<T, R, P>
 where
     T: Ord + Clone + Default + Send + Sync + 'static,
     R: Recorder + Send + Sync + 'static,
+    P: ServeProbe + Send + Sync + 'static,
 {
     fn drop(&mut self) {
         if self.workers.is_empty() {
@@ -435,31 +481,46 @@ where
 /// logical-worker range (a request's share never exceeds the budget, so
 /// the ranges cannot overlap). Worker 0 is reserved for the daemon's own
 /// `serve_*` counters.
-fn serve_loop<T, R>(w: usize, inner: &Inner<T, R>)
+fn serve_loop<T, R, P>(w: usize, inner: &Inner<T, R, P>)
 where
     T: Ord + Clone + Default + Send + Sync + 'static,
     R: Recorder + Send + Sync + 'static,
+    P: ServeProbe + Send + Sync + 'static,
 {
     let rec = OffsetRecorder::new(1 + w * inner.cfg.worker_budget, &inner.rec);
     loop {
-        let ticket = {
+        let (ticket, depth) = {
             let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(t) = q.deque.pop_front() {
-                    break Some(t);
+                    break (Some(t), q.deque.len());
                 }
                 if !q.open {
-                    break None;
+                    break (None, 0);
                 }
                 q = inner.cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
         let Some(ticket) = ticket else { return };
 
+        // One clock read serves both the waterfall's queue stage and the
+        // deadline verdict, so the two can never disagree. The disabled
+        // (`NoProbe`, no deadline) path reads no clock at all here.
+        let dequeue_ns = if P::ACTIVE || ticket.deadline_ns != 0 {
+            now_ns()
+        } else {
+            0
+        };
+        if P::ACTIVE {
+            inner
+                .probe
+                .on_dequeue(ticket.id, dequeue_ns, ticket.submit_ns, depth);
+        }
+
         // Deadline is judged when execution could begin, not at
         // submission: a request that waited past its deadline is rejected
         // here, before any output buffer exists.
-        if ticket.deadline_ns != 0 && now_ns() > ticket.deadline_ns {
+        if ticket.deadline_ns != 0 && dequeue_ns > ticket.deadline_ns {
             inner
                 .rejected_deadline
                 .fetch_add(1, AtomicOrdering::Relaxed);
@@ -467,6 +528,11 @@ where
                 inner
                     .rec
                     .counter_add(0, CounterKind::ServeRejectedDeadline, 1);
+            }
+            if P::ACTIVE {
+                inner
+                    .probe
+                    .on_reject_deadline(ticket.id, dequeue_ns, ticket.deadline_ns);
             }
             // Resolving drops `ticket.kind` — the input buffers — cleanly.
             ticket
@@ -478,12 +544,18 @@ where
         let inflight = inner.inflight.fetch_add(1, AtomicOrdering::SeqCst) + 1;
         bump_peak(&inner.inflight_peak, inflight);
         let share = worker_share(inner.cfg.worker_budget, inflight);
+        let start_ns = if P::ACTIVE { now_ns() } else { 0 };
+        if P::ACTIVE {
+            inner.probe.on_start(ticket.id, start_ns, share, inflight);
+        }
         let result = catch_unwind(AssertUnwindSafe(|| execute(ticket.kind, share, &rec)));
-        inner.inflight.fetch_sub(1, AtomicOrdering::SeqCst);
+        let compute_end_ns = if P::ACTIVE { now_ns() } else { 0 };
+        let inflight_after = inner.inflight.fetch_sub(1, AtomicOrdering::SeqCst) - 1;
 
         match result {
             Ok(output) => {
-                let latency_ns = now_ns().saturating_sub(ticket.submit_ns);
+                let done_ns = now_ns();
+                let latency_ns = done_ns.saturating_sub(ticket.submit_ns);
                 inner
                     .latency
                     .lock()
@@ -493,13 +565,40 @@ where
                 if R::ACTIVE {
                     inner.rec.counter_add(0, CounterKind::ServeCompleted, 1);
                 }
-                ticket.cell.put(Outcome::Completed { output, latency_ns });
+                // The four stages partition submit→done exactly: each
+                // boundary timestamp is used as the end of one stage and
+                // the start of the next, so sum(stages) == latency_ns.
+                let waterfall = if P::ACTIVE {
+                    Waterfall {
+                        queue_ns: dequeue_ns.saturating_sub(ticket.submit_ns),
+                        dispatch_ns: start_ns.saturating_sub(dequeue_ns),
+                        compute_ns: compute_end_ns.saturating_sub(start_ns),
+                        emit_ns: done_ns.saturating_sub(compute_end_ns),
+                    }
+                } else {
+                    Waterfall::default()
+                };
+                if P::ACTIVE {
+                    inner
+                        .probe
+                        .on_complete(ticket.id, done_ns, inflight_after, &waterfall);
+                }
+                ticket.cell.put(Outcome::Completed {
+                    output,
+                    latency_ns,
+                    waterfall,
+                });
             }
             Err(_panic) => {
                 // The kernel (comparator) panicked; the unwind already
                 // dropped the partial output. Contain it — the daemon
                 // itself never panics on a bad request.
                 inner.failed.fetch_add(1, AtomicOrdering::Relaxed);
+                if P::ACTIVE {
+                    inner
+                        .probe
+                        .on_fail(ticket.id, compute_end_ns, inflight_after);
+                }
                 ticket.cell.put(Outcome::Failed);
             }
         }
@@ -711,5 +810,94 @@ mod tests {
     fn reject_names_are_stable() {
         assert_eq!(RejectReason::QueueFull.name(), "queue_full");
         assert_eq!(RejectReason::DeadlineExpired.name(), "deadline_expired");
+    }
+
+    #[test]
+    fn probe_counters_reconcile_and_waterfall_partitions_latency() {
+        use crate::observe::{ObserverConfig, ServeObserver};
+        let obs = Arc::new(ServeObserver::new(ObserverConfig::default()));
+        let server: Server<u32, NoRecorder, Arc<ServeObserver>> = Server::start_with_probe(
+            ServeConfig {
+                queue_capacity: 16,
+                max_inflight: 2,
+                worker_budget: 4,
+            },
+            NoRecorder,
+            Arc::clone(&obs),
+        );
+        let handles: Vec<_> = (0..8u64)
+            .map(|id| {
+                server
+                    .submit(Request::merge(id, vec![1, 4, 7, 9], vec![2, 3, 5, 8]))
+                    .expect("admitted")
+            })
+            .collect();
+        for h in handles {
+            match h.wait() {
+                Outcome::Completed {
+                    latency_ns,
+                    waterfall,
+                    ..
+                } => {
+                    // The stages partition submit→done on one clock, so
+                    // their sum can never exceed (in fact equals) the
+                    // measured wall time.
+                    assert!(
+                        waterfall.total_ns() <= latency_ns,
+                        "stage sum {} exceeds wall {latency_ns}",
+                        waterfall.total_ns()
+                    );
+                    assert!(waterfall.compute_ns > 0, "compute stage observed");
+                }
+                other => panic!("expected completion: {other:?}"),
+            }
+        }
+        let stats = server.shutdown();
+        let snap = obs.snapshot();
+        // Live counters reconcile exactly with ServeStats.
+        assert_eq!(snap.counter("serve_submitted_total"), Some(stats.submitted));
+        assert_eq!(snap.counter("serve_completed_total"), Some(stats.completed));
+        assert_eq!(
+            snap.counter("serve_rejected_queue_full_total"),
+            Some(stats.rejected_queue_full)
+        );
+        assert_eq!(
+            snap.counter("serve_rejected_deadline_total"),
+            Some(stats.rejected_deadline)
+        );
+        assert_eq!(snap.counter("serve_failed_total"), Some(stats.failed));
+        assert_eq!(
+            snap.gauge("serve_inflight_peak"),
+            Some(stats.inflight_peak as u64)
+        );
+        assert_eq!(
+            snap.histogram("serve_latency_ns").map(|h| h.count()),
+            Some(stats.completed)
+        );
+        // Every request left a full lifecycle in the flight ring.
+        assert_eq!(
+            obs.flight().recorded(),
+            4 * 8,
+            "submit/dequeue/start/complete"
+        );
+    }
+
+    #[test]
+    fn no_probe_outcome_has_zero_waterfall() {
+        let server: Server<u32> = Server::start(small_cfg(), NoRecorder);
+        let h = server
+            .submit(Request::merge(0, vec![1u32, 3], vec![2, 4]))
+            .expect("admitted");
+        match h.wait() {
+            Outcome::Completed { waterfall, .. } => {
+                assert_eq!(
+                    waterfall,
+                    Waterfall::default(),
+                    "disabled path reads no stages"
+                );
+            }
+            other => panic!("expected completion: {other:?}"),
+        }
+        server.shutdown();
     }
 }

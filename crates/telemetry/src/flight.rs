@@ -1,0 +1,348 @@
+//! The flight recorder: a bounded, overwrite-oldest ring of recent
+//! request events, dumped as JSONL when something goes wrong.
+//!
+//! A deadline miss or queue-full burst in a live daemon is useless to
+//! debug from totals alone — by the time an operator looks, the evidence
+//! is gone. The [`FlightRecorder`] keeps the last `capacity` request
+//! events continuously, at fixed memory cost, so an anomaly trigger (see
+//! `mergepath-serve::observe`) can dump the seconds *leading up to* the
+//! event, aviation-style.
+//!
+//! Hot-path contract: [`FlightRecorder::record`] performs **zero
+//! allocation and takes no lock** — one relaxed `fetch_add` to claim a
+//! sequence number, then plain atomic stores into a cache-line-aligned
+//! preallocated slot guarded seqlock-style by a tag word
+//! (`tests/metrics_invariants.rs` asserts the no-alloc property with a
+//! counting allocator). Two writers only touch the same slot when they
+//! claim sequence numbers `capacity` apart at the same instant, i.e.
+//! essentially never; the tag protocol makes a reader discard such a
+//! torn slot instead of observing it.
+//!
+//! A snapshot taken while writers are active is best-effort at the ring's
+//! wrap edge (a slot being overwritten between the tag reads is skipped),
+//! which is exactly the fidelity a post-mortem needs: events are
+//! self-describing (`seq`, `t_ns`) and the dump is sorted by `seq`.
+
+use crate::json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened to a request at one point of its lifecycle.
+///
+/// The `arg0`/`arg1` payload of a [`FlightEvent`] is kind-specific and
+/// documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlightEventKind {
+    /// Request offered to the daemon. `arg0` = absolute deadline
+    /// (`now_ns` timeline, 0 = none).
+    Submit,
+    /// Request rejected synchronously: the bounded queue was full.
+    /// `arg0` = queue capacity.
+    RejectQueueFull,
+    /// A serving thread popped the request. `arg0` = its submit
+    /// timestamp, `arg1` = queue depth after the pop.
+    Dequeue,
+    /// Rejected at dequeue: the deadline had already expired.
+    /// `arg0` = absolute deadline, `arg1` = how late the dequeue was (ns).
+    RejectDeadline,
+    /// Kernel execution began. `arg0` = worker share granted,
+    /// `arg1` = requests in flight (including this one).
+    Start,
+    /// Response resolved successfully. `arg0` = total latency (ns),
+    /// `arg1` = compute-stage time (ns).
+    Complete,
+    /// The request's kernel panicked; the panic was contained and the
+    /// waiter observed a failed outcome.
+    Fail,
+}
+
+impl FlightEventKind {
+    /// All variants, for exhaustive rendering.
+    pub const ALL: [FlightEventKind; 7] = [
+        FlightEventKind::Submit,
+        FlightEventKind::RejectQueueFull,
+        FlightEventKind::Dequeue,
+        FlightEventKind::RejectDeadline,
+        FlightEventKind::Start,
+        FlightEventKind::Complete,
+        FlightEventKind::Fail,
+    ];
+
+    /// Stable lowercase name used in dumps and by `mp inspect`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightEventKind::Submit => "submit",
+            FlightEventKind::RejectQueueFull => "reject_queue_full",
+            FlightEventKind::Dequeue => "dequeue",
+            FlightEventKind::RejectDeadline => "reject_deadline",
+            FlightEventKind::Start => "start",
+            FlightEventKind::Complete => "complete",
+            FlightEventKind::Fail => "fail",
+        }
+    }
+
+    /// Parses a [`Self::name`] string (the `mp inspect` direction).
+    pub fn parse(s: &str) -> Option<FlightEventKind> {
+        FlightEventKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Dense numeric code (index into [`Self::ALL`]) for lock-free slot
+    /// storage.
+    fn code(self) -> u64 {
+        FlightEventKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .unwrap() as u64
+    }
+
+    /// Inverse of [`Self::code`].
+    fn from_code(code: u64) -> Option<FlightEventKind> {
+        FlightEventKind::ALL.get(code as usize).copied()
+    }
+}
+
+/// One ring entry: fixed-size, `Copy`, self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number (total order of recording).
+    pub seq: u64,
+    /// When it happened ([`now_ns`](crate::now_ns) timeline).
+    pub t_ns: u64,
+    /// The request this event belongs to.
+    pub request_id: u64,
+    /// Lifecycle stage.
+    pub kind: FlightEventKind,
+    /// Kind-specific payload (see [`FlightEventKind`]).
+    pub arg0: u64,
+    /// Kind-specific payload (see [`FlightEventKind`]).
+    pub arg1: u64,
+}
+
+/// Sentinel tag marking a slot mid-write. A stable slot's tag is
+/// `seq + 1` (so 0 means "never written"); sequence numbers never get
+/// within 2 of `u64::MAX`, so the sentinel is unambiguous.
+const WRITING: u64 = u64::MAX;
+
+/// One lock-free ring slot: the event fields as plain atomics plus a
+/// seqlock tag. Cache-line-aligned so two serving threads writing
+/// neighboring slots never false-share.
+#[derive(Default)]
+#[repr(align(64))]
+struct Slot {
+    /// 0 = empty, [`WRITING`] = mid-write, else stored event's `seq + 1`.
+    tag: AtomicU64,
+    t_ns: AtomicU64,
+    request_id: AtomicU64,
+    kind: AtomicU64,
+    arg0: AtomicU64,
+    arg1: AtomicU64,
+}
+
+impl Slot {
+    /// Reads the slot if it holds a stable event: tag before, fields,
+    /// tag after — a mismatch means a writer raced and the slot is
+    /// skipped (acquire/release pairs make the happy path well-ordered).
+    fn read(&self) -> Option<FlightEvent> {
+        let t1 = self.tag.load(Ordering::Acquire);
+        if t1 == 0 || t1 == WRITING {
+            return None;
+        }
+        let event = FlightEvent {
+            seq: t1 - 1,
+            t_ns: self.t_ns.load(Ordering::Acquire),
+            request_id: self.request_id.load(Ordering::Acquire),
+            kind: FlightEventKind::from_code(self.kind.load(Ordering::Acquire))?,
+            arg0: self.arg0.load(Ordering::Acquire),
+            arg1: self.arg1.load(Ordering::Acquire),
+        };
+        (self.tag.load(Ordering::Acquire) == t1).then_some(event)
+    }
+}
+
+/// Fixed-capacity, overwrite-oldest event ring. See the module docs for
+/// the concurrency contract.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Builds a ring holding the most recent `capacity` events
+    /// (`capacity` is clamped to at least 1). All memory is allocated
+    /// here.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (≥ the number currently retained).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one event, overwriting the oldest entry once the ring is
+    /// full. Allocation-free; assigns and returns the event's global
+    /// sequence number (the `seq` field of the stored event is set here,
+    /// whatever the caller passed in).
+    #[inline]
+    pub fn record(&self, event: FlightEvent) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        // Seqlock write: raise the in-progress sentinel, store the
+        // fields, then publish the new tag. Release stores keep the
+        // sequence observable in this order; a reader that catches the
+        // window discards the slot.
+        slot.tag.store(WRITING, Ordering::Release);
+        slot.t_ns.store(event.t_ns, Ordering::Release);
+        slot.request_id.store(event.request_id, Ordering::Release);
+        slot.kind.store(event.kind.code(), Ordering::Release);
+        slot.arg0.store(event.arg0, Ordering::Release);
+        slot.arg1.store(event.arg1, Ordering::Release);
+        slot.tag.store(seq + 1, Ordering::Release);
+        seq
+    }
+
+    /// Copies out the currently retained events, oldest first.
+    ///
+    /// Safe to call while writers are active; see the module docs for
+    /// the wrap-edge caveat.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> = self.slots.iter().filter_map(Slot::read).collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Renders events as JSONL, one `{"type":"flight_event",…}` object
+    /// per line — the body format of a flight dump.
+    pub fn to_jsonl(events: &[FlightEvent]) -> String {
+        let mut out = String::new();
+        for e in events {
+            out.push_str("{\"type\":\"flight_event\",\"seq\":");
+            json::write_f64(&mut out, e.seq as f64);
+            out.push_str(",\"t_ns\":");
+            json::write_f64(&mut out, e.t_ns as f64);
+            out.push_str(",\"request_id\":");
+            json::write_f64(&mut out, e.request_id as f64);
+            out.push_str(",\"kind\":");
+            json::write_str(&mut out, e.kind.name());
+            out.push_str(",\"arg0\":");
+            json::write_f64(&mut out, e.arg0 as f64);
+            out.push_str(",\"arg1\":");
+            json::write_f64(&mut out, e.arg1 as f64);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(request_id: u64, kind: FlightEventKind) -> FlightEvent {
+        FlightEvent {
+            seq: 0,
+            t_ns: request_id * 10,
+            request_id,
+            kind,
+            arg0: 1,
+            arg1: 2,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_order() {
+        let ring = FlightRecorder::new(8);
+        for i in 0..20 {
+            ring.record(ev(i, FlightEventKind::Submit));
+        }
+        assert_eq!(ring.recorded(), 20);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 8, "ring retains exactly its capacity");
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>(), "oldest overwritten");
+        assert_eq!(snap[0].request_id, 12);
+    }
+
+    #[test]
+    fn partially_filled_ring_snapshots_cleanly() {
+        let ring = FlightRecorder::new(16);
+        assert!(ring.snapshot().is_empty());
+        ring.record(ev(7, FlightEventKind::Complete));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].request_id, 7);
+        assert_eq!(snap[0].kind, FlightEventKind::Complete);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_only_overwritten_events() {
+        let ring = FlightRecorder::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.record(ev(t * 1000 + i, FlightEventKind::Dequeue));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 400);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 400, "capacity never exceeded, nothing lost");
+        // Sequence numbers are unique and dense.
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip_and_jsonl_parses() {
+        for k in FlightEventKind::ALL {
+            assert_eq!(FlightEventKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FlightEventKind::parse("unknown"), None);
+
+        let ring = FlightRecorder::new(4);
+        ring.record(ev(3, FlightEventKind::RejectDeadline));
+        ring.record(ev(4, FlightEventKind::Complete));
+        let text = FlightRecorder::to_jsonl(&ring.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let doc = json::parse(line).expect("event line parses");
+            assert_eq!(
+                doc.get("type").and_then(|v| v.as_str()),
+                Some("flight_event")
+            );
+            let kind = doc.get("kind").and_then(|v| v.as_str()).unwrap();
+            assert!(FlightEventKind::parse(kind).is_some());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = FlightRecorder::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(ev(1, FlightEventKind::Submit));
+        ring.record(ev(2, FlightEventKind::Submit));
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+}

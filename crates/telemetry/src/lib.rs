@@ -34,17 +34,35 @@
 //! - [`artifact`]: the shared envelope writer (environment fingerprint +
 //!   schema self-check) every committed `BENCH_*.json` goes through, so
 //!   the artifacts can never disagree on schema or fingerprint.
+//!
+//! The **live** observability layer (ISSUE 7) sits beside the post-hoc
+//! timeline and shares its zero-cost philosophy:
+//!
+//! - [`metrics`]: [`MetricsRegistry`] — cache-line-sharded lock-free
+//!   counters, gauges, and mergeable [`LatencyHistogram`]s, snapshotable
+//!   at any instant without pausing writers.
+//! - [`waterfall`]: the per-request `{queue, dispatch, compute, emit}`
+//!   latency breakdown and the p99 attribution table renderer.
+//! - [`flight`]: [`FlightRecorder`] — a bounded overwrite-oldest ring of
+//!   recent request events, dumped as JSONL on anomaly (deadline miss,
+//!   queue-full burst, contained panic) for post-mortem inspection via
+//!   `mp inspect`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod flight;
 pub mod histogram;
 pub mod json;
+pub mod metrics;
 mod record;
 mod timeline;
+pub mod waterfall;
 
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use histogram::LatencyHistogram;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use record::{
     counted_cmp, now_ns, span, thread_index, CounterKind, NoRecorder, OffsetRecorder, Recorder,
     SpanGuard, SpanKind,
@@ -53,3 +71,4 @@ pub use timeline::{
     BusyStats, CounterTotal, LoadBalanceReport, RoundRecord, ShareRecord, SpanRecord, Telemetry,
     TimelineRecorder, WorkerItems,
 };
+pub use waterfall::Waterfall;

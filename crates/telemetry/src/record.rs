@@ -10,10 +10,19 @@ use std::time::Instant;
 
 /// Nanoseconds since the first call to this function in the process.
 ///
-/// All telemetry timestamps share this epoch so spans recorded by different
-/// threads land on one comparable timeline. The epoch is process-wide (a
-/// `OnceLock<Instant>`), so traces from consecutive kernel runs in one
-/// process are naturally ordered.
+/// This is the **single monotonic clock** for the whole workspace: kernel
+/// spans, pool round windows, serve request deadlines
+/// (`Request::with_deadline_in`, the dequeue-time expiry verdict), and the
+/// per-request waterfall stages all read it. Because every producer and
+/// every judge share one epoch and one monotonic source, timestamps from
+/// different threads land on one comparable timeline, a waterfall's summed
+/// stages can never exceed the wall time measured for the same request,
+/// and a deadline verdict is always consistent with the queue-wait the
+/// flight recorder logged (`tests/metrics_invariants.rs` pins the
+/// stage-sum property as a regression test).
+///
+/// The epoch is process-wide (a `OnceLock<Instant>`), so traces from
+/// consecutive kernel runs in one process are naturally ordered.
 pub fn now_ns() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     let epoch = EPOCH.get_or_init(Instant::now);

@@ -1,0 +1,208 @@
+//! Per-request waterfall attribution: where each nanosecond of a served
+//! request's latency went.
+//!
+//! A p99 alone says *that* tail latency moved; the waterfall says *why*.
+//! Every request's wall time is partitioned into four contiguous,
+//! non-overlapping stages measured on the shared [`now_ns`](crate::now_ns)
+//! clock (the same clock that judges deadlines, so the stages and the
+//! verdicts are mutually consistent):
+//!
+//! ```text
+//! submit ──queue──▶ dequeue ──dispatch──▶ start ──compute──▶ done ──emit──▶ resolved
+//! ```
+//!
+//! - **queue**: waiting in the bounded FIFO for a serving thread;
+//! - **dispatch**: dequeue bookkeeping — deadline verdict, in-flight
+//!   accounting, `worker_share` computation;
+//! - **compute**: the merge/sort kernel itself (per-segment spans inside
+//!   this window land in the [`TimelineRecorder`](crate::TimelineRecorder));
+//! - **emit**: latency recording, counters, and response hand-off.
+//!
+//! The stages sum *exactly* to the request's measured wall time
+//! (`tests/metrics_invariants.rs` pins `sum(stages) ≤ wall` as a
+//! regression test), so an attribution table over stage histograms
+//! explains a latency histogram instead of merely decorating it.
+
+use crate::histogram::LatencyHistogram;
+use crate::json;
+
+/// Stage names in waterfall order, as used by the attribution table,
+/// the per-stage metric names, and `mp inspect`.
+pub const STAGES: [&str; 4] = ["queue", "dispatch", "compute", "emit"];
+
+/// One request's latency breakdown, in nanoseconds per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Waterfall {
+    /// Time from submission to a serving thread popping the request.
+    pub queue_ns: u64,
+    /// Dequeue-to-kernel-start bookkeeping.
+    pub dispatch_ns: u64,
+    /// Kernel execution.
+    pub compute_ns: u64,
+    /// Kernel-end to response resolution.
+    pub emit_ns: u64,
+}
+
+impl Waterfall {
+    /// Total attributed time; equals the request's wall time when the
+    /// probe that measured it was active.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_ns + self.dispatch_ns + self.compute_ns + self.emit_ns
+    }
+
+    /// Stage values in [`STAGES`] order.
+    pub fn stages(&self) -> [u64; 4] {
+        [
+            self.queue_ns,
+            self.dispatch_ns,
+            self.compute_ns,
+            self.emit_ns,
+        ]
+    }
+
+    /// Renders as `{"queue_ns":…,"dispatch_ns":…,"compute_ns":…,"emit_ns":…}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in STAGES.iter().zip(self.stages()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, &format!("{name}_ns"));
+            out.push(':');
+            json::write_f64(&mut out, v as f64);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Formats a nanosecond quantity for humans (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the p99 attribution table from per-stage histograms.
+///
+/// `stages` pairs each [`STAGES`] name with the histogram of that stage
+/// across requests; `total` is the end-to-end latency histogram. The
+/// `share` column is the stage's fraction of total *accumulated* time
+/// (`stage.sum / total.sum`) — the honest attribution, since per-request
+/// stage sums are exact but quantiles of independent stages need not add
+/// up to the total's quantile.
+pub fn render_attribution(
+    stages: &[(&str, &LatencyHistogram)],
+    total: &LatencyHistogram,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "stage", "p50", "p90", "p99", "max", "share"
+    );
+    let denom = total.sum().max(1) as f64;
+    for (name, h) in stages {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>10} {:>10} {:>10} {:>10} {:>7.1}%",
+            name,
+            fmt_ns(h.percentile(0.50)),
+            fmt_ns(h.percentile(0.90)),
+            fmt_ns(h.percentile(0.99)),
+            fmt_ns(h.max()),
+            100.0 * h.sum() as f64 / denom,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>10} {:>10} {:>10} {:>10} {:>7.1}%",
+        "total",
+        fmt_ns(total.percentile(0.50)),
+        fmt_ns(total.percentile(0.90)),
+        fmt_ns(total.percentile(0.99)),
+        fmt_ns(total.max()),
+        100.0,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_sum_to_total() {
+        let wf = Waterfall {
+            queue_ns: 10,
+            dispatch_ns: 20,
+            compute_ns: 300,
+            emit_ns: 4,
+        };
+        assert_eq!(wf.total_ns(), 334);
+        assert_eq!(wf.stages(), [10, 20, 300, 4]);
+    }
+
+    #[test]
+    fn waterfall_json_has_all_stages() {
+        let wf = Waterfall {
+            queue_ns: 1,
+            dispatch_ns: 2,
+            compute_ns: 3,
+            emit_ns: 4,
+        };
+        let doc = json::parse(&wf.to_json()).expect("waterfall json parses");
+        for (name, v) in STAGES.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert_eq!(
+                doc.get(&format!("{name}_ns")).and_then(|x| x.as_f64()),
+                Some(v),
+                "stage {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn attribution_table_lists_every_stage_and_shares_sum() {
+        let mut queue = LatencyHistogram::new();
+        let mut compute = LatencyHistogram::new();
+        let mut total = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            queue.record(i * 100);
+            compute.record(i * 900);
+            total.record(i * 1000);
+        }
+        let zero = LatencyHistogram::new();
+        let table = render_attribution(
+            &[
+                ("queue", &queue),
+                ("dispatch", &zero),
+                ("compute", &compute),
+                ("emit", &zero),
+            ],
+            &total,
+        );
+        for name in STAGES {
+            assert!(table.contains(name), "table lists stage {name}");
+        }
+        assert!(table.contains("total"));
+        assert!(table.contains("p99"));
+        // queue ≈ 10% and compute ≈ 90% of accumulated time.
+        assert!(table.contains("10.0%"), "table: {table}");
+        assert!(table.contains("90.0%"), "table: {table}");
+    }
+}

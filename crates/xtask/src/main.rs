@@ -41,6 +41,13 @@ fn usage() -> ExitCode {
     eprintln!("                   at >= 4 concurrency levels, zero lost requests, zero");
     eprintln!("                   correctness failures) and append a serve_history line to");
     eprintln!("                   results/bench_history.jsonl");
+    eprintln!("  verify-metrics   run an overloaded `mp serve --metrics-out` (bursty");
+    eprintln!("                   arrivals, 1 ms deadline) into target/xtask/metrics and");
+    eprintln!("                   schema-check everything the live layer wrote: the");
+    eprintln!("                   Prometheus text, the snapshot JSONL, the METRICS_serve");
+    eprintln!("                   envelope and the automatic anomaly flight dump; then run");
+    eprintln!("                   the allocation-free hot-path tests and fail if the");
+    eprintln!("                   measured observability overhead exceeds 3%");
     eprintln!();
     eprintln!("flags:");
     eprintln!("  --simd           build every cargo invocation with `--features simd` so the");
@@ -691,6 +698,227 @@ fn verify_serve(opts: BuildOpts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Schema-checks everything one metrics-enabled serve run wrote under
+/// `dir`: the Prometheus-text scrape file, the snapshot JSONL stream, the
+/// `METRICS_serve.json` envelope (shared artifact schema), and at least
+/// one automatic anomaly flight dump whose every line parses. The final
+/// JSONL snapshot and the envelope snapshot must agree that all
+/// `requests` submissions were counted. Returns the number of dumps.
+fn check_metrics_outputs(dir: &std::path::Path, requests: f64) -> Result<usize, String> {
+    use mergepath_telemetry::json::{self, Value};
+
+    let prom_path = dir.join("metrics.prom");
+    let prom =
+        std::fs::read_to_string(&prom_path).map_err(|e| format!("{}: {e}", prom_path.display()))?;
+    for needle in [
+        "# TYPE serve_submitted_total counter",
+        "# TYPE serve_latency_ns summary",
+        "serve_stage_queue_ns",
+    ] {
+        if !prom.contains(needle) {
+            return Err(format!("{}: missing {needle:?}", prom_path.display()));
+        }
+    }
+
+    let jsonl_path = dir.join("metrics.jsonl");
+    let jsonl = std::fs::read_to_string(&jsonl_path)
+        .map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
+    let mut last = None;
+    for (i, line) in jsonl.lines().enumerate() {
+        let v =
+            json::parse(line).map_err(|e| format!("{}:{}: {e}", jsonl_path.display(), i + 1))?;
+        if v.get("type").and_then(Value::as_str) != Some("metrics_snapshot") {
+            return Err(format!(
+                "{}:{}: line is not a metrics_snapshot",
+                jsonl_path.display(),
+                i + 1
+            ));
+        }
+        last = Some(v);
+    }
+    let last = last.ok_or_else(|| format!("{}: no snapshots", jsonl_path.display()))?;
+    let submitted = |snap: &Value| {
+        snap.get("counters")
+            .and_then(|c| c.get("serve_submitted_total"))
+            .and_then(Value::as_f64)
+    };
+    if submitted(&last) != Some(requests) {
+        return Err(format!(
+            "{}: final snapshot counted {:?} submissions, want {requests}",
+            jsonl_path.display(),
+            submitted(&last)
+        ));
+    }
+
+    let doc = load_artifact(&dir.join("METRICS_serve.json"), "metrics_serve")?;
+    let payload = doc
+        .get("payload")
+        .ok_or("METRICS_serve.json: envelope without payload")?;
+    let snap = payload
+        .get("snapshot")
+        .ok_or("METRICS_serve.json: payload without snapshot")?;
+    if submitted(snap) != Some(requests) {
+        return Err(format!(
+            "METRICS_serve.json: envelope snapshot counted {:?} submissions, want {requests}",
+            submitted(snap)
+        ));
+    }
+    let dumps = payload
+        .get("dumps")
+        .and_then(Value::as_array)
+        .ok_or("METRICS_serve.json: payload without dumps array")?;
+    if dumps.is_empty() {
+        return Err(
+            "no anomaly flight dump: the overloaded run should have missed \
+                    its 1 ms deadline"
+                .into(),
+        );
+    }
+    for d in dumps {
+        let path = d
+            .as_str()
+            .ok_or("METRICS_serve.json: non-string dump path")?;
+        let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let head = json::parse(body.lines().next().unwrap_or(""))
+            .map_err(|e| format!("{path}: header: {e}"))?;
+        if head.get("type").and_then(Value::as_str) != Some("flight_dump")
+            || head.get("trigger").and_then(Value::as_str).is_none()
+        {
+            return Err(format!(
+                "{path}: header is not a flight_dump with a trigger"
+            ));
+        }
+        for (i, line) in body.lines().enumerate().skip(1) {
+            let v = json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            if v.get("type").and_then(Value::as_str) != Some("flight_event") {
+                return Err(format!("{path}:{}: line is not a flight_event", i + 1));
+            }
+        }
+    }
+    Ok(dumps.len())
+}
+
+/// The observability-overhead gate: `BENCH_telemetry.json` carries a
+/// `serve_overhead` point (metrics-on vs metrics-off medians of the same
+/// unpaced serve workload); the enabled layer must cost at most 3%.
+fn check_overhead(dir: &std::path::Path) -> Result<f64, String> {
+    use mergepath_telemetry::json::Value;
+    let doc = load_artifact(&dir.join("BENCH_telemetry.json"), "bench_telemetry")?;
+    let overhead = doc
+        .get("payload")
+        .and_then(|p| p.get("serve_overhead"))
+        .and_then(|o| o.get("overhead"))
+        .and_then(Value::as_f64)
+        .ok_or("BENCH_telemetry.json: payload.serve_overhead.overhead missing")?;
+    if overhead > 0.03 {
+        return Err(format!(
+            "observability overhead {:.2}% exceeds the 3% budget",
+            overhead * 100.0
+        ));
+    }
+    Ok(overhead)
+}
+
+/// The live-observability gate (DESIGN.md §12), in three legs:
+///
+/// 1. **Anomaly path**: an overloaded `mp serve --metrics-out` run —
+///    bursty arrivals, large merges, 1 ms deadline — deterministically
+///    misses deadlines, so the flight recorder must dump automatically;
+///    every file the live layer wrote is then schema-checked.
+/// 2. **Hot-path cost**: the `metrics_invariants` integration tests prove
+///    with a counting allocator that every probe hook and flight-ring
+///    write is allocation-free, that waterfall stages partition latency
+///    exactly, and that the disabled [`NoProbe`] path stays zero-sized.
+/// 3. **Overhead budget**: a smoke `mp bench` refreshes the
+///    `serve_overhead` point and >3% metrics-on overhead fails the gate.
+fn verify_metrics(opts: BuildOpts) -> ExitCode {
+    let dir = std::path::Path::new("target").join("xtask").join("metrics");
+    // Stale dumps from an earlier run must not satisfy the gate.
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("verify-metrics: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let dir_arg = dir.display().to_string();
+    let mut args = vec!["run", "--offline", "--release", "-q", "-p", "mergepath-cli"];
+    args.extend_from_slice(opts.feature_args());
+    args.extend_from_slice(&[
+        "--bin",
+        "mp",
+        "--",
+        "serve",
+        "--requests",
+        "48",
+        "--concurrency",
+        "4",
+        "--queue-capacity",
+        "64",
+        "--deadline-ms",
+        "1",
+        "--pattern",
+        "bursty",
+        "--n",
+        "65536",
+        "--threads",
+        "2",
+        "--seed",
+        "42",
+        "--metrics-out",
+        &dir_arg,
+    ]);
+    if !cargo(&args) {
+        eprintln!("verify-metrics: FAILED running the overloaded `mp serve`");
+        return ExitCode::FAILURE;
+    }
+    let dumps = match check_metrics_outputs(&dir, 48.0) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("verify-metrics: FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut tests = vec![
+        "test",
+        "--offline",
+        "-q",
+        "-p",
+        "mergepath-suite",
+        "--test",
+        "metrics_invariants",
+        "--test",
+        "histogram_props",
+    ];
+    tests.extend_from_slice(opts.feature_args());
+    if !cargo(&tests) {
+        eprintln!("verify-metrics: FAILED: hot-path allocation / histogram invariants");
+        return ExitCode::FAILURE;
+    }
+    let bench_dir = std::path::Path::new("target")
+        .join("xtask")
+        .join("metrics-bench");
+    if let Err(e) = std::fs::create_dir_all(&bench_dir) {
+        eprintln!("verify-metrics: cannot create {}: {e}", bench_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let bench_arg = bench_dir.display().to_string();
+    if !run_mp_bench(opts, &["--smoke", "--out-dir", &bench_arg]) {
+        eprintln!("verify-metrics: FAILED running `mp bench --smoke` for the overhead point");
+        return ExitCode::FAILURE;
+    }
+    match check_overhead(&bench_dir) {
+        Ok(overhead) => println!(
+            "verify-metrics: OK ({dumps} anomaly dump(s) schema-checked, hot path \
+             allocation-free, observability overhead {:.2}% <= 3%)",
+            overhead * 100.0
+        ),
+        Err(e) => {
+            eprintln!("verify-metrics: FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = env::args().skip(1);
     let task = args.next();
@@ -711,6 +939,7 @@ fn main() -> ExitCode {
         Some("bench") => bench(opts),
         Some("verify-bench") => verify_bench(opts),
         Some("verify-serve") => verify_serve(opts),
+        Some("verify-metrics") => verify_metrics(opts),
         _ => usage(),
     }
 }

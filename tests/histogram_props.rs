@@ -1,0 +1,118 @@
+//! Histogram algebra (live-observability satellite): the mergeable
+//! [`LatencyHistogram`] is the aggregation primitive behind every live
+//! metric — registry shards merge on snapshot, serve stats merge across
+//! workers — so its merge must be a true commutative monoid and its
+//! percentile extraction must behave at both extremes of the value range.
+//!
+//! Property tests (vendored `proptest`) pin merge associativity and
+//! commutativity on random sample sets; unit tests pin p50/p99 on a
+//! single-bucket distribution, on the saturating top bucket (`u64::MAX`),
+//! and on the empty histogram.
+
+use mergepath::telemetry::LatencyHistogram;
+use proptest::prelude::*;
+
+fn build(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..2_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..2_000_000_000, 0..200),
+    ) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge_from(&hb);
+        let mut ba = hb.clone();
+        ba.merge_from(&ha);
+        prop_assert!(ab == ba, "a⊕b differs from b⊕a");
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn merge_is_associative_and_lossless(
+        a in proptest::collection::vec(0u64..2_000_000_000, 0..150),
+        b in proptest::collection::vec(0u64..2_000_000_000, 0..150),
+        c in proptest::collection::vec(0u64..2_000_000_000, 0..150),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge_from(&hb);
+        left.merge_from(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge_from(&hc);
+        let mut right = ha.clone();
+        right.merge_from(&bc);
+        prop_assert!(left == right, "(a⊕b)⊕c differs from a⊕(b⊕c)");
+        // Lossless: identical to recording every sample directly, so any
+        // shard aggregation order yields the same percentiles.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = build(&all);
+        prop_assert!(left == direct, "merge lost or duplicated samples");
+        for q in [0.5, 0.99] {
+            prop_assert_eq!(left.percentile(q), direct.percentile(q));
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity(
+        a in proptest::collection::vec(0u64..2_000_000_000, 0..200),
+    ) {
+        let ha = build(&a);
+        let mut merged = ha.clone();
+        merged.merge_from(&LatencyHistogram::new());
+        prop_assert!(merged == ha);
+    }
+}
+
+#[test]
+fn single_bucket_distribution_reports_that_bucket_everywhere() {
+    // Small values map to exact (linear-region) buckets, so every
+    // quantile of a constant distribution is the value itself.
+    let mut h = LatencyHistogram::new();
+    for _ in 0..10_000 {
+        h.record(17);
+    }
+    for q in [0.0, 0.50, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), 17, "q={q}");
+    }
+    assert_eq!(h.count(), 10_000);
+    assert_eq!(h.min(), 17);
+    assert_eq!(h.max(), 17);
+}
+
+#[test]
+fn saturating_top_bucket_handles_u64_max() {
+    let mut h = LatencyHistogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX - 1);
+    h.record(1);
+    // The top bucket's inclusive upper bound is exactly u64::MAX — the
+    // bound arithmetic must not overflow — and max() is tracked exactly.
+    assert_eq!(h.percentile(0.99), u64::MAX);
+    assert_eq!(h.percentile(1.0), u64::MAX);
+    assert_eq!(h.max(), u64::MAX);
+    assert_eq!(h.percentile(0.0), 1, "p0 is still the smallest sample");
+    // sum saturates rather than wrapping.
+    assert_eq!(h.sum(), u64::MAX);
+}
+
+#[test]
+fn empty_histogram_is_all_zeros() {
+    let h = LatencyHistogram::new();
+    assert_eq!(h.count(), 0);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), 0, "q={q}");
+    }
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.sum(), 0);
+}
