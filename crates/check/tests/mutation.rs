@@ -15,6 +15,14 @@
 //! must therefore surface as an `OutputMismatch` (the checker compares
 //! against the oracle before it audits the recording).
 //!
+//! A third fault inverts the tie break of the co-rank stable block kernel:
+//! under the same cfg its block-split binary search advances only on
+//! *strictly greater* instead of greater-or-equal, so equal B elements
+//! overtake equal A elements across interior block boundaries. The mutated
+//! merge is still a sorted permutation — only the provenance-tagged stable
+//! oracle can see the difference, which the checker must report as an
+//! `OutputMismatch` on the first schedule.
+//!
 //! `cargo xtask verify-schedules` runs the mutated configuration with these
 //! tests.
 
@@ -66,6 +74,44 @@ fn simd_lane_swap_mutation_is_detected_as_an_output_mismatch() {
         }
     } else {
         let report = result.expect("clean build must pass the forced-simd schedule check");
+        assert!(report.multi_rounds > 0, "{report}");
+    }
+}
+
+/// The co-rank tie-break fault only fires when a mixed tie class straddles
+/// one of the kernel's interior 256-rank block cuts, so this test builds its
+/// own input instead of using the default (whose per-worker segments are too
+/// short to contain an interior cut): 2048 + 2048 elements with 24-element
+/// tie runs per side give every worker segment (1024 outputs at the default
+/// 4 threads) mixed ~48-wide tie classes across the cuts at ranks
+/// 256/512/768. Unlike the lane-swap fault this one needs no feature gate —
+/// the co-rank kernel is pure scalar code, compiled in every configuration.
+#[test]
+fn co_rank_tie_break_inversion_is_detected_as_an_output_mismatch() {
+    use mergepath::merge::adaptive::{with_dispatch_policy, DispatchPolicy, SegmentKernel};
+    use mergepath_check::{check_kernel_on, Kv};
+
+    let tagged =
+        |tag0: u32| -> Vec<Kv> { (0..2048u32).map(|i| ((i / 24) as i32, tag0 + i)).collect() };
+    let (a, b) = (tagged(0), tagged(1_000_000));
+    let cfg = CheckConfig::default();
+    let result = with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::CoRank), || {
+        check_kernel_on(Kernel::Parallel, &a, &b, &cfg)
+    });
+    if cfg!(mergepath_mutate) {
+        match result {
+            Err(CheckError::OutputMismatch {
+                kernel, schedule, ..
+            }) => {
+                assert_eq!(kernel, "parallel");
+                assert_eq!(schedule, 0, "the fault is schedule-independent");
+            }
+            other => panic!(
+                "mutated co-rank tie break must be caught as an output mismatch, got {other:?}"
+            ),
+        }
+    } else {
+        let report = result.expect("clean build must pass the forced-co-rank schedule check");
         assert!(report.multi_rounds > 0, "{report}");
     }
 }

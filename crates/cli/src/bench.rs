@@ -26,6 +26,7 @@ use std::time::Instant;
 use mergepath::merge::adaptive::{with_dispatch_policy, DispatchPolicy, SegmentKernel};
 use mergepath::merge::parallel::{parallel_merge_into_by, parallel_merge_into_recorded};
 use mergepath::merge::simd::{natural_cmp, simd_enabled};
+use mergepath::merge::stable::stable_parallel_merge_into_recorded;
 use mergepath::sort::parallel::{parallel_merge_sort_by, parallel_merge_sort_recorded};
 use mergepath::telemetry::artifact::{render_artifact, EnvFingerprint};
 use mergepath::telemetry::{NoRecorder, Telemetry, TimelineRecorder};
@@ -120,9 +121,10 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// One family's measurements: the adaptive dispatch plus every pinned
-/// segment kernel (classic, branch-lean, SIMD). Without the `simd` feature
-/// the pinned-SIMD column degenerates to branch-lean numbers, since the
-/// entry point falls back; `simd_enabled` in the payload says which.
+/// segment kernel (classic, branch-lean, SIMD, co-rank). Without the
+/// `simd` feature the pinned-SIMD column degenerates to branch-lean
+/// numbers, since the entry point falls back; `simd_enabled` in the
+/// payload says which.
 #[derive(Debug, Clone)]
 struct FamilyRow {
     family: String,
@@ -130,11 +132,22 @@ struct FamilyRow {
     classic_ns_per_elem: f64,
     branch_lean_ns_per_elem: f64,
     simd_ns_per_elem: f64,
+    co_rank_ns_per_elem: f64,
     comparisons: u64,
-    segments: [u64; 4],
+    segments: [u64; 5],
     max_items: u64,
     predicted_max: u64,
     imbalance: f64,
+    /// Items-based worker imbalance (`max_items · p / n`) of a pinned
+    /// co-rank traced run. Deterministic — it depends only on cut
+    /// arithmetic, never on timing — so `verify-bench` can hard-gate it:
+    /// the exact-balance schedule keeps it within `1 + p/n`.
+    imbalance_co_rank: f64,
+    /// Segments the *pinned* co-rank run routed through the kernel —
+    /// proof in the artifact that the co-rank columns measured the real
+    /// code path (the adaptive `segments` counters only show co-rank
+    /// segments when the probe itself picks the kernel).
+    pinned_co_rank_segments: u64,
 }
 
 fn counter_total(t: &Telemetry, name: &str) -> u64 {
@@ -151,6 +164,7 @@ fn family_row(
     cfg: &BenchConfig,
     mut timed: impl FnMut(),
     traced: impl FnOnce(&TimelineRecorder),
+    co_rank_traced: impl FnOnce(&TimelineRecorder),
 ) -> FamilyRow {
     let adaptive_ns =
         with_dispatch_policy(DispatchPolicy::Adaptive, || median_ns(cfg.reps, &mut timed));
@@ -164,28 +178,49 @@ fn family_row(
     let simd_ns = with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::Simd), || {
         median_ns(cfg.reps, &mut timed)
     });
+    let co_rank_ns = with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::CoRank), || {
+        median_ns(cfg.reps, &mut timed)
+    });
     let telemetry = with_dispatch_policy(DispatchPolicy::Adaptive, || {
         let rec = TimelineRecorder::new();
         traced(&rec);
         rec.finish()
     });
     let report = telemetry.load_balance(n as u64, cfg.threads);
+    // The co-rank column's load balance comes from its own traced run so
+    // the exact-balance claim is measured, not inferred. Items per worker
+    // are schedule arithmetic, hence exactly reproducible.
+    let co_telemetry = with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::CoRank), || {
+        let rec = TimelineRecorder::new();
+        co_rank_traced(&rec);
+        rec.finish()
+    });
+    let co_report = co_telemetry.load_balance(n as u64, cfg.threads);
+    let imbalance_co_rank = if n == 0 {
+        1.0
+    } else {
+        co_report.max_items as f64 * cfg.threads as f64 / n as f64
+    };
     FamilyRow {
         family: family.to_string(),
         adaptive_ns_per_elem: adaptive_ns / n as f64,
         classic_ns_per_elem: classic_ns / n as f64,
         branch_lean_ns_per_elem: branch_lean_ns / n as f64,
         simd_ns_per_elem: simd_ns / n as f64,
+        co_rank_ns_per_elem: co_rank_ns / n as f64,
         comparisons: counter_total(&telemetry, "comparisons"),
         segments: [
             counter_total(&telemetry, "segments_classic"),
             counter_total(&telemetry, "segments_branch_lean"),
             counter_total(&telemetry, "segments_galloping"),
             counter_total(&telemetry, "segments_simd"),
+            counter_total(&telemetry, "segments_co_rank"),
         ],
         max_items: report.max_items,
         predicted_max: report.predicted_max,
         imbalance: report.busy.imbalance,
+        imbalance_co_rank,
+        pinned_co_rank_segments: counter_total(&co_telemetry, "segments_co_rank"),
     }
 }
 
@@ -207,27 +242,34 @@ fn rows_payload(cfg: &BenchConfig, rows: &[FamilyRow]) -> String {
         let _ = write!(
             out,
             "{{\"family\":\"{}\",\"adaptive_ns_per_elem\":{},\"classic_ns_per_elem\":{},\
-             \"branch_lean_ns_per_elem\":{},\"simd_ns_per_elem\":{},\
+             \"branch_lean_ns_per_elem\":{},\"simd_ns_per_elem\":{},\"co_rank_ns_per_elem\":{},\
              \"speedup_vs_classic\":{},\"speedup_simd_vs_classic\":{},\
-             \"speedup_simd_vs_branch_lean\":{},\"comparisons\":{},\"segments_classic\":{},\
+             \"speedup_simd_vs_branch_lean\":{},\"speedup_co_rank_vs_classic\":{},\
+             \"comparisons\":{},\"segments_classic\":{},\
              \"segments_branch_lean\":{},\"segments_galloping\":{},\"segments_simd\":{},\
-             \"max_items\":{},\"predicted_max\":{},\"imbalance\":{}}}",
+             \"segments_co_rank\":{},\"pinned_co_rank_segments\":{},\
+             \"max_items\":{},\"predicted_max\":{},\"imbalance\":{},\"imbalance_co_rank\":{}}}",
             r.family,
             r.adaptive_ns_per_elem,
             r.classic_ns_per_elem,
             r.branch_lean_ns_per_elem,
             r.simd_ns_per_elem,
+            r.co_rank_ns_per_elem,
             r.classic_ns_per_elem / r.adaptive_ns_per_elem.max(f64::MIN_POSITIVE),
             r.classic_ns_per_elem / r.simd_ns_per_elem.max(f64::MIN_POSITIVE),
             r.branch_lean_ns_per_elem / r.simd_ns_per_elem.max(f64::MIN_POSITIVE),
+            r.classic_ns_per_elem / r.co_rank_ns_per_elem.max(f64::MIN_POSITIVE),
             r.comparisons,
             r.segments[0],
             r.segments[1],
             r.segments[2],
             r.segments[3],
+            r.segments[4],
+            r.pinned_co_rank_segments,
             r.max_items,
             r.predicted_max,
             r.imbalance,
+            r.imbalance_co_rank,
         );
     }
     out.push_str("]}");
@@ -237,23 +279,26 @@ fn rows_payload(cfg: &BenchConfig, rows: &[FamilyRow]) -> String {
 fn summarize(title: &str, rows: &[FamilyRow], out: &mut String) {
     let _ = writeln!(
         out,
-        "{title}: family, adaptive/classic/branch-lean/simd ns/elem, adaptive speedup, \
-         segments (c/bl/g/s)"
+        "{title}: family, adaptive/classic/branch-lean/simd/co-rank ns/elem, adaptive speedup, \
+         segments (c/bl/g/s/cr), co-rank imbalance"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "  {:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6.3}x  {}/{}/{}/{}",
+            "  {:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6.3}x  {}/{}/{}/{}/{}  {:.5}",
             r.family,
             r.adaptive_ns_per_elem,
             r.classic_ns_per_elem,
             r.branch_lean_ns_per_elem,
             r.simd_ns_per_elem,
+            r.co_rank_ns_per_elem,
             r.classic_ns_per_elem / r.adaptive_ns_per_elem.max(f64::MIN_POSITIVE),
             r.segments[0],
             r.segments[1],
             r.segments[2],
             r.segments[3],
+            r.segments[4],
+            r.imbalance_co_rank,
         );
     }
 }
@@ -360,6 +405,19 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchArtifacts {
                     let mut traced_out = vec![0u32; cfg.n];
                     parallel_merge_into_recorded(&a, &b, &mut traced_out, cfg.threads, &cmp, rec);
                 },
+                // The co-rank balance row traces the exact-balance entry —
+                // the ⌈n/p⌉ cut schedule is the property being published.
+                |rec| {
+                    let mut traced_out = vec![0u32; cfg.n];
+                    stable_parallel_merge_into_recorded(
+                        &a,
+                        &b,
+                        &mut traced_out,
+                        cfg.threads,
+                        &cmp,
+                        rec,
+                    );
+                },
             )
         })
         .collect();
@@ -378,6 +436,12 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchArtifacts {
                     let mut w = v.clone();
                     parallel_merge_sort_by(&mut w, cfg.threads, &cmp);
                 },
+                |rec| {
+                    let mut w = v.clone();
+                    parallel_merge_sort_recorded(&mut w, cfg.threads, &cmp, rec);
+                },
+                // Sort has no exact-balance top-level entry; the pinned run
+                // still proves the co-rank segment kernel carried the merges.
                 |rec| {
                     let mut w = v.clone();
                     parallel_merge_sort_recorded(&mut w, cfg.threads, &cmp, rec);
@@ -481,13 +545,58 @@ mod tests {
                     "simd_ns_per_elem",
                     "speedup_simd_vs_branch_lean",
                     "segments_simd",
+                    "co_rank_ns_per_elem",
+                    "speedup_co_rank_vs_classic",
+                    "segments_co_rank",
+                    "pinned_co_rank_segments",
+                    "imbalance_co_rank",
                 ] {
                     assert!(
                         f.get(col).and_then(Value::as_f64).is_some(),
                         "missing {col}"
                     );
                 }
+                // The pinned co-rank sweep must have exercised the real
+                // kernel, not a fallback.
+                assert!(
+                    f.get("pinned_co_rank_segments")
+                        .and_then(Value::as_f64)
+                        .unwrap()
+                        > 0.0,
+                    "pinned co-rank run recorded no co-rank segments"
+                );
             }
+        }
+    }
+
+    #[test]
+    fn co_rank_imbalance_is_within_the_exact_balance_bound_on_merges() {
+        // The exact-balance cut schedule hands every non-tail worker
+        // exactly ⌈n/p⌉ output ranks, so the items-based imbalance of the
+        // pinned co-rank merge is at most 1 + p/n — far inside the 1.005
+        // gate `cargo xtask verify-bench` enforces on the committed
+        // artifact. Deterministic: it is cut arithmetic, not timing.
+        let cfg = BenchConfig {
+            n: 1 << 14,
+            threads: 4,
+            seed: 11,
+            reps: 1,
+        };
+        let run = run_bench(&cfg);
+        let doc = json::parse(&run.merge_json).unwrap();
+        let families = doc
+            .get("payload")
+            .and_then(|p| p.get("families"))
+            .and_then(Value::as_array)
+            .unwrap();
+        let bound = 1.0 + cfg.threads as f64 / cfg.n as f64;
+        for f in families {
+            let family = f.get("family").and_then(Value::as_str).unwrap();
+            let imbalance = f.get("imbalance_co_rank").and_then(Value::as_f64).unwrap();
+            assert!(
+                imbalance <= bound + 1e-9,
+                "{family}: co-rank imbalance {imbalance} exceeds 1 + p/n = {bound}"
+            );
         }
     }
 

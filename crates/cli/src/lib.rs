@@ -132,7 +132,7 @@ pub const USAGE: &str = "usage:
   mp select A B --rank K [--numeric]
   mp check  FILE [--numeric]
   mp check  --kernel KERNEL|all [--n N] [--threads P] [--seed S] [--schedules K]
-            [--dispatch adaptive|classic|branch-lean|galloping|simd]
+            [--dispatch adaptive|classic|branch-lean|galloping|simd|co_rank]
   mp trace  --kernel KERNEL
             [--n N] [--threads P] [--seed S] [--trace-out F] [--metrics-out F]
   mp bench  [--n N] [--threads P] [--seed S] [--reps R] [--out-dir D] [--smoke] [--serve]
@@ -247,6 +247,12 @@ pub enum CheckDispatch {
     Galloping,
     /// Force the SIMD segment kernel on primitive-key inputs.
     Simd,
+    /// Force the co-rank stable block kernel. Stays on the provenance-
+    /// tagged `(key, tag)` duplicate-heavy inputs — exactly where stability
+    /// is observable — so the checker's oracle comparison proves the
+    /// kernel's stable tie break along with CREW exclusivity and the
+    /// `⌈E/s⌉` exact-balance cap.
+    CoRank,
 }
 
 impl CheckDispatch {
@@ -257,6 +263,7 @@ impl CheckDispatch {
             "branch-lean" => Ok(CheckDispatch::BranchLean),
             "galloping" => Ok(CheckDispatch::Galloping),
             "simd" => Ok(CheckDispatch::Simd),
+            "co_rank" => Ok(CheckDispatch::CoRank),
             other => Err(CliError::Usage(format!("unknown --dispatch {other:?}"))),
         }
     }
@@ -270,6 +277,7 @@ impl CheckDispatch {
             CheckDispatch::BranchLean => DispatchPolicy::Fixed(SegmentKernel::BranchLean),
             CheckDispatch::Galloping => DispatchPolicy::Fixed(SegmentKernel::Galloping),
             CheckDispatch::Simd => DispatchPolicy::Fixed(SegmentKernel::Simd),
+            CheckDispatch::CoRank => DispatchPolicy::Fixed(SegmentKernel::CoRank),
         }
     }
 }
@@ -1430,6 +1438,14 @@ mod tests {
                 ..
             }
         ));
+        let cmd = parse_args(&argv("check --kernel all --dispatch co_rank")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::CheckSchedules {
+                dispatch: CheckDispatch::CoRank,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1480,7 +1496,16 @@ mod tests {
         // swaps in the primitive-key inputs (meaningful in both build
         // configurations — without the feature the entry point falls back
         // to scalar and the run degenerates to a plain correctness check).
-        for dispatch in ["adaptive", "classic", "branch-lean", "galloping", "simd"] {
+        // `co_rank` deliberately stays on the provenance-tagged keyed
+        // inputs, where the oracle comparison proves its stable tie break.
+        for dispatch in [
+            "adaptive",
+            "classic",
+            "branch-lean",
+            "galloping",
+            "simd",
+            "co_rank",
+        ] {
             let cmd = parse_args(&argv(&format!(
                 "check --kernel parallel --n 600 --threads 3 --schedules 2 --dispatch {dispatch}"
             )))

@@ -11,7 +11,10 @@
 //!   and [`galloping_merge_into_by`] degenerates to two block copies;
 //! * long within-side tie runs (provable with one comparison per sample,
 //!   because the inputs are sorted) ⇒ galloping collapses each tie class
-//!   into `O(log run)` comparisons;
+//!   into `O(log run)` comparisons — unless the comparator is *not* a
+//!   provable primitive natural order, in which case equal elements are
+//!   distinguishable and the duplicate-heavy segment routes to the
+//!   provably stable co-rank block kernel ([`super::stable`]);
 //! * the path hugging an axis for ≥ [`RUN_LEN`] steps at sampled interior
 //!   diagonals ⇒ coarse interleaving, again galloping territory;
 //! * otherwise fine, tie-free interleaving ⇒
@@ -31,7 +34,8 @@ use std::sync::Mutex;
 use mergepath_telemetry::{counted_cmp, CounterKind, Recorder};
 
 use super::sequential::{branch_lean_merge_into_by, galloping_merge_into_by, merge_into_by};
-use super::simd::{simd_eligible, simd_merge_into_by, LANES};
+use super::simd::{natural_order_eligible, simd_eligible, simd_merge_into_by, LANES};
+use super::stable::co_rank_merge_into_by;
 use crate::diagonal::co_rank_by;
 
 /// Segments shorter than this skip the probe entirely and run the classic
@@ -70,15 +74,25 @@ pub enum SegmentKernel {
     /// adaptive probe only *names* this kernel when the vector path would
     /// really run.
     Simd,
+    /// Co-rank stable block merge
+    /// ([`co_rank_merge_into_by`](super::stable::co_rank_merge_into_by)):
+    /// subdivides the output into exact blocks whose boundaries are the
+    /// *unique* stable splits (ties broken A-before-B by global index), so
+    /// stability is a proved property of every block cut rather than an
+    /// emergent one. The probe prefers it on duplicate-heavy segments whose
+    /// comparator is not a provable primitive natural order — exactly where
+    /// stability is observable.
+    CoRank,
 }
 
 impl SegmentKernel {
     /// All kernels, in dispatch-byte order.
-    pub const ALL: [SegmentKernel; 4] = [
+    pub const ALL: [SegmentKernel; 5] = [
         SegmentKernel::Classic,
         SegmentKernel::BranchLean,
         SegmentKernel::Galloping,
         SegmentKernel::Simd,
+        SegmentKernel::CoRank,
     ];
 
     /// Stable lowercase name (telemetry and bench artifacts).
@@ -88,6 +102,7 @@ impl SegmentKernel {
             SegmentKernel::BranchLean => "branch_lean",
             SegmentKernel::Galloping => "galloping",
             SegmentKernel::Simd => "simd",
+            SegmentKernel::CoRank => "co_rank",
         }
     }
 
@@ -98,6 +113,7 @@ impl SegmentKernel {
             SegmentKernel::BranchLean => CounterKind::SegmentsBranchLean,
             SegmentKernel::Galloping => CounterKind::SegmentsGalloping,
             SegmentKernel::Simd => CounterKind::SegmentsSimd,
+            SegmentKernel::CoRank => CounterKind::SegmentsCoRank,
         }
     }
 }
@@ -117,6 +133,7 @@ const POLICY_CLASSIC: u8 = 1;
 const POLICY_BRANCH_LEAN: u8 = 2;
 const POLICY_GALLOPING: u8 = 3;
 const POLICY_SIMD: u8 = 4;
+const POLICY_CO_RANK: u8 = 5;
 
 static POLICY: AtomicU8 = AtomicU8::new(POLICY_ADAPTIVE);
 
@@ -127,6 +144,7 @@ fn encode(policy: DispatchPolicy) -> u8 {
         DispatchPolicy::Fixed(SegmentKernel::BranchLean) => POLICY_BRANCH_LEAN,
         DispatchPolicy::Fixed(SegmentKernel::Galloping) => POLICY_GALLOPING,
         DispatchPolicy::Fixed(SegmentKernel::Simd) => POLICY_SIMD,
+        DispatchPolicy::Fixed(SegmentKernel::CoRank) => POLICY_CO_RANK,
     }
 }
 
@@ -136,6 +154,7 @@ fn decode(bits: u8) -> DispatchPolicy {
         POLICY_BRANCH_LEAN => DispatchPolicy::Fixed(SegmentKernel::BranchLean),
         POLICY_GALLOPING => DispatchPolicy::Fixed(SegmentKernel::Galloping),
         POLICY_SIMD => DispatchPolicy::Fixed(SegmentKernel::Simd),
+        POLICY_CO_RANK => DispatchPolicy::Fixed(SegmentKernel::CoRank),
         _ => DispatchPolicy::Adaptive,
     }
 }
@@ -201,7 +220,19 @@ where
         }
     }
     if dup_a >= DUP_SAMPLES / 2 || dup_b >= DUP_SAMPLES / 2 {
-        return SegmentKernel::Galloping;
+        // Duplicate-heavy segments split on whether stability is
+        // *observable*: under a provable primitive natural order an
+        // element is its key and equal elements are interchangeable, so
+        // galloping's tie-class collapse wins outright. Any other
+        // comparator (keyed pairs, ad-hoc closures) can distinguish equal
+        // elements — the territory of the co-rank kernel, whose block
+        // splits are the provably unique stable cuts and whose balance is
+        // immune to tie-run skew.
+        return if natural_order_eligible::<T, F>(cmp) {
+            SegmentKernel::Galloping
+        } else {
+            SegmentKernel::CoRank
+        };
     }
     // Path-hug probe: co-rank a few interior diagonals (true path points)
     // and ask whether the path stays on one axis for >= RUN_LEN steps.
@@ -276,6 +307,7 @@ where
         SegmentKernel::BranchLean => branch_lean_merge_into_by(a, b, out, cmp),
         SegmentKernel::Galloping => galloping_merge_into_by(a, b, out, cmp),
         SegmentKernel::Simd => simd_merge_into_by(a, b, out, cmp),
+        SegmentKernel::CoRank => co_rank_merge_into_by(a, b, out, cmp),
     }
     kernel
 }
@@ -311,6 +343,7 @@ where
         // the raw comparator; those comparisons go uncounted, which only
         // affects telemetry of an explicitly mis-pinned policy.
         SegmentKernel::Simd => simd_merge_into_by(a, b, out, cmp),
+        SegmentKernel::CoRank => co_rank_merge_into_by(a, b, out, &counted_cmp(cmp, hits)),
     }
     kernel
 }
@@ -376,10 +409,19 @@ mod tests {
     #[test]
     fn probe_detects_duplicate_heavy_sides() {
         // ~64-element tie classes on both sides, overlapping ranges (so the
-        // endpoint shortcut does not fire).
+        // endpoint shortcut does not fire). The local `cmp` fn is *not* the
+        // canonical natural_cmp, so stability is observable and the probe
+        // must pick the provably stable co-rank kernel.
         let a = random_sorted(4_000, 60, 1);
         let b = random_sorted(4_000, 60, 2);
-        assert_eq!(probe_segment(&a, &b, &cmp), SegmentKernel::Galloping);
+        assert_eq!(probe_segment(&a, &b, &cmp), SegmentKernel::CoRank);
+        // Under the canonical natural order an element is its key, so
+        // galloping's tie-class collapse keeps the duplicate-heavy arm.
+        use crate::merge::simd::natural_cmp;
+        assert_eq!(
+            probe_segment(&a, &b, &natural_cmp::<i64>),
+            SegmentKernel::Galloping
+        );
     }
 
     #[test]
@@ -428,6 +470,7 @@ mod tests {
                 // `cmp` is a local fn, not `natural_cmp`, so forcing Simd
                 // exercises the byte-identical scalar fallback.
                 DispatchPolicy::Fixed(SegmentKernel::Simd),
+                DispatchPolicy::Fixed(SegmentKernel::CoRank),
             ] {
                 let mut out = vec![0i64; oracle.len()];
                 let chosen =
@@ -517,6 +560,7 @@ mod tests {
         assert_eq!(SegmentKernel::BranchLean.name(), "branch_lean");
         assert_eq!(SegmentKernel::Galloping.name(), "galloping");
         assert_eq!(SegmentKernel::Simd.name(), "simd");
+        assert_eq!(SegmentKernel::CoRank.name(), "co_rank");
         for kernel in SegmentKernel::ALL {
             assert_eq!(decode(encode(DispatchPolicy::Fixed(kernel))), {
                 DispatchPolicy::Fixed(kernel)

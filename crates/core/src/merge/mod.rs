@@ -15,3 +15,4 @@ pub mod parallel;
 pub mod segmented;
 pub mod sequential;
 pub mod simd;
+pub mod stable;

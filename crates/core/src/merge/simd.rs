@@ -196,19 +196,16 @@ enum SimdClass {
     F32,
 }
 
-/// Comparator-identity eligibility probe. `Some(class)` iff the `simd`
-/// feature is on *and* `F` is the [`natural_cmp`] function item of one of
-/// the [`SimdKey`] primitives — which forces `T` to be that primitive,
-/// because a function item type implements `Fn(&T, &T) -> Ordering` for
-/// exactly its own signature. (The function items carry no lifetime
-/// parameters, so the lifetime-erased `TypeId` comparison cannot collide.)
-fn simd_class<T, F>() -> Option<SimdClass>
+/// Comparator-identity probe, independent of the `simd` cargo feature:
+/// `Some(class)` iff `F` is the [`natural_cmp`] function item of one of the
+/// [`SimdKey`] primitives — which forces `T` to be that primitive, because
+/// a function item type implements `Fn(&T, &T) -> Ordering` for exactly its
+/// own signature. (The function items carry no lifetime parameters, so the
+/// lifetime-erased `TypeId` comparison cannot collide.)
+fn natural_class<T, F>() -> Option<SimdClass>
 where
     F: Fn(&T, &T) -> Ordering,
 {
-    if !simd_enabled() {
-        return None;
-    }
     let f = non_static_type_id::<F>();
     if f == type_id_of_val(&natural_cmp::<u32>) {
         Some(SimdClass::U32)
@@ -223,6 +220,32 @@ where
     } else {
         None
     }
+}
+
+/// Vector-path eligibility: [`natural_class`] gated behind the `simd`
+/// cargo feature (the feature toggles dispatch, never semantics).
+fn simd_class<T, F>() -> Option<SimdClass>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    if !simd_enabled() {
+        return None;
+    }
+    natural_class::<T, F>()
+}
+
+/// Whether `(T, F)` is provably a sealed primitive under its canonical
+/// [`natural_cmp`] — i.e. an element *is* its key, equal elements are
+/// bit-identical, and stability is vacuous. Unlike [`simd_eligible`] this
+/// does not depend on the `simd` cargo feature: the adaptive probe consults
+/// it to decide whether stability is *observable* (keyed comparators,
+/// payload-carrying elements) and the provably stable co-rank kernel
+/// should be preferred on duplicate-heavy segments.
+pub fn natural_order_eligible<T, F>(_cmp: &F) -> bool
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    natural_class::<T, F>().is_some()
 }
 
 /// Whether [`simd_merge_into_by`] would take the vector path for this
@@ -501,6 +524,16 @@ mod tests {
         assert_eq!(simd_eligible::<F32Bits, _>(&natural_cmp), simd_enabled());
         let closure = |x: &u32, y: &u32| x.cmp(y);
         assert!(!simd_eligible::<u32, _>(&closure));
+        // The feature-independent naturalness probe (the adaptive probe's
+        // "is stability observable here?" question) recognizes the same
+        // canonical function items in every build configuration.
+        assert!(natural_order_eligible::<u32, _>(&natural_cmp));
+        assert!(natural_order_eligible::<i64, _>(&natural_cmp));
+        assert!(natural_order_eligible::<F32Bits, _>(&natural_cmp));
+        assert!(!natural_order_eligible::<u32, _>(&closure));
+        assert!(!natural_order_eligible::<(u32, u32), _>(
+            &natural_cmp::<(u32, u32)>
+        ));
         // Telemetry's counting wrapper destroys identity on purpose: a
         // counted comparator must take the (countable) scalar path.
         let hits = core::cell::Cell::new(0u64);

@@ -100,6 +100,9 @@ pub enum CounterKind {
     /// performs zero comparator calls, so these segments contribute
     /// nothing to [`CounterKind::Comparisons`] by design.
     SegmentsSimd,
+    /// Segments routed to the co-rank stable block kernel (exact-balance
+    /// block splits, ties broken A-before-B by construction).
+    SegmentsCoRank,
     /// Requests the serving daemon completed successfully (response handed
     /// back byte-identical to the sequential oracle's answer).
     ServeCompleted,
@@ -122,6 +125,7 @@ impl CounterKind {
             CounterKind::SegmentsBranchLean => "segments_branch_lean",
             CounterKind::SegmentsGalloping => "segments_galloping",
             CounterKind::SegmentsSimd => "segments_simd",
+            CounterKind::SegmentsCoRank => "segments_co_rank",
             CounterKind::ServeCompleted => "serve_completed",
             CounterKind::ServeRejectedQueueFull => "serve_rejected_queue_full",
             CounterKind::ServeRejectedDeadline => "serve_rejected_deadline",
@@ -453,6 +457,7 @@ mod tests {
         );
         assert_eq!(CounterKind::SegmentsGalloping.name(), "segments_galloping");
         assert_eq!(CounterKind::SegmentsSimd.name(), "segments_simd");
+        assert_eq!(CounterKind::SegmentsCoRank.name(), "segments_co_rank");
         assert_eq!(CounterKind::ServeCompleted.name(), "serve_completed");
         assert_eq!(
             CounterKind::ServeRejectedQueueFull.name(),

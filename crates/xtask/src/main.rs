@@ -21,9 +21,11 @@ fn usage() -> ExitCode {
     eprintln!("                   per-worker bounds included)");
     eprintln!("  verify-schedules run `mp check --kernel all` (CREW exclusivity, exact");
     eprintln!("                   coverage and Thm 14 across permuted virtual schedules");
-    eprintln!("                   for every kernel), then rebuild with the injected");
-    eprintln!("                   partition fault (--cfg mergepath_mutate) and prove the");
-    eprintln!("                   checker reports the overlap");
+    eprintln!("                   for every kernel) plus a forced co-rank leg");
+    eprintln!("                   (--dispatch co_rank, stable tie break on keyed inputs),");
+    eprintln!("                   then rebuild with the injected partition fault");
+    eprintln!("                   (--cfg mergepath_mutate) and prove the checker reports");
+    eprintln!("                   the overlap and the co-rank tie-break inversion");
     eprintln!("  bench            run `mp bench` at full scale, refreshing the committed");
     eprintln!("                   BENCH_merge.json / BENCH_sort.json / BENCH_telemetry.json");
     eprintln!("                   at the workspace root");
@@ -35,7 +37,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "                   {HISTORY_WINDOW} same-environment history entries (falling back to the"
     );
-    eprintln!("                   committed artifact when the history is empty)");
+    eprintln!("                   committed artifact when the history is empty); hard-fails");
+    eprintln!("                   when any merge family's pinned co-rank items imbalance");
+    eprintln!(
+        "                   exceeds {CO_RANK_IMBALANCE_CAP} (exact balance is deterministic)"
+    );
     eprintln!("  verify-serve     run `mp bench --smoke --serve` into target/xtask/serve,");
     eprintln!("                   schema-check BENCH_serve.json (all three arrival patterns");
     eprintln!("                   at >= 4 concurrency levels, zero lost requests, zero");
@@ -59,6 +65,14 @@ fn usage() -> ExitCode {
 /// How many trailing same-environment history entries feed the rolling
 /// median that fresh bench numbers are judged against.
 const HISTORY_WINDOW: usize = 5;
+
+/// Hard ceiling on the pinned co-rank merge's items-based worker imbalance
+/// (`max_items · p / n`). The exact-balance cut schedule guarantees
+/// `1 + p/n` (≈ 1.00006 at smoke scale), so 1.005 leaves room for nothing
+/// but a broken schedule — and unlike the ns/element medians the number is
+/// pure cut arithmetic, deterministic across machines, hence a gate rather
+/// than a warning.
+const CO_RANK_IMBALANCE_CAP: f64 = 1.005;
 
 /// Where `verify-bench` accumulates one JSONL line per run.
 const HISTORY_PATH: &str = "results/bench_history.jsonl";
@@ -243,6 +257,10 @@ fn verify_telemetry(opts: BuildOpts) -> ExitCode {
 ///    target directory keeps the mutated artifacts from poisoning the
 ///    normal build cache.
 ///
+/// A second leg always forces the co-rank stable kernel
+/// (`mp check --kernel all --dispatch co_rank`): its inputs stay
+/// provenance-tagged and duplicate-heavy, so the oracle comparison proves
+/// the A-before-B tie break on top of CREW exclusivity and the ⌈E/s⌉ cap.
 /// With `--simd`, a third leg forces the vectorized segment kernel over
 /// primitive-key inputs (`mp check --kernel all --dispatch simd`), and the
 /// mutation leg compiles the lane-swap fault in.
@@ -265,6 +283,9 @@ fn verify_schedules(opts: BuildOpts) -> ExitCode {
         "8",
     ]);
     runs.push(base.clone());
+    let mut co_rank = base.clone();
+    co_rank.extend_from_slice(&["--dispatch", "co_rank"]);
+    runs.push(co_rank);
     if opts.simd {
         let mut forced = base;
         forced.extend_from_slice(&["--dispatch", "simd"]);
@@ -508,6 +529,42 @@ fn warn_on_regression(name: &str, doc_type: &str, fresh: &mergepath_telemetry::j
     }
 }
 
+/// Every merge family's `imbalance_co_rank` (items-based, from the pinned
+/// co-rank traced run over exact-balance cuts) must sit under
+/// [`CO_RANK_IMBALANCE_CAP`]. The duplicate-heavy family is the one the
+/// co-rank kernel exists for, but the exact-balance argument is
+/// input-oblivious, so all four are held to the same cap.
+fn check_co_rank_imbalance(merge: &mergepath_telemetry::json::Value) -> Result<(), String> {
+    use mergepath_telemetry::json::Value;
+    let families = merge
+        .get("payload")
+        .and_then(|p| p.get("families"))
+        .and_then(Value::as_array)
+        .ok_or("payload.families missing")?;
+    let mut seen_dup_heavy = false;
+    for f in families {
+        let family = f
+            .get("family")
+            .and_then(Value::as_str)
+            .ok_or("family row without a name")?;
+        seen_dup_heavy |= family == "duplicate-heavy";
+        let imbalance = f
+            .get("imbalance_co_rank")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{family}: imbalance_co_rank missing"))?;
+        if imbalance > CO_RANK_IMBALANCE_CAP {
+            return Err(format!(
+                "{family}: co-rank items imbalance {imbalance} exceeds the \
+                 {CO_RANK_IMBALANCE_CAP} exact-balance cap"
+            ));
+        }
+    }
+    if !seen_dup_heavy {
+        return Err("duplicate-heavy family missing from the merge sweep".into());
+    }
+    Ok(())
+}
+
 fn verify_bench(opts: BuildOpts) -> ExitCode {
     let dir = std::path::Path::new("target").join("xtask").join("bench");
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -540,6 +597,12 @@ fn verify_bench(opts: BuildOpts) -> ExitCode {
             eprintln!("verify-bench: FAILED: artifacts disagree on the environment fingerprint");
             return ExitCode::FAILURE;
         }
+    }
+    // The exact-balance gate: deterministic, so a violation is a bug in the
+    // cut schedule, never noise.
+    if let Err(e) = check_co_rank_imbalance(&fresh[0]) {
+        eprintln!("verify-bench: FAILED: BENCH_merge.json: {e}");
+        return ExitCode::FAILURE;
     }
     // Judge against the rolling history first; artifacts with no usable
     // history fall back to the committed-baseline comparison.

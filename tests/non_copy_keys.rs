@@ -8,6 +8,7 @@ use mergepath_suite::mergepath::merge::segmented::{
     segmented_parallel_merge_into_by, SpmConfig, Staging,
 };
 use mergepath_suite::mergepath::merge::sequential::merge_into_by;
+use mergepath_suite::mergepath::merge::stable::stable_parallel_merge_into_by;
 use mergepath_suite::mergepath::sort::parallel::parallel_merge_sort_by;
 
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -39,6 +40,9 @@ fn string_keyed_parallel_merge() {
         let mut out = vec![Row::default(); 5500];
         parallel_merge_into_by(&a, &b, &mut out, threads, &by_key);
         assert_eq!(out, expect, "threads={threads}");
+        let mut out = vec![Row::default(); 5500];
+        stable_parallel_merge_into_by(&a, &b, &mut out, threads, &by_key);
+        assert_eq!(out, expect, "stable, threads={threads}");
     }
     // Segmented, both stagings (Clone + Default only).
     for staging in [Staging::Windowed, Staging::Cyclic] {
@@ -94,6 +98,9 @@ mod counted_drop {
     use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering as AtOrd};
     use std::sync::Arc;
 
+    use mergepath_suite::mergepath::merge::adaptive::{
+        with_dispatch_policy, DispatchPolicy, SegmentKernel,
+    };
     use mergepath_suite::mergepath::merge::batch::batch_merge_into_by;
     use mergepath_suite::mergepath::merge::hierarchical::{
         hierarchical_merge_into_by, HierarchicalConfig,
@@ -104,6 +111,7 @@ mod counted_drop {
     use mergepath_suite::mergepath::merge::segmented::{
         segmented_parallel_merge_into_by, SpmConfig,
     };
+    use mergepath_suite::mergepath::merge::stable::stable_parallel_merge_into_by;
     use mergepath_suite::mergepath::sort::cache_aware::{
         cache_aware_parallel_sort_by, CacheAwareConfig,
     };
@@ -175,8 +183,10 @@ mod counted_drop {
         v
     }
 
-    const KERNELS: [&str; 9] = [
+    const KERNELS: [&str; 11] = [
         "parallel",
+        "co-rank",
+        "stable",
         "segmented",
         "batch",
         "inplace",
@@ -207,6 +217,24 @@ mod counted_drop {
                 let (a, b) = (track(&ka), track(&kb));
                 let mut out = vec![CountedDrop::default(); n];
                 parallel_merge_into_by(&a, &b, &mut out, threads, cmp);
+            }
+            "co-rank" => {
+                // Every segment forced through the co-rank stable block
+                // kernel; a fuse can blow inside block_split or inside a
+                // bounded block merge, both of which clone only via
+                // `merge_into_by` into preallocated output.
+                let (a, b) = (track(&ka), track(&kb));
+                let mut out = vec![CountedDrop::default(); n];
+                with_dispatch_policy(DispatchPolicy::Fixed(SegmentKernel::CoRank), || {
+                    parallel_merge_into_by(&a, &b, &mut out, threads, cmp);
+                });
+            }
+            "stable" => {
+                // The exact-balance top-level entry: worker cuts come from
+                // `exact_boundary`, boundaries from the co-rank search.
+                let (a, b) = (track(&ka), track(&kb));
+                let mut out = vec![CountedDrop::default(); n];
+                stable_parallel_merge_into_by(&a, &b, &mut out, threads, cmp);
             }
             "segmented" => {
                 let (a, b) = (track(&ka), track(&kb));

@@ -165,6 +165,10 @@ fn every_dispatch_policy_matches_the_oracle_on_every_family() {
         // point's internal fallback: the comparator is not the canonical
         // one, so every segment must take the scalar path byte-identically.
         DispatchPolicy::Fixed(SegmentKernel::Simd),
+        // Forced-CoRank routes every segment through the co-rank stable
+        // block kernel, whose block cuts are the provably unique stable
+        // splits — these families are where that proof is observable.
+        DispatchPolicy::Fixed(SegmentKernel::CoRank),
     ];
     for (name, ka, kb) in adversarial_inputs() {
         let (a, b) = tag(&ka, &kb);
@@ -213,6 +217,7 @@ fn adaptive_dispatch_survives_permuted_schedules_under_forced_kernels() {
         DispatchPolicy::Fixed(SegmentKernel::BranchLean),
         DispatchPolicy::Fixed(SegmentKernel::Galloping),
         DispatchPolicy::Fixed(SegmentKernel::Simd),
+        DispatchPolicy::Fixed(SegmentKernel::CoRank),
     ] {
         with_dispatch_policy(policy, || {
             for &kernel in &Kernel::ALL {
