@@ -16,6 +16,10 @@
 //! mp serve  [--requests N] [--concurrency C] [--queue-capacity Q]
 //!           [--deadline-ms D] [--pattern P] [--n LEN] [--threads B]
 //!           [--seed S] [--metrics-out DIR]          # live daemon session
+//! mp serve  --listen ADDR [--concurrency C] [--queue-capacity Q]
+//!           [--n LEN] [--threads B]                 # TCP daemon (until stdin EOF)
+//! mp client --addr ADDR [--requests N] [--n LEN] [--seed S]
+//!           [--deadline-ms D] [--malformed] [--out F] # loopback load + oracle check
 //! mp inspect FILE                                   # render metrics / flight dumps
 //! ```
 //!
@@ -50,6 +54,7 @@
 
 pub mod bench;
 pub mod inspect;
+pub mod net_cli;
 pub mod serve_bench;
 
 use std::fmt::Write as _;
@@ -139,6 +144,9 @@ pub const USAGE: &str = "usage:
   mp serve  [--requests N] [--concurrency C] [--queue-capacity Q] [--deadline-ms D]
             [--pattern steady|bursty|heavy-tail] [--n LEN] [--threads B] [--seed S]
             [--metrics-out DIR]
+  mp serve  --listen ADDR [--concurrency C] [--queue-capacity Q] [--n LEN] [--threads B]
+  mp client --addr ADDR [--requests N] [--n LEN] [--seed S] [--deadline-ms D]
+            [--malformed] [--out FILE]
   mp inspect FILE
 where KERNEL is parallel|segmented|batch|inplace|kway|hierarchical|\
 sort-parallel|sort-kway|sort-cache-aware";
@@ -396,6 +404,29 @@ pub enum Command {
         seed: u64,
         /// Live-metrics output directory (`--metrics-out`), if any.
         metrics_out: Option<String>,
+        /// `--listen ADDR`: run the TCP front end instead of the
+        /// self-driving in-process session (handled by the `mp` binary —
+        /// it blocks until stdin EOF).
+        listen: Option<String>,
+    },
+    /// `mp client` — pipelined loopback load against `mp serve --listen`,
+    /// every `ok` response checked against the sequential oracle (see
+    /// [`net_cli`]).
+    Client {
+        /// Daemon address.
+        addr: String,
+        /// Requests to pipeline.
+        requests: usize,
+        /// Mean per-side input length.
+        mean_len: usize,
+        /// Input-synthesis seed.
+        seed: u64,
+        /// Relative deadline per request, milliseconds (0 = none).
+        deadline_ms: u64,
+        /// Also probe protocol hygiene with a malformed frame.
+        malformed: bool,
+        /// Artifact output path (`--out`), if any.
+        out: Option<String>,
     },
     /// `mp inspect` — render a metrics snapshot, flight dump, or
     /// `METRICS_serve.json` envelope human-readably (see [`inspect`]).
@@ -429,8 +460,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut requests = 256usize;
     let mut concurrency = 64usize;
     let mut queue_capacity = 256usize;
-    let mut deadline_ms = 50u64;
+    let mut deadline_ms: Option<u64> = None;
     let mut pattern = ArrivalPattern::Steady;
+    let mut listen: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut malformed = false;
     let mut it = args.iter();
     let sub = it
         .next()
@@ -571,9 +605,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 let d = it
                     .next()
                     .ok_or_else(|| CliError::Usage("--deadline-ms needs a value".into()))?;
-                deadline_ms = d
-                    .parse::<u64>()
-                    .map_err(|_| CliError::Usage(format!("bad deadline {d:?}")))?;
+                deadline_ms = Some(
+                    d.parse::<u64>()
+                        .map_err(|_| CliError::Usage(format!("bad deadline {d:?}")))?,
+                );
+            }
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--listen needs an address".into()))?
+                        .clone(),
+                );
+            }
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--addr needs an address".into()))?
+                        .clone(),
+                );
+            }
+            "--malformed" => malformed = true,
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--out needs a path".into()))?
+                        .clone(),
+                );
             }
             "--pattern" => {
                 let p = it
@@ -666,12 +723,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             requests,
             concurrency,
             queue_capacity,
-            deadline_ms,
+            deadline_ms: deadline_ms.unwrap_or(50),
             pattern,
             mean_len: n.unwrap_or(2048),
             threads,
             seed,
             metrics_out,
+            listen,
+        }),
+        ("client", []) => Ok(Command::Client {
+            addr: addr.ok_or_else(|| CliError::Usage("client needs --addr".into()))?,
+            requests,
+            mean_len: n.unwrap_or(1024),
+            seed,
+            // Unlike `mp serve`, the loopback check defaults to no
+            // deadline: every request should complete and be oracle-checked.
+            deadline_ms: deadline_ms.unwrap_or(0),
+            malformed,
+            out,
         }),
         ("inspect", [file]) => Ok(Command::Inspect {
             file: file.to_string(),
@@ -888,6 +957,20 @@ where
             Ok(summary)
         }
         Command::Serve {
+            listen: Some(listen_addr),
+            concurrency,
+            queue_capacity,
+            mean_len,
+            threads,
+            ..
+        } => net_cli::run_listen(&net_cli::ListenConfig {
+            addr: listen_addr.clone(),
+            concurrency: *concurrency,
+            queue_capacity: *queue_capacity,
+            mean_len: *mean_len,
+            worker_budget: *threads,
+        }),
+        Command::Serve {
             requests,
             concurrency,
             queue_capacity,
@@ -897,6 +980,7 @@ where
             threads,
             seed,
             metrics_out,
+            listen: None,
         } => Ok(serve_bench::run_serve(&serve_bench::ServeRunConfig {
             requests: *requests,
             concurrency: *concurrency,
@@ -908,6 +992,23 @@ where
             seed: *seed,
             metrics_out: metrics_out.clone(),
         })),
+        Command::Client {
+            addr,
+            requests,
+            mean_len,
+            seed,
+            deadline_ms,
+            malformed,
+            out,
+        } => net_cli::run_client(&net_cli::ClientConfig {
+            addr: addr.clone(),
+            requests: *requests,
+            mean_len: *mean_len,
+            seed: *seed,
+            deadline_ms: *deadline_ms,
+            malformed: *malformed,
+            out: out.clone(),
+        }),
         Command::Inspect { file } => inspect::render_inspect(file, &load(file)?),
     }
 }
@@ -1534,6 +1635,7 @@ mod tests {
                 threads: 2,
                 seed: 7,
                 metrics_out: None,
+                listen: None,
             }
         );
         // --metrics-out turns on the live metrics directory.
@@ -1559,6 +1661,55 @@ mod tests {
                 mean_len: 2048,
                 ..
             }
+        ));
+    }
+
+    #[test]
+    fn parse_listen_and_client_commands() {
+        // --listen switches mp serve to the TCP front end.
+        let cmd = parse_args(&argv("serve --listen 127.0.0.1:0 --concurrency 4")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                listen: Some(ref a),
+                concurrency: 4,
+                ..
+            } if a == "127.0.0.1:0"
+        ));
+        let cmd = parse_args(&argv(
+            "client --addr 127.0.0.1:4780 --requests 18 --n 64 --seed 3 --deadline-ms 7 \
+             --malformed --out NET.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                addr: "127.0.0.1:4780".into(),
+                requests: 18,
+                mean_len: 64,
+                seed: 3,
+                deadline_ms: 7,
+                malformed: true,
+                out: Some("NET.json".into()),
+            }
+        );
+        // Client defaults: no deadline (everything should complete), no
+        // artifact, no hygiene probe.
+        let cmd = parse_args(&argv("client --addr 127.0.0.1:1")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Client {
+                deadline_ms: 0,
+                malformed: false,
+                out: None,
+                mean_len: 1024,
+                ..
+            }
+        ));
+        // --addr is mandatory.
+        assert!(matches!(
+            parse_args(&argv("client --requests 4")),
+            Err(CliError::Usage(_))
         ));
     }
 

@@ -28,9 +28,9 @@ use mergepath::merge::sequential::merge_into_by;
 use mergepath::telemetry::artifact::{render_artifact, EnvFingerprint};
 use mergepath::telemetry::TimelineRecorder;
 use mergepath_serve::{
-    replay, NoProbe, NoRecorder, ObserverConfig, Outcome, ReplayConfig, ReplayOutcome, Request,
-    RoundGaugeRecorder, ServeConfig, ServeObserver, ServeProbe, ServeStats, Server, ServiceModel,
-    Waterfall,
+    replay, NoProbe, NoRecorder, ObserverConfig, Outcome, QueuePolicy, ReplayConfig, ReplayOutcome,
+    Request, RoundGaugeRecorder, ServeConfig, ServeObserver, ServeProbe, ServeStats, Server,
+    ServiceModel, Waterfall,
 };
 use mergepath_telemetry::{now_ns, LatencyHistogram};
 use mergepath_workloads::{
@@ -98,6 +98,13 @@ impl ServeBenchConfig {
             mean_len: self.mean_len,
             seed: self.seed,
         }
+    }
+
+    /// Coalescing ceiling for the live runs: several mean-sized merges
+    /// worth of combined output, so queued bursts of small merges batch
+    /// while oversized requests still run alone.
+    fn batch_max_items(&self) -> usize {
+        self.mean_len * 8
     }
 }
 
@@ -217,11 +224,23 @@ struct ServeRow {
     replay_completed: usize,
     replay_rejected_queue_full: usize,
     replay_rejected_deadline: usize,
+    replay_fifo_deadline_miss: usize,
+    replay_edf_deadline_miss: usize,
 }
 
 impl ServeRow {
     fn throughput_rps(&self) -> f64 {
         self.stats.completed as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Mean coalesced-round width: requests per batched round, 0 when the
+    /// cell never batched.
+    fn batch_width(&self) -> f64 {
+        if self.stats.batched_rounds == 0 {
+            0.0
+        } else {
+            self.stats.batched_requests as f64 / self.stats.batched_rounds as f64
+        }
     }
 }
 
@@ -268,8 +287,10 @@ fn rows_payload(cfg: &ServeBenchConfig, rows: &[ServeRow]) -> String {
              \"rejected_queue_full\":{},\"rejected_deadline\":{},\"failed\":{},\"lost\":{},\
              \"correctness_failures\":{},\"queue_depth_peak\":{},\"inflight_peak\":{},\
              \"wall_ns\":{},\"throughput_rps\":{},\"p50_ns\":{},\"p99_ns\":{},\
+             \"serve_batched\":{},\"batched_requests\":{},\"batch_width\":{},\
              \"replay_completed\":{},\"replay_rejected_queue_full\":{},\
-             \"replay_rejected_deadline\":{},\"latency\":{}}}",
+             \"replay_rejected_deadline\":{},\"replay_fifo_deadline_miss\":{},\
+             \"replay_edf_deadline_miss\":{},\"latency\":{}}}",
             r.pattern,
             r.concurrency,
             r.stats.submitted,
@@ -285,9 +306,14 @@ fn rows_payload(cfg: &ServeBenchConfig, rows: &[ServeRow]) -> String {
             r.throughput_rps(),
             r.stats.latency.percentile(0.50),
             r.stats.latency.percentile(0.99),
+            r.stats.batched_rounds,
+            r.stats.batched_requests,
+            r.batch_width(),
             r.replay_completed,
             r.replay_rejected_queue_full,
             r.replay_rejected_deadline,
+            r.replay_fifo_deadline_miss,
+            r.replay_edf_deadline_miss,
             r.stats.latency.to_json(),
         );
     }
@@ -316,28 +342,43 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchArtifacts {
     );
     let _ = writeln!(
         summary,
-        "  pattern      conc   done  rej_q  rej_d   thr(req/s)     p50        p99"
+        "  pattern      conc   done  rej_q  rej_d   thr(req/s)     p50        p99   batched  fifo/edf miss"
     );
     let mut rows = Vec::new();
     for pattern in ArrivalPattern::ALL {
         let plan = arrival_plan(&cfg.plan_config(pattern));
         let prepared = prepare(&plan);
         for &level in &cfg.levels {
-            let log = replay(
-                &plan,
-                &ReplayConfig {
-                    queue_capacity: cfg.queue_capacity,
-                    max_inflight: level,
-                },
-                &REPLAY_SERVICE_MODEL,
-            );
+            // Replay the admission policy under BOTH queue orderings: the
+            // EDF log is the daemon's own policy (and feeds the replay_*
+            // columns); the FIFO log exists purely for the per-cell
+            // deadline-miss comparison the artifact carries.
+            let replay_under = |policy: QueuePolicy| {
+                replay(
+                    &plan,
+                    &ReplayConfig {
+                        queue_capacity: cfg.queue_capacity,
+                        max_inflight: level,
+                        policy,
+                    },
+                    &REPLAY_SERVICE_MODEL,
+                )
+            };
+            let log = replay_under(QueuePolicy::Edf);
+            let log_fifo = replay_under(QueuePolicy::Fifo);
             let count = |o: ReplayOutcome| log.iter().filter(|e| e.outcome == o).count();
+            let fifo_miss = log_fifo
+                .iter()
+                .filter(|e| e.outcome == ReplayOutcome::RejectedDeadline)
+                .count();
             let live = live_run(
                 &prepared,
                 ServeConfig {
                     queue_capacity: cfg.queue_capacity,
                     max_inflight: level,
                     worker_budget: cfg.worker_budget,
+                    policy: QueuePolicy::Edf,
+                    batch_max_items: cfg.batch_max_items(),
                 },
                 NoRecorder,
                 NoProbe,
@@ -363,10 +404,12 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchArtifacts {
                 replay_completed: count(ReplayOutcome::Completed),
                 replay_rejected_queue_full: count(ReplayOutcome::RejectedQueueFull),
                 replay_rejected_deadline: count(ReplayOutcome::RejectedDeadline),
+                replay_fifo_deadline_miss: fifo_miss,
+                replay_edf_deadline_miss: count(ReplayOutcome::RejectedDeadline),
             };
             let _ = writeln!(
                 summary,
-                "  {:<12} {:>4} {:>6} {:>6} {:>6} {:>12.0} {:>9}ns {:>9}ns",
+                "  {:<12} {:>4} {:>6} {:>6} {:>6} {:>12.0} {:>9}ns {:>9}ns  bat={:<4} miss f/e={}/{}",
                 row.pattern,
                 row.concurrency,
                 row.stats.completed,
@@ -375,6 +418,9 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchArtifacts {
                 row.throughput_rps(),
                 row.stats.latency.percentile(0.50),
                 row.stats.latency.percentile(0.99),
+                row.stats.batched_rounds,
+                row.replay_fifo_deadline_miss,
+                row.replay_edf_deadline_miss,
             );
             rows.push(row);
         }
@@ -487,6 +533,8 @@ pub fn run_serve(cfg: &ServeRunConfig) -> String {
             queue_capacity: cfg.queue_capacity,
             max_inflight: cfg.concurrency,
             worker_budget: cfg.worker_budget,
+            policy: QueuePolicy::Edf,
+            batch_max_items: cfg.mean_len * 8,
         },
         rec,
         Arc::clone(&obs),
@@ -540,6 +588,11 @@ pub fn run_serve(cfg: &ServeRunConfig) -> String {
         s.queue_depth_peak,
         live.wall_ns as f64 / 1e6,
         s.completed as f64 / (live.wall_ns.max(1) as f64 / 1e9),
+    );
+    let _ = writeln!(
+        out,
+        "  batching: rounds={} coalesced_requests={}",
+        s.batched_rounds, s.batched_requests,
     );
     let _ = writeln!(
         out,
@@ -598,10 +651,24 @@ pub fn run_serve(cfg: &ServeRunConfig) -> String {
         &ReplayConfig {
             queue_capacity: cfg.queue_capacity,
             max_inflight: cfg.concurrency,
+            policy: QueuePolicy::Edf,
+        },
+        &REPLAY_SERVICE_MODEL,
+    );
+    let log_fifo = replay(
+        &plan,
+        &ReplayConfig {
+            queue_capacity: cfg.queue_capacity,
+            max_inflight: cfg.concurrency,
+            policy: QueuePolicy::Fifo,
         },
         &REPLAY_SERVICE_MODEL,
     );
     let rcount = |o: ReplayOutcome| log.iter().filter(|e| e.outcome == o).count();
+    let fifo_miss = log_fifo
+        .iter()
+        .filter(|e| e.outcome == ReplayOutcome::RejectedDeadline)
+        .count();
     let _ = writeln!(
         out,
         "  replay parity: live completed={} rej_q={} rej_d={} | replay completed={} rej_q={} rej_d={} \
@@ -614,6 +681,12 @@ pub fn run_serve(cfg: &ServeRunConfig) -> String {
         rcount(ReplayOutcome::RejectedDeadline),
         REPLAY_SERVICE_MODEL.base_ns,
         REPLAY_SERVICE_MODEL.per_item_ns,
+    );
+    let _ = writeln!(
+        out,
+        "  policy comparison: deadline misses fifo={} edf={} (replayed over the same plan)",
+        fifo_miss,
+        rcount(ReplayOutcome::RejectedDeadline),
     );
 
     let dumps = obs.dump_paths();
@@ -766,6 +839,10 @@ pub fn measure_serve_overhead(
         queue_capacity: requests.max(1),
         max_inflight: 4,
         worker_budget,
+        policy: QueuePolicy::Edf,
+        // No coalescing: the off/on arms must charge identical per-request
+        // work for the probe-cost delta to be the only variable.
+        batch_max_items: 0,
     };
     let reps = reps.max(21);
     // One observer shared across reps, and one untimed warm-up pair first:
@@ -887,9 +964,14 @@ mod tests {
                 "throughput_rps",
                 "p50_ns",
                 "p99_ns",
+                "serve_batched",
+                "batched_requests",
+                "batch_width",
                 "replay_completed",
                 "replay_rejected_queue_full",
                 "replay_rejected_deadline",
+                "replay_fifo_deadline_miss",
+                "replay_edf_deadline_miss",
             ] {
                 assert!(
                     r.get(col).and_then(Value::as_f64).is_some(),
@@ -903,6 +985,12 @@ mod tests {
             );
             let pattern = r.get("pattern").and_then(Value::as_str).unwrap();
             assert!(ArrivalPattern::parse(pattern).is_some(), "{pattern}");
+            // The replay_* columns are the EDF policy's log — the
+            // deadline-miss pair must agree on the EDF side.
+            assert_eq!(
+                r.get("replay_rejected_deadline").and_then(Value::as_f64),
+                r.get("replay_edf_deadline_miss").and_then(Value::as_f64),
+            );
         }
         assert!(run.summary.contains("steady"));
         assert!(run.summary.contains("bursty"));
@@ -932,7 +1020,10 @@ mod tests {
                             .unwrap(),
                         r.get("replay_rejected_deadline")
                             .and_then(Value::as_f64)
-                            .unwrap(),
+                            .unwrap()
+                            + r.get("replay_fifo_deadline_miss")
+                                .and_then(Value::as_f64)
+                                .unwrap(),
                     )
                 })
                 .collect()
@@ -961,6 +1052,8 @@ mod tests {
         assert!(out.contains("waterfall attribution"));
         assert!(out.contains("compute"));
         assert!(out.contains("replay parity:"));
+        assert!(out.contains("batching: rounds="));
+        assert!(out.contains("policy comparison: deadline misses fifo="));
     }
 
     #[test]

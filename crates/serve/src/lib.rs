@@ -6,12 +6,23 @@
 //! library into that system:
 //!
 //! - [`Server`]: a long-lived daemon accepting many concurrent merge /
-//!   sort [`Request`]s through a **bounded FIFO queue**. Overload is
-//!   answered with explicit backpressure — a synchronous
-//!   [`RejectReason::QueueFull`] at submission, or a
-//!   [`RejectReason::DeadlineExpired`] at dequeue when a request's
-//!   deadline passed while it waited — never a panic, never a partially
-//!   written output buffer.
+//!   sort [`Request`]s through a **bounded queue dequeued in
+//!   [`QueuePolicy`] order** — earliest-deadline-first by default,
+//!   degenerating to exact FIFO when no deadlines are set (or under
+//!   [`QueuePolicy::Fifo`]). Overload is answered with explicit
+//!   backpressure — a synchronous [`RejectReason::QueueFull`] at
+//!   submission, or a [`RejectReason::DeadlineExpired`] at dequeue when
+//!   a request's deadline was reached while it waited (inclusive
+//!   boundary: `dequeue >= deadline` misses) — never a panic, never a
+//!   partially written output buffer.
+//! - **Request batching**: compatible queued small merges (same key
+//!   type and comparator class, combined output within
+//!   [`ServeConfig::batch_max_items`]) coalesce into one
+//!   `merge::batch` pool round instead of N `share = 1` inline runs,
+//!   counted by the `serve_batched` / `batch_width` telemetry counters.
+//! - [`net`]: the TCP front-end — length-prefixed binary framing with a
+//!   hand-rolled codec ([`net::NetServer`] / [`net::NetClient`]), taking
+//!   the daemon out-of-process (`mp serve --listen` / `mp client`).
 //! - **Global worker budgeting**: all requests share the one persistent
 //!   [`executor::Pool`](mergepath::executor); each executing request gets
 //!   [`worker_share`]`(budget, inflight)` logical shares, the same
@@ -40,17 +51,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod net;
 pub mod observe;
 pub mod replay;
 mod server;
 
+pub use net::{NetClient, NetOp, NetRequest, NetResponse, NetServer, NetStatus, ProtocolError};
 pub use observe::{
     AnomalyTrigger, NoProbe, ObserverConfig, RoundGaugeRecorder, ServeObserver, ServeProbe,
 };
 pub use replay::{replay, ReplayConfig, ReplayEntry, ReplayOutcome, ServiceModel};
 pub use server::{
-    worker_share, Outcome, RejectReason, Request, RequestKind, ResponseHandle, ServeConfig,
-    ServeStats, Server,
+    worker_share, Outcome, QueuePolicy, RejectReason, Request, RequestKind, ResponseHandle,
+    ServeConfig, ServeStats, Server,
 };
 
 // Re-exported so callers of the serving API need not name the telemetry

@@ -4,13 +4,16 @@
 //! wall clock, so *which* requests get rejected depends on machine speed
 //! and scheduling noise — fine for latency measurement, useless for
 //! reproducibility. This module re-implements the exact same policy —
-//! FIFO bounded queue, queue-full checked at arrival, deadline checked
-//! when a serving slot frees — as a discrete-event simulation over a
-//! planned arrival schedule and a deterministic integer service-time
-//! model. The outcome log is then a **pure function of
-//! `(seed, config)`**: `tests/serve_determinism.rs` pins this property,
-//! and `BENCH_serve.json` embeds the replay counts as its reproducible
-//! half (live latencies are the measured half).
+//! bounded queue dequeued in [`QueuePolicy`] order (FIFO or EDF,
+//! mirroring the live daemon's selection rule ticket for ticket),
+//! queue-full checked at arrival, deadline checked inclusively
+//! (`now >= deadline` misses) when a serving slot frees — as a
+//! discrete-event simulation over a planned arrival schedule and a
+//! deterministic integer service-time model. The outcome log is then a
+//! **pure function of `(seed, config)`**: `tests/serve_determinism.rs`
+//! pins this property, and `BENCH_serve.json` embeds the replay counts —
+//! including the per-cell FIFO-vs-EDF deadline-miss comparison — as its
+//! reproducible half (live latencies are the measured half).
 //!
 //! The simulation is integer-only (no floats, no real clock), so two runs
 //! on any two machines agree bit-for-bit.
@@ -19,6 +22,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use mergepath_workloads::arrival::RequestSpec;
+
+use crate::server::QueuePolicy;
 
 /// The admission limits the replay shares with the live daemon
 /// (mirrors the corresponding [`ServeConfig`](crate::ServeConfig)
@@ -30,6 +35,10 @@ pub struct ReplayConfig {
     /// Number of serving slots (maximum concurrently executing
     /// requests).
     pub max_inflight: usize,
+    /// Dequeue ordering — the same [`QueuePolicy`] the live daemon
+    /// applies, so a replay under `Edf` predicts the daemon's EDF
+    /// behaviour and one under `Fifo` gives the counterfactual.
+    pub policy: QueuePolicy,
 }
 
 /// Deterministic service-time model:
@@ -112,11 +121,41 @@ pub fn replay(plan: &[RequestSpec], cfg: &ReplayConfig, model: &ServiceModel) ->
     let mut slots: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
     let mut queue: VecDeque<Waiting> = VecDeque::new();
 
+    // The next queued request under `policy` — the replay twin of the
+    // live daemon's `next_index`: FIFO takes the front, EDF the smallest
+    // deadline (0 = none ranks last, earliest-queued wins ties).
+    fn take_next(queue: &mut VecDeque<Waiting>, policy: QueuePolicy) -> Option<Waiting> {
+        if queue.is_empty() {
+            return None;
+        }
+        match policy {
+            QueuePolicy::Fifo => queue.pop_front(),
+            QueuePolicy::Edf => {
+                let mut best = 0usize;
+                let mut best_key = u64::MAX;
+                for (i, w) in queue.iter().enumerate() {
+                    let key = if w.deadline_abs == 0 {
+                        u64::MAX
+                    } else {
+                        w.deadline_abs
+                    };
+                    if key < best_key {
+                        best_key = key;
+                        best = i;
+                    }
+                }
+                queue.remove(best)
+            }
+        }
+    }
+
     // Frees every slot whose completion is ≤ `now`, immediately refilling
-    // each from the FIFO queue (deadline judged at the instant the slot
-    // frees — the replay twin of the live dequeue-time check).
+    // each from the queue in policy order (deadline judged inclusively at
+    // the instant the slot frees — the replay twin of the live
+    // dequeue-time `>=` check).
     fn drain_until<F: FnMut(ReplayEntry)>(
         now: u64,
+        policy: QueuePolicy,
         slots: &mut BinaryHeap<Reverse<u64>>,
         queue: &mut VecDeque<Waiting>,
         emit: &mut F,
@@ -126,10 +165,10 @@ pub fn replay(plan: &[RequestSpec], cfg: &ReplayConfig, model: &ServiceModel) ->
                 break;
             }
             slots.pop();
-            // The slot freed at time t: hand it to the longest-waiting
+            // The slot freed at time t: hand it to the policy's next
             // queued request whose deadline still stands.
-            while let Some(w) = queue.pop_front() {
-                if w.deadline_abs != 0 && t > w.deadline_abs {
+            while let Some(w) = take_next(queue, policy) {
+                if w.deadline_abs != 0 && t >= w.deadline_abs {
                     emit(ReplayEntry {
                         id: w.id,
                         outcome: ReplayOutcome::RejectedDeadline,
@@ -153,7 +192,7 @@ pub fn replay(plan: &[RequestSpec], cfg: &ReplayConfig, model: &ServiceModel) ->
     for spec in plan {
         let now = spec.arrival_ns;
         let mut emit = |e: ReplayEntry| log.push(e);
-        drain_until(now, &mut slots, &mut queue, &mut emit);
+        drain_until(now, cfg.policy, &mut slots, &mut queue, &mut emit);
         let deadline_abs = if spec.deadline_ns == 0 {
             0
         } else {
@@ -188,7 +227,7 @@ pub fn replay(plan: &[RequestSpec], cfg: &ReplayConfig, model: &ServiceModel) ->
     // End of arrivals: let the system run dry.
     {
         let mut emit = |e: ReplayEntry| log.push(e);
-        drain_until(u64::MAX, &mut slots, &mut queue, &mut emit);
+        drain_until(u64::MAX, cfg.policy, &mut slots, &mut queue, &mut emit);
     }
     debug_assert!(queue.is_empty(), "drain must empty the queue");
     log.sort_unstable_by_key(|e| e.id);
@@ -227,6 +266,7 @@ mod tests {
         let cfg = ReplayConfig {
             queue_capacity: 1,
             max_inflight: 1,
+            policy: QueuePolicy::Fifo,
         };
         let log = replay(&plan, &cfg, &UNIT);
         assert_eq!(log.len(), 3);
@@ -247,6 +287,7 @@ mod tests {
         let cfg = ReplayConfig {
             queue_capacity: 4,
             max_inflight: 1,
+            policy: QueuePolicy::Fifo,
         };
         let log = replay(&plan, &cfg, &UNIT);
         assert_eq!(log[1].outcome, ReplayOutcome::RejectedDeadline);
@@ -263,6 +304,7 @@ mod tests {
         let cfg = ReplayConfig {
             queue_capacity: 4,
             max_inflight: 1,
+            policy: QueuePolicy::Fifo,
         };
         let log = replay(&plan, &cfg, &UNIT);
         assert!(log.iter().all(|e| e.outcome == ReplayOutcome::Completed));
@@ -275,6 +317,7 @@ mod tests {
         let cfg = ReplayConfig {
             queue_capacity: 1,
             max_inflight: 2,
+            policy: QueuePolicy::Fifo,
         };
         let log = replay(&plan, &cfg, &UNIT);
         assert_eq!(log[0].start_ns, 0);
@@ -284,61 +327,127 @@ mod tests {
     #[test]
     fn replay_is_total_and_deterministic_over_generated_plans() {
         for pattern in ArrivalPattern::ALL {
-            let plan = arrival_plan(&PlanConfig {
-                pattern,
-                requests: 2000,
-                mean_gap_ns: 10_000,
-                deadline_ns: 400_000,
-                mean_len: 2000,
-                seed: 99,
-            });
-            let cfg = ReplayConfig {
-                queue_capacity: 16,
-                max_inflight: 4,
-            };
-            let model = ServiceModel {
-                base_ns: 5_000,
-                per_item_ns: 10,
-            };
-            let a = replay(&plan, &cfg, &model);
-            let b = replay(&plan, &cfg, &model);
-            assert_eq!(a, b, "{}: replay must be deterministic", pattern.name());
-            // Total: every id exactly once, in order.
-            assert_eq!(a.len(), plan.len());
-            for (i, e) in a.iter().enumerate() {
-                assert_eq!(e.id, i, "{}: lost or duplicated request", pattern.name());
-            }
-            // Under this overload there must be visible backpressure of
-            // both kinds (the bench relies on rejections being exercised).
-            let qf = a
-                .iter()
-                .filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull)
-                .count();
-            let dl = a
-                .iter()
-                .filter(|e| e.outcome == ReplayOutcome::RejectedDeadline)
-                .count();
-            let done = a
-                .iter()
-                .filter(|e| e.outcome == ReplayOutcome::Completed)
-                .count();
-            assert!(done > 0, "{}: nothing completed", pattern.name());
-            assert!(
-                qf + dl > 0,
-                "{}: overload produced no rejections",
-                pattern.name()
-            );
-            // Completed requests never start before arrival and respect
-            // their deadline at start time.
-            for e in &a {
-                if e.outcome == ReplayOutcome::Completed {
-                    let s = &plan[e.id];
-                    assert!(e.start_ns >= s.arrival_ns);
-                    if s.deadline_ns != 0 {
-                        assert!(e.start_ns <= s.arrival_ns + s.deadline_ns);
+            for policy in QueuePolicy::ALL {
+                let plan = arrival_plan(&PlanConfig {
+                    pattern,
+                    requests: 2000,
+                    mean_gap_ns: 10_000,
+                    deadline_ns: 400_000,
+                    mean_len: 2000,
+                    seed: 99,
+                });
+                let cfg = ReplayConfig {
+                    queue_capacity: 16,
+                    max_inflight: 4,
+                    policy,
+                };
+                let model = ServiceModel {
+                    base_ns: 5_000,
+                    per_item_ns: 10,
+                };
+                let a = replay(&plan, &cfg, &model);
+                let b = replay(&plan, &cfg, &model);
+                assert_eq!(a, b, "{}: replay must be deterministic", pattern.name());
+                // Total: every id exactly once, in order.
+                assert_eq!(a.len(), plan.len());
+                for (i, e) in a.iter().enumerate() {
+                    assert_eq!(e.id, i, "{}: lost or duplicated request", pattern.name());
+                }
+                // Under this overload there must be visible backpressure of
+                // both kinds (the bench relies on rejections being exercised).
+                let qf = a
+                    .iter()
+                    .filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull)
+                    .count();
+                let dl = a
+                    .iter()
+                    .filter(|e| e.outcome == ReplayOutcome::RejectedDeadline)
+                    .count();
+                let done = a
+                    .iter()
+                    .filter(|e| e.outcome == ReplayOutcome::Completed)
+                    .count();
+                assert!(done > 0, "{}: nothing completed", pattern.name());
+                assert!(
+                    qf + dl > 0,
+                    "{}: overload produced no rejections",
+                    pattern.name()
+                );
+                // Completed requests never start before arrival and start
+                // strictly inside their deadline (inclusive boundary: at
+                // the deadline is already a miss).
+                for e in &a {
+                    if e.outcome == ReplayOutcome::Completed {
+                        let s = &plan[e.id];
+                        assert!(e.start_ns >= s.arrival_ns);
+                        if s.deadline_ns != 0 {
+                            assert!(e.start_ns < s.arrival_ns + s.deadline_ns);
+                        }
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn edf_completes_what_fifo_sacrifices() {
+        // One slot held until t=100 by r0. r1 (deadline t=300) arrives
+        // before r2 (deadline t=110); both need 50ns of service. FIFO
+        // serves r1 first, so r2's deadline passes in queue; EDF serves
+        // the tighter r2 first and both complete.
+        let plan = [spec(0, 0, 0, 50), spec(1, 10, 290, 25), spec(2, 20, 90, 25)];
+        let fifo = replay(
+            &plan,
+            &ReplayConfig {
+                queue_capacity: 4,
+                max_inflight: 1,
+                policy: QueuePolicy::Fifo,
+            },
+            &UNIT,
+        );
+        assert_eq!(fifo[1].outcome, ReplayOutcome::Completed);
+        assert_eq!((fifo[1].start_ns, fifo[1].finish_ns), (100, 150));
+        assert_eq!(fifo[2].outcome, ReplayOutcome::RejectedDeadline);
+        assert_eq!(fifo[2].finish_ns, 150, "judged when the slot freed");
+
+        let edf = replay(
+            &plan,
+            &ReplayConfig {
+                queue_capacity: 4,
+                max_inflight: 1,
+                policy: QueuePolicy::Edf,
+            },
+            &UNIT,
+        );
+        assert_eq!(edf[2].outcome, ReplayOutcome::Completed);
+        assert_eq!((edf[2].start_ns, edf[2].finish_ns), (100, 150));
+        assert_eq!(edf[1].outcome, ReplayOutcome::Completed);
+        assert_eq!((edf[1].start_ns, edf[1].finish_ns), (150, 200));
+    }
+
+    #[test]
+    fn slot_freeing_exactly_at_the_deadline_rejects() {
+        // r1's absolute deadline is 10 + 90 = 100 — exactly when r0's
+        // slot frees. The inclusive boundary rejects it: at the deadline
+        // is already too late (the strict `>` rule would have served it).
+        let plan = [spec(0, 0, 0, 50), spec(1, 10, 90, 25)];
+        for policy in QueuePolicy::ALL {
+            let log = replay(
+                &plan,
+                &ReplayConfig {
+                    queue_capacity: 4,
+                    max_inflight: 1,
+                    policy,
+                },
+                &UNIT,
+            );
+            assert_eq!(
+                log[1].outcome,
+                ReplayOutcome::RejectedDeadline,
+                "{}: t == deadline must miss",
+                policy.name()
+            );
+            assert_eq!(log[1].finish_ns, 100);
         }
     }
 
@@ -355,6 +464,7 @@ mod tests {
         let cfg = ReplayConfig {
             queue_capacity: 500,
             max_inflight: 8,
+            policy: QueuePolicy::Edf,
         };
         let model = ServiceModel {
             base_ns: 100,

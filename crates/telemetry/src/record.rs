@@ -112,6 +112,15 @@ pub enum CounterKind {
     /// Requests the serving daemon rejected at dequeue because their
     /// deadline had already expired before execution could begin.
     ServeRejectedDeadline,
+    /// Coalesced batch rounds the serving daemon executed: one increment
+    /// per pool round that merged two or more compatible queued requests
+    /// through `merge::batch` instead of running them as separate
+    /// `share = 1` inline merges.
+    ServeBatched,
+    /// Total requests folded into coalesced batch rounds (the sum of the
+    /// widths of every [`CounterKind::ServeBatched`] round, so
+    /// `batch_width / serve_batched` is the mean coalescing width).
+    BatchWidth,
 }
 
 impl CounterKind {
@@ -129,6 +138,8 @@ impl CounterKind {
             CounterKind::ServeCompleted => "serve_completed",
             CounterKind::ServeRejectedQueueFull => "serve_rejected_queue_full",
             CounterKind::ServeRejectedDeadline => "serve_rejected_deadline",
+            CounterKind::ServeBatched => "serve_batched",
+            CounterKind::BatchWidth => "batch_width",
         }
     }
 }
@@ -467,5 +478,7 @@ mod tests {
             CounterKind::ServeRejectedDeadline.name(),
             "serve_rejected_deadline"
         );
+        assert_eq!(CounterKind::ServeBatched.name(), "serve_batched");
+        assert_eq!(CounterKind::BatchWidth.name(), "batch_width");
     }
 }

@@ -67,7 +67,10 @@ pub struct PlanConfig {
     pub requests: usize,
     /// Target long-run mean gap between arrivals, nanoseconds.
     pub mean_gap_ns: u64,
-    /// Relative deadline assigned to every request (0 = no deadline).
+    /// Mean relative deadline; each request draws its own deadline
+    /// uniformly from `[mean/2, 3·mean/2)` (mean-preserving, like the
+    /// length sampling), so deadline-aware queue policies (EDF) have
+    /// real reordering decisions to make. 0 = no deadlines anywhere.
     pub deadline_ns: u64,
     /// Mean per-side input length; actual lengths are uniform in
     /// `[mean/2, 3·mean/2)` per side (and at least 1).
@@ -103,12 +106,16 @@ pub struct RequestSpec {
 ///
 /// `burst_left` carries the bursty pattern's state (requests remaining in
 /// the current burst); the other patterns ignore it.
+/// All arithmetic saturates: at `u64::MAX`-adjacent means the sampled gap
+/// clamps to `u64::MAX` instead of wrapping, so `arrival_plan` stays a
+/// pure, monotone function of `(seed, config)` over the *entire* `u64`
+/// domain (the clock addition already saturates on its side).
 fn next_gap(pattern: ArrivalPattern, mean: u64, rng: &mut Prng, burst_left: &mut u32) -> u64 {
     let mean = mean.max(1);
     match pattern {
         ArrivalPattern::Steady => {
             // Uniform in [mean/2, 3·mean/2): mean-preserving, low variance.
-            mean / 2 + rng.below(mean)
+            (mean / 2).saturating_add(rng.below(mean))
         }
         ArrivalPattern::Bursty => {
             if *burst_left == 0 {
@@ -117,8 +124,8 @@ fn next_gap(pattern: ArrivalPattern, mean: u64, rng: &mut Prng, burst_left: &mut
                 // `burst_len · mean` so the long-run rate matches.
                 let burst_len = 4 + rng.below(13) as u32;
                 *burst_left = burst_len;
-                let silence = mean * burst_len as u64;
-                silence / 2 + rng.below(silence)
+                let silence = mean.saturating_mul(burst_len as u64);
+                (silence / 2).saturating_add(rng.below(silence))
             } else {
                 *burst_left -= 1;
                 // Intra-burst: ~mean/16-scale spacing.
@@ -131,7 +138,7 @@ fn next_gap(pattern: ArrivalPattern, mean: u64, rng: &mut Prng, burst_left: &mut
             // gaps dominate, rare gaps reach 256× the base.
             let coins = rng.next_u64();
             let k = (coins.trailing_ones()).min(8);
-            (mean / 4).max(1) << k
+            (mean / 4).max(1).saturating_mul(1u64 << k)
         }
     }
 }
@@ -157,6 +164,18 @@ pub fn arrival_plan(cfg: &PlanConfig) -> Vec<RequestSpec> {
         let workload = MergeWorkload::ALL[rng.below(MergeWorkload::ALL.len() as u64) as usize];
         let len_a = (mean_len / 2 + rng.below(mean_len)).max(1) as usize;
         let len_b = (mean_len / 2 + rng.below(mean_len)).max(1) as usize;
+        // Per-request deadline jitter: with every deadline identical the
+        // EDF order is the FIFO order (absolute deadlines monotone in
+        // arrival), so the policy comparison would be vacuous. Saturating,
+        // and clamped to >= 1 so a jittered deadline never collapses into
+        // the 0 = "no deadline" sentinel.
+        let deadline_ns = if cfg.deadline_ns == 0 {
+            0
+        } else {
+            (cfg.deadline_ns / 2)
+                .saturating_add(rng.below(cfg.deadline_ns))
+                .max(1)
+        };
         // Mix the root seed with the id so per-request data streams are
         // independent yet reproducible in isolation.
         let mut mix = cfg.seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15);
@@ -164,7 +183,7 @@ pub fn arrival_plan(cfg: &PlanConfig) -> Vec<RequestSpec> {
         plan.push(RequestSpec {
             id,
             arrival_ns: clock,
-            deadline_ns: cfg.deadline_ns,
+            deadline_ns,
             workload,
             len_a,
             len_b,
@@ -217,9 +236,22 @@ mod tests {
                 prev = r.arrival_ns;
                 assert!(r.len_a >= 1 && r.len_b >= 1);
                 assert!(r.len_a < 4096 * 2 && r.len_b < 4096 * 2);
-                assert_eq!(r.deadline_ns, 5_000_000);
+                // Jittered deadlines: uniform in [mean/2, 3·mean/2).
+                assert!(r.deadline_ns >= 2_500_000 && r.deadline_ns < 7_500_000);
             }
+            // The jitter must produce real heterogeneity — identical
+            // deadlines would make EDF degenerate to FIFO plan-wide.
+            let distinct: std::collections::BTreeSet<u64> =
+                plan.iter().map(|r| r.deadline_ns).collect();
+            assert!(distinct.len() > 100, "deadline jitter looks degenerate");
         }
+    }
+
+    #[test]
+    fn zero_mean_deadline_means_no_deadlines_anywhere() {
+        let mut c = cfg(ArrivalPattern::Steady, 7);
+        c.deadline_ns = 0;
+        assert!(arrival_plan(&c).iter().all(|r| r.deadline_ns == 0));
     }
 
     #[test]
@@ -269,6 +301,104 @@ mod tests {
                 (mean / 4..mean * 4).contains(&avg),
                 "{name}: long-run mean {avg} far from {mean}"
             );
+        }
+    }
+
+    /// Regression pin for the gap-sampler overflow bugs: before the
+    /// saturating rewrite, `mean * burst_len` (bursty silence) and
+    /// `(mean/4) << k` (heavy-tail lull) wrapped for `u64::MAX`-adjacent
+    /// means, producing *small* gaps — arrival times went backwards in
+    /// spirit (the plan's purity contract broke because debug and release
+    /// builds disagreed). Saturating arithmetic clamps every gap at
+    /// `u64::MAX` instead.
+    #[test]
+    fn extreme_means_saturate_instead_of_wrapping() {
+        for pattern in ArrivalPattern::ALL {
+            for mean in [u64::MAX, u64::MAX - 1, u64::MAX / 2 + 1, 1u64 << 62] {
+                let plan = arrival_plan(&PlanConfig {
+                    pattern,
+                    requests: 64,
+                    mean_gap_ns: mean,
+                    deadline_ns: 0,
+                    mean_len: 16,
+                    seed: 9,
+                });
+                let mut prev = 0u64;
+                for r in &plan {
+                    assert!(
+                        r.arrival_ns >= prev,
+                        "{} mean {mean}: arrivals went backwards",
+                        pattern.name()
+                    );
+                    prev = r.arrival_ns;
+                }
+                // A first gap at these means is at least mean/16-scale or
+                // clamped to the end of the clock — never a tiny wrapped
+                // remainder. Steady and heavy-tail first gaps are
+                // >= mean/4 by construction.
+                if matches!(pattern, ArrivalPattern::Steady | ArrivalPattern::HeavyTail) {
+                    assert!(
+                        plan[0].arrival_ns >= mean / 4,
+                        "{} mean {mean}: wrapped gap {}",
+                        pattern.name(),
+                        plan[0].arrival_ns
+                    );
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Purity and monotonicity hold at `u64::MAX`-adjacent means —
+        /// the overflow corner the bugfix targets: same config ⇒
+        /// identical plan, arrivals non-decreasing, and the clock clamps
+        /// at `u64::MAX` rather than wrapping.
+        fn u64_max_adjacent_means_keep_plans_pure(
+            pat in 0usize..3,
+            mean in (u64::MAX - 4096)..=u64::MAX,
+            seed in 0u64..=u64::MAX,
+        ) {
+            let cfg = PlanConfig {
+                pattern: ArrivalPattern::ALL[pat],
+                requests: 48,
+                mean_gap_ns: mean,
+                deadline_ns: 1_000,
+                mean_len: 8,
+                seed,
+            };
+            let a = arrival_plan(&cfg);
+            let b = arrival_plan(&cfg);
+            proptest::prop_assert_eq!(&a, &b, "plan must stay pure");
+            let mut prev = 0u64;
+            for r in &a {
+                proptest::prop_assert!(r.arrival_ns >= prev, "non-decreasing");
+                prev = r.arrival_ns;
+            }
+        }
+
+        /// The half-domain corner (`mean ≈ u64::MAX/2`) that the bursty
+        /// silence multiplication (`mean · burst_len`) used to wrap on.
+        fn half_domain_means_keep_plans_pure(
+            pat in 0usize..3,
+            mean in (u64::MAX / 2 - 512)..=(u64::MAX / 2 + 512),
+            seed in 0u64..=u64::MAX,
+        ) {
+            let cfg = PlanConfig {
+                pattern: ArrivalPattern::ALL[pat],
+                requests: 48,
+                mean_gap_ns: mean,
+                deadline_ns: 1_000,
+                mean_len: 8,
+                seed,
+            };
+            let a = arrival_plan(&cfg);
+            let b = arrival_plan(&cfg);
+            proptest::prop_assert_eq!(&a, &b, "plan must stay pure");
+            let mut prev = 0u64;
+            for r in &a {
+                proptest::prop_assert!(r.arrival_ns >= prev, "non-decreasing");
+                prev = r.arrival_ns;
+            }
         }
     }
 

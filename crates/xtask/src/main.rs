@@ -47,6 +47,12 @@ fn usage() -> ExitCode {
     eprintln!("                   at >= 4 concurrency levels, zero lost requests, zero");
     eprintln!("                   correctness failures) and append a serve_history line to");
     eprintln!("                   results/bench_history.jsonl");
+    eprintln!("  verify-net       spawn `mp serve --listen 127.0.0.1:0` out of process,");
+    eprintln!("                   drive `mp client --malformed` over the loopback TCP");
+    eprintln!("                   socket (nine adversarial families, oracle-checked, plus");
+    eprintln!("                   a garbage-frame hygiene probe), schema-check the");
+    eprintln!("                   NET_loopback.json artifact and require a clean lost=0");
+    eprintln!("                   daemon shutdown");
     eprintln!("  verify-metrics   run an overloaded `mp serve --metrics-out` (bursty");
     eprintln!("                   arrivals, 1 ms deadline) into target/xtask/metrics and");
     eprintln!("                   schema-check everything the live layer wrote: the");
@@ -642,6 +648,7 @@ fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), Str
     }
     let mut patterns = std::collections::BTreeSet::new();
     let mut levels = std::collections::BTreeSet::new();
+    let mut bursty_batched_rounds = 0.0;
     for (i, r) in rows.iter().enumerate() {
         let pattern = r
             .get("pattern")
@@ -653,10 +660,26 @@ fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), Str
             .and_then(Value::as_f64)
             .ok_or_else(|| format!("row {i}: concurrency missing"))? as u64;
         levels.insert(level);
-        for col in ["throughput_rps", "p50_ns", "p99_ns", "completed"] {
+        for col in [
+            "throughput_rps",
+            "p50_ns",
+            "p99_ns",
+            "completed",
+            "serve_batched",
+            "batched_requests",
+            "batch_width",
+            "replay_fifo_deadline_miss",
+            "replay_edf_deadline_miss",
+        ] {
             if r.get(col).and_then(Value::as_f64).is_none() {
                 return Err(format!("row {i} ({pattern} @ {level}): {col} missing"));
             }
+        }
+        if pattern == "bursty" {
+            bursty_batched_rounds += r
+                .get("serve_batched")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
         }
         for (col, want) in [
             ("lost", 0.0),
@@ -684,6 +707,14 @@ fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), Str
             "only {} distinct concurrency level(s); the sweep needs >= 4",
             levels.len()
         ));
+    }
+    // The batching witness: bursty arrivals pile compatible small merges
+    // into the queue, so the daemon must have coalesced at least one pool
+    // round somewhere in the bursty cells.
+    if bursty_batched_rounds <= 0.0 {
+        return Err(
+            "no bursty row recorded a batched round (serve_batched == 0 everywhere)".into(),
+        );
     }
     Ok(())
 }
@@ -757,6 +788,217 @@ fn verify_serve(opts: BuildOpts) -> ExitCode {
     println!(
         "verify-serve: OK (3 patterns x >=4 concurrency levels; zero lost requests, \
          zero correctness failures)"
+    );
+    ExitCode::SUCCESS
+}
+
+/// Validates one fresh `net_loopback` payload: every request answered Ok
+/// and byte-identical to the sequential oracle, all nine adversarial
+/// families exercised, and the malformed-frame probe confirming the
+/// daemon closed the abusive connection yet survived to serve another.
+fn check_net_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), String> {
+    use mergepath_telemetry::json::Value;
+    let payload = doc.get("payload").ok_or("payload missing")?;
+    let num = |key: &str| -> Result<f64, String> {
+        payload
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("payload.{key} missing"))
+    };
+    let requests = num("requests")?;
+    if requests <= 0.0 {
+        return Err("payload.requests is zero".into());
+    }
+    if num("ok")? != requests {
+        return Err(format!("ok = {} of {requests} requests", num("ok")?));
+    }
+    for key in [
+        "mismatches",
+        "rejected_queue_full",
+        "rejected_deadline",
+        "failed",
+    ] {
+        if num(key)? != 0.0 {
+            return Err(format!("payload.{key} = {}, want 0", num(key)?));
+        }
+    }
+    let families = payload
+        .get("families")
+        .and_then(Value::as_array)
+        .ok_or("payload.families missing")?;
+    if families.len() != 9 {
+        return Err(format!(
+            "{} merge families exercised, want all 9",
+            families.len()
+        ));
+    }
+    let probe = payload
+        .get("malformed_probe")
+        .ok_or("payload.malformed_probe missing (client must run with --malformed)")?;
+    for key in ["connection_closed", "daemon_survived"] {
+        match probe.get(key) {
+            Some(Value::Bool(true)) => {}
+            other => return Err(format!("malformed_probe.{key} = {other:?}, want true")),
+        }
+    }
+    Ok(())
+}
+
+/// End-to-end loopback gate for the out-of-process daemon: spawn
+/// `mp serve --listen 127.0.0.1:0`, parse the ephemeral port off its
+/// stdout, drive `mp client --malformed` against it (nine families,
+/// oracle-checked, plus the garbage-frame hygiene probe), schema-check
+/// the `NET_loopback.json` artifact, then close the daemon's stdin and
+/// require a clean `lost=0` shutdown line.
+fn verify_net(opts: BuildOpts) -> ExitCode {
+    use std::io::{BufRead as _, BufReader, Read as _};
+    use std::process::Stdio;
+
+    let dir = std::path::Path::new("target").join("xtask").join("net");
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("verify-net: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Build up front so the daemon spawn below goes straight to execution
+    // and its first stdout line is the listen banner.
+    let mut build = vec![
+        "build",
+        "--offline",
+        "--release",
+        "-q",
+        "-p",
+        "mergepath-cli",
+        "--bin",
+        "mp",
+    ];
+    build.extend_from_slice(opts.feature_args());
+    if !cargo(&build) {
+        eprintln!("verify-net: FAILED building the mp binary");
+        return ExitCode::FAILURE;
+    }
+
+    let cargo_bin = env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut daemon_args = vec![
+        "run".to_string(),
+        "--offline".into(),
+        "--release".into(),
+        "-q".into(),
+        "-p".into(),
+        "mergepath-cli".into(),
+    ];
+    daemon_args.extend(opts.feature_args().iter().map(|s| s.to_string()));
+    for a in [
+        "--bin",
+        "mp",
+        "--",
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--concurrency",
+        "4",
+        "--queue-capacity",
+        "256",
+        "--n",
+        "256",
+        "--threads",
+        "2",
+    ] {
+        daemon_args.push(a.to_string());
+    }
+    println!("$ cargo {} &", daemon_args.join(" "));
+    let mut daemon = match std::process::Command::new(&cargo_bin)
+        .args(&daemon_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => {
+            eprintln!("verify-net: failed to spawn the daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut daemon_out = BufReader::new(daemon.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    let addr = match daemon_out.read_line(&mut banner) {
+        Ok(_) if banner.starts_with("mp serve: listening on ") => banner
+            .trim_start_matches("mp serve: listening on ")
+            .trim()
+            .to_string(),
+        other => {
+            eprintln!(
+                "verify-net: FAILED: no listen banner from the daemon ({other:?}: {banner:?})"
+            );
+            let _ = daemon.kill();
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("verify-net: daemon listening on {addr}");
+
+    let artifact = dir.join("NET_loopback.json");
+    let artifact_arg = artifact.display().to_string();
+    let mut client = vec!["run", "--offline", "--release", "-q", "-p", "mergepath-cli"];
+    client.extend_from_slice(opts.feature_args());
+    client.extend_from_slice(&[
+        "--bin",
+        "mp",
+        "--",
+        "client",
+        "--addr",
+        &addr,
+        "--requests",
+        "36",
+        "--n",
+        "256",
+        "--seed",
+        "7",
+        "--malformed",
+        "--out",
+        &artifact_arg,
+    ]);
+    let client_ok = cargo(&client);
+
+    // Loopback check done (or failed): close the daemon's stdin so it
+    // shuts down, and read its final stats line either way.
+    drop(daemon.stdin.take());
+    let mut rest = String::new();
+    let _ = daemon_out.read_to_string(&mut rest);
+    let daemon_status = daemon.wait();
+
+    if !client_ok {
+        eprintln!("verify-net: FAILED: `mp client` reported a loopback failure");
+        return ExitCode::FAILURE;
+    }
+    match load_artifact(&artifact, "net_loopback").and_then(|doc| check_net_payload(&doc)) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("verify-net: FAILED: NET_loopback.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !matches!(daemon_status, Ok(s) if s.success()) {
+        eprintln!("verify-net: FAILED: the daemon exited abnormally ({daemon_status:?})");
+        return ExitCode::FAILURE;
+    }
+    let shutdown = rest
+        .lines()
+        .find(|l| l.starts_with("mp serve: shutdown "))
+        .unwrap_or("");
+    println!("verify-net: {}", shutdown.trim_start_matches("mp serve: "));
+    if !shutdown.contains(" lost=0 ") {
+        eprintln!("verify-net: FAILED: daemon shutdown line lacks lost=0: {shutdown:?}");
+        return ExitCode::FAILURE;
+    }
+    // The hygiene probe deliberately feeds the daemon one garbage frame.
+    if !shutdown.contains("protocol_errors=1") {
+        eprintln!("verify-net: FAILED: expected exactly one counted protocol error: {shutdown:?}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "verify-net: OK (loopback oracle-identical across 9 families, malformed-frame \
+         probe contained, clean lost=0 shutdown)"
     );
     ExitCode::SUCCESS
 }
@@ -1002,6 +1244,7 @@ fn main() -> ExitCode {
         Some("bench") => bench(opts),
         Some("verify-bench") => verify_bench(opts),
         Some("verify-serve") => verify_serve(opts),
+        Some("verify-net") => verify_net(opts),
         Some("verify-metrics") => verify_metrics(opts),
         _ => usage(),
     }

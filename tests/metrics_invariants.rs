@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use mergepath::telemetry::now_ns;
 use mergepath_serve::{
-    FlightEvent, FlightEventKind, FlightRecorder, NoProbe, ObserverConfig, Outcome, Request,
-    ServeConfig, ServeObserver, ServeProbe, Server, Waterfall,
+    FlightEvent, FlightEventKind, FlightRecorder, NoProbe, ObserverConfig, Outcome, QueuePolicy,
+    Request, ServeConfig, ServeObserver, ServeProbe, Server, Waterfall,
 };
 
 /// Counts allocations per thread, so concurrent test threads in this
@@ -143,6 +143,9 @@ fn waterfall_partitions_latency_and_stays_under_wall_time() {
                 queue_capacity: 32,
                 max_inflight: 2,
                 worker_budget: 2,
+                policy: QueuePolicy::Edf,
+                // Batched resolutions must partition latency exactly too.
+                batch_max_items: 4096,
             },
             mergepath_serve::NoRecorder,
             Arc::clone(&obs),
@@ -192,6 +195,8 @@ fn no_probe_is_zero_sized_and_reports_zero_waterfalls() {
             queue_capacity: 8,
             max_inflight: 1,
             worker_budget: 1,
+            policy: QueuePolicy::Edf,
+            batch_max_items: 4096,
         },
         mergepath_serve::NoRecorder,
     );

@@ -1,0 +1,361 @@
+//! Wire-protocol robustness (DESIGN.md §14): every malformed, truncated,
+//! or hostile input to the binary codec decodes to a **typed
+//! [`ProtocolError`]** — never a panic, never a hang, never an oversized
+//! allocation — and a live daemon answers protocol abuse by closing the
+//! offending connection while every other connection keeps serving.
+//!
+//! The loopback half mirrors `tests/serve_invariants.rs`: pipelined,
+//! interleaved requests across all nine adversarial merge families must
+//! come back byte-identical to the sequential oracle.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+
+use mergepath_suite::mergepath::merge::sequential::merge_into_by;
+use mergepath_suite::serve::net::{
+    encode_request, encode_response, read_request, read_response, HEADER_LEN, KEY_TYPE_U32,
+    MAX_KEYS_PER_SIDE, OP_MERGE, REQUEST_MAGIC, WIRE_VERSION,
+};
+use mergepath_suite::serve::{
+    NetClient, NetOp, NetRequest, NetResponse, NetServer, NetStatus, ProtocolError, QueuePolicy,
+    ServeConfig,
+};
+use mergepath_suite::workloads::gen::{merge_pair_sized, MergeWorkload};
+
+fn valid_merge_frame() -> Vec<u8> {
+    encode_request(&NetRequest {
+        id: 7,
+        deadline_rel_ns: 0,
+        op: NetOp::Merge {
+            a: vec![1, 3, 5],
+            b: vec![2, 4],
+        },
+    })
+}
+
+fn decode(bytes: &[u8]) -> Result<Option<NetRequest>, ProtocolError> {
+    read_request(&mut &bytes[..])
+}
+
+#[test]
+fn bad_magic_version_op_and_key_type_are_typed_errors() {
+    let good = valid_merge_frame();
+
+    let mut bad = good.clone();
+    bad[0..4].copy_from_slice(b"HTTP");
+    assert_eq!(decode(&bad), Err(ProtocolError::BadMagic(*b"HTTP")));
+
+    let mut bad = good.clone();
+    bad[4] = 9;
+    assert_eq!(decode(&bad), Err(ProtocolError::BadVersion(9)));
+
+    let mut bad = good.clone();
+    bad[5] = 77;
+    assert_eq!(decode(&bad), Err(ProtocolError::BadOp(77)));
+
+    let mut bad = good.clone();
+    bad[6] = 0; // not KEY_TYPE_U32
+    assert_eq!(decode(&bad), Err(ProtocolError::BadKeyType(0)));
+
+    let mut bad = good;
+    bad[7] = 1; // reserved byte
+    assert!(matches!(decode(&bad), Err(ProtocolError::Malformed(_))));
+}
+
+#[test]
+fn truncated_header_and_payload_are_typed_not_hangs() {
+    let good = valid_merge_frame();
+
+    // Header cut short: EOF inside the fixed 32 bytes.
+    let r = decode(&good[..HEADER_LEN - 5]);
+    assert!(
+        matches!(r, Err(ProtocolError::Truncated { expected, got }) if expected == HEADER_LEN && got == HEADER_LEN - 5),
+        "{r:?}"
+    );
+
+    // Payload cut short: the header promises 5 keys, the stream dies
+    // after the first two.
+    let r = decode(&good[..HEADER_LEN + 8]);
+    assert!(matches!(r, Err(ProtocolError::Truncated { .. })), "{r:?}");
+}
+
+#[test]
+fn clean_eof_at_a_frame_boundary_is_none() {
+    assert_eq!(decode(&[]), Ok(None));
+    // Two complete frames back to back, then a clean EOF.
+    let mut stream = valid_merge_frame();
+    stream.extend_from_slice(&valid_merge_frame());
+    let mut r = &stream[..];
+    assert!(read_request(&mut r).unwrap().is_some());
+    assert!(read_request(&mut r).unwrap().is_some());
+    assert_eq!(read_request(&mut r), Ok(None));
+}
+
+#[test]
+fn oversized_declared_length_rejects_before_allocating() {
+    // A hand-built header declaring u32::MAX keys on side A. The frame
+    // body is empty: if the codec tried to allocate or read the declared
+    // payload it would block or balloon — instead the length check fires
+    // straight off the header.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&REQUEST_MAGIC);
+    frame.push(WIRE_VERSION);
+    frame.push(OP_MERGE);
+    frame.push(KEY_TYPE_U32);
+    frame.push(0);
+    frame.extend_from_slice(&1u64.to_le_bytes()); // id
+    frame.extend_from_slice(&0u64.to_le_bytes()); // deadline
+    frame.extend_from_slice(&u32::MAX.to_le_bytes()); // len_a: hostile
+    frame.extend_from_slice(&0u32.to_le_bytes()); // len_b
+    assert_eq!(
+        decode(&frame),
+        Err(ProtocolError::Oversized {
+            declared: u32::MAX as u64,
+            limit: MAX_KEYS_PER_SIDE as u64,
+        })
+    );
+}
+
+#[test]
+fn sort_frame_with_second_payload_is_malformed() {
+    let mut frame = encode_request(&NetRequest {
+        id: 1,
+        deadline_rel_ns: 0,
+        op: NetOp::Sort {
+            keys: vec![3, 1, 2],
+        },
+    });
+    // Corrupt len_b (bytes 28..32) to claim a second payload.
+    frame[28..32].copy_from_slice(&4u32.to_le_bytes());
+    assert!(matches!(decode(&frame), Err(ProtocolError::Malformed(_))));
+}
+
+#[test]
+fn response_codec_rejects_bad_status_and_phantom_output() {
+    let good = encode_response(&NetResponse {
+        id: 3,
+        status: NetStatus::Ok,
+        latency_ns: 10,
+        output: vec![1, 2],
+    });
+
+    let mut bad = good.clone();
+    bad[5] = 42;
+    assert_eq!(
+        read_response(&mut &bad[..]),
+        Err(ProtocolError::BadStatus(42))
+    );
+
+    // A rejection frame carrying output keys is structurally invalid.
+    let mut bad = good;
+    bad[5] = 1; // RejectedQueueFull, but len_out still says 2
+    assert!(matches!(
+        read_response(&mut &bad[..]),
+        Err(ProtocolError::Malformed(_))
+    ));
+}
+
+fn daemon() -> NetServer {
+    NetServer::start(
+        ServeConfig {
+            queue_capacity: 512,
+            max_inflight: 4,
+            worker_budget: 2,
+            policy: QueuePolicy::Edf,
+            batch_max_items: 2048,
+        },
+        mergepath_suite::serve::NoRecorder,
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback")
+}
+
+/// Polls until the daemon has counted `n` protocol errors (the reader
+/// thread races the test), bounded by a generous timeout.
+fn await_protocol_errors(server: &NetServer, n: u64) {
+    let t0 = std::time::Instant::now();
+    while server.protocol_errors() < n {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "daemon never registered the protocol error"
+        );
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn pipelined_interleaved_connections_match_the_oracle() {
+    let server = daemon();
+    let addr = server.local_addr();
+
+    // Two concurrent connections, each pipelining 18 requests (the nine
+    // families twice) before reading a single response. The daemon
+    // interleaves them freely; each connection's responses must come back
+    // in its own request order, byte-identical to the sequential oracle.
+    std::thread::scope(|s| {
+        for conn in 0u64..2 {
+            s.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut expected = Vec::new();
+                for i in 0..18usize {
+                    let wl = MergeWorkload::ALL[i % MergeWorkload::ALL.len()];
+                    let (a, b) =
+                        merge_pair_sized(wl, 64 + 13 * i, 96 + 7 * i, conn * 1000 + i as u64);
+                    let mut oracle = vec![0u32; a.len() + b.len()];
+                    merge_into_by(&a, &b, &mut oracle, &|x: &u32, y: &u32| x.cmp(y));
+                    expected.push(oracle);
+                    client
+                        .send(&NetRequest {
+                            id: i as u64,
+                            deadline_rel_ns: 0,
+                            op: NetOp::Merge { a, b },
+                        })
+                        .expect("send");
+                }
+                for (i, oracle) in expected.iter().enumerate() {
+                    let resp = client.recv().expect("recv").expect("response");
+                    assert_eq!(resp.id, i as u64, "conn {conn}: response order");
+                    assert_eq!(resp.status, NetStatus::Ok);
+                    assert_eq!(&resp.output, oracle, "conn {conn} req {i}: oracle mismatch");
+                }
+            });
+        }
+    });
+
+    assert_eq!(server.protocol_errors(), 0);
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 36);
+    assert_eq!(stats.lost(), 0, "every request resolved exactly once");
+}
+
+#[test]
+fn malformed_frame_closes_only_the_offending_connection() {
+    let server = daemon();
+    let addr = server.local_addr();
+
+    // A healthy connection first, kept open across the abuse.
+    let mut healthy = NetClient::connect(addr).expect("connect healthy");
+
+    // The abuser sends garbage; the daemon must close that connection.
+    let mut abuser = NetClient::connect(addr).expect("connect abuser");
+    abuser
+        .send_raw(&[0xFFu8; HEADER_LEN])
+        .expect("send garbage");
+    match abuser.recv() {
+        Ok(None) | Err(_) => {}
+        Ok(Some(r)) => panic!("daemon answered a garbage frame with {r:?}"),
+    }
+    await_protocol_errors(&server, 1);
+
+    // The healthy connection — opened before the abuse — still serves.
+    let resp = healthy
+        .call(&NetRequest {
+            id: 1,
+            deadline_rel_ns: 0,
+            op: NetOp::Merge {
+                a: vec![10, 30],
+                b: vec![20, 40],
+            },
+        })
+        .expect("healthy call");
+    assert_eq!(resp.status, NetStatus::Ok);
+    assert_eq!(resp.output, vec![10, 20, 30, 40]);
+
+    // And so does a brand-new one.
+    let mut fresh = NetClient::connect(addr).expect("connect fresh");
+    let resp = fresh
+        .call(&NetRequest {
+            id: 2,
+            deadline_rel_ns: 0,
+            op: NetOp::Sort {
+                keys: vec![3, 1, 2],
+            },
+        })
+        .expect("fresh call");
+    assert_eq!(resp.status, NetStatus::Ok);
+    assert_eq!(resp.output, vec![1, 2, 3]);
+
+    assert_eq!(server.protocol_errors(), 1);
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.lost(), 0);
+}
+
+#[test]
+fn mid_stream_disconnect_is_contained() {
+    let server = daemon();
+    let addr = server.local_addr();
+
+    // Send a header promising a payload, then vanish. The daemon's
+    // reader sees a truncated frame — a typed error, counted and
+    // contained, never a hang.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let frame = valid_merge_frame();
+        stream
+            .write_all(&frame[..HEADER_LEN + 4])
+            .expect("partial frame");
+        // Drop: RST/FIN mid-frame.
+    }
+    await_protocol_errors(&server, 1);
+
+    // The daemon keeps serving.
+    let mut client = NetClient::connect(addr).expect("connect");
+    let resp = client
+        .call(&NetRequest {
+            id: 9,
+            deadline_rel_ns: 0,
+            op: NetOp::Merge {
+                a: vec![1],
+                b: vec![2],
+            },
+        })
+        .expect("call");
+    assert_eq!(resp.status, NetStatus::Ok);
+    assert_eq!(resp.output, vec![1, 2]);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.lost(), 0);
+}
+
+#[test]
+fn request_and_response_frames_round_trip_through_the_codec() {
+    for req in [
+        NetRequest {
+            id: 0,
+            deadline_rel_ns: 0,
+            op: NetOp::Merge {
+                a: vec![],
+                b: vec![],
+            },
+        },
+        NetRequest {
+            id: u64::MAX,
+            deadline_rel_ns: u64::MAX,
+            op: NetOp::Sort {
+                keys: vec![u32::MAX, 0, 7],
+            },
+        },
+    ] {
+        let bytes = encode_request(&req);
+        assert_eq!(read_request(&mut &bytes[..]).unwrap(), Some(req));
+    }
+    for resp in [
+        NetResponse {
+            id: 1,
+            status: NetStatus::Ok,
+            latency_ns: 5,
+            output: vec![1, 2, 3],
+        },
+        NetResponse {
+            id: 2,
+            status: NetStatus::RejectedDeadline,
+            latency_ns: 0,
+            output: vec![],
+        },
+    ] {
+        let bytes = encode_response(&resp);
+        assert_eq!(read_response(&mut &bytes[..]).unwrap(), Some(resp));
+    }
+}

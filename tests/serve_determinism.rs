@@ -8,9 +8,10 @@
 
 use proptest::prelude::*;
 
-use mergepath_suite::serve::{replay, ReplayConfig, ReplayOutcome, ServiceModel};
-use mergepath_suite::workloads::arrival::{arrival_plan, ArrivalPattern, PlanConfig};
+use mergepath_suite::serve::{replay, QueuePolicy, ReplayConfig, ReplayOutcome, ServiceModel};
+use mergepath_suite::workloads::arrival::{arrival_plan, ArrivalPattern, PlanConfig, RequestSpec};
 use mergepath_suite::workloads::gen::merge_pair_sized;
+use mergepath_suite::workloads::MergeWorkload;
 
 fn plan_cfg(
     pattern: ArrivalPattern,
@@ -49,24 +50,27 @@ proptest! {
         let plan_b = arrival_plan(&cfg);
         prop_assert_eq!(&plan_a, &plan_b, "arrival plan must be deterministic");
 
-        let rcfg = ReplayConfig { queue_capacity, max_inflight };
-        let model = ServiceModel { base_ns, per_item_ns };
-        let log_a = replay(&plan_a, &rcfg, &model);
-        let log_b = replay(&plan_b, &rcfg, &model);
-        prop_assert_eq!(&log_a, &log_b, "replay must be deterministic");
+        for policy in QueuePolicy::ALL {
+            let rcfg = ReplayConfig { queue_capacity, max_inflight, policy };
+            let model = ServiceModel { base_ns, per_item_ns };
+            let log_a = replay(&plan_a, &rcfg, &model);
+            let log_b = replay(&plan_b, &rcfg, &model);
+            prop_assert_eq!(&log_a, &log_b, "replay must be deterministic");
 
-        // Totality: every planned request resolves exactly once, in id
-        // order — the simulated twin of the daemon's zero-lost-requests
-        // invariant.
-        prop_assert_eq!(log_a.len(), plan_a.len());
-        for (i, e) in log_a.iter().enumerate() {
-            prop_assert_eq!(e.id, i, "request lost or duplicated");
+            // Totality: every planned request resolves exactly once, in id
+            // order — the simulated twin of the daemon's zero-lost-requests
+            // invariant.
+            prop_assert_eq!(log_a.len(), plan_a.len());
+            for (i, e) in log_a.iter().enumerate() {
+                prop_assert_eq!(e.id, i, "request lost or duplicated");
+            }
         }
     }
 
-    /// The admission policy itself, over arbitrary configurations:
-    /// completions start in FIFO order, never before arrival, never after
-    /// an expired deadline, and rejections only occur for cause.
+    /// The admission policy itself, over arbitrary configurations and both
+    /// queue policies: completions start in arrival order under FIFO, never
+    /// before arrival, strictly before their (inclusive-miss) deadline, and
+    /// rejections only occur for cause.
     fn replay_respects_the_admission_policy(
         pat in 0usize..3,
         requests in 50usize..300,
@@ -79,51 +83,59 @@ proptest! {
         let pattern = ArrivalPattern::ALL[pat];
         let cfg = plan_cfg(pattern, requests, mean_gap_ns, deadline_ns, seed);
         let plan = arrival_plan(&cfg);
-        let rcfg = ReplayConfig { queue_capacity, max_inflight };
-        let model = ServiceModel { base_ns: 10_000, per_item_ns: 20 };
-        let log = replay(&plan, &rcfg, &model);
+        for policy in QueuePolicy::ALL {
+            let rcfg = ReplayConfig { queue_capacity, max_inflight, policy };
+            let model = ServiceModel { base_ns: 10_000, per_item_ns: 20 };
+            let log = replay(&plan, &rcfg, &model);
 
-        let mut prev_start = 0u64;
-        for e in &log {
-            let spec = &plan[e.id];
-            match e.outcome {
-                ReplayOutcome::Completed => {
-                    // FIFO: admitted requests begin execution in arrival
-                    // order (ids are arrival-ordered).
-                    prop_assert!(e.start_ns >= prev_start, "FIFO start order violated");
-                    prev_start = e.start_ns;
-                    prop_assert!(e.start_ns >= spec.arrival_ns);
-                    prop_assert_eq!(
-                        e.finish_ns,
-                        e.start_ns + model.service_ns(spec),
-                        "service time model must be charged exactly"
-                    );
-                    if spec.deadline_ns != 0 {
-                        prop_assert!(
-                            e.start_ns <= spec.arrival_ns + spec.deadline_ns,
-                            "started after its own deadline"
+            let mut prev_start = 0u64;
+            for e in &log {
+                let spec = &plan[e.id];
+                match e.outcome {
+                    ReplayOutcome::Completed => {
+                        if policy == QueuePolicy::Fifo {
+                            // FIFO: admitted requests begin execution in
+                            // arrival order (ids are arrival-ordered).
+                            prop_assert!(e.start_ns >= prev_start, "FIFO start order violated");
+                            prev_start = e.start_ns;
+                        }
+                        prop_assert!(e.start_ns >= spec.arrival_ns);
+                        prop_assert_eq!(
+                            e.finish_ns,
+                            e.start_ns + model.service_ns(spec),
+                            "service time model must be charged exactly"
                         );
+                        if spec.deadline_ns != 0 {
+                            // Inclusive boundary: starting *at* the
+                            // deadline instant is already a miss, so a
+                            // completion must have started strictly before.
+                            prop_assert!(
+                                e.start_ns < spec.arrival_ns + spec.deadline_ns,
+                                "started at or after its own deadline"
+                            );
+                        }
+                    }
+                    ReplayOutcome::RejectedDeadline => {
+                        // Only requests that carry a deadline can expire,
+                        // and only once it was actually reached (the
+                        // boundary instant itself rejects).
+                        prop_assert!(spec.deadline_ns != 0);
+                        prop_assert!(e.finish_ns >= spec.arrival_ns + spec.deadline_ns);
+                    }
+                    ReplayOutcome::RejectedQueueFull => {
+                        // Judged at arrival: the decision instant is the
+                        // arrival instant.
+                        prop_assert_eq!(e.finish_ns, spec.arrival_ns);
                     }
                 }
-                ReplayOutcome::RejectedDeadline => {
-                    // Only requests that carry a deadline can expire, and
-                    // only after it actually passed.
-                    prop_assert!(spec.deadline_ns != 0);
-                    prop_assert!(e.finish_ns > spec.arrival_ns + spec.deadline_ns);
-                }
-                ReplayOutcome::RejectedQueueFull => {
-                    // Judged at arrival: the decision instant is the
-                    // arrival instant.
-                    prop_assert_eq!(e.finish_ns, spec.arrival_ns);
-                }
             }
-        }
 
-        // Conservation: the three outcome classes partition the plan.
-        let done = log.iter().filter(|e| e.outcome == ReplayOutcome::Completed).count();
-        let qf = log.iter().filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull).count();
-        let dl = log.iter().filter(|e| e.outcome == ReplayOutcome::RejectedDeadline).count();
-        prop_assert_eq!(done + qf + dl, plan.len());
+            // Conservation: the three outcome classes partition the plan.
+            let done = log.iter().filter(|e| e.outcome == ReplayOutcome::Completed).count();
+            let qf = log.iter().filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull).count();
+            let dl = log.iter().filter(|e| e.outcome == ReplayOutcome::RejectedDeadline).count();
+            prop_assert_eq!(done + qf + dl, plan.len());
+        }
     }
 
     /// Request payloads regenerate bit-for-bit from their spec: the plan
@@ -153,33 +165,37 @@ proptest! {
 /// rejection machinery must never fire without cause.)
 #[test]
 fn ample_capacity_never_rejects() {
-    for pattern in ArrivalPattern::ALL {
-        for seed in [1u64, 99, 12345] {
-            let cfg = PlanConfig {
-                pattern,
-                requests: 400,
-                mean_gap_ns: 1_000_000,
-                deadline_ns: 0,
-                mean_len: 256,
-                seed,
-            };
-            let plan = arrival_plan(&cfg);
-            let log = replay(
-                &plan,
-                &ReplayConfig {
-                    queue_capacity: 400,
-                    max_inflight: 4,
-                },
-                &ServiceModel {
-                    base_ns: 1_000,
-                    per_item_ns: 10,
-                },
-            );
-            assert!(
-                log.iter().all(|e| e.outcome == ReplayOutcome::Completed),
-                "{} seed {seed}: spurious rejection",
-                pattern.name()
-            );
+    for policy in QueuePolicy::ALL {
+        for pattern in ArrivalPattern::ALL {
+            for seed in [1u64, 99, 12345] {
+                let cfg = PlanConfig {
+                    pattern,
+                    requests: 400,
+                    mean_gap_ns: 1_000_000,
+                    deadline_ns: 0,
+                    mean_len: 256,
+                    seed,
+                };
+                let plan = arrival_plan(&cfg);
+                let log = replay(
+                    &plan,
+                    &ReplayConfig {
+                        queue_capacity: 400,
+                        max_inflight: 4,
+                        policy,
+                    },
+                    &ServiceModel {
+                        base_ns: 1_000,
+                        per_item_ns: 10,
+                    },
+                );
+                assert!(
+                    log.iter().all(|e| e.outcome == ReplayOutcome::Completed),
+                    "{} {} seed {seed}: spurious rejection",
+                    policy.name(),
+                    pattern.name()
+                );
+            }
         }
     }
 }
@@ -189,36 +205,89 @@ fn ample_capacity_never_rejects() {
 /// be exercised by the very policy the daemon runs.
 #[test]
 fn congestion_produces_both_rejection_kinds() {
-    for pattern in ArrivalPattern::ALL {
-        let cfg = PlanConfig {
-            pattern,
-            requests: 1000,
-            mean_gap_ns: 5_000,
-            deadline_ns: 200_000,
-            mean_len: 2048,
-            seed: 7,
-        };
-        let plan = arrival_plan(&cfg);
+    for policy in QueuePolicy::ALL {
+        for pattern in ArrivalPattern::ALL {
+            let cfg = PlanConfig {
+                pattern,
+                requests: 1000,
+                mean_gap_ns: 5_000,
+                deadline_ns: 200_000,
+                mean_len: 2048,
+                seed: 7,
+            };
+            let plan = arrival_plan(&cfg);
+            let log = replay(
+                &plan,
+                &ReplayConfig {
+                    queue_capacity: 8,
+                    max_inflight: 2,
+                    policy,
+                },
+                &ServiceModel {
+                    base_ns: 5_000,
+                    per_item_ns: 25,
+                },
+            );
+            let qf = log
+                .iter()
+                .filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull)
+                .count();
+            let dl = log
+                .iter()
+                .filter(|e| e.outcome == ReplayOutcome::RejectedDeadline)
+                .count();
+            let tag = format!("{}/{}", policy.name(), pattern.name());
+            assert!(qf > 0, "{tag}: no queue-full rejections");
+            assert!(dl > 0, "{tag}: no deadline rejections");
+        }
+    }
+}
+
+/// The deadline boundary is **inclusive** — a request whose slot frees at
+/// exactly `arrival + deadline` is rejected, not started, under *both*
+/// queue policies. This pins the replay to the daemon's own boundary
+/// (`dequeue_ns >= deadline` misses; `with_deadline_in(0)` is always
+/// rejected live), so FIFO-vs-EDF deadline-miss columns in
+/// `BENCH_serve.json` share one boundary convention.
+#[test]
+fn slot_freeing_exactly_at_the_deadline_rejects() {
+    fn spec(id: usize, arrival_ns: u64, deadline_ns: u64, len: usize) -> RequestSpec {
+        RequestSpec {
+            id,
+            arrival_ns,
+            deadline_ns,
+            workload: MergeWorkload::Uniform,
+            len_a: len,
+            len_b: len,
+            data_seed: 0,
+        }
+    }
+    // service = len_a + len_b with this model.
+    let model = ServiceModel {
+        base_ns: 0,
+        per_item_ns: 1,
+    };
+    // Request 0 occupies the single slot over [0, 100); request 1 arrives
+    // at 10 with absolute deadline 10 + 90 = 100 — the exact instant the
+    // slot frees. Inclusive boundary: that is already a miss.
+    let plan = vec![spec(0, 0, 0, 50), spec(1, 10, 90, 25)];
+    for policy in QueuePolicy::ALL {
         let log = replay(
             &plan,
             &ReplayConfig {
-                queue_capacity: 8,
-                max_inflight: 2,
+                queue_capacity: 16,
+                max_inflight: 1,
+                policy,
             },
-            &ServiceModel {
-                base_ns: 5_000,
-                per_item_ns: 25,
-            },
+            &model,
         );
-        let qf = log
-            .iter()
-            .filter(|e| e.outcome == ReplayOutcome::RejectedQueueFull)
-            .count();
-        let dl = log
-            .iter()
-            .filter(|e| e.outcome == ReplayOutcome::RejectedDeadline)
-            .count();
-        assert!(qf > 0, "{}: no queue-full rejections", pattern.name());
-        assert!(dl > 0, "{}: no deadline rejections", pattern.name());
+        assert_eq!(log[0].outcome, ReplayOutcome::Completed);
+        assert_eq!(
+            log[1].outcome,
+            ReplayOutcome::RejectedDeadline,
+            "{}: dequeue at the exact deadline instant must reject",
+            policy.name()
+        );
+        assert_eq!(log[1].finish_ns, 100, "judged at the boundary instant");
     }
 }

@@ -10,7 +10,7 @@ use std::sync::{Arc, Barrier};
 
 use mergepath_suite::mergepath::merge::sequential::merge_into_by;
 use mergepath_suite::serve::{
-    CounterKind, Outcome, RejectReason, Request, ServeConfig, Server, TimelineRecorder,
+    CounterKind, Outcome, QueuePolicy, RejectReason, Request, ServeConfig, Server, TimelineRecorder,
 };
 use mergepath_suite::workloads::gen::{merge_pair_sized, MergeWorkload};
 
@@ -33,6 +33,11 @@ fn concurrent_responses_match_sequential_oracle_on_all_families() {
             queue_capacity: 128,
             max_inflight: 8,
             worker_budget: 4,
+            policy: QueuePolicy::Edf,
+            // Small enough that several of the wave's merges coalesce:
+            // batched rounds must be just as byte-identical to the oracle
+            // as inline runs.
+            batch_max_items: 2048,
         },
         mergepath_suite::serve::NoRecorder,
     );
@@ -130,6 +135,10 @@ fn sustains_64_concurrent_in_flight_requests() {
             queue_capacity: INFLIGHT,
             max_inflight: INFLIGHT,
             worker_budget: 1, // share = 1: each request runs on its serving thread
+            policy: QueuePolicy::Edf,
+            // No coalescing: the rendezvous needs all 64 requests inside
+            // their *own* kernels simultaneously.
+            batch_max_items: 0,
         },
         mergepath_suite::serve::NoRecorder,
     );
@@ -192,6 +201,8 @@ fn rejections_are_explicit_and_counted() {
             queue_capacity: 2,
             max_inflight: 1,
             worker_budget: 1,
+            policy: QueuePolicy::Edf,
+            batch_max_items: 4096,
         },
         Arc::clone(&rec),
     );
@@ -345,6 +356,11 @@ fn panicking_request_is_contained_and_leaks_nothing() {
                 queue_capacity: 16,
                 max_inflight: 2,
                 worker_budget: 2,
+                policy: QueuePolicy::Edf,
+                // No coalescing: the panic blast radius must stay exactly
+                // one request, so `completed == 2 && failed == 2` is
+                // deterministic.
+                batch_max_items: 0,
             },
             mergepath_suite::serve::NoRecorder,
         );
@@ -414,6 +430,8 @@ fn sustained_mixed_load_resolves_every_request() {
             queue_capacity: 64,
             max_inflight: 4,
             worker_budget: 4,
+            policy: QueuePolicy::Edf,
+            batch_max_items: 4096,
         },
         mergepath_suite::serve::NoRecorder,
     );
