@@ -24,6 +24,7 @@ fn run_all(a: &[Kv], b: &[Kv], threads: usize, seed: u64) {
         schedules: 4,
         seed,
         pram_limit: 2048,
+        steal_orders: false,
     };
     for &kernel in &Kernel::ALL {
         if let Err(e) = check_kernel_on(kernel, a, b, &cfg) {

@@ -137,7 +137,7 @@ pub const USAGE: &str = "usage:
   mp select A B --rank K [--numeric]
   mp check  FILE [--numeric]
   mp check  --kernel KERNEL|all [--n N] [--threads P] [--seed S] [--schedules K]
-            [--dispatch adaptive|classic|branch-lean|galloping|simd|co_rank]
+            [--dispatch adaptive|classic|branch-lean|galloping|simd|co_rank] [--steal-orders]
   mp trace  --kernel KERNEL
             [--n N] [--threads P] [--seed S] [--trace-out F] [--metrics-out F]
   mp bench  [--n N] [--threads P] [--seed S] [--reps R] [--out-dir D] [--smoke] [--serve]
@@ -351,6 +351,9 @@ pub enum Command {
         schedules: usize,
         /// Per-segment dispatch override active during the check.
         dispatch: CheckDispatch,
+        /// Draw round orders from the simulated work-stealing deque
+        /// protocol instead of uniform shuffles (`--steal-orders`).
+        steal_orders: bool,
     },
     /// `mp trace`.
     Trace {
@@ -456,6 +459,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut out_dir = String::from(".");
     let mut smoke = false;
     let mut dispatch = CheckDispatch::default();
+    let mut steal_orders = false;
     let mut serve = false;
     let mut requests = 256usize;
     let mut concurrency = 64usize;
@@ -645,6 +649,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::Usage("--dispatch needs a name".into()))?;
                 dispatch = CheckDispatch::parse(d)?;
             }
+            "--steal-orders" => steal_orders = true,
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {other:?}")));
             }
@@ -690,6 +695,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 schedules,
                 dispatch,
+                steal_orders,
             })
         }
         ("trace", []) => Ok(Command::Trace {
@@ -892,11 +898,13 @@ where
             seed,
             schedules,
             dispatch,
+            steal_orders,
         } => {
             let cfg = mergepath_check::CheckConfig {
                 threads: *threads,
                 schedules: *schedules,
                 seed: *seed,
+                steal_orders: *steal_orders,
                 ..mergepath_check::CheckConfig::default()
             };
             let kernels: Vec<mergepath_check::Kernel> = match kernel {
@@ -1515,6 +1523,7 @@ mod tests {
                 seed: 5,
                 schedules: 4,
                 dispatch: CheckDispatch::Adaptive,
+                steal_orders: false,
             }
         );
         // `all` selects every kernel; defaults fill the rest.
@@ -1528,8 +1537,18 @@ mod tests {
                 seed: 42,
                 schedules: 8,
                 dispatch: CheckDispatch::Adaptive,
+                steal_orders: false,
             }
         );
+        // --steal-orders switches the schedule family.
+        let cmd = parse_args(&argv("check --kernel all --steal-orders")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::CheckSchedules {
+                steal_orders: true,
+                ..
+            }
+        ));
         // --dispatch pins a per-segment kernel for the whole run.
         let cmd = parse_args(&argv("check --kernel all --dispatch simd")).unwrap();
         assert!(matches!(

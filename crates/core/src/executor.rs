@@ -1,4 +1,4 @@
-//! A persistent fork-join worker pool.
+//! A persistent work-stealing fork-join worker pool.
 //!
 //! The paper's x86 implementation uses OpenMP, whose parallel regions are
 //! executed by a long-lived team of threads rather than freshly spawned
@@ -7,13 +7,52 @@
 //! §VI "6% single-thread overhead" experiment, and an ablation in the
 //! benches).
 //!
-//! The design follows the classic barrier-team pattern (cf. *Rust Atomics
-//! and Locks*, ch. 4 & 9): a team of `p - 1` workers parks on a reusable
-//! [`Barrier`]; `run` publishes a type-erased job pointer, releases the
-//! start barrier, executes share 0 itself, and blocks on the end barrier.
-//! Because `run` does not return until every worker has passed the end
-//! barrier, handing workers a reference with an artificially extended
-//! lifetime is sound.
+//! # Scheduler design (DESIGN.md §15)
+//!
+//! Earlier revisions serialized rounds behind a global `Mutex<()>`: one
+//! fork-join round at a time, concurrent callers queued. That was correct
+//! but hostile to the serving daemon — a wide request's round blocked
+//! every narrow one, and idle serving threads could not help a wide round
+//! finish. The co-rank construction (Siebert & Träff, arXiv 1303.4312;
+//! Merge Path Thm 14) computes every share's input/output ranges with
+//! zero cross-share coordination, so shares are safe to execute in any
+//! order, on any worker, interleaved across rounds. This scheduler
+//! exploits exactly that independence:
+//!
+//! * Each worker owns a **bounded deque** of tickets (LIFO at the owner's
+//!   end, FIFO at the steal end), plus one shared **global injector**.
+//! * [`Pool::submit_round`] (the internal engine behind [`Pool::run`] and
+//!   [`Pool::run_indexed`]) enqueues a **round descriptor** — erased job
+//!   pointer, atomic share-claim counter, completion latch, panic flag —
+//!   without taking any global lock. A pool-worker submitter pushes its
+//!   tickets onto its own deque; a non-pool submitter (the common case:
+//!   serving threads, test drivers) has no deque of its own, so its
+//!   tickets are distributed round-robin across the worker deques,
+//!   overflowing to the global injector when a deque is full.
+//! * The **caller participates**: it immediately runs the round's claim
+//!   loop itself, then — while its latch is still open — drains its own
+//!   deque and steals from siblings (helping whatever rounds are in
+//!   flight), then blocks on the round latch.
+//! * A **ticket** is an invitation, not a work item: shares are claimed
+//!   from the round's atomic counter in chunks, so a stale ticket popped
+//!   after its round drained is a no-op. Idle workers pop their own deque
+//!   LIFO, then the injector, then steal a sibling's ticket FIFO — each
+//!   productive steal is counted (`pool_steals`, `pool_stolen_shares`).
+//!
+//! Multiple rounds are therefore in flight simultaneously; narrow serving
+//! requests overlap wide ones instead of queueing behind them. The round
+//! latch fires when every share has *executed* (not when tickets retire),
+//! so tickets stranded on a busy worker's deque can never deadlock a
+//! caller. Panics are caught per share: the panicking share still counts
+//! toward the latch, the round's panic flag is set, and the caller
+//! re-raises after the latch fires — the scheduler itself holds no lock
+//! across job code, so a panicking round leaves it fully reusable (no
+//! poisoned round mutex to recover, unlike the old design).
+//!
+//! [`serialize_rounds`] restores the old one-round-at-a-time behaviour for
+//! the lifetime of a guard — a benchmarking compatibility mode that lets
+//! `mp bench --serve` measure the before/after of round overlap on the
+//! same binary.
 //!
 //! # The shared global pool
 //!
@@ -27,12 +66,23 @@
 //! kernel asked for `p` shares produces bitwise-identical output whether
 //! the pool has 1, `p`, or 100 threads.
 //!
-//! Concurrent callers are serialized — the pool runs one round at a time
-//! and other callers block until it finishes. A *nested* call (a share
-//! calling back into [`Pool::run`] or [`Pool::run_indexed`] on any pool
-//! while a round is executing on this thread) is supported and executes
-//! all of its shares inline, sequentially, on the calling thread — the
-//! same behaviour as OpenMP with nested parallelism disabled.
+//! A *nested* call (a share calling back into [`Pool::run`] or
+//! [`Pool::run_indexed`] on any pool while a round is executing on this
+//! thread) is supported and executes all of its shares inline,
+//! sequentially, on the calling thread — the same behaviour as OpenMP
+//! with nested parallelism disabled. Pool workers therefore never submit
+//! rounds, which is what makes caller participation deadlock-free.
+//!
+//! # Chunked share claiming
+//!
+//! Oversubscribed rounds (`shares > threads`) claim shares in chunks of
+//! `ceil(shares / (threads * 4))` rather than one `fetch_add` per share,
+//! cutting cache-line contention on the claim counter for many-tiny-share
+//! rounds while still leaving 4× threads chunks for load balancing
+//! (Thm 14's `⌈N/p⌉` cap applies to the *share cut*, which is unchanged —
+//! chunking only batches the claims). Virtual execution under an
+//! installed observer always enumerates per-share, so checker schedules
+//! are unaffected.
 //!
 //! # Thread-count freeze
 //!
@@ -46,13 +96,17 @@
 //! # Telemetry
 //!
 //! [`Pool::run_recorded`] and [`Pool::run_indexed_recorded`] are the
-//! instrumented twins of [`Pool::run`] / [`Pool::run_indexed`]: they report
-//! round start/stop, the caller's wait on the round mutex, and one busy
-//! window per executed share into a `mergepath_telemetry::Recorder`. The
-//! recorder type is a compile-time parameter; with the zero-sized
-//! `NoRecorder` (`ACTIVE == false`) the instrumented twins delegate
-//! directly to the untraced entry points, so the hot path is unchanged
-//! unless a real recorder is supplied.
+//! instrumented twins of [`Pool::run`] / [`Pool::run_indexed`]: they
+//! report round begin/end, the submit-to-first-share queue wait
+//! (`round_wait_ns`), one busy window per executed share, and — when the
+//! round was helped by stolen tickets — the `pool_steals` /
+//! `pool_stolen_shares` counters into a `mergepath_telemetry::Recorder`.
+//! Share windows are tagged with the executing participant's *ticket*
+//! index (a round-local id in `0..min(threads, shares)`), so concurrent
+//! rounds reporting into per-request `OffsetRecorder`s keep their worker
+//! ranges disjoint. With the zero-sized `NoRecorder` (`ACTIVE == false`)
+//! the instrumented twins delegate directly to the untraced entry points,
+//! so the hot path is unchanged unless a real recorder is supplied.
 //!
 //! # Virtual execution (schedule checking)
 //!
@@ -63,48 +117,355 @@
 //! recording accessors ([`SendPtr::slice_mut`], [`SendPtr::write`],
 //! [`note_write_range`], [`note_read_range`]) report each share's output
 //! writes and input reads to it. `mergepath-check` builds the CREW
-//! access-set checker (paper, Thms 9 and 14) on these hooks. With no
-//! observer installed — the default — each hook site costs one
-//! thread-local read and the pool behaves exactly as documented above.
+//! access-set checker (paper, Thms 9 and 14) on these hooks — including
+//! steal-order schedules that model shares executing on workers other
+//! than their pusher, interleaved across rounds. With no observer
+//! installed — the default — each hook site costs one thread-local read
+//! and the pool behaves exactly as documented above.
 
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, Barrier, Mutex, OnceLock, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 use core::cmp::Ordering;
 
-use mergepath_telemetry::{now_ns, Recorder};
+use mergepath_telemetry::{now_ns, CounterKind, Recorder};
 
 use crate::diagonal::co_rank_by;
 use crate::merge::sequential::merge_into_by;
 use crate::partition::segment_boundary;
 
-/// A type-erased pointer to the job currently being executed.
+/// Locks a mutex, ignoring poison. The scheduler never holds any of its
+/// locks across job code (jobs run under per-share `catch_unwind`), so a
+/// poisoned lock carries no meaning here — the protected state is always
+/// consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A type-erased pointer to a round's job.
 ///
-/// Raw pointers are not `Send`; this wrapper asserts transfer is safe,
-/// which [`Pool::run`] guarantees by construction (see module docs).
-struct JobPtr(*const (dyn Fn(usize) + Sync));
+/// The erased signature is `Fn(ticket, share)`: `ticket` is the executing
+/// participant's round-local id (used by the recorded entry points to tag
+/// share windows), `share` the logical share index.
+///
+/// Raw pointers are not `Send`/`Sync`; this wrapper asserts transfer is
+/// safe, which [`Pool::submit_round`] guarantees by construction: the
+/// pointee is `Sync`, and every dereference is gated on a successful
+/// share claim, which proves the submitting caller is still blocked on
+/// the round latch and the job therefore still alive (see
+/// [`participate`]).
+struct JobPtr(*const (dyn Fn(usize, usize) + Sync));
 
-// SAFETY: the pointee is `Sync` (shared execution is safe) and `Pool::run`
-// keeps it alive until every worker has passed the end barrier.
+// SAFETY: see the struct docs — dereferences are claim-gated, and the
+// pointee is `Sync` so shared execution is safe.
 unsafe impl Send for JobPtr {}
+// SAFETY: as above.
+unsafe impl Sync for JobPtr {}
 
-struct Shared {
-    /// The published job for the current round, if any.
-    job: Mutex<Option<JobPtr>>,
-    /// Released when a job (or shutdown) is published.
-    start: Barrier,
-    /// Released when every participant finished the round.
-    end: Barrier,
-    shutdown: AtomicBool,
-    /// Set when any participant's share panicked this round. Panics are
-    /// caught so every participant still reaches the end barrier (a
-    /// panicking share must not deadlock the team), then re-raised by
-    /// [`Pool::run`] on the calling thread.
+/// One fork-join round in flight: the descriptor tickets point at.
+struct Round {
+    /// The erased job; valid while the submitting caller is blocked in
+    /// [`Pool::submit_round`] (guaranteed for every dereference by the
+    /// claim-gating argument on [`JobPtr`]).
+    job: JobPtr,
+    /// Logical share count.
+    shares: usize,
+    /// Shares claimed per `fetch_add` (see module docs, *Chunked share
+    /// claiming*).
+    chunk: usize,
+    /// The claim counter: participants `fetch_add(chunk)` and execute the
+    /// claimed range. Values `>= shares` mean the round is fully claimed.
+    next: AtomicUsize,
+    /// Shares *executed* (panicking shares included). The round latch
+    /// fires when this reaches `shares` — completion is counted per
+    /// executed share, never per retired ticket, so tickets stranded on a
+    /// blocked worker's deque cannot deadlock the caller.
+    completed: AtomicUsize,
+    /// Set when any share panicked; the caller re-raises after the latch.
     panicked: AtomicBool,
+    /// Latch mutex + condvar; the predicate is `completed >= shares`.
+    latch: Mutex<()>,
+    done_cv: Condvar,
+    /// Tickets of this round productively taken from a foreign deque.
+    steals: AtomicU64,
+    /// Shares executed through those stolen tickets.
+    stolen_shares: AtomicU64,
+}
+
+impl Round {
+    fn is_done(&self) -> bool {
+        self.completed.load(AtomicOrdering::Acquire) >= self.shares
+    }
+
+    /// Blocks until every share has executed.
+    fn wait_done(&self) {
+        if self.is_done() {
+            return;
+        }
+        let mut guard = lock(&self.latch);
+        while !self.is_done() {
+            guard = self
+                .done_cv
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Counts `n` executed shares, firing the latch on the last one. The
+    /// `AcqRel` ordering publishes every per-round store made by the
+    /// finishing participant (panic flag, steal counters) to the caller's
+    /// `is_done` acquire load.
+    fn finish(&self, n: usize) {
+        let prev = self.completed.fetch_add(n, AtomicOrdering::AcqRel);
+        if prev + n >= self.shares {
+            // Take the latch mutex before notifying so a caller between
+            // its predicate check and `wait` cannot miss the wakeup.
+            let _guard = lock(&self.latch);
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A deque entry: an invitation for one participant to join `round`'s
+/// claim loop. Stale tickets (rounds already fully claimed) are no-ops.
+struct Task {
+    round: Arc<Round>,
+    /// Round-local participant id in `0..min(threads, shares)`; ticket 0
+    /// is always the submitting caller.
+    ticket: usize,
+}
+
+/// Runs `round`'s claim loop as participant `ticket`. Returns the number
+/// of shares executed here and — if one of them panicked — the first
+/// panic payload (the caller resumes its own payload; workers drop
+/// theirs, the round's flag having already been set).
+///
+/// `stolen` attributes executed shares to the round's steal counters.
+/// `stop` makes the loop abandon between chunks once *that* round's latch
+/// has fired — used by callers helping foreign rounds while waiting, so
+/// help is bounded by one chunk past their own round's completion.
+/// Abandoning is safe: loop exit without witnessing `next >= shares`
+/// leaves the remaining shares to the round's own caller, which
+/// participates unconditionally and never abandons its own round.
+fn participate(
+    round: &Round,
+    ticket: usize,
+    stolen: bool,
+    stop: Option<&Round>,
+) -> (usize, Option<Box<dyn std::any::Any + Send>>) {
+    let mut executed = 0usize;
+    let mut own: Option<Box<dyn std::any::Any + Send>> = None;
+    loop {
+        if let Some(s) = stop {
+            if s.is_done() {
+                break;
+            }
+        }
+        let base = round.next.fetch_add(round.chunk, AtomicOrdering::Relaxed);
+        if base >= round.shares {
+            break;
+        }
+        let hi = (base + round.chunk).min(round.shares);
+        // SAFETY: the successful claim above proves `completed < shares`
+        // (the claimed range has not been counted yet), so the submitting
+        // caller is still blocked on the round latch and `job` is alive
+        // for the duration of this chunk.
+        let job = unsafe { &*round.job.0 };
+        for share in base..hi {
+            let result = {
+                let _mark = RoundMark::enter();
+                catch_unwind(AssertUnwindSafe(|| job(ticket, share)))
+            };
+            if let Err(payload) = result {
+                round.panicked.store(true, AtomicOrdering::Release);
+                if own.is_none() {
+                    own = Some(payload);
+                }
+            }
+        }
+        if stolen {
+            if executed == 0 {
+                round.steals.fetch_add(1, AtomicOrdering::Relaxed);
+            }
+            round
+                .stolen_shares
+                .fetch_add((hi - base) as u64, AtomicOrdering::Relaxed);
+        }
+        executed += hi - base;
+        // Count executed shares only after the steal attribution above so
+        // `finish`'s release publishes it to the waiting caller.
+        round.finish(hi - base);
+    }
+    (executed, own)
+}
+
+/// Capacity of each worker's deque; ticket pushes beyond it overflow to
+/// the global injector. Tickets are invitations (a round pushes at most
+/// `threads - 1` of them), so a small bound suffices and keeps a stale
+/// backlog from growing behind a busy worker.
+const DEQUE_CAP: usize = 8;
+
+/// The scheduler state shared between the pool handle and its workers.
+struct Sched {
+    /// One bounded deque per spawned worker (`threads - 1` of them).
+    /// Owners pop LIFO (`pop_back`), thieves steal FIFO (`pop_front`).
+    deques: Box<[Mutex<VecDeque<Task>>]>,
+    /// Overflow and fallback queue; popping it is not a steal.
+    injector: Mutex<VecDeque<Task>>,
+    /// Bumped (under the mutex) after every ticket push and on shutdown;
+    /// workers park on `available` only while the epoch is unchanged, so
+    /// a push between a failed scan and the wait cannot be missed.
+    epoch: Mutex<u64>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Cursor rotating both ticket distribution and steal-scan start
+    /// points, so neither favours low-numbered workers.
+    rr: AtomicUsize,
+    /// Pool-lifetime aggregates behind [`Pool::steal_stats`].
+    steals: AtomicU64,
+    stolen_shares: AtomicU64,
+}
+
+impl Sched {
+    /// Pushes tickets `tickets` of `round` and wakes the team. A
+    /// pool-worker submitter (hypothetical — nested calls run inline, so
+    /// workers do not submit today) pushes onto its own deque; non-pool
+    /// submitters distribute round-robin across the worker deques,
+    /// overflowing to the injector.
+    fn push_tickets(&self, round: &Arc<Round>, tickets: std::ops::Range<usize>) {
+        let me = WORKER_ID.with(|w| w.get());
+        for ticket in tickets {
+            let task = Task {
+                round: Arc::clone(round),
+                ticket,
+            };
+            let target = match me {
+                Some(w) => w,
+                None => self.rr.fetch_add(1, AtomicOrdering::Relaxed) % self.deques.len(),
+            };
+            let mut dq = lock(&self.deques[target]);
+            if me.is_some() || dq.len() < DEQUE_CAP {
+                dq.push_back(task);
+            } else {
+                drop(dq);
+                lock(&self.injector).push_back(task);
+            }
+        }
+        let mut epoch = lock(&self.epoch);
+        *epoch = epoch.wrapping_add(1);
+        self.available.notify_all();
+    }
+
+    /// Takes the next ticket for participant `me` (`None` for a
+    /// non-worker caller): own deque LIFO, then the injector, then a
+    /// rotating FIFO scan of the other deques. The flag reports whether
+    /// the pop was a steal (a sibling's deque).
+    fn grab(&self, me: Option<usize>) -> Option<(Task, bool)> {
+        if let Some(w) = me {
+            if let Some(task) = lock(&self.deques[w]).pop_back() {
+                return Some((task, false));
+            }
+        }
+        if let Some(task) = lock(&self.injector).pop_front() {
+            return Some((task, false));
+        }
+        let n = self.deques.len();
+        let start = self.rr.fetch_add(1, AtomicOrdering::Relaxed) % n;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(task) = lock(&self.deques[victim]).pop_front() {
+                return Some((task, true));
+            }
+        }
+        None
+    }
+
+    /// Runs one ticket's claim loop, attributing productive steals.
+    /// Worker-side panic payloads are dropped here — the round's flag is
+    /// already set, and the submitting caller re-raises.
+    fn execute(&self, task: Task, stolen: bool, stop: Option<&Round>) {
+        let (executed, payload) = participate(&task.round, task.ticket, stolen, stop);
+        drop(payload);
+        if stolen && executed > 0 {
+            self.steals.fetch_add(1, AtomicOrdering::Relaxed);
+            self.stolen_shares
+                .fetch_add(executed as u64, AtomicOrdering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(w: usize, sched: &Sched) {
+    WORKER_ID.with(|id| id.set(Some(w)));
+    loop {
+        let seen = *lock(&sched.epoch);
+        if sched.shutdown.load(AtomicOrdering::Acquire) {
+            return;
+        }
+        if let Some((task, stolen)) = sched.grab(Some(w)) {
+            sched.execute(task, stolen, None);
+            continue;
+        }
+        let mut epoch = lock(&sched.epoch);
+        while *epoch == seen && !sched.shutdown.load(AtomicOrdering::Acquire) {
+            epoch = sched
+                .available
+                .wait(epoch)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Cumulative work-stealing counters of one pool (see
+/// [`Pool::steal_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StealStats {
+    /// Productive steals: tickets taken from a sibling worker's deque
+    /// that went on to execute at least one share.
+    pub steals: u64,
+    /// Logical shares executed through stolen tickets.
+    pub stolen_shares: u64,
+}
+
+/// Round-level numbers [`Pool::submit_round`] hands back to the recorded
+/// entry points. The queue wait is not carried here — `submit_round`'s
+/// `on_ready` callback receives it before any share executes.
+struct RoundStats {
+    steals: u64,
+    stolen_shares: u64,
+}
+
+/// Active [`serialize_rounds`] guard count. While non-zero, every
+/// top-level round on every pool runs under that pool's legacy round
+/// mutex — one round at a time, the pre-work-stealing behaviour.
+static SERIALIZE_ROUNDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Restores the legacy one-round-at-a-time execution for the lifetime of
+/// the guard (process-wide, refcounted). This is a benchmarking
+/// compatibility mode: `mp bench --serve`'s round-overlap cell measures
+/// the same workload with and without round overlap on the same binary.
+/// Not intended for production use — it deliberately reintroduces the
+/// serialization the work-stealing scheduler removed.
+pub fn serialize_rounds() -> SerializedRoundsGuard {
+    SERIALIZE_ROUNDS.fetch_add(1, AtomicOrdering::SeqCst);
+    SerializedRoundsGuard(())
+}
+
+/// Guard returned by [`serialize_rounds`]; dropping it re-enables round
+/// overlap (once every outstanding guard is gone).
+pub struct SerializedRoundsGuard(());
+
+impl Drop for SerializedRoundsGuard {
+    fn drop(&mut self) {
+        SERIALIZE_ROUNDS.fetch_sub(1, AtomicOrdering::SeqCst);
+    }
 }
 
 /// A persistent team of worker threads executing fork-join rounds.
@@ -123,12 +484,12 @@ struct Shared {
 /// assert_eq!(hits.load(Ordering::Relaxed), 4);
 /// ```
 pub struct Pool {
-    shared: Arc<Shared>,
+    sched: Arc<Sched>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
-    /// Serializes rounds: the pool's barriers support one job at a time,
-    /// so concurrent callers of [`Pool::run`] queue here.
-    round: Mutex<()>,
+    /// The legacy round mutex, used only while a [`serialize_rounds`]
+    /// guard is active (benchmark compatibility mode).
+    legacy_round: Mutex<()>,
 }
 
 thread_local! {
@@ -136,6 +497,18 @@ thread_local! {
     /// to detect nested `run` calls, which execute inline (see module
     /// docs).
     static IN_POOL_ROUND: Cell<bool> = const { Cell::new(false) };
+    /// The worker-deque index owned by this thread, if it is a pool
+    /// worker.
+    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// True while the current thread is executing a share of a pool round
+/// (on any pool, whether as a pool worker, a stealing helper, or a
+/// participating caller). The executor itself uses the same flag to run
+/// nested fork-join calls inline; tests use it to witness that work they
+/// observe really ran inside a round.
+pub fn in_pool_round() -> bool {
+    IN_POOL_ROUND.with(|f| f.get())
 }
 
 /// Sets [`IN_POOL_ROUND`] for the current scope, restoring the previous
@@ -324,6 +697,13 @@ pub fn threads_from_env(value: Option<&str>) -> usize {
         })
 }
 
+/// The claim-chunk size for an indexed round: `ceil(shares / (threads *
+/// 4))`, floored at 1. Tid-exact rounds ([`Pool::run`]) always use chunk
+/// 1 — each share *is* a participant there.
+fn indexed_chunk(shares: usize, threads: usize) -> usize {
+    shares.div_ceil(threads.max(1) * 4).max(1)
+}
+
 impl Pool {
     /// Spawns a pool executing jobs with `threads` participants (the
     /// calling thread plus `threads - 1` workers).
@@ -332,27 +712,33 @@ impl Pool {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "thread count must be at least 1");
-        let shared = Arc::new(Shared {
-            job: Mutex::new(None),
-            start: Barrier::new(threads),
-            end: Barrier::new(threads),
+        let sched = Arc::new(Sched {
+            deques: (1..threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            injector: Mutex::new(VecDeque::new()),
+            epoch: Mutex::new(0),
+            available: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            panicked: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            stolen_shares: AtomicU64::new(0),
         });
         let workers = (1..threads)
             .map(|tid| {
-                let shared = Arc::clone(&shared);
+                let sched = Arc::clone(&sched);
                 std::thread::Builder::new()
                     .name(format!("mergepath-worker-{tid}"))
-                    .spawn(move || worker_loop(tid, &shared))
+                    .spawn(move || worker_loop(tid - 1, &sched))
                     .expect("failed to spawn pool worker")
             })
             .collect();
         Pool {
-            shared,
+            sched,
             workers,
             threads,
-            round: Mutex::new(()),
+            legacy_round: Mutex::new(()),
         }
     }
 
@@ -361,19 +747,119 @@ impl Pool {
         self.threads
     }
 
+    /// Cumulative steal counters since the pool was created. Monotonic;
+    /// callers diff snapshots to attribute steals to a workload window
+    /// (the serve bench does exactly that for its per-cell columns).
+    pub fn steal_stats(&self) -> StealStats {
+        StealStats {
+            steals: self.sched.steals.load(AtomicOrdering::Relaxed),
+            stolen_shares: self.sched.stolen_shares.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// The scheduler engine: publishes a round descriptor, distributes
+    /// tickets, participates, helps siblings, and blocks on the round
+    /// latch. `on_ready` runs after ticket distribution with the measured
+    /// submit-side queue wait — the recorded entry points use it to emit
+    /// `round_wait_ns` then `round_begin` before any share executes on
+    /// this thread.
+    ///
+    /// Caller must have ruled out virtual, nested, single-thread, and
+    /// degenerate (`shares < 2`) execution.
+    ///
+    /// # Panics
+    /// Re-raises the caller's own share panic, or panics with
+    /// `"a pool worker's share panicked"` when only foreign shares
+    /// panicked — after every share of the round has executed, so the
+    /// scheduler is left fully reusable.
+    fn submit_round<F: FnOnce(u64)>(
+        &self,
+        shares: usize,
+        chunk: usize,
+        job: &(dyn Fn(usize, usize) + Sync),
+        on_ready: F,
+    ) -> RoundStats {
+        debug_assert!(self.threads > 1 && shares > 1);
+        let queued = now_ns();
+        // Benchmark compatibility mode: hold the legacy mutex for the
+        // whole round, restoring pre-work-stealing serialization. The
+        // queue wait then measures the mutex acquisition, exactly like
+        // the old executor reported it.
+        let _legacy = if SERIALIZE_ROUNDS.load(AtomicOrdering::SeqCst) > 0 {
+            Some(lock(&self.legacy_round))
+        } else {
+            None
+        };
+        // SAFETY: we erase the lifetime of `job`. Every dereference of the
+        // stored pointer is gated on a successful share claim, which
+        // proves this function has not yet returned (see `participate`);
+        // the reference therefore outlives every dereference.
+        let erased: *const (dyn Fn(usize, usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync + 'static),
+            >(job as *const _)
+        };
+        let round = Arc::new(Round {
+            job: JobPtr(erased),
+            shares,
+            chunk: chunk.max(1),
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            latch: Mutex::new(()),
+            done_cv: Condvar::new(),
+            steals: AtomicU64::new(0),
+            stolen_shares: AtomicU64::new(0),
+        });
+        let tickets = self.threads.min(shares);
+        if tickets > 1 {
+            self.sched.push_tickets(&round, 1..tickets);
+        }
+        // The queue wait is the submit-side delay before this thread's
+        // first share — ticket distribution plus, in serialized mode, the
+        // legacy mutex wait — not the round duration.
+        on_ready(now_ns().saturating_sub(queued));
+        // Participate: the caller is always ticket 0 and never abandons
+        // its own round.
+        let (_, own) = participate(&round, 0, false, None);
+        // Help siblings while our latch is open: whatever rounds are in
+        // flight get an extra participant instead of a blocked thread.
+        // Bounded by one foreign chunk past our own round's completion.
+        while !round.is_done() {
+            match self.sched.grab(WORKER_ID.with(|w| w.get())) {
+                Some((task, stolen)) => self.sched.execute(task, stolen, Some(&round)),
+                None => break,
+            }
+        }
+        round.wait_done();
+        let stats = RoundStats {
+            steals: round.steals.load(AtomicOrdering::Relaxed),
+            stolen_shares: round.stolen_shares.load(AtomicOrdering::Relaxed),
+        };
+        let panicked = round.panicked.load(AtomicOrdering::Acquire);
+        match own {
+            Some(payload) => resume_unwind(payload),
+            None if panicked => panic!("a pool worker's share panicked"),
+            None => {}
+        }
+        stats
+    }
+
     /// Executes `job(tid)` once for every `tid in 0..threads`, in parallel,
     /// returning when all have finished (implicit barrier, as at the end of
     /// an OpenMP parallel region).
     ///
-    /// Concurrent callers are serialized: the pool runs one round at a
-    /// time and later callers block until it is free. If a share itself
-    /// calls `run` (on this or any pool), the nested call executes all of
-    /// its shares inline on the calling thread — nested rounds never
-    /// recruit the team, mirroring OpenMP with nested parallelism off.
+    /// Concurrent callers overlap: each call is its own round descriptor
+    /// and rounds execute simultaneously on the work-stealing scheduler
+    /// (see module docs). If a share itself calls `run` (on this or any
+    /// pool), the nested call executes all of its shares inline on the
+    /// calling thread — nested rounds never recruit the team, mirroring
+    /// OpenMP with nested parallelism off.
     ///
     /// # Panics
     /// If any share panics, the panic is re-raised on the calling thread
-    /// after all participants have finished the round (the pool itself
+    /// after all shares of the round have finished (the pool itself
     /// stays usable).
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
         if let Some(obs) = current_observer() {
@@ -393,47 +879,7 @@ impl Pool {
             job(0);
             return;
         }
-        // Hold the round lock for the entire fork-join round so concurrent
-        // callers cannot interleave jobs on the same barrier pair. A
-        // panicking round poisons the mutex on unwind; the poison carries
-        // no meaning here (the pool is left in a clean state), so it is
-        // ignored.
-        let _round = self.round.lock().unwrap_or_else(PoisonError::into_inner);
-        self.run_round(job);
-    }
-
-    /// The barrier round itself: publishes `job`, releases the team,
-    /// executes share 0 on the calling thread and propagates panics.
-    /// Caller must hold the round lock and have ruled out nested and
-    /// single-thread execution.
-    fn run_round(&self, job: &(dyn Fn(usize) + Sync)) {
-        // SAFETY: we erase the lifetime of `job`. The pointer is consumed
-        // only by workers between the start and end barriers below, and
-        // this function does not return until `end.wait()` has been passed
-        // by every worker, so the reference outlives every dereference.
-        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
-            std::mem::transmute::<
-                *const (dyn Fn(usize) + Sync),
-                *const (dyn Fn(usize) + Sync + 'static),
-            >(job as *const _)
-        };
-        *self.shared.job.lock().expect("pool mutex poisoned") = Some(JobPtr(erased));
-        self.shared.start.wait();
-        let own = {
-            let _mark = RoundMark::enter();
-            catch_unwind(AssertUnwindSafe(|| job(0)))
-        };
-        if own.is_err() {
-            self.shared.panicked.store(true, AtomicOrdering::Release);
-        }
-        self.shared.end.wait();
-        *self.shared.job.lock().expect("pool mutex poisoned") = None;
-        let was_panicked = self.shared.panicked.swap(false, AtomicOrdering::AcqRel);
-        match own {
-            Err(payload) => resume_unwind(payload),
-            Ok(()) if was_panicked => panic!("a pool worker's share panicked"),
-            Ok(()) => {}
-        }
+        self.submit_round(self.threads, 1, &|_ticket, share| job(share), |_| {});
     }
 
     /// Executes `job(i)` once for every `i in 0..shares`, distributing the
@@ -443,9 +889,10 @@ impl Pool {
     /// *logical* processor count `p` from the algorithm (the number of
     /// Merge Path segments), which is deliberately decoupled from the
     /// pool's physical thread count. Shares are claimed dynamically via an
-    /// atomic counter, so `shares > threads` oversubscribes gracefully and
-    /// `shares < threads` leaves the surplus workers idle for the round.
-    /// Output is therefore identical regardless of pool size.
+    /// atomic counter (in chunks when oversubscribed — see module docs),
+    /// so `shares > threads` oversubscribes gracefully and
+    /// `shares < threads` leaves the surplus workers free for other
+    /// rounds. Output is therefore identical regardless of pool size.
     ///
     /// Panic propagation and nested-call behaviour match [`Pool::run`].
     pub fn run_indexed(&self, shares: usize, job: &(dyn Fn(usize) + Sync)) {
@@ -459,21 +906,30 @@ impl Pool {
                 let _mark = RoundMark::enter();
                 job(0);
             }
+            _ if IN_POOL_ROUND.with(|f| f.get()) => {
+                for share in 0..shares {
+                    job(share);
+                }
+            }
+            _ if self.threads == 1 => {
+                let _mark = RoundMark::enter();
+                for share in 0..shares {
+                    job(share);
+                }
+            }
             _ => {
-                let next = AtomicUsize::new(0);
-                self.run(&|_tid| loop {
-                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                    if i >= shares {
-                        break;
-                    }
-                    job(i);
-                });
+                self.submit_round(
+                    shares,
+                    indexed_chunk(shares, self.threads),
+                    &|_ticket, share| job(share),
+                    |_| {},
+                );
             }
         }
     }
 
-    /// [`Pool::run`] with telemetry: reports the round (begin/end, round
-    /// mutex wait) and one busy window per share into `rec`.
+    /// [`Pool::run`] with telemetry: reports the round (begin/end, queue
+    /// wait, steal counters) and one busy window per share into `rec`.
     ///
     /// With an inactive recorder (`R::ACTIVE == false`, i.e.
     /// `NoRecorder`) this delegates to [`Pool::run`] unchanged.
@@ -488,17 +944,19 @@ impl Pool {
             run_virtual(&*obs, self.threads, job);
             return;
         }
-        let wrapped = |tid: usize| {
+        // Tid-exact rounds are tagged by share index — the logical worker
+        // IS the share there, regardless of which participant ran it.
+        let wrapped = |_ticket: usize, share: usize| {
             let start = now_ns();
-            job(tid);
-            rec.share_window(tid, tid, start, now_ns());
+            job(share);
+            rec.share_window(share, share, start, now_ns());
         };
-        self.run_observed(rec, self.threads, &wrapped);
+        self.run_observed(rec, self.threads, 1, &wrapped);
     }
 
     /// [`Pool::run_indexed`] with telemetry: reports the round and one
-    /// busy window per *logical share* (tagged with the physical thread
-    /// that claimed it) into `rec`.
+    /// busy window per *logical share* (tagged with the round-local
+    /// ticket of the participant that claimed it) into `rec`.
     ///
     /// With an inactive recorder this delegates to [`Pool::run_indexed`]
     /// unchanged — the untraced hot path is byte-for-byte the same code.
@@ -529,38 +987,43 @@ impl Pool {
                 rec.round_end();
             }
             _ => {
-                let next = AtomicUsize::new(0);
-                let claim = |tid: usize| loop {
-                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                    if i >= shares {
-                        break;
-                    }
+                let wrapped = |ticket: usize, share: usize| {
                     let start = now_ns();
-                    job(i);
-                    rec.share_window(tid, i, start, now_ns());
+                    job(share);
+                    rec.share_window(ticket, share, start, now_ns());
                 };
-                self.run_observed(rec, shares, &claim);
+                self.run_observed(rec, shares, indexed_chunk(shares, self.threads), &wrapped);
             }
         }
     }
 
-    /// Shared telemetry wrapper around a fork-join round: replicates
-    /// [`Pool::run`]'s nested / single-thread / locked-round dispatch while
-    /// reporting round begin/end and the round-mutex wait. `job` is
-    /// expected to report its own share windows.
+    /// Shared telemetry wrapper around a fork-join round: replicates the
+    /// nested / single-thread / submitted dispatch of the untraced entry
+    /// points while reporting round begin/end, the submit queue wait, and
+    /// the round's steal counters. `job` is expected to report its own
+    /// share windows.
     ///
     /// These round-level callbacks are the executor's only contribution to
     /// the live observability layer (DESIGN.md §12): when the serving
     /// daemon wraps its recorder in a `RoundGaugeRecorder`
     /// (`mergepath-serve::observe`), every `round_begin`/`round_end` pair
     /// seen here is teed into the `pool_rounds_active` gauge and
-    /// `pool_rounds_total` counter of the live registry — the executor
-    /// itself stays metrics-agnostic.
-    fn run_observed<R: Recorder>(&self, rec: &R, shares: usize, job: &(dyn Fn(usize) + Sync)) {
+    /// `pool_rounds_total` counter of the live registry, the
+    /// `round_wait_ns` callback into the `round_queue_wait_ns` histogram,
+    /// and the steal counters into `pool_steals_total` /
+    /// `pool_stolen_shares_total` — the executor itself stays
+    /// metrics-agnostic.
+    fn run_observed<R: Recorder>(
+        &self,
+        rec: &R,
+        shares: usize,
+        chunk: usize,
+        job: &(dyn Fn(usize, usize) + Sync),
+    ) {
         if IN_POOL_ROUND.with(|f| f.get()) {
             rec.round_begin(shares);
-            for tid in 0..self.threads {
-                job(tid);
+            for share in 0..shares {
+                job(0, share);
             }
             rec.round_end();
             return;
@@ -569,17 +1032,25 @@ impl Pool {
             rec.round_begin(shares);
             {
                 let _mark = RoundMark::enter();
-                job(0);
+                for share in 0..shares {
+                    job(0, share);
+                }
             }
             rec.round_end();
             return;
         }
-        let wait_from = now_ns();
-        let _round = self.round.lock().unwrap_or_else(PoisonError::into_inner);
-        rec.round_wait_ns(now_ns().saturating_sub(wait_from));
-        rec.round_begin(shares);
-        self.run_round(job);
+        let stats = self.submit_round(shares, chunk, job, |wait_ns| {
+            // The wait must precede `round_begin` on this thread: the
+            // timeline recorder attributes a pending wait to the next
+            // round begun by the same thread.
+            rec.round_wait_ns(wait_ns);
+            rec.round_begin(shares);
+        });
         rec.round_end();
+        if stats.steals > 0 {
+            rec.counter_add(0, CounterKind::PoolSteals, stats.steals);
+            rec.counter_add(0, CounterKind::PoolStolenShares, stats.stolen_shares);
+        }
     }
 
     /// Stable parallel merge executed on this pool (Algorithm 1 with the
@@ -615,9 +1086,9 @@ impl Pool {
             note_read_range(sa);
             note_read_range(sb);
             // SAFETY: `d_lo..d_hi` ranges are disjoint across tids and lie
-            // within `out` (d_hi <= n == out.len()); the pool's end barrier
-            // orders all writes before `merge_into_by` returns to the
-            // caller, which still holds the unique borrow of `out`.
+            // within `out` (d_hi <= n == out.len()); the round latch orders
+            // all writes before `merge_into_by` returns to the caller,
+            // which still holds the unique borrow of `out`.
             let chunk = unsafe { base.slice_mut(d_lo, d_hi - d_lo) };
             merge_into_by(sa, sb, chunk, cmp);
         });
@@ -634,37 +1105,15 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        if self.threads > 1 {
-            self.shared.shutdown.store(true, AtomicOrdering::Release);
-            self.shared.start.wait();
+        self.sched.shutdown.store(true, AtomicOrdering::Release);
+        {
+            let mut epoch = lock(&self.sched.epoch);
+            *epoch = epoch.wrapping_add(1);
+            self.sched.available.notify_all();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-    }
-}
-
-fn worker_loop(tid: usize, shared: &Shared) {
-    loop {
-        shared.start.wait();
-        if shared.shutdown.load(AtomicOrdering::Acquire) {
-            return;
-        }
-        let ptr = shared
-            .job
-            .lock()
-            .expect("pool mutex poisoned")
-            .as_ref()
-            .map(|j| j.0);
-        if let Some(ptr) = ptr {
-            // SAFETY: see `Pool::run` — the job outlives this round.
-            let job = unsafe { &*ptr };
-            let _mark = RoundMark::enter();
-            if catch_unwind(AssertUnwindSafe(|| job(tid))).is_err() {
-                shared.panicked.store(true, AtomicOrdering::Release);
-            }
-        }
-        shared.end.wait();
     }
 }
 
@@ -675,7 +1124,7 @@ fn worker_loop(tid: usize, shared: &Shared) {
 /// reconstructs its own sub-slice with `from_raw_parts_mut`. Every use
 /// site must uphold the contract in the `unsafe impl`s below: shares only
 /// touch pairwise-disjoint ranges, and the owning borrow outlives the
-/// round (guaranteed by [`Pool::run`]'s end barrier).
+/// round (guaranteed by the round latch in [`Pool::run`]).
 pub struct SendPtr<T>(*mut T);
 
 impl<T> SendPtr<T> {
@@ -701,7 +1150,7 @@ impl<T> SendPtr<T> {
     /// `self.get().add(offset)`: the range must lie within one live
     /// allocation, no other reference may touch it for the produced
     /// lifetime, and the caller chooses `'a` no longer than the owning
-    /// borrow (in pool kernels, until the round's end barrier).
+    /// borrow (in pool kernels, until the round latch fires).
     pub unsafe fn slice_mut<'a>(&self, offset: usize, len: usize) -> &'a mut [T] {
         // SAFETY: `offset` is in bounds per this function's contract.
         let ptr = unsafe { self.0.add(offset) };
@@ -919,6 +1368,34 @@ mod tests {
     }
 
     #[test]
+    fn panicking_round_then_clean_round_reuses_scheduler() {
+        // The satellite regression for the old `PoisonError::into_inner`
+        // recovery: the work-stealing scheduler holds no lock across job
+        // code, so a panicking round must leave it fully reusable — many
+        // times over, from several share positions, with the clean
+        // rounds' coverage still exact.
+        let pool = Pool::new(3);
+        for panic_at in [0usize, 1, 5, 7] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run_indexed(8, &|i| {
+                    if i == panic_at {
+                        panic!("boom in share {i}");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "panic at {panic_at} must propagate");
+            let seen: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_indexed(6, &|i| {
+                seen[i].fetch_add(1, AtomicOrdering::Relaxed);
+            });
+            assert!(
+                seen.iter().all(|s| s.load(AtomicOrdering::Relaxed) == 1),
+                "clean round after panic at {panic_at} must cover every share once"
+            );
+        }
+    }
+
+    #[test]
     fn nested_run_executes_inline_and_completes() {
         let pool = Pool::new(4);
         let outer = AtomicUsize::new(0);
@@ -956,7 +1433,10 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_callers_are_serialized() {
+    fn concurrent_callers_overlap_and_complete() {
+        // Rounds from four caller threads are all in flight on one pool;
+        // every share of every round must execute exactly once in total,
+        // regardless of how the scheduler interleaves them.
         let pool = Arc::new(Pool::new(3));
         let total = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..4)
@@ -976,6 +1456,81 @@ mod tests {
             h.join().expect("caller thread panicked");
         }
         assert_eq!(total.load(AtomicOrdering::Relaxed), 4 * 25 * 6);
+    }
+
+    #[test]
+    fn serialized_rounds_guard_still_completes_concurrent_load() {
+        // The benchmark compatibility mode must keep the same coverage
+        // contract (it only changes scheduling, never results), and its
+        // refcount must drop cleanly so overlap resumes afterwards.
+        let pool = Arc::new(Pool::new(3));
+        let total = Arc::new(AtomicUsize::new(0));
+        {
+            let _serialized = serialize_rounds();
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    let total = Arc::clone(&total);
+                    std::thread::spawn(move || {
+                        for _ in 0..10 {
+                            pool.run_indexed(5, &|_| {
+                                total.fetch_add(1, AtomicOrdering::Relaxed);
+                            });
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("caller thread panicked");
+            }
+        }
+        assert_eq!(total.load(AtomicOrdering::Relaxed), 3 * 10 * 5);
+        assert_eq!(SERIALIZE_ROUNDS.load(AtomicOrdering::SeqCst), 0);
+        // Overlap is back: a plain round still works.
+        let count = AtomicUsize::new(0);
+        pool.run_indexed(4, &|_| {
+            count.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 4);
+    }
+
+    #[test]
+    fn chunked_claiming_still_covers_many_tiny_shares() {
+        // 1000 shares on 4 threads → chunk = ceil(1000/16) = 63; coverage
+        // must stay exact and the chunk arithmetic must not skip or
+        // double-run the tail.
+        let pool = Pool::new(4);
+        let shares = 1000usize;
+        assert_eq!(indexed_chunk(shares, 4), 63);
+        let seen: Vec<AtomicUsize> = (0..shares).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_indexed(shares, &|i| {
+            seen[i].fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(AtomicOrdering::Relaxed), 1, "share {i}");
+        }
+        // Degenerate chunk arithmetic.
+        assert_eq!(indexed_chunk(2, 4), 1);
+        assert_eq!(indexed_chunk(16, 4), 1);
+        assert_eq!(indexed_chunk(17, 4), 2);
+        assert_eq!(indexed_chunk(7, 1), 2);
+    }
+
+    #[test]
+    fn steal_stats_are_monotonic_and_start_at_zero() {
+        let pool = Pool::new(4);
+        let s0 = pool.steal_stats();
+        assert_eq!(s0, StealStats::default());
+        let count = AtomicUsize::new(0);
+        for _ in 0..20 {
+            pool.run_indexed(8, &|_| {
+                count.fetch_add(1, AtomicOrdering::Relaxed);
+            });
+        }
+        let s1 = pool.steal_stats();
+        assert!(s1.steals >= s0.steals);
+        assert!(s1.stolen_shares >= s1.steals, "a steal executes ≥ 1 share");
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 20 * 8);
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub const COUNTER_NAMES: &[&str] = &[
     "serve_failed_total",
     "serve_flight_dumps_total",
     "pool_rounds_total",
+    "pool_steals_total",
+    "pool_stolen_shares_total",
 ];
 const C_SUBMITTED: usize = 0;
 const C_COMPLETED: usize = 1;
@@ -44,6 +46,8 @@ const C_REJECTED_DEADLINE: usize = 3;
 const C_FAILED: usize = 4;
 const C_FLIGHT_DUMPS: usize = 5;
 const C_POOL_ROUNDS: usize = 6;
+const C_POOL_STEALS: usize = 7;
+const C_POOL_STOLEN_SHARES: usize = 8;
 
 /// Gauge names registered by [`ServeObserver`], in index order.
 pub const GAUGE_NAMES: &[&str] = &[
@@ -60,19 +64,22 @@ const G_INFLIGHT_PEAK: usize = 3;
 const G_POOL_ROUNDS_ACTIVE: usize = 4;
 
 /// Histogram names registered by [`ServeObserver`]: the four waterfall
-/// stages plus end-to-end latency, in index order.
+/// stages, end-to-end latency, and the executor's round submit-to-start
+/// queue wait, in index order.
 pub const HISTOGRAM_NAMES: &[&str] = &[
     "serve_stage_queue_ns",
     "serve_stage_dispatch_ns",
     "serve_stage_compute_ns",
     "serve_stage_emit_ns",
     "serve_latency_ns",
+    "round_queue_wait_ns",
 ];
 const H_QUEUE: usize = 0;
 const H_DISPATCH: usize = 1;
 const H_COMPUTE: usize = 2;
 const H_EMIT: usize = 3;
 const H_LATENCY: usize = 4;
+const H_ROUND_QUEUE_WAIT: usize = 5;
 
 /// Lifecycle hooks the [`Server`](crate::Server) request path reports
 /// into. All methods take `&self` and are called concurrently from the
@@ -320,6 +327,22 @@ impl ServeObserver {
         self.registry.gauge_sub(G_POOL_ROUNDS_ACTIVE, 1);
     }
 
+    /// Records a round's submit-to-first-share queue wait (wired from the
+    /// executor's `round_wait_ns` callback via [`RoundGaugeRecorder`]).
+    pub fn on_round_queue_wait(&self, ns: u64) {
+        self.registry.histogram_record(H_ROUND_QUEUE_WAIT, ns);
+    }
+
+    /// Bumps the work-stealing witness counters (wired from the
+    /// executor's per-round steal report via [`RoundGaugeRecorder`]).
+    /// `steals` counts productive ticket steals; `stolen_shares` the
+    /// logical shares those tickets executed.
+    pub fn on_pool_steals(&self, steals: u64, stolen_shares: u64) {
+        self.registry.counter_add(C_POOL_STEALS, steals);
+        self.registry
+            .counter_add(C_POOL_STOLEN_SHARES, stolen_shares);
+    }
+
     /// Renders the p99 waterfall attribution table from the stage
     /// histograms accumulated so far.
     pub fn attribution_table(&self) -> String {
@@ -545,10 +568,14 @@ impl ServeProbe for ServeObserver {
 
 /// A [`Recorder`] adapter that forwards everything to `inner` and
 /// additionally feeds the executor's **round-level** callbacks into the
-/// observer's pool gauges (`pool_rounds_total`, `pool_rounds_active`), so
-/// the live snapshot shows whether the daemon is currently data-parallel
-/// (pool rounds active at low concurrency) or request-parallel (share = 1,
-/// no rounds at saturation).
+/// observer's pool metrics: `round_begin`/`round_end` into the
+/// `pool_rounds_total` counter and `pool_rounds_active` gauge (so the
+/// live snapshot shows whether the daemon is currently data-parallel or
+/// request-parallel), `round_wait_ns` into the `round_queue_wait_ns`
+/// histogram, and the executor's per-round steal report
+/// (`CounterKind::PoolSteals` / `PoolStolenShares`) into the
+/// `pool_steals_total` / `pool_stolen_shares_total` counters — the live
+/// witness that round overlap is actually happening.
 pub struct RoundGaugeRecorder<R> {
     inner: R,
     observer: Arc<ServeObserver>,
@@ -582,6 +609,15 @@ impl<R: Recorder + Send + Sync> Recorder for RoundGaugeRecorder<R> {
     }
     #[inline(always)]
     fn counter_add(&self, worker: usize, kind: mergepath_telemetry::CounterKind, delta: u64) {
+        match kind {
+            mergepath_telemetry::CounterKind::PoolSteals => {
+                self.observer.on_pool_steals(delta, 0);
+            }
+            mergepath_telemetry::CounterKind::PoolStolenShares => {
+                self.observer.on_pool_steals(0, delta);
+            }
+            _ => {}
+        }
         self.inner.counter_add(worker, kind, delta);
     }
     #[inline(always)]
@@ -600,6 +636,7 @@ impl<R: Recorder + Send + Sync> Recorder for RoundGaugeRecorder<R> {
     }
     #[inline(always)]
     fn round_wait_ns(&self, ns: u64) {
+        self.observer.on_round_queue_wait(ns);
         self.inner.round_wait_ns(ns);
     }
     #[inline(always)]
@@ -784,16 +821,38 @@ mod tests {
         use mergepath_telemetry::TimelineRecorder;
         let obs = Arc::new(ServeObserver::new(ObserverConfig::default()));
         let rec = RoundGaugeRecorder::new(TimelineRecorder::new(), Arc::clone(&obs));
+        rec.round_wait_ns(750);
         rec.round_begin(4);
         assert_eq!(obs.snapshot().gauge("pool_rounds_active"), Some(1));
         rec.span_begin(0, mergepath_telemetry::SpanKind::SegmentMerge);
         rec.span_end(0, mergepath_telemetry::SpanKind::SegmentMerge);
         rec.round_end();
+        // The executor's per-round steal report routes through
+        // counter_add with the dedicated kinds.
+        rec.counter_add(0, mergepath_telemetry::CounterKind::PoolSteals, 2);
+        rec.counter_add(0, mergepath_telemetry::CounterKind::PoolStolenShares, 5);
         let snap = obs.snapshot();
         assert_eq!(snap.counter("pool_rounds_total"), Some(1));
         assert_eq!(snap.gauge("pool_rounds_active"), Some(0));
+        assert_eq!(snap.counter("pool_steals_total"), Some(2));
+        assert_eq!(snap.counter("pool_stolen_shares_total"), Some(5));
+        let wait = snap.histogram("round_queue_wait_ns").unwrap();
+        assert_eq!(wait.count(), 1, "round_wait_ns teed into the histogram");
+        assert_eq!(wait.sum(), 750);
         let t = rec.into_inner().finish();
         assert_eq!(t.spans.len(), 1, "inner recorder still saw the span");
         assert_eq!(t.rounds.len(), 1);
+        assert_eq!(
+            t.counters
+                .iter()
+                .filter(|c| matches!(
+                    c.kind,
+                    mergepath_telemetry::CounterKind::PoolSteals
+                        | mergepath_telemetry::CounterKind::PoolStolenShares
+                ))
+                .count(),
+            2,
+            "steal counters still delegate to the inner recorder"
+        );
     }
 }

@@ -47,6 +47,15 @@ pub struct ReplayConfig {
 /// A linear-work stand-in for the merge kernels (Thm 2: sequential merge
 /// is linear in the output length), calibrated loosely — the replay needs
 /// a *consistent* notion of service time, not an accurate one.
+///
+/// The model is deliberately **overlap-agnostic**: it charges the serving
+/// slot the full linear work regardless of how many pool shares the live
+/// daemon would fan the request across, and regardless of whether the
+/// work-stealing executor overlaps its round with others. Intra-request
+/// parallelism only moves the *live* latency numbers; keeping it out of
+/// the model is what lets the replay columns of `BENCH_serve.json` stay
+/// bit-comparable across executor changes (the round-overlap cell
+/// measures that live-side difference directly).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceModel {
     /// Fixed per-request overhead, nanoseconds.

@@ -18,8 +18,8 @@ use mergepath_telemetry::{
 use crate::observe::{NoProbe, ServeProbe};
 
 /// The logical worker shares one executing request receives when
-/// `inflight` requests share a pool budget of `budget` threads: the equal
-/// split `⌊budget / inflight⌋`, floored at 1.
+/// `inflight` requests share a pool budget of `budget` threads: the
+/// ceiling split `⌈budget / inflight⌉`, floored at 1.
 ///
 /// This is the same global-budget discipline `merge::batch` applies
 /// across pairs, lifted to concurrent requests: one lone request fans out
@@ -27,8 +27,17 @@ use crate::observe::{NoProbe, ServeProbe};
 /// runs inline on its serving thread (share = 1 executes without
 /// entering a pool round), so the daemon's parallelism degrades
 /// gracefully from data-parallel to request-parallel.
+///
+/// The split rounds **up**: under the old serialize-the-pool executor a
+/// floor split was the safe choice (rounds ran one at a time, so handing
+/// out more shares than the strict division only lengthened the queue),
+/// but it systematically under-shared — 8 threads at 3 inflight gave each
+/// request 2 shares and idled two threads. With the work-stealing
+/// scheduler concurrent rounds overlap and idle workers steal whatever is
+/// left, so a generous share count costs nothing when the pool is busy
+/// and buys parallelism when it is not.
 pub fn worker_share(budget: usize, inflight: usize) -> usize {
-    (budget / inflight.max(1)).max(1)
+    budget.div_ceil(inflight.max(1)).max(1)
 }
 
 /// What a request asks the daemon to compute.
@@ -922,7 +931,7 @@ mod tests {
     fn worker_share_splits_the_budget() {
         assert_eq!(worker_share(8, 1), 8);
         assert_eq!(worker_share(8, 2), 4);
-        assert_eq!(worker_share(8, 3), 2);
+        assert_eq!(worker_share(8, 3), 3, "ceiling split: no idle remainder");
         assert_eq!(worker_share(8, 8), 1);
         assert_eq!(worker_share(8, 100), 1);
         assert_eq!(worker_share(1, 1), 1);

@@ -121,6 +121,14 @@ pub enum CounterKind {
     /// widths of every [`CounterKind::ServeBatched`] round, so
     /// `batch_width / serve_batched` is the mean coalescing width).
     BatchWidth,
+    /// Tickets taken from another worker's deque (or the injector scan)
+    /// by an idle participant during this round — the work-stealing
+    /// executor's overlap witness. Reported once per round by the
+    /// submitting caller after the round latch fires.
+    PoolSteals,
+    /// Logical shares executed through stolen tickets during this round
+    /// (each steal's claim loop may run several chunks).
+    PoolStolenShares,
 }
 
 impl CounterKind {
@@ -140,6 +148,8 @@ impl CounterKind {
             CounterKind::ServeRejectedDeadline => "serve_rejected_deadline",
             CounterKind::ServeBatched => "serve_batched",
             CounterKind::BatchWidth => "batch_width",
+            CounterKind::PoolSteals => "pool_steals",
+            CounterKind::PoolStolenShares => "pool_stolen_shares",
         }
     }
 }
@@ -191,8 +201,10 @@ pub trait Recorder: Sync {
     /// The round most recently begun on the calling thread finished.
     fn round_end(&self) {}
 
-    /// The calling thread waited `ns` nanoseconds to acquire the pool's
-    /// round mutex (queueing / serialization overhead).
+    /// The calling thread spent `ns` nanoseconds between submitting the
+    /// round and beginning to execute its shares (scheduler queueing
+    /// overhead: ticket distribution, and — in the serialized
+    /// compatibility mode — the legacy round-mutex wait).
     fn round_wait_ns(&self, ns: u64) {
         let _ = ns;
     }
@@ -480,5 +492,7 @@ mod tests {
         );
         assert_eq!(CounterKind::ServeBatched.name(), "serve_batched");
         assert_eq!(CounterKind::BatchWidth.name(), "batch_width");
+        assert_eq!(CounterKind::PoolSteals.name(), "pool_steals");
+        assert_eq!(CounterKind::PoolStolenShares.name(), "pool_stolen_shares");
     }
 }

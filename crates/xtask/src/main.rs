@@ -21,7 +21,9 @@ fn usage() -> ExitCode {
     eprintln!("                   per-worker bounds included)");
     eprintln!("  verify-schedules run `mp check --kernel all` (CREW exclusivity, exact");
     eprintln!("                   coverage and Thm 14 across permuted virtual schedules");
-    eprintln!("                   for every kernel) plus a forced co-rank leg");
+    eprintln!("                   for every kernel) plus a steal-order leg (--steal-orders,");
+    eprintln!("                   round orders drawn from the simulated work-stealing deque");
+    eprintln!("                   protocol) and a forced co-rank leg");
     eprintln!("                   (--dispatch co_rank, stable tie break on keyed inputs),");
     eprintln!("                   then rebuild with the injected partition fault");
     eprintln!("                   (--cfg mergepath_mutate) and prove the checker reports");
@@ -42,10 +44,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "                   exceeds {CO_RANK_IMBALANCE_CAP} (exact balance is deterministic)"
     );
-    eprintln!("  verify-serve     run `mp bench --smoke --serve` into target/xtask/serve,");
-    eprintln!("                   schema-check BENCH_serve.json (all three arrival patterns");
-    eprintln!("                   at >= 4 concurrency levels, zero lost requests, zero");
-    eprintln!("                   correctness failures) and append a serve_history line to");
+    eprintln!("  verify-serve     run `mp bench --smoke --serve` (4 pool threads) into");
+    eprintln!("                   target/xtask/serve, schema-check BENCH_serve.json (all");
+    eprintln!("                   three arrival patterns at >= 4 concurrency levels, zero");
+    eprintln!("                   lost requests, zero correctness failures, a round-overlap");
+    eprintln!("                   cell, and pool_steals > 0 witnessed under the bursty");
+    eprintln!("                   pattern) and append a serve_history line to");
     eprintln!("                   results/bench_history.jsonl");
     eprintln!("  verify-net       spawn `mp serve --listen 127.0.0.1:0` out of process,");
     eprintln!("                   drive `mp client --malformed` over the loopback TCP");
@@ -263,13 +267,18 @@ fn verify_telemetry(opts: BuildOpts) -> ExitCode {
 ///    target directory keeps the mutated artifacts from poisoning the
 ///    normal build cache.
 ///
-/// A second leg always forces the co-rank stable kernel
+/// A second leg always draws round orders from the simulated
+/// work-stealing deque protocol (`--steal-orders`): executor-realistic
+/// interleavings where the executing worker differs from the pushing
+/// worker, covering the reorderings a live stolen ticket can produce. A
+/// third leg always forces the co-rank stable kernel
 /// (`mp check --kernel all --dispatch co_rank`): its inputs stay
 /// provenance-tagged and duplicate-heavy, so the oracle comparison proves
 /// the A-before-B tie break on top of CREW exclusivity and the ⌈E/s⌉ cap.
-/// With `--simd`, a third leg forces the vectorized segment kernel over
-/// primitive-key inputs (`mp check --kernel all --dispatch simd`), and the
-/// mutation leg compiles the lane-swap fault in.
+/// With `--simd`, two more legs force the vectorized segment kernel over
+/// primitive-key inputs (`mp check --kernel all --dispatch simd`, with
+/// and without `--steal-orders`), and the mutation leg compiles the
+/// lane-swap fault in.
 fn verify_schedules(opts: BuildOpts) -> ExitCode {
     let mut runs: Vec<Vec<&str>> = Vec::new();
     let mut base = vec!["run", "--offline", "--release", "-q", "-p", "mergepath-cli"];
@@ -289,13 +298,19 @@ fn verify_schedules(opts: BuildOpts) -> ExitCode {
         "8",
     ]);
     runs.push(base.clone());
+    let mut steal = base.clone();
+    steal.push("--steal-orders");
+    runs.push(steal);
     let mut co_rank = base.clone();
     co_rank.extend_from_slice(&["--dispatch", "co_rank"]);
     runs.push(co_rank);
     if opts.simd {
-        let mut forced = base;
+        let mut forced = base.clone();
         forced.extend_from_slice(&["--dispatch", "simd"]);
         runs.push(forced);
+        let mut forced_steal = base;
+        forced_steal.extend_from_slice(&["--dispatch", "simd", "--steal-orders"]);
+        runs.push(forced_steal);
     }
     for check in &runs {
         if !cargo(check) {
@@ -315,19 +330,26 @@ fn verify_schedules(opts: BuildOpts) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "verify-schedules: OK (all kernels CREW-exclusive under permuted schedules; \
-         injected faults detected)"
+        "verify-schedules: OK (all kernels CREW-exclusive under permuted and \
+         steal-order schedules; injected faults detected)"
     );
     ExitCode::SUCCESS
 }
 
 /// Runs `mp bench` with the given extra arguments.
 fn run_mp_bench(opts: BuildOpts, extra: &[&str]) -> bool {
+    run_mp_bench_env(opts, extra, &[])
+}
+
+/// [`run_mp_bench`] with extra environment variables (e.g.
+/// `MERGEPATH_THREADS` to size the global pool above this machine's core
+/// count so work-stealing paths actually engage).
+fn run_mp_bench_env(opts: BuildOpts, extra: &[&str], envs: &[(&str, &str)]) -> bool {
     let mut args = vec!["run", "--offline", "--release", "-q", "-p", "mergepath-cli"];
     args.extend_from_slice(opts.feature_args());
     args.extend_from_slice(&["--bin", "mp", "--", "bench"]);
     args.extend_from_slice(extra);
-    cargo(&args)
+    cargo_env(&args, envs)
 }
 
 fn bench(opts: BuildOpts) -> ExitCode {
@@ -634,9 +656,15 @@ fn verify_bench(opts: BuildOpts) -> ExitCode {
 }
 
 /// Validates one fresh `bench_serve` payload: all three arrival patterns
-/// present, ≥ 4 concurrency levels, and on every row the zero-lost /
-/// zero-correctness-failure / zero-contained-panic invariants.
-fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), String> {
+/// present, ≥ 4 concurrency levels, on every row the zero-lost /
+/// zero-correctness-failure / zero-contained-panic invariants, a complete
+/// `round_overlap` before/after cell, and — when the run had ≥ 2 pool
+/// threads — the work-stealing witness: `pool_steals > 0` somewhere under
+/// the bursty pattern.
+fn check_serve_payload(
+    doc: &mergepath_telemetry::json::Value,
+    expect_steals: bool,
+) -> Result<(), String> {
     use mergepath_telemetry::json::Value;
     let rows = doc
         .get("payload")
@@ -649,6 +677,7 @@ fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), Str
     let mut patterns = std::collections::BTreeSet::new();
     let mut levels = std::collections::BTreeSet::new();
     let mut bursty_batched_rounds = 0.0;
+    let mut bursty_pool_steals = 0.0;
     for (i, r) in rows.iter().enumerate() {
         let pattern = r
             .get("pattern")
@@ -670,6 +699,8 @@ fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), Str
             "batch_width",
             "replay_fifo_deadline_miss",
             "replay_edf_deadline_miss",
+            "pool_steals",
+            "pool_stolen_shares",
         ] {
             if r.get(col).and_then(Value::as_f64).is_none() {
                 return Err(format!("row {i} ({pattern} @ {level}): {col} missing"));
@@ -680,6 +711,7 @@ fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), Str
                 .get("serve_batched")
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0);
+            bursty_pool_steals += r.get("pool_steals").and_then(Value::as_f64).unwrap_or(0.0);
         }
         for (col, want) in [
             ("lost", 0.0),
@@ -716,6 +748,52 @@ fn check_serve_payload(doc: &mergepath_telemetry::json::Value) -> Result<(), Str
             "no bursty row recorded a batched round (serve_batched == 0 everywhere)".into(),
         );
     }
+    // The round-overlap cell: both arms present and complete, and the
+    // overlapped arm at least as described by its own tag.
+    let overlap = doc
+        .get("payload")
+        .and_then(|p| p.get("round_overlap"))
+        .ok_or("payload.round_overlap missing")?;
+    if overlap.get("pattern").and_then(Value::as_str) != Some("bursty") {
+        return Err("round_overlap.pattern is not bursty".into());
+    }
+    let mut overlapped_steals = 0.0;
+    for (arm, want_serialized) in [("serialized", true), ("overlapped", false)] {
+        let a = overlap
+            .get(arm)
+            .ok_or_else(|| format!("round_overlap.{arm} missing"))?;
+        match a.get("serialized") {
+            Some(Value::Bool(b)) if *b == want_serialized => {}
+            other => {
+                return Err(format!(
+                    "round_overlap.{arm}.serialized = {other:?}, want {want_serialized}"
+                ))
+            }
+        }
+        for col in ["completed", "wall_ns", "p50_ns", "p99_ns", "pool_steals"] {
+            if a.get(col).and_then(Value::as_f64).is_none() {
+                return Err(format!("round_overlap.{arm}.{col} missing"));
+            }
+        }
+        if a.get("completed").and_then(Value::as_f64) == Some(0.0) {
+            return Err(format!("round_overlap.{arm} completed no requests"));
+        }
+        if arm == "overlapped" {
+            overlapped_steals = a.get("pool_steals").and_then(Value::as_f64).unwrap_or(0.0);
+        }
+    }
+    // The work-stealing witness: the gate's bench runs with a forced
+    // multi-thread pool (`MERGEPATH_THREADS`), so the bursty cells (sweep
+    // rows plus the overlapped arm) must have recorded at least one
+    // productive steal — otherwise the executor quietly degraded to the
+    // old serialized behaviour.
+    if expect_steals && bursty_pool_steals + overlapped_steals <= 0.0 {
+        return Err(
+            "pool_steals == 0 across every bursty cell despite a multi-thread pool: \
+             the work-stealing path never engaged"
+                .into(),
+        );
+    }
     Ok(())
 }
 
@@ -747,6 +825,7 @@ fn render_serve_history_entry(doc: &mergepath_telemetry::json::Value) -> String 
             "throughput_rps",
             "p50_ns",
             "p99_ns",
+            "pool_steals",
         ] {
             out.push_str(",\"");
             out.push_str(col);
@@ -766,7 +845,21 @@ fn verify_serve(opts: BuildOpts) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let out_dir = dir.display().to_string();
-    if !run_mp_bench(opts, &["--smoke", "--serve", "--out-dir", &out_dir]) {
+    // Force a 4-thread pool regardless of the host's core count: the
+    // round-overlap cell and the pool_steals witness are meaningless on a
+    // single-thread pool, where every round runs inline.
+    if !run_mp_bench_env(
+        opts,
+        &[
+            "--smoke",
+            "--serve",
+            "--threads",
+            "4",
+            "--out-dir",
+            &out_dir,
+        ],
+        &[("MERGEPATH_THREADS", "4")],
+    ) {
         eprintln!("verify-serve: FAILED running `mp bench --smoke --serve`");
         return ExitCode::FAILURE;
     }
@@ -777,7 +870,7 @@ fn verify_serve(opts: BuildOpts) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = check_serve_payload(&fresh) {
+    if let Err(e) = check_serve_payload(&fresh, true) {
         eprintln!("verify-serve: FAILED: BENCH_serve.json: {e}");
         return ExitCode::FAILURE;
     }
@@ -787,7 +880,7 @@ fn verify_serve(opts: BuildOpts) -> ExitCode {
     }
     println!(
         "verify-serve: OK (3 patterns x >=4 concurrency levels; zero lost requests, \
-         zero correctness failures)"
+         zero correctness failures; round-overlap cell present, pool steals witnessed)"
     );
     ExitCode::SUCCESS
 }

@@ -210,6 +210,7 @@ fn adaptive_dispatch_survives_permuted_schedules_under_forced_kernels() {
         schedules: 4,
         seed: 0xD1FF,
         pram_limit: 0,
+        steal_orders: false,
     };
     for policy in [
         DispatchPolicy::Adaptive,
@@ -246,6 +247,7 @@ fn every_kernel_survives_permuted_schedules_on_adversarial_inputs() {
                 schedules: 8,
                 seed: 0xD1FF ^ threads as u64,
                 pram_limit: 0, // machine cross-validation covered in mergepath-check
+                steal_orders: false,
             };
             for &kernel in &Kernel::ALL {
                 if let Err(e) = check_kernel_on(kernel, &a, &b, &cfg) {

@@ -1,0 +1,381 @@
+//! Round overlap on the work-stealing executor, witnessed through the
+//! live serving daemon.
+//!
+//! The old executor serialized pool rounds: one round owned the whole
+//! pool, so a narrow request's two-share round queued behind a wide
+//! request's round even when most workers were idle. The work-stealing
+//! scheduler keeps multiple rounds in flight. These tests pin that down
+//! deterministically:
+//!
+//! * a wide request whose comparisons block *inside its pool round* until
+//!   several narrow requests have completed end-to-end — the test can
+//!   only terminate if narrow rounds execute while the wide round is
+//!   provably mid-execution;
+//! * a drop-accounting sweep across panicking multi-share rounds (shares
+//!   executed by the caller, by pool workers, and by stealing helpers
+//!   alike), proving the panic path leaks nothing and leaves the shared
+//!   scheduler reusable for clean rounds afterwards.
+
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering as AtOrd};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+use mergepath_suite::mergepath::executor;
+use mergepath_suite::serve::{Outcome, QueuePolicy, Request, ServeConfig, Server};
+
+/// Escape hatch for every spin loop in this file: generous enough for a
+/// loaded single-core CI runner, short enough that a genuine deadlock
+/// (rounds serializing again) fails the test instead of hanging the run.
+const SPIN_ESCAPE: Duration = Duration::from_secs(120);
+
+/// The global pool, forced to 4 workers. This integration test is its own
+/// process, so the env var is set before anything touches the pool; the
+/// `Once` keeps concurrent `#[test]` threads from racing the write.
+fn pool() -> &'static executor::Pool {
+    static FORCE: Once = Once::new();
+    FORCE.call_once(|| std::env::set_var("MERGEPATH_THREADS", "4"));
+    executor::global()
+}
+
+// ---------------------------------------------------------------------------
+// Overlap witness: narrow requests complete while a wide round executes
+// ---------------------------------------------------------------------------
+
+/// How many narrow requests must complete end-to-end while the wide
+/// request's round is held mid-execution.
+const NARROWS: usize = 3;
+/// Set by the first wide comparison that runs inside a pool round.
+static WIDE_IN_ROUND: AtomicBool = AtomicBool::new(false);
+/// Narrow requests observed complete (incremented by the test thread
+/// after each `wait()` returns).
+static NARROW_DONE: AtomicUsize = AtomicUsize::new(0);
+
+/// A key whose comparisons, when the element is wide-marked AND the
+/// comparison runs inside a pool round (`executor::in_pool_round()`),
+/// block until all [`NARROWS`] narrow requests have completed. Partition
+/// (co-rank) comparisons run on the serving thread outside any round and
+/// pass through, so the wide request reliably reaches its round and
+/// blocks *there* — the configuration the old serialized executor turned
+/// into a deadlock.
+#[derive(Debug, Clone, Default)]
+struct WideKey {
+    key: u32,
+    wide: bool,
+}
+
+impl WideKey {
+    fn hold_until_narrows_finish(&self, other: &Self) {
+        if !(self.wide || other.wide) || !executor::in_pool_round() {
+            return;
+        }
+        WIDE_IN_ROUND.store(true, AtOrd::SeqCst);
+        let t0 = Instant::now();
+        while NARROW_DONE.load(AtOrd::SeqCst) < NARROWS {
+            assert!(
+                t0.elapsed() < SPIN_ESCAPE,
+                "narrow requests starved behind the wide round: rounds are \
+                 serializing instead of overlapping"
+            );
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl PartialEq for WideKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for WideKey {}
+impl PartialOrd for WideKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WideKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.hold_until_narrows_finish(other);
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The tentpole's behavioural contract, end to end: a wide request is
+/// provably mid-round (its gated comparisons have set [`WIDE_IN_ROUND`]
+/// and are spinning inside pool shares) while [`NARROWS`] narrow requests
+/// are submitted, served, and verified to completion. The wide round's
+/// shares occupy the submitting server worker *and* pool workers, so the
+/// narrow rounds can only finish if the scheduler runs rounds
+/// concurrently — under the old round-serializing pool this test
+/// deadlocks (and the spin escape converts that into a failure).
+#[test]
+fn narrow_requests_complete_while_a_wide_round_is_executing() {
+    assert_eq!(pool().threads(), 4, "test needs a real multi-worker pool");
+    let server: Server<WideKey> = Server::start(
+        ServeConfig {
+            queue_capacity: 32,
+            max_inflight: 2,
+            // Alone in flight, the wide request gets a 4-share round; the
+            // narrow requests behind it get 2-share rounds — both sides
+            // genuinely go through the pool.
+            worker_budget: 4,
+            policy: QueuePolicy::Edf,
+            // No coalescing: the wide and narrow requests must be
+            // distinct rounds for overlap to mean anything.
+            batch_max_items: 0,
+        },
+        mergepath_suite::serve::NoRecorder,
+    );
+
+    // Wide input: every element is wide-marked, so whichever shares of
+    // the round execute first block on the gate.
+    let wide_len = 2048u32;
+    let wide_a: Vec<WideKey> = (0..wide_len)
+        .map(|i| WideKey {
+            key: 2 * i,
+            wide: true,
+        })
+        .collect();
+    let wide_b: Vec<WideKey> = (0..wide_len)
+        .map(|i| WideKey {
+            key: 2 * i + 1,
+            wide: true,
+        })
+        .collect();
+    let wide = server
+        .submit(Request::merge(0, wide_a, wide_b))
+        .expect("admitted");
+
+    // Wait until a wide share is provably executing inside a pool round.
+    let t0 = Instant::now();
+    while !WIDE_IN_ROUND.load(AtOrd::SeqCst) {
+        assert!(
+            t0.elapsed() < SPIN_ESCAPE,
+            "the wide request never reached a pool round"
+        );
+        std::thread::yield_now();
+    }
+
+    // Now drive narrow requests through the daemon, one at a time, each
+    // verified to completion while the wide round is still spinning.
+    for i in 0..NARROWS as u64 {
+        let a: Vec<WideKey> = (0..64u32)
+            .map(|k| WideKey {
+                key: 2 * k,
+                wide: false,
+            })
+            .collect();
+        let b: Vec<WideKey> = (0..64u32)
+            .map(|k| WideKey {
+                key: 2 * k + 1,
+                wide: false,
+            })
+            .collect();
+        let h = server
+            .submit(Request::merge(1 + i, a, b))
+            .expect("admitted");
+        match h.wait() {
+            Outcome::Completed { output, .. } => {
+                let keys: Vec<u32> = output.iter().map(|w| w.key).collect();
+                let want: Vec<u32> = (0..128).collect();
+                assert_eq!(keys, want, "narrow merge {i} diverged");
+                assert!(
+                    WIDE_IN_ROUND.load(AtOrd::SeqCst),
+                    "wide round flag lost while narrow {i} completed"
+                );
+            }
+            other => panic!("narrow request {i}: {other:?}"),
+        }
+        NARROW_DONE.fetch_add(1, AtOrd::SeqCst);
+    }
+
+    // The gate has released; the wide round drains and must still be
+    // byte-identical to the sequential answer.
+    match wide.wait() {
+        Outcome::Completed { output, .. } => {
+            assert_eq!(output.len(), 2 * wide_len as usize);
+            let keys: Vec<u32> = output.iter().map(|w| w.key).collect();
+            let want: Vec<u32> = (0..2 * wide_len).collect();
+            assert_eq!(keys, want, "wide merge diverged");
+        }
+        other => panic!("wide request: {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1 + NARROWS as u64);
+    assert_eq!(stats.lost(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// CountedDrop sweep: panicking multi-share rounds leak nothing and leave
+// the shared scheduler reusable
+// ---------------------------------------------------------------------------
+
+/// Comparing this key value panics, simulating a buggy user comparator.
+const POISON: i32 = i32::MIN;
+
+/// Live-count idiom from `tests/serve_invariants.rs`: constructions and
+/// clones increment, drops decrement; zero at the end means no element
+/// leaked or double-dropped anywhere on the request path.
+#[derive(Debug)]
+struct CountedDrop {
+    key: i32,
+    live: Arc<AtomicIsize>,
+}
+
+impl CountedDrop {
+    fn tracked(key: i32, master: &Arc<AtomicIsize>) -> Self {
+        master.fetch_add(1, AtOrd::SeqCst);
+        CountedDrop {
+            key,
+            live: master.clone(),
+        }
+    }
+}
+
+impl Clone for CountedDrop {
+    fn clone(&self) -> Self {
+        self.live.fetch_add(1, AtOrd::SeqCst);
+        CountedDrop {
+            key: self.key,
+            live: self.live.clone(),
+        }
+    }
+}
+
+impl Drop for CountedDrop {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, AtOrd::SeqCst);
+    }
+}
+
+impl Default for CountedDrop {
+    fn default() -> Self {
+        // Output-buffer filler accounts against its own private counter.
+        CountedDrop {
+            key: 0,
+            live: Arc::new(AtomicIsize::new(1)),
+        }
+    }
+}
+
+impl PartialEq for CountedDrop {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for CountedDrop {}
+impl PartialOrd for CountedDrop {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CountedDrop {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        assert!(
+            self.key != POISON && other.key != POISON,
+            "comparator poisoned"
+        );
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Panicking rounds on the 4-worker pool, through the live daemon, with
+/// multi-share rounds whose shares run on the submitting worker, pool
+/// workers, and stealing helpers alike. The poisons are spread across the
+/// input so the panic can land in any share (or in the caller-side
+/// partition — every containment path must be equally leak-free). After
+/// the poisoned wave, a clean wave of multi-share merges over the same
+/// shared scheduler must complete — the satellite-6 regression: a
+/// panicking round must leave the scheduler reusable, with nothing
+/// leaked, nothing poisoned, no stuck rounds.
+#[test]
+fn panicking_multi_share_rounds_leak_nothing_and_pool_stays_reusable() {
+    assert_eq!(pool().threads(), 4, "test needs a real multi-worker pool");
+    let master = Arc::new(AtomicIsize::new(0));
+    let tracked_range = |lo: i32, n: i32, stride: i32, poisons: &[i32]| -> Vec<CountedDrop> {
+        // Ascending keys with POISON spliced in at the given offsets —
+        // POISON sorts first conceptually, but merge preconditions are
+        // moot: the first comparison that touches one panics. Poisoned
+        // inputs use stride 2 (evens vs odds) so the two sides interleave
+        // tightly: every share's serial merge then compares essentially
+        // every element, guaranteeing the poison is reached inside a
+        // share. (Disjoint ranges would co-rank into comparison-free
+        // copy shares and the poison would never be compared.)
+        (0..n)
+            .map(|i| {
+                let key = if poisons.contains(&i) {
+                    POISON
+                } else {
+                    lo + stride * i
+                };
+                CountedDrop::tracked(key, &master)
+            })
+            .collect()
+    };
+    {
+        let server: Server<CountedDrop> = Server::start(
+            ServeConfig {
+                queue_capacity: 32,
+                max_inflight: 2,
+                worker_budget: 4,
+                policy: QueuePolicy::Edf,
+                batch_max_items: 0,
+            },
+            mergepath_suite::serve::NoRecorder,
+        );
+        // Wave 1: poisoned merges, large enough for multi-share rounds,
+        // poisons spread so different shares hit them.
+        let mut poisoned = Vec::new();
+        for (id, offsets) in [[7i32, 199].as_slice(), &[50, 120, 250], &[160]]
+            .iter()
+            .enumerate()
+        {
+            let a = tracked_range(0, 300, 2, offsets);
+            let b = tracked_range(1, 300, 2, &[]);
+            poisoned.push(
+                server
+                    .submit(Request::merge(id as u64, a, b))
+                    .expect("admitted"),
+            );
+        }
+        for (i, h) in poisoned.into_iter().enumerate() {
+            match h.wait() {
+                Outcome::Failed => {}
+                other => panic!("poisoned merge {i} did not fail cleanly: {other:?}"),
+            }
+        }
+        // Wave 2: clean multi-share merges over the same pool — the
+        // panicking rounds above must not have wedged or poisoned it.
+        let mut clean = Vec::new();
+        for id in 10..14u64 {
+            let a = tracked_range(0, 300, 1, &[]);
+            let b = tracked_range(150, 300, 1, &[]);
+            clean.push((
+                id,
+                server.submit(Request::merge(id, a, b)).expect("admitted"),
+            ));
+        }
+        for (id, h) in clean {
+            match h.wait() {
+                Outcome::Completed { output, .. } => {
+                    assert_eq!(output.len(), 600);
+                    assert!(
+                        output.windows(2).all(|w| w[0].key <= w[1].key),
+                        "clean merge {id} after panics is unsorted"
+                    );
+                }
+                other => panic!("clean merge {id} after panics: {other:?}"),
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 3);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.lost(), 0);
+    }
+    // Server, handles, and outcome cells are gone: every tracked element
+    // must have dropped exactly once, panics included.
+    assert_eq!(
+        master.load(AtOrd::SeqCst),
+        0,
+        "panicking rounds leaked or double-dropped elements"
+    );
+}
